@@ -1,0 +1,1 @@
+bench/exp_accuracy.ml: Array Gmon Harness List Objcode Option Printf Stacksample Util Vm Workloads

@@ -1,0 +1,1 @@
+bench/exp_claims.ml: Array Compile Gmon Gprof_core Harness List Printf Result String Util Vm Workloads

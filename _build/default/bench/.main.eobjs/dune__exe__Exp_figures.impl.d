@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Fun Gmon Gprof_core Graphlib Harness List Option Printf String Util Workloads

@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Analyze Array Bechamel Benchmark Compile Gprof_core Graphlib Harness Hashtbl List Measure Printf Time Toolkit Util Vm Workloads

@@ -1,0 +1,1 @@
+bench/harness.ml: Array Gprof_core List Printf String Workloads

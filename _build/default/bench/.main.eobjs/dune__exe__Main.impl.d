@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_accuracy Exp_claims Exp_figures Exp_micro Harness List Printf Sys

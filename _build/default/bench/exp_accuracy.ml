@@ -1,0 +1,260 @@
+(* Accuracy experiments: the average-time pitfall, the sampling-rate
+   sweep, and the histogram-granularity sweep — each judged against
+   the VM's exact-timing oracle. *)
+
+open Harness
+
+(* §RETRO: "we derive an average time per call that need not reflect
+   reality, e.g., if some calls take longer than others. Further …
+   we distribute the 'average time' to callers in proportion to how
+   many times they called the function." The skewed workload makes
+   that distribution exactly wrong; complete-call-stack sampling (the
+   retrospective's fix) recovers the truth. *)
+let t_avgtime () =
+  let config =
+    { Vm.Machine.default_config with oracle = true; stack_interval = Some 1 }
+  in
+  let r = run_workload ~config Workloads.Programs.skewed in
+  let p = (analyze_run r).profile in
+  let orc = Option.get (Vm.Machine.the_oracle r.machine) in
+  let stacks =
+    Stacksample.Stackprof.analyze r.objfile
+      ~samples:(Vm.Machine.stack_samples r.machine)
+      ~ticks_per_second:60 ~sample_interval:1
+  in
+  let addr name = (Option.get (Objcode.Objfile.symbol_by_name r.objfile name)).addr in
+  let fid name = Option.get (Objcode.Objfile.func_id_of_addr r.objfile (addr name)) in
+  let oracle_incl name =
+    float_of_int (Vm.Oracle.total_cycles orc (addr name)) /. cycles_per_second
+  in
+  let gprof_incl name =
+    let e = entry_by p name in
+    e.e_self +. e.e_child
+  in
+  let stack_incl name = Stacksample.Stackprof.inclusive_of stacks (fid name) in
+  section "inclusive time of the two call sites of `work` (900 cheap vs 100 expensive calls per round)";
+  let t =
+    Util.Table.create
+      [ ("estimator", Util.Table.Left); ("cheap_site (s)", Util.Table.Right);
+        ("expensive_site (s)", Util.Table.Right); ("who dominates", Util.Table.Left) ]
+  in
+  let dom cheap exp = if exp > cheap then "expensive_site" else "cheap_site" in
+  let row name cheap exp =
+    Util.Table.add_row t
+      [ name; Printf.sprintf "%.2f" cheap; Printf.sprintf "%.2f" exp; dom cheap exp ]
+  in
+  let oc = oracle_incl "cheap_site" and oe = oracle_incl "expensive_site" in
+  let gc = gprof_incl "cheap_site" and ge = gprof_incl "expensive_site" in
+  let sc = stack_incl "cheap_site" and se = stack_incl "expensive_site" in
+  row "oracle (exact)" oc oe;
+  row "gprof (avg-per-call propagation)" gc ge;
+  row "call-stack sampling" sc se;
+  Util.Table.print t;
+  print_newline ();
+  print_endline
+    "  work(4) from the cheap site is ~50x cheaper per call than work(400)";
+  print_endline
+    "  from the expensive site; gprof splits work's total by call counts (9:1),";
+  print_endline "  inverting the ranking.";
+  expect "the oracle says the expensive site dominates" (oe > oc);
+  expect "gprof, distributing by call counts, inverts the ranking" (gc > ge);
+  expect "call-stack sampling restores the true ranking" (se > sc);
+  expect "stack-sampled inclusive times are within 10% of the oracle"
+    (Util.Stats.rel_error ~actual:se ~expected:oe < 0.10
+    && Util.Stats.rel_error ~actual:sc ~expected:oc < 0.10)
+
+(* §3.2: "the program must run for enough sampled intervals that the
+   distribution of the samples accurately represents the distribution
+   of time"; sampling too rarely loses accuracy. *)
+let t_sample () =
+  let w = Workloads.Programs.matrix in
+  let truth =
+    let r =
+      run_workload ~config:{ Vm.Machine.default_config with oracle = true } w
+    in
+    let orc = Option.get (Vm.Machine.the_oracle r.machine) in
+    fun o name ->
+      float_of_int
+        (Vm.Oracle.self_cycles orc
+           (Option.get (Objcode.Objfile.symbol_by_name o name)).addr)
+      /. cycles_per_second
+  in
+  section "self-time error versus sampling interval (matrix workload, jittered clock)";
+  let t =
+    Util.Table.create
+      [ ("cycles/tick", Util.Table.Right); ("~Hz", Util.Table.Right);
+        ("ticks", Util.Table.Right); ("mean rel. error", Util.Table.Right) ]
+  in
+  let names = [ "dot"; "get_a"; "get_b"; "multiply" ] in
+  let errs =
+    List.map
+      (fun cpt ->
+        let config =
+          {
+            Vm.Machine.default_config with
+            cycles_per_tick = cpt;
+            tick_jitter = 0.5;
+            seed = 11;
+          }
+        in
+        let r = run_workload ~config w in
+        let p = (analyze_run r).profile in
+        (* seconds must be computed against this run's tick length *)
+        let secs_per_tick = float_of_int cpt /. cycles_per_second in
+        let err =
+          Util.Stats.mean
+            (List.map
+               (fun name ->
+                 let e = entry_by p name in
+                 let measured = e.e_ticks *. secs_per_tick in
+                 Util.Stats.rel_error ~actual:measured
+                   ~expected:(truth r.objfile name))
+               names)
+        in
+        Util.Table.add_row t
+          [ string_of_int cpt;
+            Printf.sprintf "%.0f" (cycles_per_second /. float_of_int cpt);
+            string_of_int (Gmon.total_ticks r.gmon);
+            Printf.sprintf "%.3f" err ];
+        (cpt, err))
+      [ 1_666; 4_166; 16_666; 66_664; 333_320 ]
+  in
+  Util.Table.print t;
+  let err_of cpt = List.assoc cpt errs in
+  expect "dense sampling (600 Hz) is accurate to a couple of percent"
+    (err_of 1_666 < 0.03);
+  expect "the paper's 60 Hz clock is accurate to ~10% on second-scale routines"
+    (err_of 16_666 < 0.10);
+  expect "sampling 20x too slowly degrades accuracy markedly"
+    (err_of 333_320 > 2.0 *. err_of 1_666)
+
+(* §RETRO: histogram granularity — "the space for the histogram could
+   be controlled by getting a finer or coarser histogram"; coarse
+   buckets straddle routines and smear attribution. *)
+let t_gran () =
+  let w = Workloads.Programs.wide in
+  let fine = run_workload ~config:{ Vm.Machine.default_config with hist_bucket_size = 1 } w in
+  let reference =
+    let p = (analyze_run fine).profile in
+    fun name -> (entry_by p name).e_self
+  in
+  let names =
+    [ "stage0"; "stage1"; "stage2"; "stage3"; "stage4"; "stage5"; "stage6";
+      "stage7"; "pipeline" ]
+  in
+  section "histogram granularity versus attribution error (wide workload)";
+  let t =
+    Util.Table.create
+      [ ("bucket size", Util.Table.Right); ("buckets", Util.Table.Right);
+        ("memory (words)", Util.Table.Right); ("mean rel. error", Util.Table.Right) ]
+  in
+  let errs =
+    List.map
+      (fun bucket ->
+        let r =
+          run_workload
+            ~config:{ Vm.Machine.default_config with hist_bucket_size = bucket }
+            w
+        in
+        let p = (analyze_run r).profile in
+        let err =
+          Util.Stats.mean
+            (List.map
+               (fun name ->
+                 Util.Stats.rel_error ~actual:(entry_by p name).e_self
+                   ~expected:(reference name))
+               names)
+        in
+        let buckets = Array.length r.gmon.Gmon.hist.h_counts in
+        Util.Table.add_row t
+          [ string_of_int bucket; string_of_int buckets; string_of_int buckets;
+            Printf.sprintf "%.3f" err ];
+        (bucket, err))
+      [ 1; 2; 8; 32; 128 ]
+  in
+  Util.Table.print t;
+  expect "one-to-one granularity is the error-free reference"
+    (List.assoc 1 errs < 1e-9);
+  expect "attribution error grows as buckets straddle routine boundaries"
+    (List.assoc 128 errs > List.assoc 8 errs /. 2.0
+    && List.assoc 128 errs > List.assoc 1 errs);
+  expect "memory shrinks proportionally"
+    (let r =
+       run_workload ~config:{ Vm.Machine.default_config with hist_bucket_size = 128 } w
+     in
+     Array.length r.gmon.Gmon.hist.h_counts * 64
+     <= Array.length fine.gmon.Gmon.hist.h_counts)
+
+(* §RETRO: "The additional overhead of gathering the call stack can be
+   hidden by backing off the frequency with which the call stacks are
+   sampled." *)
+let t_stackcost () =
+  let w = Workloads.Programs.recursive in
+  let base = Vm.Machine.cycles (run_workload w).machine in
+  let oracle_run =
+    run_workload ~config:{ Vm.Machine.default_config with oracle = true } w
+  in
+  let orc = Option.get (Vm.Machine.the_oracle oracle_run.machine) in
+  let fib_addr =
+    (Option.get (Objcode.Objfile.symbol_by_name oracle_run.objfile "fib")).addr
+  in
+  let truth =
+    float_of_int (Vm.Oracle.total_cycles orc fib_addr) /. cycles_per_second
+  in
+  section "call-stack sampling: cost vs accuracy as the frequency backs off";
+  let t =
+    Util.Table.create
+      [ ("sample every", Util.Table.Right); ("samples", Util.Table.Right);
+        ("overhead cycles", Util.Table.Right); ("overhead", Util.Table.Right);
+        ("fib inclusive err", Util.Table.Right) ]
+  in
+  let rows =
+    List.map
+      (fun interval ->
+        let r =
+          run_workload
+            ~config:{ Vm.Machine.default_config with stack_interval = Some interval }
+            w
+        in
+        let cost = Vm.Machine.cycles r.machine - base in
+        let prof =
+          Stacksample.Stackprof.analyze r.objfile
+            ~samples:(Vm.Machine.stack_samples r.machine)
+            ~ticks_per_second:60 ~sample_interval:interval
+        in
+        let fib_id =
+          Option.get (Objcode.Objfile.func_id_of_addr r.objfile fib_addr)
+        in
+        let err =
+          Util.Stats.rel_error
+            ~actual:(Stacksample.Stackprof.inclusive_of prof fib_id)
+            ~expected:truth
+        in
+        Util.Table.add_row t
+          [ Printf.sprintf "%d ticks" interval;
+            string_of_int (List.length (Vm.Machine.stack_samples r.machine));
+            string_of_int cost;
+            Util.Table.cell_pct (100.0 *. float_of_int cost /. float_of_int base);
+            Printf.sprintf "%.3f" err ];
+        (interval, cost, err))
+      [ 1; 4; 16; 64 ]
+  in
+  Util.Table.print t;
+  let cost i = List.find_map (fun (k, c, _) -> if k = i then Some c else None) rows in
+  let err i = List.find_map (fun (k, _, e) -> if k = i then Some e else None) rows in
+  expect "backing off 64x cuts the walk cost by an order of magnitude"
+    (match (cost 1, cost 64) with
+    | Some c1, Some c64 -> c64 * 10 <= c1
+    | _ -> false);
+  expect "per-tick sampling stays close to the oracle"
+    (match err 1 with Some e -> e < 0.05 | None -> false);
+  expect "even 16x backed-off sampling remains usable on second-scale routines"
+    (match err 16 with Some e -> e < 0.25 | None -> false)
+
+let register () =
+  register "t-avgtime" "§RETRO pitfall: average time per call misattributes skewed call sites" t_avgtime;
+  register "t-sample" "§3.2: sampling-rate sweep against the exact oracle" t_sample;
+  register "t-gran" "§RETRO: histogram granularity vs space trade-off" t_gran;
+  register "t-stackcost"
+    "§RETRO: stack-walk overhead hidden by backing off the sampling frequency"
+    t_stackcost

@@ -1,0 +1,458 @@
+(* The paper's quantitative and mechanism claims, regenerated on the
+   workload suite. *)
+
+open Harness
+
+let overhead_workloads =
+  Workloads.Programs.
+    [ quick; matrix; sort; codegen; skewed; kernel; recursive; indirect; wide;
+      explore; selfprof ]
+
+(* §7: "It adds only five to thirty percent execution overhead to the
+   program being profiled". *)
+let t_overhead () =
+  section "execution overhead of the monitoring prologue (paper: 5-30%%)";
+  let t =
+    Util.Table.create
+      [ ("workload", Util.Table.Left); ("plain cycles", Util.Table.Right);
+        ("profiled cycles", Util.Table.Right); ("overhead", Util.Table.Right) ]
+  in
+  let overheads =
+    List.map
+      (fun w ->
+        let plain =
+          Vm.Machine.cycles
+            (run_workload ~options:Compile.Codegen.default_options w).machine
+        in
+        let prof = Vm.Machine.cycles (run_workload w).machine in
+        let ov = 100.0 *. float_of_int (prof - plain) /. float_of_int plain in
+        Util.Table.add_row t
+          [ w.Workloads.Programs.w_name; string_of_int plain; string_of_int prof;
+            Util.Table.cell_pct ov ];
+        (w.Workloads.Programs.w_name, ov))
+      overhead_workloads
+  in
+  Util.Table.print t;
+  let within = List.filter (fun (_, ov) -> ov >= 1.0 && ov <= 35.0) overheads in
+  expect
+    (Printf.sprintf "every workload's overhead is low (1-35%%); %d/%d in band"
+       (List.length within) (List.length overheads))
+    (List.length within = List.length overheads);
+  let in_paper_band = List.filter (fun (_, ov) -> ov >= 5.0 && ov <= 30.0) overheads in
+  expect
+    (Printf.sprintf "most workloads land inside the paper's 5-30%% band (%d/%d)"
+       (List.length in_paper_band) (List.length overheads))
+    (2 * List.length in_paper_band >= List.length overheads)
+
+(* §5.1: "the individual times sum to the total execution time", and
+   the flat profile is diffuse on modular programs. *)
+let t_flatsum () =
+  section "flat profile conservation and diffuseness";
+  let t =
+    Util.Table.create
+      [ ("workload", Util.Table.Left); ("sum of self (s)", Util.Table.Right);
+        ("total (s)", Util.Table.Right); ("top routine share", Util.Table.Right) ]
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let rep = analyze_run (run_workload w) in
+        let p = rep.profile in
+        let rows = Gprof_core.Flat.rows p in
+        let sum = List.fold_left (fun a (_, s, _, _) -> a +. s) 0.0 rows in
+        let top =
+          match rows with
+          | (_, s, _, _) :: _ when p.total_time > 0.0 -> 100.0 *. s /. p.total_time
+          | _ -> 0.0
+        in
+        Util.Table.add_row t
+          [ w.Workloads.Programs.w_name; Printf.sprintf "%.3f" sum;
+            Printf.sprintf "%.3f" p.total_time; Util.Table.cell_pct top ];
+        (sum, p.total_time, top, w.Workloads.Programs.w_name))
+      Workloads.Programs.[ matrix; sort; codegen; wide; explore ]
+  in
+  Util.Table.print t;
+  expect "self times sum to the total run time on every workload"
+    (List.for_all (fun (s, tot, _, _) -> abs_float (s -. tot) < 1e-6) rows);
+  let wide_top =
+    List.find_map (fun (_, _, top, n) -> if n = "wide" then Some top else None) rows
+  in
+  expect
+    "on the many-small-routines workload no routine holds even a third of the time"
+    (match wide_top with Some top -> top < 34.0 | None -> false)
+
+(* §4 + §RETRO: big cycles hide structure; removing a few low-count
+   arcs restores it. *)
+let t_cycles () =
+  let run = run_workload Workloads.Programs.kernel in
+  let before = (analyze_run run).profile in
+  section "as gathered";
+  (match before.cycles with
+  | [||] -> print_endline "  no cycles (unexpected)"
+  | cs ->
+    Array.iter
+      (fun (c : Gprof_core.Profile.cycle_entry) ->
+        Printf.printf "  cycle %d: %s (self %.2fs, descendants %.2fs)\n" c.c_no
+          (String.concat ", "
+             (List.map (Gprof_core.Symtab.name before.symtab) c.c_members))
+          c.c_self c.c_child)
+      cs);
+  let subsystems = [ "syscall_layer"; "net_input"; "fs_read"; "dev_io" ] in
+  let show (p : Gprof_core.Profile.t) =
+    let t =
+      Util.Table.create
+        [ ("subsystem", Util.Table.Left); ("self (s)", Util.Table.Right);
+          ("self+descendants (s)", Util.Table.Right) ]
+    in
+    List.iter
+      (fun name ->
+        let e = entry_by p name in
+        Util.Table.add_row t
+          [ name; Printf.sprintf "%.2f" e.e_self;
+            Printf.sprintf "%.2f" (e.e_self +. e.e_child) ])
+      subsystems;
+    Util.Table.print t
+  in
+  show before;
+  section "after heuristic arc removal (bound 2)";
+  let after =
+    (analyze_run
+       ~report:{ Gprof_core.Report.default_options with auto_break_cycles = Some 2 }
+       run)
+  in
+  List.iter
+    (fun (a, b) -> Printf.printf "  removed: %s -> %s\n" a b)
+    (Gprof_core.Report.removed_arc_names after);
+  let pa = after.profile in
+  show pa;
+  expect "before removal, the four subsystems form one cycle"
+    (Array.length before.cycles = 1
+    && List.length before.cycles.(0).c_members = 4);
+  expect "inside the cycle, inclusive time tells nothing (equals self for the top)"
+    (let e = entry_by before "syscall_layer" in
+     e.e_self +. e.e_child < 0.5 *. before.total_time);
+  expect "the heuristic removes low-count arcs and dissolves the cycle"
+    (Array.length pa.cycles = 0
+    && List.length (Gprof_core.Report.removed_arc_names after) <= 2);
+  expect "after removal, the hierarchy is visible (syscall_layer inherits most time)"
+    (let e = entry_by pa "syscall_layer" in
+     e.e_self +. e.e_child > 0.8 *. pa.total_time
+     -. (entry_by pa "idle_loop").e_self -. (entry_by pa "main").e_self
+     -. (entry_by pa "proc_sched").e_self);
+  expect "information lost is bounded by the removed arcs' tiny counts"
+    (let removed = after.removed in
+     List.for_all
+       (fun (src, dst) ->
+         (* recompute the removed arcs' counts from the raw profile *)
+         let site_in name pc =
+           match Gprof_core.Symtab.id_of_pc pa.symtab pc with
+           | Some id -> Gprof_core.Symtab.name pa.symtab id = name
+           | None -> false
+         in
+         let count =
+           List.fold_left
+             (fun acc (a : Gmon.arc) ->
+               if
+                 site_in (Gprof_core.Symtab.name pa.symtab src) a.a_from
+                 && a.a_self = Gprof_core.Symtab.entry pa.symtab dst
+               then acc + a.a_count
+               else acc)
+             0 run.gmon.Gmon.arcs
+         in
+         count < 100)
+       removed)
+
+(* §4: statically discovered arcs complete strongly-connected
+   components before numbering. *)
+let t_static () =
+  (* b would call a only under a condition that never fires: the arc
+     exists in the text but not in the dynamic graph. *)
+  let src =
+    {|
+var never;
+
+fun alpha(n) {
+  if (n <= 0) { return 0; }
+  return beta(n - 1);
+}
+
+fun beta(n) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 50; i = i + 1) { s = s + i * n; }
+  if (never == 12345) { return alpha(n); }
+  return s;
+}
+
+fun main() {
+  var i;
+  var s = 0;
+  for (i = 0; i < 3000; i = i + 1) { s = s + alpha(4); }
+  return s % 100;
+}
+|}
+  in
+  let o =
+    match
+      Compile.Codegen.compile_source ~options:Compile.Codegen.profiling_options src
+    with
+    | Ok o -> o
+    | Error e ->
+      Printf.eprintf "t-static compile: %s\n" e;
+      exit 3
+  in
+  let m = Vm.Machine.create o in
+  ignore (Vm.Machine.run m);
+  let g = Vm.Machine.profile m in
+  let with_static =
+    match Gprof_core.Report.analyze o g with Ok r -> r.profile | Error e -> failwith e
+  in
+  let without_static =
+    match
+      Gprof_core.Report.analyze
+        ~options:{ Gprof_core.Report.default_options with use_static_arcs = false }
+        o g
+    with
+    | Ok r -> r.profile
+    | Error e -> failwith e
+  in
+  section "cycle membership with and without the static call graph";
+  Printf.printf "  dynamic only: %d cycle(s)\n" (Array.length without_static.cycles);
+  Printf.printf "  with static arcs: %d cycle(s)" (Array.length with_static.cycles);
+  (match with_static.cycles with
+  | [| c |] ->
+    Printf.printf " — members: %s\n"
+      (String.concat ", "
+         (List.map (Gprof_core.Symtab.name with_static.symtab) c.c_members))
+  | _ -> print_newline ());
+  expect "the untraversed beta->alpha call is invisible dynamically"
+    (Array.length without_static.cycles = 0);
+  expect "the static scanner completes the alpha/beta cycle"
+    (Array.length with_static.cycles = 1);
+  expect "the static arc carries no time (zero traversals)"
+    (let e = entry_by with_static "beta" in
+     List.for_all
+       (fun (v : Gprof_core.Profile.arc_view) ->
+         not (v.av_count = 0 && v.av_self +. v.av_child > 0.0))
+       e.e_children)
+
+(* §RETRO: "the ability to sum the data over several profiled runs, to
+   accumulate enough time in short-running methods". *)
+let t_multirun () =
+  let w = Workloads.Programs.short in
+  let o = (run_workload w).objfile in
+  let gmon_of_seed seed =
+    (run_workload ~config:{ Vm.Machine.default_config with seed } w).gmon
+  in
+  section "accumulating short runs (gprof -s)";
+  let t =
+    Util.Table.create
+      [ ("runs summed", Util.Table.Right); ("total ticks", Util.Table.Right);
+        ("tiny_leaf self (s)", Util.Table.Right);
+        ("routines with no samples", Util.Table.Right) ]
+  in
+  let resolved = ref [] in
+  List.iter
+    (fun k ->
+      let gs = List.init k (fun i -> gmon_of_seed (i + 1)) in
+      let merged = Result.get_ok (Gmon.merge_all gs) in
+      let p =
+        (match Gprof_core.Report.analyze o merged with
+        | Ok r -> r.profile
+        | Error e -> failwith e)
+      in
+      let leaf = entry_by p "tiny_leaf" in
+      let unsampled =
+        Array.to_list p.entries
+        |> List.filter (fun (e : Gprof_core.Profile.entry) ->
+               e.e_self = 0.0 && e.e_calls > 0)
+        |> List.length
+      in
+      resolved := (k, leaf.e_self) :: !resolved;
+      Util.Table.add_row t
+        [ string_of_int k; string_of_int (Gmon.total_ticks merged);
+          Printf.sprintf "%.3f" leaf.e_self; string_of_int unsampled ])
+    [ 1; 2; 5; 10; 20; 40 ];
+  Util.Table.print t;
+  let self_at k = List.assoc k !resolved in
+  expect "merged profiles accumulate time monotonically"
+    (self_at 40 >= self_at 10 && self_at 10 >= self_at 1);
+  expect "forty summed runs give the short routine a solid estimate"
+    (self_at 40 > 10.0 *. max (self_at 1) 0.001 || self_at 1 = 0.0 && self_at 40 > 0.0)
+
+(* §6: "we have used gprof on itself; eliminating, rewriting, and
+   inline expanding routines, until reading data files … represents
+   the dominating factor". *)
+let t_selfprof () =
+  let rep = analyze_run (run_workload Workloads.Programs.selfprof) in
+  let p = rep.profile in
+  section "profiling the profiler-shaped workload";
+  print_string (Gprof_core.Flat.listing p);
+  let incl name =
+    let e = entry_by p name in
+    e.e_self +. e.e_child
+  in
+  expect "reading data files dominates the analysis passes"
+    (incl "read_data_file" > incl "propagate_times"
+    && incl "read_data_file" > incl "build_graph"
+    && incl "read_data_file" > incl "format_listing");
+  expect "reading holds the majority of total time"
+    (incl "read_data_file" > 0.5 *. p.total_time)
+
+(* §6: "The easiest optimization … If this format routine is expanded
+   inline in the output routine, the overhead of a function call and
+   return can be saved for each datum … The drawback to inline
+   expansion is that … the profiling will also become less useful
+   since the loss of routines will make its output more granular." *)
+let t_inline () =
+  let w = Workloads.Programs.matrix in
+  let inline = [ "get_a"; "get_b" ] in
+  let plain = run_workload ~options:Compile.Codegen.default_options w in
+  let inlined =
+    run_workload
+      ~options:{ Compile.Codegen.default_options with inline }
+      w
+  in
+  section "inline expansion of the array accessors (matrix workload)";
+  let t =
+    Util.Table.create
+      [ ("build", Util.Table.Left); ("cycles", Util.Table.Right);
+        ("speedup", Util.Table.Right) ]
+  in
+  let pc = Vm.Machine.cycles plain.machine
+  and ic = Vm.Machine.cycles inlined.machine in
+  Util.Table.add_row t [ "as written"; string_of_int pc; "1.00x" ];
+  Util.Table.add_row t
+    [ "get_a/get_b inlined"; string_of_int ic;
+      Printf.sprintf "%.2fx" (float_of_int pc /. float_of_int ic) ];
+  Util.Table.print t;
+  expect "inlining the accessors saves the call/return overhead"
+    (ic < pc * 85 / 100);
+  expect "the programs compute the same thing"
+    (Vm.Machine.output plain.machine = Vm.Machine.output inlined.machine);
+  (* Profile the inlined build: the routines vanish from the profile. *)
+  let prof_inlined =
+    run_workload ~options:{ Compile.Codegen.profiling_options with inline } w
+  in
+  let rep = analyze_run prof_inlined in
+  let never =
+    List.map (Gprof_core.Symtab.name rep.profile.symtab) rep.profile.never_called
+  in
+  section "what the profile of the inlined build can still see";
+  Printf.printf "  routines never called: %s\n"
+    (if never = [] then "(none)" else String.concat ", " never);
+  let dot = entry_by rep.profile "dot" in
+  Printf.printf "  dot now holds %.2fs self (the accessors' time merged in)\n"
+    dot.e_self;
+  expect "the accessors disappear from the dynamic profile"
+    (List.mem "get_a" never && List.mem "get_b" never);
+  expect
+    "dot's share of total time swallows the accessors' (less granular output)"
+    (let with_calls = analyze_run (run_workload w) in
+     let before = entry_by with_calls.profile "dot" in
+     let share_before = before.e_self /. with_calls.profile.total_time in
+     let share_after = dot.e_self /. rep.profile.total_time in
+     Printf.printf
+       "  (dot held %.0f%% of self time before inlining, %.0f%% after: the\n\
+       \   accessors' costs can no longer be told apart from dot's own)\n"
+       (100.0 *. share_before) (100.0 *. share_after);
+     share_after > share_before +. 0.2)
+
+(* §6: "a lookup routine might be called only a few times, but use an
+   inefficient linear search algorithm, that might be replaced with a
+   binary search" — and the iterative workflow: "profiling the
+   program, eliminating one bottleneck, then finding some other part
+   of the program that begins to dominate execution time". *)
+let t_lookup () =
+  let show w =
+    let rep = analyze_run (run_workload w) in
+    let p = rep.profile in
+    let top =
+      match Gprof_core.Flat.rows p with
+      | (id, self, _, _) :: _ ->
+        (Gprof_core.Symtab.name p.symtab id, 100.0 *. self /. p.total_time)
+      | [] -> ("-", 0.0)
+    in
+    (p, top)
+  in
+  let before, (top_b, share_b) = show Workloads.Programs.lookup_linear in
+  let after, (top_a, share_a) = show Workloads.Programs.lookup_binary in
+  section "replacing the linear search by bisection";
+  let t =
+    Util.Table.create
+      [ ("build", Util.Table.Left); ("total (s)", Util.Table.Right);
+        ("lookup self (s)", Util.Table.Right); ("hottest routine", Util.Table.Left) ]
+  in
+  Util.Table.add_row t
+    [ "linear search"; Printf.sprintf "%.2f" before.total_time;
+      Printf.sprintf "%.2f" (entry_by before "lookup").e_self;
+      Printf.sprintf "%s (%.0f%%)" top_b share_b ];
+  Util.Table.add_row t
+    [ "binary search"; Printf.sprintf "%.2f" after.total_time;
+      Printf.sprintf "%.2f" (entry_by after "lookup").e_self;
+      Printf.sprintf "%s (%.0f%%)" top_a share_a ];
+  Util.Table.print t;
+  expect "the profile fingers lookup as the bottleneck before" (top_b = "lookup");
+  expect "the replacement removes most of the program's time"
+    (after.total_time < 0.4 *. before.total_time);
+  expect "a different routine now dominates (the iterative approach continues)"
+    (top_a <> "lookup");
+  expect "lookup's own time collapsed"
+    ((entry_by after "lookup").e_self < 0.2 *. (entry_by before "lookup").e_self)
+
+(* §6: "Certain types of programs are not easily analyzed by gprof.
+   They are typified by programs that exhibit a large degree of
+   recursion, such as recursive descent compilers. The problem is that
+   most of the major routines are grouped into a single monolithic
+   cycle … it is impossible to distinguish which members of the cycle
+   are responsible for the execution time." *)
+let t_monolithic () =
+  let rep = analyze_run (run_workload Workloads.Programs.rdparser) in
+  let p = rep.profile in
+  section "the profile of a recursive-descent parser";
+  (match p.cycles with
+  | [||] -> print_endline "  no cycles (unexpected)"
+  | cs ->
+    Array.iter
+      (fun (c : Gprof_core.Profile.cycle_entry) ->
+        Printf.printf "  cycle %d: %s\n        self %.2fs + descendants %.2fs of %.2fs total\n"
+          c.c_no
+          (String.concat ", "
+             (List.map (Gprof_core.Symtab.name p.symtab) c.c_members))
+          c.c_self c.c_child p.total_time)
+      cs);
+  let member_names =
+    Array.to_list p.cycles
+    |> List.concat_map (fun (c : Gprof_core.Profile.cycle_entry) ->
+           List.map (Gprof_core.Symtab.name p.symtab) c.c_members)
+  in
+  let cycle_share =
+    Array.fold_left
+      (fun acc (c : Gprof_core.Profile.cycle_entry) -> acc +. c.c_self +. c.c_child)
+      0.0 p.cycles
+    /. p.total_time
+  in
+  Printf.printf "  cycle share of total time: %.0f%%\n" (100.0 *. cycle_share);
+  expect "the parser's mutually-recursive core collapses into cycles"
+    (Array.length p.cycles >= 1);
+  expect "parse_expr, parse_term, and parse_factor share one cycle"
+    (List.for_all (fun n -> List.mem n member_names)
+       [ "parse_expr"; "parse_term"; "parse_factor" ]);
+  expect "the cycle holds most of the program's time (the analysis dead-ends)"
+    (cycle_share > 0.55);
+  (* the generator is recursive through the same shape *)
+  expect "the generator's gen_expr/gen_term/gen_factor cycle is found too"
+    (List.for_all (fun n -> List.mem n member_names)
+       [ "gen_expr"; "gen_term"; "gen_factor" ])
+
+let register () =
+  register "t-overhead" "§7 claim: profiling adds 5-30% execution overhead" t_overhead;
+  register "t-inline" "§6: inline expansion saves call overhead but coarsens the profile" t_inline;
+  register "t-lookup" "§6: replace a linear search with bisection; the bottleneck moves" t_lookup;
+  register "t-monolithic"
+    "§6: a recursive-descent parser collapses into a monolithic cycle" t_monolithic;
+  register "t-flatsum" "§5.1 claim: flat-profile self times sum to the total" t_flatsum;
+  register "t-cycles" "§RETRO: breaking kernel-sized cycles by removing rare arcs" t_cycles;
+  register "t-static" "§4: static arcs complete cycles the run never traversed" t_static;
+  register "t-multirun" "§RETRO: summing runs resolves short routines" t_multirun;
+  register "t-selfprof" "§6: gprof on itself — reading data files dominates" t_selfprof

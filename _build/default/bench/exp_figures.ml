@@ -1,0 +1,156 @@
+(* Figures 1-4 of the paper, regenerated. *)
+
+open Harness
+
+let figure1_arcs =
+  [
+    (0, 1, 1); (0, 2, 1); (0, 3, 1);
+    (1, 4, 1); (1, 5, 1);
+    (2, 5, 1); (2, 6, 1);
+    (3, 6, 1); (3, 7, 1);
+    (4, 8, 1);
+    (5, 8, 1); (5, 9, 1);
+    (6, 9, 1);
+    (7, 9, 1);
+  ]
+
+let fig1 () =
+  let g = Graphlib.Digraph.of_arcs ~n:10 figure1_arcs in
+  match Graphlib.Tarjan.topo_numbers g with
+  | None -> expect "graph is a DAG" false
+  | Some num ->
+    section "topological numbering (paper Figure 1)";
+    let t = Util.Table.create [ ("node", Util.Table.Right); ("number", Util.Table.Right) ] in
+    Array.iteri
+      (fun v n -> Util.Table.add_row t [ string_of_int v; string_of_int n ])
+      num;
+    Util.Table.print t;
+    expect "every arc goes from a higher number to a lower number"
+      (List.for_all (fun (s, d, _) -> num.(s) > num.(d)) figure1_arcs);
+    expect "numbers are a permutation of 0..9"
+      (let sorted = Array.copy num in
+       Array.sort compare sorted;
+       sorted = Array.init 10 Fun.id);
+    expect "the root holds the highest number" (num.(0) = 9)
+
+let fig2 () =
+  let g = Graphlib.Digraph.of_arcs ~n:10 ((7, 3, 1) :: figure1_arcs) in
+  let r = Graphlib.Tarjan.scc g in
+  section "strongly-connected components (paper Figure 2: 3 and 7 mutually recursive)";
+  Array.iteri
+    (fun c members ->
+      Printf.printf "  component %d: {%s}\n" c
+        (String.concat ", " (List.map string_of_int members)))
+    r.members;
+  expect "nodes 3 and 7 share a component" (Graphlib.Tarjan.in_same_component r 3 7);
+  expect "exactly one component is non-trivial"
+    (Array.to_list r.members
+     |> List.filter (fun m -> List.length m > 1)
+     |> List.length = 1);
+  expect "the graph is no longer a DAG" (not (Graphlib.Tarjan.is_dag g))
+
+let fig3 () =
+  let g = Graphlib.Digraph.of_arcs ~n:10 ((7, 3, 1) :: figure1_arcs) in
+  let c = Graphlib.Condense.condense g in
+  section "numbering after cycle collapse (paper Figure 3)";
+  let t =
+    Util.Table.create
+      [ ("condensed node", Util.Table.Right); ("members", Util.Table.Left);
+        ("number", Util.Table.Right) ]
+  in
+  (match Graphlib.Tarjan.topo_numbers c.graph with
+  | None -> expect "condensation is a DAG" false
+  | Some num ->
+    Array.iteri
+      (fun node n ->
+        Util.Table.add_row t
+          [
+            string_of_int node;
+            "{" ^ String.concat "," (List.map string_of_int (Graphlib.Condense.members c node)) ^ "}";
+            string_of_int n;
+          ])
+      num;
+    Util.Table.print t;
+    expect "9 nodes after collapsing the 2-cycle"
+      (Graphlib.Digraph.n_nodes c.graph = 9);
+    expect "condensed arcs all go higher to lower"
+      (List.for_all
+         (fun (s, d, _) -> s = d || num.(s) > num.(d))
+         (Graphlib.Digraph.arcs c.graph));
+    expect "the intra-cycle arcs are reported, not condensed"
+      (c.internal_arcs = [ (3, 7, 1); (7, 3, 1) ]))
+
+let fig4 () =
+  let o = Workloads.Figure4.objfile and g = Workloads.Figure4.gmon in
+  let rep =
+    match Gprof_core.Report.analyze o g with
+    | Ok r -> r
+    | Error e ->
+      Printf.eprintf "figure4: %s\n" e;
+      exit 3
+  in
+  let p = rep.profile in
+  section "the profile entry for EXAMPLE (paper Figure 4)";
+  let id = Option.get (Gprof_core.Symtab.id_of_name p.symtab "EXAMPLE") in
+  print_string (Gprof_core.Graphprof.entry_block p (Gprof_core.Profile.Func id));
+  section "paper vs regenerated";
+  let e = p.entries.(id) in
+  let near a b = abs_float (a -. b) < 5e-3 in
+  let t =
+    Util.Table.create
+      [ ("quantity", Util.Table.Left); ("paper", Util.Table.Right);
+        ("measured", Util.Table.Right) ]
+  in
+  let row name paper measured =
+    Util.Table.add_row t [ name; paper; measured ]
+  in
+  row "%time" "41.5"
+    (Printf.sprintf "%.1f" (Gprof_core.Profile.percent_time p (Gprof_core.Profile.Func id)));
+  row "self" "0.50" (Printf.sprintf "%.2f" e.e_self);
+  row "descendants" "3.00" (Printf.sprintf "%.2f" e.e_child);
+  row "called+self" "10+4" (Printf.sprintf "%d+%d" e.e_calls e.e_self_calls);
+  (match e.e_parents with
+  | [ c1; c2 ] ->
+    row "CALLER1 line" "0.20 1.20 4/10"
+      (Printf.sprintf "%.2f %.2f %d/%d" c1.av_self c1.av_child c1.av_count c1.av_total);
+    row "CALLER2 line" "0.30 1.80 6/10"
+      (Printf.sprintf "%.2f %.2f %d/%d" c2.av_self c2.av_child c2.av_count c2.av_total)
+  | _ -> ());
+  (match e.e_children with
+  | [ s1; s2; s3 ] ->
+    row "SUB1<cycle1> line" "1.50 1.00 20/40"
+      (Printf.sprintf "%.2f %.2f %d/%d" s1.av_self s1.av_child s1.av_count s1.av_total);
+    row "SUB2 line" "0.00 0.50 1/5"
+      (Printf.sprintf "%.2f %.2f %d/%d" s2.av_self s2.av_child s2.av_count s2.av_total);
+    row "SUB3 line" "0.00 0.00 0/5"
+      (Printf.sprintf "%.2f %.2f %d/%d" s3.av_self s3.av_child s3.av_count s3.av_total)
+  | _ -> ());
+  Util.Table.print t;
+  expect "self is 0.50s" (near e.e_self 0.5);
+  expect "descendants are 3.00s" (near e.e_child 3.0);
+  expect "called+self is 10+4" (e.e_calls = 10 && e.e_self_calls = 4);
+  expect "%time is 41.5"
+    (abs_float (Gprof_core.Profile.percent_time p (Gprof_core.Profile.Func id) -. 41.5)
+     < 0.05);
+  expect "parents show 0.20/1.20 (4/10) and 0.30/1.80 (6/10)"
+    (match e.e_parents with
+    | [ c1; c2 ] ->
+      near c1.av_self 0.2 && near c1.av_child 1.2 && c1.av_count = 4
+      && c1.av_total = 10 && near c2.av_self 0.3 && near c2.av_child 1.8
+      && c2.av_count = 6
+    | _ -> false);
+  expect "children show 1.50/1.00 (20/40), 0.00/0.50 (1/5), 0.00/0.00 (0/5)"
+    (match e.e_children with
+    | [ s1; s2; s3 ] ->
+      near s1.av_self 1.5 && near s1.av_child 1.0 && s1.av_count = 20
+      && s1.av_total = 40 && near s2.av_child 0.5 && s2.av_count = 1
+      && s2.av_total = 5 && s3.av_count = 0 && s3.av_total = 5
+    | _ -> false);
+  expect "the 0/5 child arc came from the static scanner, not the run"
+    (not (List.exists (fun (a : Gmon.arc) -> a.a_count = 0) g.Gmon.arcs))
+
+let register () =
+  register "fig1" "Figure 1: topological numbering of the example call graph" fig1;
+  register "fig2" "Figure 2: mutual recursion discovered as a strongly-connected component" fig2;
+  register "fig3" "Figure 3: topological numbering after cycle collapse" fig3;
+  register "fig4" "Figure 4: the call graph profile entry for EXAMPLE" fig4

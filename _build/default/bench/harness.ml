@@ -1,0 +1,83 @@
+(* The experiment harness shared by all bench targets: registration,
+   headers, and the expectation summary printed per experiment. *)
+
+type outcome = { checked : int; holds : int }
+
+type t = {
+  id : string;
+  what : string; (* the paper artifact or claim being regenerated *)
+  run : unit -> unit;
+}
+
+let registry : t list ref = ref []
+
+let register id what run = registry := { id; what; run } :: !registry
+
+let expectations : (bool * string) list ref = ref []
+
+let expect label holds = expectations := (holds, label) :: !expectations
+
+let section fmt = Printf.printf ("\n== " ^^ fmt ^^ " ==\n")
+
+let run_one t =
+  Printf.printf "\n%s\n" (String.make 74 '=');
+  Printf.printf "[%s] %s\n" t.id t.what;
+  Printf.printf "%s\n" (String.make 74 '=');
+  expectations := [];
+  t.run ();
+  let exps = List.rev !expectations in
+  List.iter
+    (fun (holds, label) ->
+      Printf.printf "  %s %s\n" (if holds then "[holds]" else "[FAILS]") label)
+    exps;
+  let holds = List.length (List.filter fst exps) in
+  { checked = List.length exps; holds }
+
+let run_all ~only =
+  let all = List.rev !registry in
+  let selected =
+    match only with
+    | [] -> all
+    | ids -> List.filter (fun t -> List.mem t.id ids) all
+  in
+  if selected = [] then begin
+    Printf.printf "no experiments matched; available ids:\n";
+    List.iter (fun t -> Printf.printf "  %-12s %s\n" t.id t.what) all;
+    exit 1
+  end;
+  let results = List.map (fun t -> (t.id, run_one t)) selected in
+  Printf.printf "\n%s\n" (String.make 74 '=');
+  Printf.printf "summary\n%s\n" (String.make 74 '=');
+  List.iter
+    (fun (id, o) ->
+      Printf.printf "  %-12s %d/%d expectations hold\n" id o.holds o.checked)
+    results;
+  let bad =
+    List.exists (fun (_, o) -> o.holds < o.checked) results
+  in
+  if bad then exit 2
+
+(* Shared helpers. *)
+
+let run_workload ?options ?config w =
+  match Workloads.Driver.run ?options ?config w with
+  | Ok r -> r
+  | Error e ->
+    Printf.eprintf "workload %s failed: %s\n" w.Workloads.Programs.w_name e;
+    exit 3
+
+let analyze_run ?(report = Gprof_core.Report.default_options) (r : Workloads.Driver.run) =
+  match Gprof_core.Report.analyze ~options:report r.objfile r.gmon with
+  | Ok rep -> rep
+  | Error e ->
+    Printf.eprintf "analyze failed: %s\n" e;
+    exit 3
+
+let entry_by (p : Gprof_core.Profile.t) name =
+  match Gprof_core.Symtab.id_of_name p.symtab name with
+  | Some id -> p.entries.(id)
+  | None ->
+    Printf.eprintf "no such routine %s\n" name;
+    exit 3
+
+let cycles_per_second = 1_000_000.0

@@ -1,0 +1,32 @@
+(* The benchmark and experiment harness.
+
+   Regenerates every figure of the paper and every quantitative or
+   mechanism claim of the paper and its retrospective (see the
+   experiment index in DESIGN.md and the results log in
+   EXPERIMENTS.md).
+
+     dune exec bench/main.exe                 # run everything
+     dune exec bench/main.exe -- --list       # list experiment ids
+     dune exec bench/main.exe -- --only fig4  # run a single experiment
+*)
+
+let () =
+  Exp_figures.register ();
+  Exp_claims.register ();
+  Exp_accuracy.register ();
+  Exp_micro.register ();
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse only = function
+    | [] -> List.rev only
+    | "--list" :: _ ->
+      List.iter
+        (fun (t : Harness.t) -> Printf.printf "%-12s %s\n" t.id t.what)
+        (List.rev !Harness.registry);
+      exit 0
+    | "--only" :: id :: rest -> parse (id :: only) rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s (try --list or --only ID)\n" arg;
+      exit 1
+  in
+  let only = parse [] args in
+  Harness.run_all ~only

@@ -1,0 +1,146 @@
+(* gprofx — the call graph execution profiler.
+
+   Post-processes an executable plus one or more profile data files
+   (several files are summed, gprof's -s). The arc-removal, cycle-
+   breaking, and filtering options are the retrospective's additions. *)
+
+open Cmdliner
+
+let parse_arc s =
+  match String.split_on_char ':' s with
+  | [ a; b ] when a <> "" && b <> "" -> Ok (a, b)
+  | _ -> Error (`Msg (Printf.sprintf "expected CALLER:CALLEE, got %S" s))
+
+let arc_conv = Arg.conv (parse_arc, fun ppf (a, b) -> Format.fprintf ppf "%s:%s" a b)
+
+let run obj_path gmon_paths no_static removed break focus exclude min_percent
+    view annotate icount_path verbose dot_out =
+  match Objcode.Objfile.load obj_path with
+  | Error e ->
+    Printf.eprintf "gprofx: %s: %s\n" obj_path e;
+    1
+  | Ok o -> (
+    let gmons = List.map Gmon.load gmon_paths in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | Ok g :: rest -> collect (g :: acc) rest
+      | Error e :: _ -> Error e
+    in
+    match Result.bind (collect [] gmons) Gmon.merge_all with
+    | Error e ->
+      Printf.eprintf "gprofx: %s\n" e;
+      1
+    | Ok gmon -> (
+      let options =
+        {
+          Gprof_core.Report.use_static_arcs = not no_static;
+          removed_arcs = removed;
+          auto_break_cycles = break;
+          focus;
+          exclude;
+          min_percent;
+        }
+      in
+      match Gprof_core.Report.analyze ~options o gmon with
+      | Error e ->
+        Printf.eprintf "gprofx: %s\n" e;
+        1
+      | Ok r ->
+        (match view with
+        | `Full -> print_string (Gprof_core.Report.full_listing ~verbose r)
+        | `Flat -> print_string (Gprof_core.Report.flat_listing ~verbose r)
+        | `Graph -> print_string (Gprof_core.Report.graph_listing ~verbose r)
+        | `Index -> print_string (Gprof_core.Report.index_listing r));
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Gprof_core.Report.dot_graph r)))
+          dot_out;
+        (match annotate with
+        | None -> 0
+        | Some src_path -> (
+          let icounts =
+            match icount_path with
+            | None -> Ok None
+            | Some p -> Result.map Option.some (Gmon.Icount.load p)
+          in
+          match
+            Result.bind icounts (fun icounts ->
+                let source =
+                  In_channel.with_open_text src_path In_channel.input_all
+                in
+                Gprof_core.Annotate.analyze ?icounts ~source o gmon)
+          with
+          | Ok ann ->
+            print_newline ();
+            print_string (Gprof_core.Annotate.listing ann);
+            0
+          | Error e ->
+            Printf.eprintf "gprofx: %s\n" e;
+            1))))
+
+let obj =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"OBJ" ~doc:"Executable.")
+
+let gmons =
+  Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"GMON"
+         ~doc:"Profile data files; several are summed.")
+
+let no_static =
+  Arg.(value & flag & info [ "no-static" ]
+         ~doc:"Do not augment the graph with statically-discovered arcs.")
+
+let removed =
+  Arg.(value & opt_all arc_conv [] & info [ "e"; "remove-arc" ] ~docv:"CALLER:CALLEE"
+         ~doc:"Remove the arc from the analysis. Repeatable.")
+
+let break =
+  Arg.(value & opt (some int) None & info [ "break-cycles" ] ~docv:"N"
+         ~doc:"Heuristically remove up to N low-count arcs to break cycles.")
+
+let focus =
+  Arg.(value & opt_all string [] & info [ "f"; "focus" ] ~docv:"NAME"
+         ~doc:"Show only the parts of the graph containing $(docv). Repeatable.")
+
+let exclude =
+  Arg.(value & opt_all string [] & info [ "x"; "exclude" ] ~docv:"NAME"
+         ~doc:"Drop $(docv)'s own entry from the listings (its time still \
+               propagates to its callers). Repeatable.")
+
+let min_percent =
+  Arg.(value & opt float 0.0 & info [ "min-percent" ] ~docv:"P"
+         ~doc:"Hide entries below P%% of total time.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ]
+         ~doc:"Print the field explanations before each listing.")
+
+let dot_out =
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+         ~doc:"Also write a Graphviz rendering of the analyzed graph to $(docv).")
+
+let annotate =
+  Arg.(value & opt (some file) None & info [ "annotate" ] ~docv:"SOURCE"
+         ~doc:"Append an annotated listing of $(docv) with per-line time \
+               (and execution counts when --icount is given).")
+
+let icount =
+  Arg.(value & opt (some file) None & info [ "icount" ] ~docv:"FILE"
+         ~doc:"Per-instruction execution counts from minirun --icount.")
+
+let view =
+  Arg.(value
+       & vflag `Full
+           [
+             (`Flat, info [ "flat" ] ~doc:"Flat profile only.");
+             (`Graph, info [ "graph" ] ~doc:"Call graph profile only.");
+             (`Index, info [ "index" ] ~doc:"Index only.");
+           ])
+
+let cmd =
+  Cmd.v
+    (Cmd.info "gprofx" ~doc:"call graph execution profiler")
+    Term.(const run $ obj $ gmons $ no_static $ removed $ break $ focus
+          $ exclude $ min_percent $ view $ annotate $ icount $ verbose $ dot_out)
+
+let () = exit (Cmd.eval' cmd)

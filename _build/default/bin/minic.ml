@@ -1,0 +1,91 @@
+(* minic — compile Mini source to an executable object file.
+
+   The -pg/-p flags mirror the historical compiler options: -pg
+   inserts the gprof monitoring prologue, -p the prof counter. *)
+
+open Cmdliner
+
+let read_file path =
+  try Ok (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error e -> Error e
+
+let run src_path out profile count skip inline fold listing dump_static =
+  let options =
+    {
+      Compile.Codegen.profile;
+      count;
+      profiled = (fun name -> not (List.mem name skip));
+      inline;
+      fold;
+    }
+  in
+  match read_file src_path with
+  | Error e ->
+    Printf.eprintf "minic: %s\n" e;
+    1
+  | Ok src -> (
+    match Compile.Codegen.compile_source ~options ~source_name:src_path src with
+    | Error e ->
+      Printf.eprintf "minic: %s: %s\n" src_path e;
+      1
+    | Ok o ->
+      let out =
+        match out with
+        | Some p -> p
+        | None -> Filename.remove_extension src_path ^ ".obj"
+      in
+      Objcode.Objfile.save o out;
+      if listing then print_string (Objcode.Disasm.program_listing o);
+      if dump_static then begin
+        print_endline "static call graph:";
+        List.iter
+          (fun (a, b) -> Printf.printf "    %s -> %s\n" a b)
+          (Objcode.Scan.static_arcs o);
+        match Objcode.Scan.referenced_functions o with
+        | [] -> ()
+        | fs ->
+          print_endline "functions whose address is taken (indirect-call targets):";
+          List.iter (fun f -> Printf.printf "    %s\n" f) fs
+      end;
+      0)
+
+let src =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE" ~doc:"Mini source file.")
+
+let out =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Output object file (default: source with .obj).")
+
+let profile =
+  Arg.(value & flag & info [ "pg"; "profile" ]
+         ~doc:"Insert the call-graph monitoring prologue (gprof).")
+
+let count =
+  Arg.(value & flag & info [ "p"; "count" ]
+         ~doc:"Insert per-function call counters (prof).")
+
+let skip =
+  Arg.(value & opt_all string [] & info [ "skip" ] ~docv:"NAME"
+         ~doc:"Leave $(docv) uninstrumented; it runs at full speed. Repeatable.")
+
+let inline =
+  Arg.(value & opt_all string [] & info [ "inline" ] ~docv:"NAME"
+         ~doc:"Expand calls to $(docv) at their call sites. Repeatable.")
+
+let fold =
+  Arg.(value & flag & info [ "O"; "fold" ] ~doc:"Fold constant expressions.")
+
+let listing =
+  Arg.(value & flag & info [ "S"; "listing" ] ~doc:"Print the assembly listing.")
+
+let dump_static =
+  Arg.(value & flag & info [ "static" ]
+         ~doc:"Print the statically-discovered call graph.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "minic" ~doc:"Mini compiler targeting the profiling VM")
+    Term.(const run $ src $ out $ profile $ count $ skip $ inline $ fold
+          $ listing $ dump_static)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,112 @@
+(* minirun — execute an object file on the profiling VM.
+
+   On a normal exit the gathered profile is condensed to a gmon file,
+   "as the profiled program exits"; with --prof-out the prof-style
+   per-function counters are saved too. *)
+
+open Cmdliner
+
+let run obj_path gmon_out prof_out icount_out hz cpt bucket callee_primary seed
+    jitter quiet max_cycles =
+  match Objcode.Objfile.load obj_path with
+  | Error e ->
+    Printf.eprintf "minirun: %s: %s\n" obj_path e;
+    1
+  | Ok o -> (
+    let config =
+      {
+        Vm.Machine.default_config with
+        ticks_per_second = hz;
+        cycles_per_tick = cpt;
+        hist_bucket_size = bucket;
+        keying =
+          (if callee_primary then Vm.Monitor.Callee_primary
+           else Vm.Monitor.Site_primary);
+        count_instructions = icount_out <> None;
+        seed;
+        tick_jitter = jitter;
+        max_cycles;
+      }
+    in
+    let m = Vm.Machine.create ~config o in
+    match Vm.Machine.run m with
+    | Vm.Machine.Halted ->
+      if not quiet then print_string (Vm.Machine.output m);
+      let gmon_out =
+        match gmon_out with
+        | Some p -> p
+        | None -> Filename.remove_extension obj_path ^ ".gmon"
+      in
+      Gmon.save (Vm.Machine.profile m) gmon_out;
+      Option.iter
+        (fun p -> Profbase.Profcounts.save o (Vm.Machine.pcounts m) p)
+        prof_out;
+      Option.iter
+        (fun p ->
+          match Vm.Machine.instruction_counts m with
+          | Some counts -> Gmon.Icount.save (Gmon.Icount.of_counts counts) p
+          | None -> ())
+        icount_out;
+      Printf.eprintf
+        "minirun: %d cycles, %d ticks (%.2f simulated seconds); profile written to %s\n"
+        (Vm.Machine.cycles m) (Vm.Machine.ticks m)
+        (float_of_int (Vm.Machine.ticks m) /. float_of_int hz)
+        gmon_out;
+      Option.value ~default:0 (Vm.Machine.result m) land 255
+    | Vm.Machine.Faulted f ->
+      Format.eprintf "minirun: %a@." Vm.Machine.pp_fault f;
+      125
+    | Vm.Machine.Running ->
+      Printf.eprintf "minirun: internal error: still running\n";
+      125)
+
+let obj =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"OBJ" ~doc:"Object file.")
+
+let gmon_out =
+  Arg.(value & opt (some string) None & info [ "gmon" ] ~docv:"FILE"
+         ~doc:"Profile data output (default: object with .gmon).")
+
+let prof_out =
+  Arg.(value & opt (some string) None & info [ "prof-out" ] ~docv:"FILE"
+         ~doc:"Also save prof-style per-function counters to $(docv).")
+
+let icount_out =
+  Arg.(value & opt (some string) None & info [ "icount" ] ~docv:"FILE"
+         ~doc:"Gather exact per-instruction execution counts and save them to \
+               $(docv) (for annotated-source listings).")
+
+let hz =
+  Arg.(value & opt int 60 & info [ "hz" ] ~docv:"N" ~doc:"Clock ticks per second.")
+
+let cpt =
+  Arg.(value & opt int 16_666 & info [ "cycles-per-tick" ] ~docv:"N"
+         ~doc:"Simulated cycles between clock ticks.")
+
+let bucket =
+  Arg.(value & opt int 1 & info [ "bucket-size" ] ~docv:"N"
+         ~doc:"Histogram granularity: addresses per bucket.")
+
+let callee_primary =
+  Arg.(value & flag & info [ "callee-primary" ]
+         ~doc:"Key the arc table by callee instead of call site (ablation).")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let jitter =
+  Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"Q"
+         ~doc:"Randomize tick intervals within ±Q/2 of their length.")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress program output.")
+
+let max_cycles =
+  Arg.(value & opt (some int) None & info [ "max-cycles" ] ~docv:"N"
+         ~doc:"Fault after N simulated cycles.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "minirun" ~doc:"profiling virtual machine")
+    Term.(const run $ obj $ gmon_out $ prof_out $ icount_out $ hz $ cpt $ bucket
+          $ callee_primary $ seed $ jitter $ quiet $ max_cycles)
+
+let () = exit (Cmd.eval' cmd)

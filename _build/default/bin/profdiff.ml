@@ -1,0 +1,40 @@
+(* profdiff — compare two profiled runs, routine by routine.
+
+   The two executables may differ (that is the point: one is the
+   optimized rebuild), so routines are matched by name. *)
+
+open Cmdliner
+
+let analyze obj_path gmon_path =
+  match Objcode.Objfile.load obj_path with
+  | Error e -> Error (Printf.sprintf "%s: %s" obj_path e)
+  | Ok o -> (
+    match Gmon.load gmon_path with
+    | Error e -> Error (Printf.sprintf "%s: %s" gmon_path e)
+    | Ok g -> (
+      match Gprof_core.Report.analyze o g with
+      | Error e -> Error e
+      | Ok r -> Ok r.profile))
+
+let run obj_a gmon_a obj_b gmon_b =
+  match (analyze obj_a gmon_a, analyze obj_b gmon_b) with
+  | Error e, _ | _, Error e ->
+    Printf.eprintf "profdiff: %s\n" e;
+    1
+  | Ok a, Ok b ->
+    print_string (Gprof_core.Diffprof.listing (Gprof_core.Diffprof.diff a b));
+    0
+
+let pos_file i docv doc = Arg.(required & pos i (some file) None & info [] ~docv ~doc)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "profdiff" ~doc:"diff two profiled runs by routine")
+    Term.(
+      const run
+      $ pos_file 0 "OBJ_A" "Executable of the first (before) run."
+      $ pos_file 1 "GMON_A" "Profile data of the first run."
+      $ pos_file 2 "OBJ_B" "Executable of the second (after) run."
+      $ pos_file 3 "GMON_B" "Profile data of the second run.")
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,51 @@
+(* profx — the baseline flat profiler, prof(1).
+
+   Histogram from the gmon file, call counts from the counter file
+   that minirun --prof-out wrote. No arcs, no propagation. *)
+
+open Cmdliner
+
+let run obj_path gmon_path counts_path =
+  match Objcode.Objfile.load obj_path with
+  | Error e ->
+    Printf.eprintf "profx: %s: %s\n" obj_path e;
+    1
+  | Ok o -> (
+    match Gmon.load gmon_path with
+    | Error e ->
+      Printf.eprintf "profx: %s: %s\n" gmon_path e;
+      1
+    | Ok gmon -> (
+      let counts =
+        match counts_path with
+        | Some p -> Profbase.Profcounts.load o p
+        | None -> Ok (Array.make (Array.length o.Objcode.Objfile.symbols) 0)
+      in
+      match counts with
+      | Error e ->
+        Printf.eprintf "profx: %s\n" e;
+        1
+      | Ok counts ->
+        let t =
+          Profbase.Prof.analyze o ~hist:gmon.Gmon.hist ~counts
+            ~ticks_per_second:gmon.Gmon.ticks_per_second
+        in
+        print_string (Profbase.Prof.listing t);
+        0))
+
+let obj =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"OBJ" ~doc:"Executable.")
+
+let gmon =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"GMON" ~doc:"Profile data.")
+
+let counts =
+  Arg.(value & pos 2 (some file) None & info [] ~docv:"COUNTS"
+         ~doc:"Per-function counter file from minirun --prof-out.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "profx" ~doc:"flat execution profiler (the prof(1) baseline)")
+    Term.(const run $ obj $ gmon $ counts)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/codegen_pipeline.ml: Array Compile Gmon Gprof_core List Printf Profbase Vm Workloads

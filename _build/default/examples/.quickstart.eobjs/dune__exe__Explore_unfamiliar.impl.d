@@ -1,0 +1,1 @@
+examples/explore_unfamiliar.ml: Array Gprof_core List Objcode Printf String Workloads

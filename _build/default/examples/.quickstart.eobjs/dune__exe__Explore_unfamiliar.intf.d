@@ -1,0 +1,1 @@
+examples/explore_unfamiliar.mli:

@@ -1,0 +1,1 @@
+examples/kernel_cycles.ml: Array Format Gmon Gprof_core List Printf String Vm Workloads

@@ -1,0 +1,1 @@
+examples/kernel_cycles.mli:

@@ -1,0 +1,1 @@
+examples/optimize_workflow.ml: Compile Format Gmon Gprof_core List Option Printf String Vm Workloads

@@ -1,0 +1,1 @@
+examples/optimize_workflow.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Compile Format Gprof_core Objcode Printf String Vm

@@ -1,0 +1,90 @@
+(* Kernel profiling: the retrospective's story.
+
+   1. A long-running "kernel" cannot be stopped to dump its profile:
+      the control interface turns profiling on and off, extracts, and
+      resets while it runs (kgmon).
+   2. "Because of the interactions of the kernel's major subsystems,
+      there were several large cycles in the profiles … just a few
+      arcs — with low traversal counts — that closed the cycles."
+      Removing those arcs (by hand or heuristically) separates the
+      subsystems again.
+
+       dune exec examples/kernel_cycles.exe
+*)
+
+let () =
+  let w = Workloads.Programs.kernel in
+  Printf.printf "workload: %s — %s\n\n" w.w_name w.w_about;
+  let o =
+    match Workloads.Driver.compile w with Ok o -> o | Error e -> failwith e
+  in
+  let m = Vm.Machine.create o in
+
+  (* Phase 1: run a slice with profiling OFF (the kernel boots). *)
+  Vm.Machine.profiling_off m;
+  ignore (Vm.Machine.run_cycles m 400_000);
+  Printf.printf "booted: %d cycles, profile has %d ticks (profiling was off)\n"
+    (Vm.Machine.cycles m)
+    (Gmon.total_ticks (Vm.Machine.profile m));
+
+  (* Phase 2: enable, run, extract without stopping. *)
+  Vm.Machine.profiling_on m;
+  ignore (Vm.Machine.run_cycles m 2_000_000);
+  let snapshot = Vm.Machine.profile m in
+  Printf.printf "snapshot while running: %d ticks, %d arcs\n"
+    (Gmon.total_ticks snapshot)
+    (List.length snapshot.Gmon.arcs);
+
+  (* Phase 3: reset and capture a fresh window to the end. *)
+  Vm.Machine.reset_profile m;
+  (match Vm.Machine.run m with
+  | Vm.Machine.Halted -> ()
+  | Vm.Machine.Faulted f -> failwith (Format.asprintf "%a" Vm.Machine.pp_fault f)
+  | Vm.Machine.Running -> assert false);
+  let window = Vm.Machine.profile m in
+  Printf.printf "final window after reset: %d ticks\n\n" (Gmon.total_ticks window);
+
+  let show title options =
+    Printf.printf "=== %s ===\n" title;
+    match Gprof_core.Report.analyze ~options o window with
+    | Error e -> failwith e
+    | Ok report ->
+      let p = report.profile in
+      if Array.length p.cycles = 0 then print_endline "no cycles."
+      else
+        Array.iter
+          (fun (c : Gprof_core.Profile.cycle_entry) ->
+            Printf.printf
+              "cycle %d: %d members (%s), %.2fs self, %.2fs descendants\n"
+              c.c_no (List.length c.c_members)
+              (String.concat ", "
+                 (List.map (Gprof_core.Symtab.name p.symtab) c.c_members))
+              c.c_self c.c_child)
+          p.cycles;
+      (match Gprof_core.Report.removed_arc_names report with
+      | [] -> ()
+      | arcs ->
+        print_endline "arcs removed:";
+        List.iter (fun (a, b) -> Printf.printf "    %s -> %s\n" a b) arcs);
+      (* Per-subsystem totals become meaningful once the cycle is
+         split. *)
+      List.iter
+        (fun name ->
+          match Gprof_core.Symtab.id_of_name p.symtab name with
+          | None -> ()
+          | Some id ->
+            let e = p.entries.(id) in
+            Printf.printf "    %-14s self %6.2fs  self+desc %6.2fs\n" name
+              e.e_self (e.e_self +. e.e_child))
+        [ "syscall_layer"; "net_input"; "fs_read"; "dev_io" ];
+      print_newline ()
+  in
+
+  show "as gathered (one big cycle)" Gprof_core.Report.default_options;
+  show "explicit arc removal (-e dev_io:net_input -e fs_read:syscall_layer)"
+    {
+      Gprof_core.Report.default_options with
+      removed_arcs = [ ("dev_io", "net_input"); ("fs_read", "syscall_layer") ];
+    };
+  show "heuristic cycle breaking (--break-cycles 2)"
+    { Gprof_core.Report.default_options with auto_break_cycles = Some 2 }

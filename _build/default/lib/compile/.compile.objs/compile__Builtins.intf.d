@@ -1,0 +1,1 @@
+lib/compile/builtins.mli: Objcode

@@ -1,0 +1,1 @@
+lib/compile/codegen.ml: Builtins Format Hashtbl List Mini Objcode Option Printf Transform

@@ -1,0 +1,1 @@
+lib/compile/codegen.mli: Mini Objcode

@@ -1,0 +1,1 @@
+lib/compile/transform.ml: List Mini Option

@@ -1,0 +1,1 @@
+lib/compile/transform.mli: Mini

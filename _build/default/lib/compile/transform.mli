@@ -1,0 +1,42 @@
+(** Source-to-source transformations.
+
+    Two optimizations the paper discusses as the uses of a profile:
+
+    - {!inline_expansion}: "If this format routine is expanded inline
+      in the output routine, the overhead of a function call and
+      return can be saved for each datum … The drawback … is that the
+      data abstractions in the program may become less parameterized
+      … The profiling will also become less useful since the loss of
+      routines will make its output more granular." Experiment
+      [t-inline] measures both effects.
+    - {!constant_fold}: the "small change to a control construct"
+      class of improvement, applied mechanically.
+
+    Both preserve Mini semantics; this is property-tested by running
+    transformed and untransformed workloads and comparing outputs. *)
+
+val inline_expansion : names:string list -> Mini.Ast.program -> Mini.Ast.program
+(** Expand calls to the named functions at their call sites.
+
+    A call is expanded only when it is provably safe and beneficial:
+    the callee's body is a single [return e;], the callee does not
+    call itself, the call is direct, and every argument is a {e pure}
+    expression (no calls), so duplicating or reordering evaluation
+    cannot change behaviour. Expansion iterates to a fixed point (a
+    bounded number of rounds), so chains of small wrappers flatten.
+    The function definitions remain in the program (they may still be
+    called indirectly), so a fully-inlined routine shows up in the
+    profile as never called. *)
+
+val constant_fold : Mini.Ast.program -> Mini.Ast.program
+(** Fold constant subexpressions ([2 * 3 + x] to [6 + x]), apply
+    arithmetic identities ([x + 0], [x * 1], [x * 0] when [x] is
+    pure), fold constant conditions ([if]/[while]), and drop
+    statically-dead branches. Division by a constant zero is left in
+    place to fault at run time, as it must. *)
+
+val is_pure : Mini.Ast.expr -> bool
+(** Safe to duplicate or discard: no calls, no possibly-faulting
+    operations (division or modulo without a nonzero constant divisor,
+    array indexing). Evaluation has no effects, cannot fault, and
+    terminates. *)

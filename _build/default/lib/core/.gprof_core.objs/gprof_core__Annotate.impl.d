@@ -1,0 +1,1 @@
+lib/core/annotate.ml: Array Buffer Gmon List Objcode Printf String

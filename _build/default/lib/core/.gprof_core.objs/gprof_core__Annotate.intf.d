@@ -1,0 +1,1 @@
+lib/core/annotate.mli: Gmon Objcode

@@ -1,0 +1,1 @@
+lib/core/arcgraph.ml: Gmon Graphlib Hashtbl List Option Symtab

@@ -1,0 +1,1 @@
+lib/core/arcgraph.mli: Gmon Graphlib Symtab

@@ -1,0 +1,1 @@
+lib/core/assign.ml: Array Gmon Symtab

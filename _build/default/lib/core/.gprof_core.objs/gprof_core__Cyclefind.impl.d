@@ -1,0 +1,1 @@
+lib/core/cyclefind.ml: Array Graphlib List

@@ -1,0 +1,1 @@
+lib/core/diffprof.ml: Array Buffer Hashtbl List Option Printf Profile Symtab

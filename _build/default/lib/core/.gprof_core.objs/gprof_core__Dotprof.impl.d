@@ -1,0 +1,1 @@
+lib/core/dotprof.ml: Array Buffer Hashtbl List Printf Profile String Symtab

@@ -1,0 +1,1 @@
+lib/core/dotprof.mli: Profile

@@ -1,0 +1,1 @@
+lib/core/flat.ml: Array Buffer List Printf Profile String Symtab

@@ -1,0 +1,1 @@
+lib/core/graphprof.ml: Array Buffer List Printf Profile

@@ -1,0 +1,1 @@
+lib/core/graphprof.mli: Profile

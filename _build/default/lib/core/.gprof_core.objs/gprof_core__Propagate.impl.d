@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Arcgraph Array Assign Cyclefind Fun Graphlib List Profile Symtab

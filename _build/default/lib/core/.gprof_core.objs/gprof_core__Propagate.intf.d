@@ -1,0 +1,1 @@
+lib/core/propagate.mli: Arcgraph Assign Profile Symtab

@@ -1,0 +1,1 @@
+lib/core/report.ml: Arcgraph Array Assign Buffer Dotprof Flat Gmon Graphlib Graphprof List Objcode Printf Profile Propagate Result String Symtab Xindex

@@ -1,0 +1,1 @@
+lib/core/report.mli: Gmon Objcode Profile

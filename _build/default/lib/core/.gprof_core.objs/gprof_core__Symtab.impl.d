@@ -1,0 +1,1 @@
+lib/core/symtab.ml: Array Hashtbl List Objcode

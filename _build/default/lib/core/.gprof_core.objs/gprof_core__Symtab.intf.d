@@ -1,0 +1,1 @@
+lib/core/symtab.mli: Objcode

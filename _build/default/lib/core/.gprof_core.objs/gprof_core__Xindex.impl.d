@@ -1,0 +1,1 @@
+lib/core/xindex.ml: Array Buffer List Printf Profile Symtab

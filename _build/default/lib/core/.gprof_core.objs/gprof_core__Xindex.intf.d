@@ -1,0 +1,1 @@
+lib/core/xindex.mli: Profile

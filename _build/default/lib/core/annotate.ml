@@ -1,0 +1,108 @@
+type line_info = {
+  li_line : int;
+  li_text : string;
+  li_execs : int option;
+  li_ticks : float;
+  li_has_code : bool;
+}
+
+type t = {
+  infos : line_info list;
+  total_ticks : float;
+  seconds_per_tick : float;
+}
+
+let analyze ?icounts ~source o (gmon : Gmon.t) =
+  if Array.length o.Objcode.Objfile.lines = 0 then
+    Error "executable carries no line table (compile from source with minic)"
+  else begin
+    match icounts with
+    | Some ic when ic.Gmon.Icount.text_size <> Array.length o.Objcode.Objfile.text
+      ->
+      Error "instruction counts are for a different binary"
+    | _ ->
+      let text_len = Array.length o.Objcode.Objfile.text in
+      (* ticks per address, prorated within buckets *)
+      let addr_ticks = Array.make text_len 0.0 in
+      let h = gmon.hist in
+      Array.iteri
+        (fun i count ->
+          if count > 0 then begin
+            let lo, hi = Gmon.bucket_range h i in
+            let lo = max lo 0 and hi = min hi text_len in
+            let width = hi - lo in
+            if width > 0 then begin
+              let share = float_of_int count /. float_of_int width in
+              for a = lo to hi - 1 do
+                addr_ticks.(a) <- addr_ticks.(a) +. share
+              done
+            end
+          end)
+        h.h_counts;
+      let lines = String.split_on_char '\n' source in
+      let infos =
+        List.mapi
+          (fun i text ->
+            let line = i + 1 in
+            let ranges = Objcode.Objfile.addrs_of_line o line in
+            let has_code = ranges <> [] in
+            let ticks =
+              List.fold_left
+                (fun acc (first, last) ->
+                  let acc = ref acc in
+                  for a = first to min last (text_len - 1) do
+                    acc := !acc +. addr_ticks.(a)
+                  done;
+                  !acc)
+                0.0 ranges
+            in
+            let execs =
+              match (icounts, ranges) with
+              | Some ic, (first, _) :: _ -> Some (Gmon.Icount.count ic first)
+              | _ -> None
+            in
+            { li_line = line; li_text = text; li_execs = execs; li_ticks = ticks;
+              li_has_code = has_code })
+          lines
+      in
+      let total_ticks =
+        List.fold_left (fun acc li -> acc +. li.li_ticks) 0.0 infos
+      in
+      Ok
+        {
+          infos;
+          total_ticks;
+          seconds_per_tick = 1.0 /. float_of_int gmon.ticks_per_second;
+        }
+  end
+
+let listing t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "  line   executions   seconds  share  source\n";
+  List.iter
+    (fun li ->
+      let execs =
+        match li.li_execs with
+        | Some n -> Printf.sprintf "%12d" n
+        | None -> if li.li_has_code then "           ." else "            "
+      in
+      let seconds = li.li_ticks *. t.seconds_per_tick in
+      let time_cols =
+        if li.li_has_code then
+          Printf.sprintf "%9.2f %5.1f%%" seconds
+            (if t.total_ticks > 0.0 then 100.0 *. li.li_ticks /. t.total_ticks
+             else 0.0)
+        else String.make 16 ' '
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%6d %s %s  %s\n" li.li_line execs time_cols li.li_text))
+    t.infos;
+  Buffer.contents buf
+
+let hottest t n =
+  List.filter (fun li -> li.li_has_code) t.infos
+  |> List.sort (fun a b ->
+         let c = compare b.li_ticks a.li_ticks in
+         if c <> 0 then c else compare a.li_line b.li_line)
+  |> List.filteri (fun i _ -> i < n)

@@ -1,0 +1,45 @@
+(** Annotated source listings — line-level counts and times.
+
+    Section 2 of the paper: counts "are typically presented in tabular
+    form, often in parallel with a listing of the source code", and at
+    their finest granularity come from "inline increments to
+    counters". This module joins three artifacts on the executable's
+    line table:
+
+    - the source text,
+    - exact per-address execution counts (from the VM's counting mode,
+      via {!Gmon.Icount}), and
+    - the PC histogram (time per line).
+
+    A line's execution count is the count of its first instruction
+    (how many times the statement started); its time is the sum of
+    histogram ticks over every instruction attributed to it. *)
+
+type line_info = {
+  li_line : int;  (** 1-based source line *)
+  li_text : string;
+  li_execs : int option;  (** None: no code, or counts unavailable *)
+  li_ticks : float;  (** histogram ticks attributed to this line *)
+  li_has_code : bool;
+}
+
+type t = {
+  infos : line_info list;  (** every source line, in order *)
+  total_ticks : float;  (** ticks attributed to lines (for shares) *)
+  seconds_per_tick : float;
+}
+
+val analyze :
+  ?icounts:Gmon.Icount.t ->
+  source:string ->
+  Objcode.Objfile.t ->
+  Gmon.t ->
+  (t, string) result
+(** [Error] when the executable has no line table, or the counts file
+    disagrees with the text size. *)
+
+val listing : t -> string
+(** The annotated listing: executions, time, and share per line. *)
+
+val hottest : t -> int -> line_info list
+(** The [n] hottest lines by ticks, descending (ties by line). *)

@@ -1,0 +1,52 @@
+type t = {
+  graph : Graphlib.Digraph.t;
+  spontaneous : (int * int) list;
+  dynamic_arcs : (int * int) list;
+  dropped : int;
+}
+
+let build ?(static = []) st (arcs : Gmon.arc list) =
+  let n = Symtab.n_funcs st in
+  let g = Graphlib.Digraph.create n in
+  let spont = Hashtbl.create 8 in
+  let dynamic = Hashtbl.create 64 in
+  let dropped = ref 0 in
+  List.iter
+    (fun (a : Gmon.arc) ->
+      match Symtab.id_of_entry st a.a_self with
+      | None -> incr dropped
+      | Some callee -> (
+        match Symtab.id_of_pc st a.a_from with
+        | Some caller ->
+          Graphlib.Digraph.add_arc g ~src:caller ~dst:callee ~count:a.a_count;
+          Hashtbl.replace dynamic (caller, callee) ()
+        | None ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt spont callee) in
+          Hashtbl.replace spont callee (prev + a.a_count)))
+    arcs;
+  List.iter
+    (fun (src, dst) ->
+      if src >= 0 && src < n && dst >= 0 && dst < n then
+        if not (Graphlib.Digraph.mem_arc g ~src ~dst) then
+          Graphlib.Digraph.add_arc g ~src ~dst ~count:0)
+    static;
+  {
+    graph = g;
+    spontaneous =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) spont [] |> List.sort compare;
+    dynamic_arcs =
+      Hashtbl.fold (fun k () acc -> k :: acc) dynamic [] |> List.sort compare;
+    dropped = !dropped;
+  }
+
+let remove_arcs t arcs =
+  let g = Graphlib.Digraph.copy t.graph in
+  List.iter (fun (src, dst) -> Graphlib.Digraph.remove_arc g ~src ~dst) arcs;
+  let removed = Hashtbl.create 8 in
+  List.iter (fun a -> Hashtbl.replace removed a ()) arcs;
+  {
+    t with
+    graph = g;
+    dynamic_arcs =
+      List.filter (fun a -> not (Hashtbl.mem removed a)) t.dynamic_arcs;
+  }

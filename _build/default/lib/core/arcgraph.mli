@@ -1,0 +1,36 @@
+(** Building the dynamic call graph from arc records.
+
+    Arc records arrive as (call-site pc, callee entry pc, count). The
+    call site is resolved to its containing routine to give a
+    function-level graph; sites that resolve to no routine (the
+    monitor's spontaneous pseudo-site among them) become
+    "spontaneous" parents of their callee. Arcs into addresses that
+    are not function entries are counted as [dropped] (they cannot
+    occur with our monitor but may in corrupted data files).
+
+    Static arcs from {!Objcode.Scan} are merged with count 0 — "thus
+    they are never responsible for any time propagation. However,
+    they may affect the structure of the graph" by completing
+    strongly-connected components. *)
+
+type t = {
+  graph : Graphlib.Digraph.t;
+      (** nodes are function ids; weights are traversal counts *)
+  spontaneous : (int * int) list;
+      (** (callee function id, count), sorted by callee *)
+  dynamic_arcs : (int * int) list;
+      (** the (src, dst) pairs that came from the profile (count > 0
+          or an explicit dynamic record); static-only arcs are the
+          rest *)
+  dropped : int;  (** arc records that could not be resolved *)
+}
+
+val build :
+  ?static:(int * int) list -> Symtab.t -> Gmon.arc list -> t
+(** [static] lists (caller id, callee id) pairs to add with count 0
+    when absent from the dynamic graph. *)
+
+val remove_arcs :
+  t -> (int * int) list -> t
+(** Remove the given (caller id, callee id) arcs — the analysis-side
+    arc deletion option. Spontaneous records are unaffected. *)

@@ -1,0 +1,66 @@
+type result = {
+  self_ticks : float array;
+  unattributed : float;
+  total_ticks : int;
+}
+
+let assign st (h : Gmon.hist) =
+  let n = Symtab.n_funcs st in
+  let self = Array.make n 0.0 in
+  let unattributed = ref 0.0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i count ->
+      if count > 0 then begin
+        total := !total + count;
+        let lo = h.h_lowpc + (i * h.h_bucket_size) in
+        let hi = min (lo + h.h_bucket_size) h.h_highpc in
+        let width = hi - lo in
+        let ticks = float_of_int count in
+        if width <= 0 then unattributed := !unattributed +. ticks
+        else begin
+          (* Prorate by overlap with each function's address range. *)
+          let attributed = ref 0.0 in
+          let fid = ref (Symtab.id_of_pc st lo) in
+          (* Walk functions forward from the one containing (or after)
+             lo until past hi. Function ranges are sorted and
+             disjoint, so a linear walk over at most the overlapped
+             functions is enough. *)
+          (match !fid with
+          | None ->
+            (* lo falls in a gap; find the first function starting
+               after lo. *)
+            let rec find j =
+              if j >= n then None
+              else if Symtab.entry st j + Symtab.size st j > lo then Some j
+              else find (j + 1)
+            in
+            fid := find 0
+          | Some _ -> ());
+          let rec walk = function
+            | None -> ()
+            | Some j when j >= n -> ()
+            | Some j ->
+              let f_lo = Symtab.entry st j in
+              let f_hi = f_lo + Symtab.size st j in
+              if f_lo >= hi then ()
+              else begin
+                let ov = min hi f_hi - max lo f_lo in
+                if ov > 0 then begin
+                  let share = ticks *. float_of_int ov /. float_of_int width in
+                  self.(j) <- self.(j) +. share;
+                  attributed := !attributed +. share
+                end;
+                walk (Some (j + 1))
+              end
+          in
+          walk !fid;
+          unattributed := !unattributed +. (ticks -. !attributed)
+        end
+      end)
+    h.h_counts;
+  { self_ticks = self; unattributed = !unattributed; total_ticks = !total }
+
+let check_conservation r =
+  let attributed = Array.fold_left ( +. ) 0.0 r.self_ticks in
+  abs_float (attributed +. r.unattributed -. float_of_int r.total_ticks) < 1e-6

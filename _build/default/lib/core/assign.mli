@@ -1,0 +1,20 @@
+(** Assigning histogram ticks to routines — self time.
+
+    Each histogram bucket covers an address interval; its ticks are
+    the time observed there. With one-to-one granularity a bucket lies
+    entirely inside one routine; with coarser granularity a bucket can
+    straddle routine boundaries, in which case its ticks are prorated
+    by address overlap (exactly what GNU gprof does). Ticks in buckets
+    covering no routine are reported as unattributed. *)
+
+type result = {
+  self_ticks : float array;  (** per function id *)
+  unattributed : float;  (** ticks outside every routine *)
+  total_ticks : int;  (** sum over the histogram *)
+}
+
+val assign : Symtab.t -> Gmon.hist -> result
+
+val check_conservation : result -> bool
+(** Attributed + unattributed = total (up to rounding); tested
+    invariant. *)

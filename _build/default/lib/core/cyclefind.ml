@@ -1,0 +1,34 @@
+type t = {
+  cond : Graphlib.Condense.t;
+  cycle_no : int array;
+  n_cycles : int;
+  members : int list array;
+}
+
+let find g =
+  let cond = Graphlib.Condense.condense g in
+  let n = Graphlib.Digraph.n_nodes g in
+  let cycle_no = Array.make n 0 in
+  let members = ref [] in
+  let n_cycles = ref 0 in
+  (* Component ids ascend leaves-first; visiting them in order numbers
+     cycles the same way. *)
+  for c = 0 to cond.scc.n_components - 1 do
+    match cond.scc.members.(c) with
+    | _ :: _ :: _ as ms ->
+      incr n_cycles;
+      let no = !n_cycles in
+      List.iter (fun v -> cycle_no.(v) <- no) ms;
+      members := ms :: !members
+    | _ -> ()
+  done;
+  {
+    cond;
+    cycle_no;
+    n_cycles = !n_cycles;
+    members = Array.of_list (List.rev !members);
+  }
+
+let comp_of t v = t.cond.scc.component.(v)
+
+let in_cycle t v = t.cycle_no.(v) > 0

@@ -1,0 +1,85 @@
+type row = {
+  d_name : string;
+  d_self_a : float option;
+  d_self_b : float option;
+  d_total_a : float option;
+  d_total_b : float option;
+  d_calls_a : int option;
+  d_calls_b : int option;
+}
+
+type t = {
+  rows : row list;
+  total_a : float;
+  total_b : float;
+}
+
+(* A routine participates on a side when it was called or sampled. *)
+let side (p : Profile.t) =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (e : Profile.entry) ->
+      if e.e_calls > 0 || e.e_self_calls > 0 || e.e_self > 0.0 then
+        Hashtbl.replace tbl
+          (Symtab.name p.symtab e.e_id)
+          (e.e_self, e.e_self +. e.e_child, e.e_calls + e.e_self_calls))
+    p.entries;
+  tbl
+
+let self_delta r =
+  Option.value ~default:0.0 r.d_self_b -. Option.value ~default:0.0 r.d_self_a
+
+let diff (a : Profile.t) (b : Profile.t) =
+  let ta = side a and tb = side b in
+  let names = Hashtbl.create 64 in
+  Hashtbl.iter (fun n _ -> Hashtbl.replace names n ()) ta;
+  Hashtbl.iter (fun n _ -> Hashtbl.replace names n ()) tb;
+  let rows =
+    Hashtbl.fold
+      (fun name () acc ->
+        let pick tbl =
+          match Hashtbl.find_opt tbl name with
+          | Some (self, total, calls) -> (Some self, Some total, Some calls)
+          | None -> (None, None, None)
+        in
+        let d_self_a, d_total_a, d_calls_a = pick ta in
+        let d_self_b, d_total_b, d_calls_b = pick tb in
+        { d_name = name; d_self_a; d_self_b; d_total_a; d_total_b; d_calls_a;
+          d_calls_b }
+        :: acc)
+      names []
+    |> List.sort (fun x y ->
+           let c = compare (abs_float (self_delta y)) (abs_float (self_delta x)) in
+           if c <> 0 then c else compare x.d_name y.d_name)
+  in
+  { rows; total_a = a.total_time; total_b = b.total_time }
+
+let cell = function
+  | Some v -> Printf.sprintf "%8.2f" v
+  | None -> "       -"
+
+let cell_calls = function
+  | Some c -> Printf.sprintf "%9d" c
+  | None -> "        -"
+
+let listing t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "profile diff: %.2fs before, %.2fs after (%+.2fs, %+.1f%%)\n\n"
+       t.total_a t.total_b (t.total_b -. t.total_a)
+       (if t.total_a > 0.0 then 100.0 *. (t.total_b -. t.total_a) /. t.total_a
+        else 0.0));
+  Buffer.add_string buf
+    "    self(a)  self(b)    delta  total(a)  total(b)   calls(a)  calls(b)  name\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "   %s %s %+8.2f  %s  %s  %s %s  %s%s\n" (cell r.d_self_a)
+           (cell r.d_self_b) (self_delta r) (cell r.d_total_a) (cell r.d_total_b)
+           (cell_calls r.d_calls_a) (cell_calls r.d_calls_b) r.d_name
+           (match (r.d_self_a, r.d_self_b) with
+           | Some _, None -> "  [gone]"
+           | None, Some _ -> "  [new]"
+           | _ -> "")))
+    t.rows;
+  Buffer.contents buf

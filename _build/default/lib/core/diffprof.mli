@@ -1,0 +1,35 @@
+(** Comparing two profiles — quantifying one optimization step.
+
+    Section 6 prescribes an iterative loop: profile, eliminate a
+    bottleneck, re-profile, watch the next bottleneck surface. This
+    module diffs the before and after profiles of that loop, matching
+    routines {e by name} (the builds usually differ: an optimization
+    changes addresses, and inline expansion can remove routines from
+    the dynamic graph entirely). *)
+
+type row = {
+  d_name : string;
+  d_self_a : float option;  (** self seconds before; None if absent *)
+  d_self_b : float option;
+  d_total_a : float option;  (** self + descendants *)
+  d_total_b : float option;
+  d_calls_a : int option;
+  d_calls_b : int option;
+}
+
+type t = {
+  rows : row list;
+      (** union of both profiles' routines, sorted by decreasing
+          absolute self-time change *)
+  total_a : float;
+  total_b : float;
+}
+
+val diff : Profile.t -> Profile.t -> t
+(** Routines that were never called and got no time on a side are
+    reported as absent ([None]) on that side. *)
+
+val listing : t -> string
+
+val self_delta : row -> float
+(** [self_b - self_a], absent sides as 0. *)

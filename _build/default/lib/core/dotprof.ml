@@ -1,0 +1,79 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render (p : Profile.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph profile {\n";
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
+  let listed = Hashtbl.create 64 in
+  Array.iter
+    (function
+      | Profile.Func id -> Hashtbl.replace listed id ()
+      | Profile.Cycle _ | Profile.Spontaneous -> ())
+    p.order;
+  let node id =
+    let e = p.entries.(id) in
+    let pct = Profile.percent_time p (Profile.Func id) in
+    Printf.sprintf
+      "  f%d [label=\"%s\\nself %.2fs  total %.2fs  %.1f%%\"%s];\n" id
+      (escape (Symtab.name p.symtab id))
+      e.e_self (e.e_self +. e.e_child) pct
+      (if pct >= 20.0 then ", style=filled, fillcolor=lightgrey" else "")
+  in
+  (* cycle members inside clusters, everything else at top level *)
+  Array.iter
+    (fun (c : Profile.cycle_entry) ->
+      Buffer.add_string buf (Printf.sprintf "  subgraph cluster_cycle%d {\n" c.c_no);
+      Buffer.add_string buf
+        (Printf.sprintf "    label=\"cycle %d: %.2fs self, %.2fs descendants\";\n"
+           c.c_no c.c_self c.c_child);
+      List.iter (fun id -> Buffer.add_string buf ("  " ^ node id)) c.c_members;
+      Buffer.add_string buf "  }\n")
+    p.cycles;
+  Hashtbl.iter
+    (fun id () -> if p.entries.(id).e_cycle = 0 then Buffer.add_string buf (node id))
+    listed;
+  (* arcs, from each entry's children *)
+  Array.iter
+    (fun (e : Profile.entry) ->
+      if Hashtbl.mem listed e.e_id then
+        List.iter
+          (fun (v : Profile.arc_view) ->
+            match v.av_other with
+            | Profile.Func dst when Hashtbl.mem listed dst ->
+              let style =
+                if v.av_intra then ", style=dotted"
+                else if v.av_count = 0 then ", style=dashed"
+                else ""
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "  f%d -> f%d [label=\"%d\"%s];\n" e.e_id dst
+                   v.av_count style)
+            | _ -> ())
+          e.e_children)
+    p.entries;
+  (* spontaneous roots *)
+  let spont = ref false in
+  Array.iter
+    (fun (e : Profile.entry) ->
+      if
+        Hashtbl.mem listed e.e_id
+        && List.exists
+             (fun (v : Profile.arc_view) -> v.av_other = Profile.Spontaneous)
+             e.e_parents
+      then begin
+        if not !spont then begin
+          spont := true;
+          Buffer.add_string buf "  spontaneous [shape=plaintext, label=\"<spontaneous>\"];\n"
+        end;
+        Buffer.add_string buf (Printf.sprintf "  spontaneous -> f%d;\n" e.e_id)
+      end)
+    p.entries;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

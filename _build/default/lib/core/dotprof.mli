@@ -1,0 +1,11 @@
+(** Graphviz export of the analyzed call graph.
+
+    The paper laments being "limited by the two-dimensional nature of
+    our output devices" and settles for the windowed text listing;
+    this module emits what they could not print: the whole annotated
+    graph, one node per listed routine (cycle members grouped in a
+    cluster), each labelled with self/total seconds and the share of
+    run time, each arc labelled with its traversal count. Static-only
+    arcs are dashed, intra-cycle arcs dotted. *)
+
+val render : Profile.t -> string

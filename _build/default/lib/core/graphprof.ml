@@ -1,0 +1,126 @@
+let separator =
+  "-----------------------------------------------------------------------\n"
+
+let header =
+  "                                    called/total      parents\n\
+   index  %time    self  descendants  called+self    name           index\n\
+   \                                    called/total      children\n"
+
+let fmt_time = Printf.sprintf "%7.2f"
+
+let idx_ref (p : Profile.t) party =
+  match party with
+  | Profile.Spontaneous -> ""
+  | _ -> (
+    match Profile.display_index p party with
+    | Some i -> Printf.sprintf " [%d]" i
+    | None -> "")
+
+(* A parent or child line: propagated self/descendants, the
+   count/total fraction, the counterpart name, its index. *)
+let arc_line (p : Profile.t) (v : Profile.arc_view) =
+  match v.av_other with
+  | Profile.Spontaneous -> "                                            <spontaneous>\n"
+  | other ->
+    let name =
+      match other with
+      | Profile.Func id -> Profile.name_with_cycle p id
+      | Profile.Cycle no -> Printf.sprintf "<cycle %d as a whole>" no
+      | Profile.Spontaneous -> assert false
+    in
+    let calls =
+      if v.av_intra then Printf.sprintf "%11d  " v.av_count
+      else Printf.sprintf "%6d/%-6d" v.av_count v.av_total
+    in
+    let times =
+      if v.av_intra then "                    "
+      else Printf.sprintf "%s      %s" (fmt_time v.av_self) (fmt_time v.av_child)
+    in
+    Printf.sprintf "      %s  %s   %s%s\n" times calls name (idx_ref p other)
+
+let main_line (p : Profile.t) party ~self ~child ~calls ~self_calls ~name =
+  let idx =
+    match Profile.display_index p party with
+    | Some i -> Printf.sprintf "[%d]" i
+    | None -> "[?]"
+  in
+  let called =
+    if self_calls > 0 then Printf.sprintf "%5d+%-6d" calls self_calls
+    else Printf.sprintf "%5d      " calls
+  in
+  Printf.sprintf "%-6s %5.1f %s      %s  %s   %s %s\n" idx
+    (Profile.percent_time p party)
+    (fmt_time self) (fmt_time child) called name idx
+
+let func_block (p : Profile.t) id =
+  let e = p.entries.(id) in
+  let buf = Buffer.create 512 in
+  List.iter (fun v -> Buffer.add_string buf (arc_line p v)) e.e_parents;
+  Buffer.add_string buf
+    (main_line p (Profile.Func id) ~self:e.e_self ~child:e.e_child
+       ~calls:e.e_calls ~self_calls:e.e_self_calls
+       ~name:(Profile.name_with_cycle p id));
+  List.iter (fun v -> Buffer.add_string buf (arc_line p v)) e.e_children;
+  Buffer.contents buf
+
+let cycle_block (p : Profile.t) no =
+  let c = p.cycles.(no - 1) in
+  let buf = Buffer.create 512 in
+  List.iter (fun v -> Buffer.add_string buf (arc_line p v)) c.c_parents;
+  Buffer.add_string buf
+    (main_line p (Profile.Cycle no) ~self:c.c_self ~child:c.c_child
+       ~calls:c.c_calls ~self_calls:c.c_intra_calls
+       ~name:(Printf.sprintf "<cycle %d as a whole>" no));
+  List.iter
+    (fun (v : Profile.arc_view) ->
+      (* Member lines do show their own self/descendant times. *)
+      let name =
+        match v.av_other with
+        | Profile.Func id -> Profile.name_with_cycle p id
+        | _ -> assert false
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "      %s      %s  %11d     %s%s\n" (fmt_time v.av_self)
+           (fmt_time v.av_child) v.av_count name (idx_ref p v.av_other)))
+    c.c_member_views;
+  Buffer.contents buf
+
+let entry_block p = function
+  | Profile.Func id -> func_block p id
+  | Profile.Cycle no -> cycle_block p no
+  | Profile.Spontaneous -> invalid_arg "Graphprof.entry_block: Spontaneous"
+
+let explanation =
+  "Each entry in this listing describes one routine, between dashed lines.\n\
+   The routine's own line carries its index in brackets, the percentage of\n\
+   total time accounted to it and its descendants, its self seconds, the\n\
+   seconds propagated to it from its descendants, and the number of times\n\
+   it was called (calls+self for self-recursive routines, where only the\n\
+   outside calls propagate time).\n\
+   The lines above it are its parents: the self and descendant seconds this\n\
+   routine propagates to each, and calls-from-that-parent / total-calls.\n\
+   The lines below it are its children: the self and descendant seconds each\n\
+   child propagates here, and calls-from-here / total-calls-to-that-child.\n\
+   A child in a cycle shows the whole cycle's time, prorated by calls. A\n\
+   cycle's own entry lists the members in place of children; calls among\n\
+   members are shown but never propagate time. Every name is followed by\n\
+   the index where its own entry can be found.\n\n"
+
+let listing ?(verbose = false) (p : Profile.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "call graph profile:\n\n";
+  if verbose then Buffer.add_string buf explanation;
+  Buffer.add_string buf
+    (Printf.sprintf "granularity: each sample hit covers 1 instruction for %.2f%% of %.2f seconds\n\n"
+       (if p.total_time > 0.0 then
+          100.0 *. p.seconds_per_tick /. p.total_time
+        else 0.0)
+       p.total_time);
+  Buffer.add_string buf header;
+  Buffer.add_string buf separator;
+  Array.iter
+    (fun party ->
+      Buffer.add_string buf (entry_block p party);
+      Buffer.add_string buf separator)
+    p.order;
+  Buffer.contents buf

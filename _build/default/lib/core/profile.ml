@@ -1,0 +1,69 @@
+type party = Func of int | Cycle of int | Spontaneous
+
+type arc_view = {
+  av_other : party;
+  av_count : int;
+  av_total : int;
+  av_self : float;
+  av_child : float;
+  av_intra : bool;
+}
+
+type entry = {
+  e_id : int;
+  e_cycle : int;
+  e_self : float;
+  e_child : float;
+  e_calls : int;
+  e_self_calls : int;
+  e_ticks : float;
+  e_parents : arc_view list;
+  e_children : arc_view list;
+}
+
+type cycle_entry = {
+  c_no : int;
+  c_members : int list;
+  c_self : float;
+  c_child : float;
+  c_calls : int;
+  c_intra_calls : int;
+  c_parents : arc_view list;
+  c_member_views : arc_view list;
+}
+
+type t = {
+  symtab : Symtab.t;
+  total_time : float;
+  seconds_per_tick : float;
+  entries : entry array;
+  cycles : cycle_entry array;
+  order : party array;
+  never_called : int list;
+  unattributed : float;
+}
+
+let display_index t party =
+  let found = ref None in
+  Array.iteri (fun i p -> if p = party && !found = None then found := Some (i + 1)) t.order;
+  !found
+
+let name_with_cycle t id =
+  let e = t.entries.(id) in
+  let base = Symtab.name t.symtab id in
+  if e.e_cycle > 0 then Printf.sprintf "%s <cycle %d>" base e.e_cycle else base
+
+let party_name t = function
+  | Func id -> name_with_cycle t id
+  | Cycle no -> Printf.sprintf "<cycle %d as a whole>" no
+  | Spontaneous -> "<spontaneous>"
+
+let total_of t = function
+  | Func id -> t.entries.(id).e_self +. t.entries.(id).e_child
+  | Cycle no ->
+    let c = t.cycles.(no - 1) in
+    c.c_self +. c.c_child
+  | Spontaneous -> 0.0
+
+let percent_time t party =
+  if t.total_time <= 0.0 then 0.0 else 100.0 *. total_of t party /. t.total_time

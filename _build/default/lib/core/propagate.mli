@@ -1,0 +1,29 @@
+(** Time propagation — the heart of the profiler.
+
+    Implements Section 4 of the paper. Self times come from the
+    histogram assignment; call counts from the arc records. The call
+    graph is condensed (cycles collapsed), components are processed in
+    the leaves-first topological order produced by the SCC pass, and
+    each component's total time
+
+    {v T_r = S_r + sum over r CALLS e of T_e * C_e^r / C_e v}
+
+    is distributed to its external callers in proportion to their
+    share of the calls. For a cycle, self and descendant times are
+    summed over the members, the denominator is the count of calls
+    into the cycle from outside, and arcs among members are listed
+    but "do not participate in time propagation". Self-recursive
+    calls likewise do not propagate; they are split out into the
+    [called+self] notation. Time flowing to a spontaneous caller has
+    nowhere to go and is dropped, exactly as in gprof.
+
+    Conservation (tested): on a graph whose roots are only
+    spontaneously called, the sum of root totals plus time lost to
+    spontaneous callers equals the sum of all self times. *)
+
+val run :
+  Symtab.t ->
+  Assign.result ->
+  Arcgraph.t ->
+  seconds_per_tick:float ->
+  Profile.t

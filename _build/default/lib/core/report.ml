@@ -1,0 +1,171 @@
+type options = {
+  use_static_arcs : bool;
+  removed_arcs : (string * string) list;
+  auto_break_cycles : int option;
+  focus : string list;
+  exclude : string list;
+  min_percent : float;
+}
+
+let default_options =
+  {
+    use_static_arcs = true;
+    removed_arcs = [];
+    auto_break_cycles = None;
+    focus = [];
+    exclude = [];
+    min_percent = 0.0;
+  }
+
+type t = {
+  profile : Profile.t;
+  removed : (int * int) list;
+  dropped_records : int;
+  options : options;
+}
+
+let resolve_arc_names st arcs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (a, b) :: rest -> (
+      match (Symtab.id_of_name st a, Symtab.id_of_name st b) with
+      | Some ia, Some ib -> go ((ia, ib) :: acc) rest
+      | None, _ -> Error (Printf.sprintf "unknown routine %s in arc removal" a)
+      | _, None -> Error (Printf.sprintf "unknown routine %s in arc removal" b))
+  in
+  go [] arcs
+
+(* Restrict the display order to parties connected to the focus set,
+   mirroring "only parts of the graph containing certain methods". *)
+let apply_focus st (profile : Profile.t) g focus =
+  match focus with
+  | [] -> Ok profile
+  | names -> (
+    match Symtab.ids_of_names st names with
+    | Error n -> Error (Printf.sprintf "unknown routine %s in focus" n)
+    | Ok ids ->
+      let keep = Graphlib.Reach.between g ids in
+      let cycle_kept (c : Profile.cycle_entry) =
+        List.exists (fun m -> keep.(m)) c.c_members
+      in
+      let order =
+        Array.to_list profile.order
+        |> List.filter (function
+             | Profile.Func f -> keep.(f)
+             | Profile.Cycle no -> cycle_kept profile.cycles.(no - 1)
+             | Profile.Spontaneous -> false)
+        |> Array.of_list
+      in
+      Ok { profile with order })
+
+let apply_exclude st (profile : Profile.t) names =
+  match names with
+  | [] -> Ok profile
+  | names -> (
+    match Symtab.ids_of_names st names with
+    | Error n -> Error (Printf.sprintf "unknown routine %s in exclude" n)
+    | Ok ids ->
+      let order =
+        Array.to_list profile.order
+        |> List.filter (function
+             | Profile.Func f -> not (List.mem f ids)
+             | Profile.Cycle _ | Profile.Spontaneous -> true)
+        |> Array.of_list
+      in
+      Ok { profile with order })
+
+let apply_min_percent (profile : Profile.t) min_percent =
+  if min_percent <= 0.0 then profile
+  else
+    let order =
+      Array.to_list profile.order
+      |> List.filter (fun party -> Profile.percent_time profile party >= min_percent)
+      |> Array.of_list
+    in
+    { profile with order }
+
+let analyze ?(options = default_options) o (gmon : Gmon.t) =
+  match Gmon.validate gmon with
+  | Error es -> Error ("invalid profile data: " ^ String.concat "; " es)
+  | Ok () when
+      gmon.hist.h_lowpc <> 0
+      || gmon.hist.h_highpc <> Array.length o.Objcode.Objfile.text ->
+    Error
+      (Printf.sprintf
+         "profile data covers pc [%d,%d) but the executable's text is [0,%d): \
+          wrong gmon file for this binary?"
+         gmon.hist.h_lowpc gmon.hist.h_highpc
+         (Array.length o.Objcode.Objfile.text))
+  | Ok () -> (
+    let st = Symtab.of_objfile o in
+    let asg = Assign.assign st gmon.hist in
+    let static =
+      if options.use_static_arcs then
+        List.filter_map
+          (fun (a, b) ->
+            match (Symtab.id_of_name st a, Symtab.id_of_name st b) with
+            | Some ia, Some ib -> Some (ia, ib)
+            | _ -> None)
+          (Objcode.Scan.static_arcs o)
+      else []
+    in
+    let ag = Arcgraph.build ~static st gmon.arcs in
+    match resolve_arc_names st options.removed_arcs with
+    | Error e -> Error e
+    | Ok explicit -> (
+      let ag = Arcgraph.remove_arcs ag explicit in
+      let heuristic =
+        match options.auto_break_cycles with
+        | None -> []
+        | Some bound -> Graphlib.Feedback.greedy ag.graph ~bound
+      in
+      let ag = Arcgraph.remove_arcs ag heuristic in
+      let seconds_per_tick = 1.0 /. float_of_int gmon.ticks_per_second in
+      let profile = Propagate.run st asg ag ~seconds_per_tick in
+      match
+        Result.bind (apply_focus st profile ag.graph options.focus) (fun p ->
+            apply_exclude st p options.exclude)
+      with
+      | Error e -> Error e
+      | Ok profile ->
+        let profile = apply_min_percent profile options.min_percent in
+        Ok
+          {
+            profile;
+            removed = explicit @ heuristic;
+            dropped_records = ag.dropped;
+            options;
+          }))
+
+let removed_arc_names t =
+  List.map
+    (fun (a, b) ->
+      (Symtab.name t.profile.symtab a, Symtab.name t.profile.symtab b))
+    t.removed
+
+let flat_listing ?verbose t = Flat.listing ?verbose t.profile
+
+let graph_listing ?verbose t = Graphprof.listing ?verbose t.profile
+
+let index_listing t = Xindex.listing t.profile
+
+let dot_graph t = Dotprof.render t.profile
+
+let full_listing ?verbose t =
+  let buf = Buffer.create 8192 in
+  if t.removed <> [] then begin
+    Buffer.add_string buf "arcs removed from the analysis:\n";
+    List.iter
+      (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "    %s -> %s\n" a b))
+      (removed_arc_names t);
+    Buffer.add_char buf '\n'
+  end;
+  if t.dropped_records > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "%d arc records could not be resolved.\n\n" t.dropped_records);
+  Buffer.add_string buf (graph_listing ?verbose t);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (flat_listing ?verbose t);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (index_listing t);
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+type t = {
+  o : Objcode.Objfile.t;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let of_objfile o =
+  let by_name = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (s : Objcode.Objfile.symbol) -> Hashtbl.replace by_name s.name i)
+    o.Objcode.Objfile.symbols;
+  { o; by_name }
+
+let objfile t = t.o
+
+let n_funcs t = Array.length t.o.Objcode.Objfile.symbols
+
+let sym t id = t.o.Objcode.Objfile.symbols.(id)
+
+let name t id = (sym t id).name
+let entry t id = (sym t id).addr
+let size t id = (sym t id).size
+let profiled t id = (sym t id).profiled
+
+let id_of_pc t pc = Objcode.Objfile.symbol_index t.o pc
+
+let id_of_entry t pc = Objcode.Objfile.func_id_of_addr t.o pc
+
+let id_of_name t n = Hashtbl.find_opt t.by_name n
+
+let ids_of_names t names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest -> (
+      match id_of_name t n with
+      | Some id -> go (id :: acc) rest
+      | None -> Error n)
+  in
+  go [] names

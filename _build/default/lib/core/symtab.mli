@@ -1,0 +1,34 @@
+(** The post-processor's view of the symbol table.
+
+    Wraps an executable's symbols as a dense function-id space
+    (0..n-1, in address order) with fast pc-to-function resolution —
+    the first thing gprof needs to turn raw addresses from the profile
+    data file back into routine names. *)
+
+type t
+
+val of_objfile : Objcode.Objfile.t -> t
+
+val objfile : t -> Objcode.Objfile.t
+
+val n_funcs : t -> int
+
+val name : t -> int -> string
+
+val entry : t -> int -> int
+(** Entry address of function [id]. *)
+
+val size : t -> int -> int
+
+val profiled : t -> int -> bool
+
+val id_of_pc : t -> int -> int option
+(** Function whose address range contains the pc. *)
+
+val id_of_entry : t -> int -> int option
+(** Function whose entry address is exactly the given pc. *)
+
+val id_of_name : t -> string -> int option
+
+val ids_of_names : t -> string list -> (int list, string) result
+(** All-or-nothing lookup; [Error] names the first unknown function. *)

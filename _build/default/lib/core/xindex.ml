@@ -1,0 +1,23 @@
+let entries (p : Profile.t) =
+  let names =
+    List.init (Symtab.n_funcs p.symtab) (fun id ->
+        (Symtab.name p.symtab id, Profile.display_index p (Profile.Func id)))
+  in
+  let cycles =
+    Array.to_list p.cycles
+    |> List.map (fun (c : Profile.cycle_entry) ->
+           ( Printf.sprintf "<cycle %d>" c.c_no,
+             Profile.display_index p (Profile.Cycle c.c_no) ))
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (names @ cycles)
+
+let listing p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "index by function name:\n\n";
+  List.iter
+    (fun (name, idx) ->
+      match idx with
+      | Some i -> Buffer.add_string buf (Printf.sprintf "  [%3d] %s\n" i name)
+      | None -> Buffer.add_string buf (Printf.sprintf "  [  -] %s\n" name))
+    (entries p);
+  Buffer.contents buf

@@ -1,0 +1,318 @@
+type hist = {
+  h_lowpc : int;
+  h_highpc : int;
+  h_bucket_size : int;
+  h_counts : int array;
+}
+
+type arc = { a_from : int; a_self : int; a_count : int }
+
+type t = {
+  hist : hist;
+  arcs : arc list;
+  ticks_per_second : int;
+  cycles_per_tick : int;
+  runs : int;
+}
+
+let n_buckets ~lowpc ~highpc ~bucket_size =
+  (highpc - lowpc + bucket_size - 1) / bucket_size
+
+let make_hist ~lowpc ~highpc ~bucket_size =
+  if bucket_size <= 0 then invalid_arg "Gmon.make_hist: bucket_size must be positive";
+  if lowpc < 0 || highpc <= lowpc then
+    invalid_arg "Gmon.make_hist: need 0 <= lowpc < highpc";
+  {
+    h_lowpc = lowpc;
+    h_highpc = highpc;
+    h_bucket_size = bucket_size;
+    h_counts = Array.make (n_buckets ~lowpc ~highpc ~bucket_size) 0;
+  }
+
+let bucket_of_pc h pc =
+  if pc < h.h_lowpc || pc >= h.h_highpc then None
+  else Some ((pc - h.h_lowpc) / h.h_bucket_size)
+
+let bucket_range h i =
+  let lo = h.h_lowpc + (i * h.h_bucket_size) in
+  (lo, min (lo + h.h_bucket_size) h.h_highpc)
+
+let total_ticks t = Array.fold_left ( + ) 0 t.hist.h_counts
+
+let seconds_of_ticks t ticks = float_of_int ticks /. float_of_int t.ticks_per_second
+
+let total_seconds t = seconds_of_ticks t (total_ticks t)
+
+let arc_count_into t self =
+  List.fold_left
+    (fun acc a -> if a.a_self = self then acc + a.a_count else acc)
+    0 t.arcs
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let h = t.hist in
+  if h.h_bucket_size <= 0 then err "bucket size %d not positive" h.h_bucket_size;
+  if h.h_lowpc < 0 || h.h_highpc <= h.h_lowpc then
+    err "bad pc range [%d,%d)" h.h_lowpc h.h_highpc;
+  (* the bucket-count check only makes sense on a sane geometry (and
+     n_buckets divides by the bucket size) *)
+  if h.h_bucket_size > 0 && h.h_lowpc >= 0 && h.h_highpc > h.h_lowpc then begin
+    let expect =
+      n_buckets ~lowpc:h.h_lowpc ~highpc:h.h_highpc ~bucket_size:h.h_bucket_size
+    in
+    if Array.length h.h_counts <> expect then
+      err "histogram has %d buckets, expected %d" (Array.length h.h_counts) expect
+  end;
+  Array.iteri (fun i c -> if c < 0 then err "negative count in bucket %d" i) h.h_counts;
+  let rec arcs_ok = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+      if compare (a.a_from, a.a_self) (b.a_from, b.a_self) >= 0 then
+        err "arcs not strictly sorted at (%d,%d)" b.a_from b.a_self;
+      arcs_ok rest
+  in
+  arcs_ok t.arcs;
+  List.iter
+    (fun a ->
+      if a.a_count < 0 then err "negative arc count on (%d,%d)" a.a_from a.a_self)
+    t.arcs;
+  if t.ticks_per_second <= 0 then err "ticks_per_second %d not positive" t.ticks_per_second;
+  if t.cycles_per_tick <= 0 then err "cycles_per_tick %d not positive" t.cycles_per_tick;
+  if t.runs < 1 then err "runs %d < 1" t.runs;
+  match List.rev !errs with [] -> Ok () | es -> Error es
+
+let merge a b =
+  let ha = a.hist and hb = b.hist in
+  if
+    ha.h_lowpc <> hb.h_lowpc || ha.h_highpc <> hb.h_highpc
+    || ha.h_bucket_size <> hb.h_bucket_size
+  then Error "cannot merge profiles with different histogram layouts"
+  else if a.ticks_per_second <> b.ticks_per_second then
+    Error "cannot merge profiles with different clock rates"
+  else if a.cycles_per_tick <> b.cycles_per_tick then
+    Error "cannot merge profiles with different cycle rates"
+  else begin
+    let counts = Array.mapi (fun i c -> c + hb.h_counts.(i)) ha.h_counts in
+    (* Merge two sorted unique arc lists, summing counts on key
+       collisions. *)
+    let rec go xs ys acc =
+      match (xs, ys) with
+      | [], rest | rest, [] -> List.rev_append acc rest
+      | x :: xs', y :: ys' ->
+        let c = compare (x.a_from, x.a_self) (y.a_from, y.a_self) in
+        if c = 0 then go xs' ys' ({ x with a_count = x.a_count + y.a_count } :: acc)
+        else if c < 0 then go xs' ys (x :: acc)
+        else go xs ys' (y :: acc)
+    in
+    Ok
+      {
+        hist = { ha with h_counts = counts };
+        arcs = go a.arcs b.arcs [];
+        ticks_per_second = a.ticks_per_second;
+        cycles_per_tick = a.cycles_per_tick;
+        runs = a.runs + b.runs;
+      }
+  end
+
+let merge_all = function
+  | [] -> Error "no profiles to merge"
+  | x :: rest ->
+    List.fold_left
+      (fun acc y -> Result.bind acc (fun a -> merge a y))
+      (Ok x) rest
+
+(* --- binary serialization ------------------------------------------- *)
+
+let magic = "GMONOCAML1\n"
+
+let put_i64 buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+let to_bytes t =
+  let buf = Buffer.create (1024 + (8 * Array.length t.hist.h_counts)) in
+  Buffer.add_string buf magic;
+  put_i64 buf t.hist.h_lowpc;
+  put_i64 buf t.hist.h_highpc;
+  put_i64 buf t.hist.h_bucket_size;
+  put_i64 buf t.ticks_per_second;
+  put_i64 buf t.cycles_per_tick;
+  put_i64 buf t.runs;
+  put_i64 buf (Array.length t.hist.h_counts);
+  Array.iter (put_i64 buf) t.hist.h_counts;
+  put_i64 buf (List.length t.arcs);
+  List.iter
+    (fun a ->
+      put_i64 buf a.a_from;
+      put_i64 buf a.a_self;
+      put_i64 buf a.a_count)
+    t.arcs;
+  Buffer.contents buf
+
+let of_bytes s =
+  let exception Bad of string in
+  try
+    let len = String.length s in
+    if len < String.length magic || String.sub s 0 (String.length magic) <> magic
+    then raise (Bad "bad magic");
+    let pos = ref (String.length magic) in
+    let get_i64 () =
+      if !pos + 8 > len then raise (Bad "truncated file");
+      let v = Int64.to_int (String.get_int64_le s !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let lowpc = get_i64 () in
+    let highpc = get_i64 () in
+    let bucket_size = get_i64 () in
+    let ticks_per_second = get_i64 () in
+    let cycles_per_tick = get_i64 () in
+    let runs = get_i64 () in
+    let nbuckets = get_i64 () in
+    if nbuckets < 0 || nbuckets > 1 lsl 30 then raise (Bad "absurd bucket count");
+    let counts = Array.init nbuckets (fun _ -> get_i64 ()) in
+    let narcs = get_i64 () in
+    if narcs < 0 || narcs > 1 lsl 30 then raise (Bad "absurd arc count");
+    let arcs =
+      List.init narcs (fun _ ->
+          let a_from = get_i64 () in
+          let a_self = get_i64 () in
+          let a_count = get_i64 () in
+          { a_from; a_self; a_count })
+    in
+    if !pos <> len then raise (Bad "trailing bytes");
+    let t =
+      {
+        hist =
+          { h_lowpc = lowpc; h_highpc = highpc; h_bucket_size = bucket_size;
+            h_counts = counts };
+        arcs;
+        ticks_per_second;
+        cycles_per_tick;
+        runs;
+      }
+    in
+    match validate t with
+    | Ok () -> Ok t
+    | Error es -> Error (String.concat "; " es)
+  with Bad msg -> Error msg
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_bytes t))
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> of_bytes s
+  | exception Sys_error e -> Error e
+
+let equal a b =
+  a.hist.h_lowpc = b.hist.h_lowpc
+  && a.hist.h_highpc = b.hist.h_highpc
+  && a.hist.h_bucket_size = b.hist.h_bucket_size
+  && a.hist.h_counts = b.hist.h_counts
+  && a.arcs = b.arcs
+  && a.ticks_per_second = b.ticks_per_second
+  && a.cycles_per_tick = b.cycles_per_tick
+  && a.runs = b.runs
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>profile: pc [%d,%d) step %d, %d ticks @@ %d Hz (%.3fs), %d run(s)"
+    t.hist.h_lowpc t.hist.h_highpc t.hist.h_bucket_size (total_ticks t)
+    t.ticks_per_second (total_seconds t) t.runs;
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        let lo, hi = bucket_range t.hist i in
+        Format.fprintf ppf "@,  bucket %d [%d,%d): %d" i lo hi c)
+    t.hist.h_counts;
+  List.iter
+    (fun a -> Format.fprintf ppf "@,  arc %d -> %d: %d" a.a_from a.a_self a.a_count)
+    t.arcs;
+  Format.fprintf ppf "@]"
+
+module Icount = struct
+  type t = { text_size : int; counts : int array }
+
+  let of_counts counts = { text_size = Array.length counts; counts = Array.copy counts }
+
+  let count t addr =
+    if addr < 0 || addr >= t.text_size then
+      invalid_arg "Icount.count: address out of range";
+    t.counts.(addr)
+
+  let total t = Array.fold_left ( + ) 0 t.counts
+
+  let merge a b =
+    if a.text_size <> b.text_size then
+      Error "cannot merge instruction counts for different binaries"
+    else
+      Ok
+        {
+          text_size = a.text_size;
+          counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts;
+        }
+
+  let magic = "ICOUNTOCaml1\n"
+
+  let to_bytes t =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf magic;
+    Buffer.add_int64_le buf (Int64.of_int t.text_size);
+    let nonzero = Array.fold_left (fun n c -> if c <> 0 then n + 1 else n) 0 t.counts in
+    Buffer.add_int64_le buf (Int64.of_int nonzero);
+    Array.iteri
+      (fun addr c ->
+        if c <> 0 then begin
+          Buffer.add_int64_le buf (Int64.of_int addr);
+          Buffer.add_int64_le buf (Int64.of_int c)
+        end)
+      t.counts;
+    Buffer.contents buf
+
+  let of_bytes s =
+    let exception Bad of string in
+    try
+      let len = String.length s in
+      let mlen = String.length magic in
+      if len < mlen || String.sub s 0 mlen <> magic then raise (Bad "bad magic");
+      let pos = ref mlen in
+      let get () =
+        if !pos + 8 > len then raise (Bad "truncated file");
+        let v = Int64.to_int (String.get_int64_le s !pos) in
+        pos := !pos + 8;
+        v
+      in
+      let text_size = get () in
+      if text_size < 0 || text_size > 1 lsl 30 then raise (Bad "absurd text size");
+      let nonzero = get () in
+      if nonzero < 0 || nonzero > text_size then raise (Bad "absurd entry count");
+      let counts = Array.make text_size 0 in
+      for _ = 1 to nonzero do
+        let addr = get () in
+        let c = get () in
+        if addr < 0 || addr >= text_size then raise (Bad "entry address out of range");
+        if c <= 0 then raise (Bad "nonpositive count");
+        if counts.(addr) <> 0 then raise (Bad "duplicate entry");
+        counts.(addr) <- c
+      done;
+      if !pos <> len then raise (Bad "trailing bytes");
+      Ok { text_size; counts }
+    with Bad msg -> Error msg
+
+  let save t path =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_bytes t))
+
+  let load path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | s -> of_bytes s
+    | exception Sys_error e -> Error e
+
+  let equal a b = a.text_size = b.text_size && a.counts = b.counts
+
+end

@@ -1,0 +1,129 @@
+(** The profile data file — our [gmon.out].
+
+    "Our solution is to gather profiling data in memory during program
+    execution and to condense it to a file as the profiled program
+    exits." The condensed file holds (1) the program-counter histogram,
+    summarized as bounds, a step size, and one counter per bucket, and
+    (2) the traversed call-graph arcs as (call site, callee, count)
+    records.
+
+    "An advantage of this approach is that the profile data for
+    several executions of a program can be combined by the
+    post-processing to provide a profile of many executions" —
+    {!merge} implements that summing (gprof's [-s]). *)
+
+type hist = {
+  h_lowpc : int;  (** first text address covered *)
+  h_highpc : int;  (** one past the last covered address *)
+  h_bucket_size : int;  (** addresses per bucket, >= 1 *)
+  h_counts : int array;
+      (** clock ticks observed per bucket;
+          length = ceil((highpc-lowpc)/bucket_size) *)
+}
+
+type arc = {
+  a_from : int;  (** the call site: address of the call instruction *)
+  a_self : int;  (** the callee: its entry address *)
+  a_count : int;  (** traversals observed *)
+}
+
+type t = {
+  hist : hist;
+  arcs : arc list;  (** sorted by (from, self); no duplicates *)
+  ticks_per_second : int;  (** clock rate the histogram was sampled at *)
+  cycles_per_tick : int;  (** simulated cycles per clock tick *)
+  runs : int;  (** number of executions summed into this profile *)
+}
+
+val n_buckets : lowpc:int -> highpc:int -> bucket_size:int -> int
+
+val make_hist : lowpc:int -> highpc:int -> bucket_size:int -> hist
+(** Zeroed histogram. @raise Invalid_argument on a nonpositive bucket
+    size or an empty/negative pc range. *)
+
+val bucket_of_pc : hist -> int -> int option
+(** Bucket index for a pc, or [None] if outside [\[lowpc, highpc)]. *)
+
+val bucket_range : hist -> int -> int * int
+(** [bucket_range h i] is the address interval
+    [\[lo, hi)] covered by bucket [i], clipped to [highpc]. *)
+
+val total_ticks : t -> int
+
+val seconds_of_ticks : t -> int -> float
+(** Convert a tick count to (simulated) seconds at this profile's
+    clock rate. *)
+
+val total_seconds : t -> float
+
+val arc_count_into : t -> int -> int
+(** Sum of arc counts whose callee entry is the given address. *)
+
+val validate : t -> (unit, string list) result
+(** Check invariants: histogram shape consistent, counts nonnegative,
+    arcs sorted and unique with nonnegative counts, positive clock
+    rates, [runs >= 1]. *)
+
+val merge : t -> t -> (t, string) result
+(** Sum two profiles of the {e same} executable: histogram bounds,
+    bucket size, and clock rates must match exactly, otherwise
+    [Error]. Histogram counters add; arcs union with counts added;
+    [runs] add. Commutative and associative (tested). *)
+
+val merge_all : t list -> (t, string) result
+(** Fold {!merge} over a non-empty list. *)
+
+val to_bytes : t -> string
+(** Binary serialization (magic ["GMONOCAML1\n"], little-endian
+    fixed-width fields). *)
+
+val of_bytes : string -> (t, string) result
+
+val save : t -> string -> unit
+
+val load : string -> (t, string) result
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering: header summary plus nonzero buckets and arcs. *)
+
+(** Exact per-address execution counts; see the module comment in the
+    interface below. *)
+module Icount : sig
+  (** Exact per-address execution counts — the companion data file for
+      basic-block/line-level counting.
+
+      The paper distinguishes profiles "that present counts of statement
+      or routine invocations" from timing profiles (§2); statement
+      counts come from "inline increments to counters". Our VM gathers
+      them as one counter per text address; this module condenses them
+      to a file the way the arc table and histogram are condensed to
+      the gmon file (only nonzero entries are stored). *)
+
+  type t = {
+    text_size : int;
+    counts : int array;  (** length [text_size] *)
+  }
+
+  val of_counts : int array -> t
+
+  val count : t -> int -> int
+  (** Count at an address. @raise Invalid_argument when out of range. *)
+
+  val total : t -> int
+
+  val merge : t -> t -> (t, string) result
+  (** Element-wise sum; [Error] on size mismatch (different binaries). *)
+
+  val to_bytes : t -> string
+
+  val of_bytes : string -> (t, string) result
+
+  val save : t -> string -> unit
+
+  val load : string -> (t, string) result
+
+  val equal : t -> t -> bool
+
+end

@@ -1,0 +1,1 @@
+lib/graphlib/condense.ml: Array Digraph List Tarjan

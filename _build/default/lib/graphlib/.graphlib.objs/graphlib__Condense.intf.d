@@ -1,0 +1,1 @@
+lib/graphlib/condense.mli: Digraph Tarjan

@@ -1,0 +1,1 @@
+lib/graphlib/digraph.ml: Array Format Hashtbl List Option Printf

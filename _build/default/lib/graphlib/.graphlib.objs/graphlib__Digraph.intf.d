@@ -1,0 +1,1 @@
+lib/graphlib/digraph.mli: Format

@@ -1,0 +1,1 @@
+lib/graphlib/dot.ml: Buffer Digraph Option Printf String

@@ -1,0 +1,1 @@
+lib/graphlib/feedback.ml: Array Digraph List Tarjan

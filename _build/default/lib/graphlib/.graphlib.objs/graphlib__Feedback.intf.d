@@ -1,0 +1,1 @@
+lib/graphlib/feedback.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graphlib/reach.ml: Array Digraph List Queue

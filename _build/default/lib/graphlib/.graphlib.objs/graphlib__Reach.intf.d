@@ -1,0 +1,1 @@
+lib/graphlib/reach.mli: Digraph

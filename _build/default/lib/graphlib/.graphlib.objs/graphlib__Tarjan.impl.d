@@ -1,0 +1,1 @@
+lib/graphlib/tarjan.ml: Array Digraph List Stack

@@ -1,0 +1,1 @@
+lib/graphlib/tarjan.mli: Digraph

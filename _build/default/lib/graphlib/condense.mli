@@ -1,0 +1,34 @@
+(** Condensation: collapse each strongly-connected component to a
+    single node, as the paper does before propagating time ("we
+    collapse connected components", Figures 2 and 3).
+
+    The condensed graph's nodes are component ids from {!Tarjan.scc},
+    so the condensation is a DAG whose arcs all go from
+    higher-numbered nodes to lower-numbered nodes. Arc weights between
+    two distinct components are the sums of the member arc weights;
+    arcs internal to a component (including self-arcs) are dropped
+    from the condensation but reported separately, since gprof lists
+    intra-cycle calls without propagating time along them. *)
+
+type t = {
+  graph : Digraph.t;  (** the condensation; nodes are component ids *)
+  scc : Tarjan.result;
+  internal_arcs : (int * int * int) list;
+      (** arcs [(src, dst, count)] of the original graph whose
+          endpoints share a component, ascending (src, dst) *)
+}
+
+val condense : Digraph.t -> t
+
+val component_of : t -> int -> int
+(** [component_of t v] is the condensation node holding original node
+    [v]. *)
+
+val members : t -> int -> int list
+(** Original nodes of a condensation node, ascending. *)
+
+val is_cycle : t -> int -> bool
+(** True if the component has more than one member, or is a single
+    node with a self-arc (a self-recursive routine is a trivial
+    cycle in the paper's terms — though gprof displays it as a
+    routine with [called+self] counts rather than a cycle entry). *)

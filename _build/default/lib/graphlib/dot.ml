@@ -1,0 +1,27 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot ?(name = "g") ?label ?(highlight = fun _ -> false) g =
+  let label = Option.value label ~default:string_of_int in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  for v = 0 to Digraph.n_nodes g - 1 do
+    let attrs =
+      if highlight v then ", style=filled, fillcolor=lightgrey" else ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v (escape (label v)) attrs)
+  done;
+  Digraph.iter_arcs
+    (fun ~src ~dst ~count ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%d\"];\n" src dst count))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Graphviz DOT export, for documentation and example output. *)
+
+val to_dot :
+  ?name:string ->
+  ?label:(int -> string) ->
+  ?highlight:(int -> bool) ->
+  Digraph.t ->
+  string
+(** [to_dot g] renders [g]; arc weights become edge labels, nodes for
+    which [highlight] holds are drawn filled. [label] defaults to the
+    node number. *)

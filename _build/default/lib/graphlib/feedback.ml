@@ -1,0 +1,81 @@
+(* A component is "non-trivial" when it has >= 2 members. Self-arcs are
+   excluded from feedback sets: gprof treats self-recursion specially
+   and it never prevents topological numbering of the condensation. *)
+
+let without g removed =
+  let h = Digraph.copy g in
+  List.iter (fun (src, dst) -> Digraph.remove_arc h ~src ~dst) removed;
+  h
+
+let nontrivial_components g =
+  let r = Tarjan.scc g in
+  Array.to_list r.members |> List.filter (fun ms -> List.length ms >= 2)
+
+let acyclic_after g removed = nontrivial_components (without g removed) = []
+
+(* Arcs eligible for removal: arcs inside a non-trivial component,
+   i.e. arcs that lie on some cycle. *)
+let cycle_arcs g =
+  let r = Tarjan.scc g in
+  Digraph.fold_arcs
+    (fun acc ~src ~dst ~count ->
+      if src <> dst && r.component.(src) = r.component.(dst) then
+        (count, src, dst) :: acc
+      else acc)
+    [] g
+  |> List.sort compare
+
+let exact g ~bound =
+  if bound < 0 then invalid_arg "Feedback.exact: negative bound";
+  (* Iterative deepening on set size; within a size, the candidate
+     lists are explored in ascending count order, and we keep the
+     best (lowest total count) solution of the minimal size. *)
+  let rec search g chosen size_left candidates best =
+    if nontrivial_components g = [] then
+      match !best with
+      | Some (_, total_best) ->
+        let total = List.fold_left (fun a (c, _, _) -> a + c) 0 chosen in
+        if total < total_best then best := Some (List.rev chosen, total)
+      | None ->
+        let total = List.fold_left (fun a (c, _, _) -> a + c) 0 chosen in
+        best := Some (List.rev chosen, total)
+    else if size_left > 0 then begin
+      (* Only arcs still on a cycle are useful. *)
+      let useful = cycle_arcs g in
+      let candidates = List.filter (fun a -> List.mem a useful) candidates in
+      let rec try_each = function
+        | [] -> ()
+        | ((_, src, dst) as a) :: rest ->
+          let g' = Digraph.copy g in
+          Digraph.remove_arc g' ~src ~dst;
+          search g' (a :: chosen) (size_left - 1) rest best;
+          try_each rest
+      in
+      try_each candidates
+    end
+  in
+  let rec by_size k =
+    if k > bound then None
+    else begin
+      let best = ref None in
+      search g [] k (cycle_arcs g) best;
+      match !best with
+      | Some (chosen, _) -> Some (List.map (fun (_, s, d) -> (s, d)) chosen)
+      | None -> by_size (k + 1)
+    end
+  in
+  by_size 0
+
+let greedy g ~bound =
+  if bound < 0 then invalid_arg "Feedback.greedy: negative bound";
+  let g = Digraph.copy g in
+  let removed = ref [] in
+  let continue = ref true in
+  while !continue && List.length !removed < bound do
+    match cycle_arcs g with
+    | [] -> continue := false
+    | (_, src, dst) :: _ ->
+      Digraph.remove_arc g ~src ~dst;
+      removed := (src, dst) :: !removed
+  done;
+  List.rev !removed

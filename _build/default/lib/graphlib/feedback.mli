@@ -1,0 +1,35 @@
+(** Breaking cycles by removing arcs.
+
+    The retrospective: "We added an option to specify a set of arcs to
+    be removed from the analysis. … To aid users unable or unwilling
+    to find an arc set for themselves, we added a heuristic to help
+    choose arcs to remove. The underlying problem is NP-complete, so
+    we added a bound on the number of arcs the tool would attempt to
+    remove."
+
+    The underlying problem is minimum feedback arc set. We provide an
+    exact bounded search (usable when the bound is small, as gprof's
+    was) and a greedy heuristic that prefers arcs with the lowest
+    traversal counts — matching the observation that the arcs closing
+    the kernel's big cycles had low counts. *)
+
+val exact : Digraph.t -> bound:int -> (int * int) list option
+(** [exact g ~bound] searches for at most [bound] arcs whose removal
+    makes [g] acyclic, minimizing first the number of arcs and then
+    the total removed traversal count. [None] if no such set of size
+    <= [bound] exists. Exponential in [bound]; intended for
+    [bound <= 4] on modest graphs. Self-arcs are ignored (they never
+    impede gprof's numbering since trivial cycles are handled
+    specially), so a graph whose only cycles are self-arcs yields
+    [Some []]. *)
+
+val greedy : Digraph.t -> bound:int -> (int * int) list
+(** Repeatedly pick, inside some non-trivial strongly-connected
+    component, the arc with the smallest traversal count (ties broken
+    by smallest (src, dst)) and remove it, until the graph is free of
+    non-trivial components or [bound] arcs have been removed. Returns
+    the arcs removed, in order. *)
+
+val acyclic_after : Digraph.t -> (int * int) list -> bool
+(** True if removing the listed arcs leaves no non-trivial
+    strongly-connected component (self-arcs ignored). *)

@@ -1,0 +1,23 @@
+(** Reachability queries and subgraph filtering.
+
+    These back the retrospective's filtering features: "show only hot
+    functions, or only parts of the graph containing certain
+    methods". *)
+
+val forward : Digraph.t -> int list -> bool array
+(** [forward g roots] marks every node reachable from [roots]
+    (inclusive). *)
+
+val backward : Digraph.t -> int list -> bool array
+(** Marks every node that can reach one of the given nodes
+    (inclusive). *)
+
+val between : Digraph.t -> int list -> bool array
+(** [between g vs] marks nodes on some path through a node of [vs]:
+    the union of ancestors and descendants of [vs] — the subgraph
+    "containing certain methods". *)
+
+val restrict : Digraph.t -> keep:bool array -> Digraph.t
+(** Graph on the same node set with only the arcs whose both endpoints
+    are kept. Nodes are not renumbered, so external id maps stay
+    valid. *)

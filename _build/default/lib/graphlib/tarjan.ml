@@ -1,0 +1,86 @@
+type result = {
+  component : int array;
+  n_components : int;
+  members : int list array;
+}
+
+(* Iterative Tarjan. Components are emitted in reverse topological
+   order of the condensation: a component is complete only after every
+   component it can reach has been emitted. Numbering components in
+   emission order therefore gives leaves the smallest numbers, which is
+   the numbering the paper's propagation phase wants. *)
+let scc g =
+  let n = Digraph.n_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  (* Explicit DFS frames: (node, remaining successors). *)
+  let frames = Stack.create () in
+  let start v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    Stack.push v stack;
+    on_stack.(v) <- true;
+    Stack.push (v, ref (List.map fst (Digraph.succs g v))) frames
+  in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      start root;
+      while not (Stack.is_empty frames) do
+        let v, rest = Stack.top frames in
+        match !rest with
+        | w :: tl ->
+          rest := tl;
+          if index.(w) < 0 then start w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          ignore (Stack.pop frames);
+          if lowlink.(v) = index.(v) then begin
+            let continue = ref true in
+            while !continue do
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              comp.(w) <- !next_comp;
+              if w = v then continue := false
+            done;
+            incr next_comp
+          end;
+          (match Stack.top_opt frames with
+          | Some (parent, _) -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | None -> ())
+      done
+    end
+  done;
+  let members = Array.make !next_comp [] in
+  for v = n - 1 downto 0 do
+    members.(comp.(v)) <- v :: members.(comp.(v))
+  done;
+  { component = comp; n_components = !next_comp; members }
+
+let is_trivial_dag_component r g =
+  (* A DAG requires every component to be a single node without a
+     self-arc. *)
+  Array.for_all
+    (fun ms ->
+      match ms with
+      | [ v ] -> not (Digraph.mem_arc g ~src:v ~dst:v)
+      | _ -> false)
+    r.members
+
+let is_dag g = is_trivial_dag_component (scc g) g
+
+let topo_numbers g =
+  let r = scc g in
+  if not (is_trivial_dag_component r g) then None
+  else begin
+    (* Each component is one node; component ids already satisfy the
+       higher->lower property, and are a permutation of 0..n-1. *)
+    Some (Array.copy r.component)
+  end
+
+let in_same_component r u v = r.component.(u) = r.component.(v)

@@ -1,0 +1,37 @@
+(** Strongly-connected components and topological numbering.
+
+    The paper uses "a variation of Tarjan's strongly-connected
+    components algorithm that discovers strongly-connected components
+    as it is assigning topological order numbers" [Tarjan72]. This
+    module provides exactly that: a single depth-first pass that yields
+    both the component partition and a numbering of components such
+    that every inter-component arc goes from a higher-numbered
+    component to a lower-numbered one (so leaves receive the lowest
+    numbers, and time can be propagated from leaves to roots in one
+    sweep, Figure 1 of the paper). *)
+
+type result = {
+  component : int array;
+      (** [component.(v)] is the component id of node [v]. Component
+          ids are exactly the topological numbers: for every arc
+          [u -> v] with [component.(u) <> component.(v)],
+          [component.(u) > component.(v)]. *)
+  n_components : int;
+  members : int list array;
+      (** [members.(c)] lists the nodes of component [c], ascending. *)
+}
+
+val scc : Digraph.t -> result
+(** Iterative Tarjan; safe on graphs with long paths (no OS stack
+    use proportional to graph depth). *)
+
+val topo_numbers : Digraph.t -> int array option
+(** [topo_numbers g] is [Some num] with the property that every arc
+    [u -> v] has [num.(u) > num.(v)] — the paper's Figure 1 numbering,
+    where leaves get the smallest numbers — or [None] if [g] has a
+    cycle (a self-arc counts as a cycle). Numbers are a permutation of
+    [0 .. n-1]. *)
+
+val is_dag : Digraph.t -> bool
+
+val in_same_component : result -> int -> int -> bool

@@ -1,0 +1,1 @@
+lib/mini/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/mini/check.ml: Ast Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/mini/check.mli: Ast Format

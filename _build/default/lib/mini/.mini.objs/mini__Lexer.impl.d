@@ -1,0 +1,1 @@
+lib/mini/lexer.ml: Ast Buffer List Option Printf String

@@ -1,0 +1,1 @@
+lib/mini/lexer.mli: Ast

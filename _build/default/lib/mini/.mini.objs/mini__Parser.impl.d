@@ -1,0 +1,1 @@
+lib/mini/parser.ml: Ast Either Format Lexer List

@@ -1,0 +1,1 @@
+lib/mini/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/mini/pprint.ml: Ast Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/mini/pprint.mli: Ast Format

@@ -1,0 +1,128 @@
+type loc = { line : int; col : int }
+
+let dummy_loc = { line = 0; col = 0 }
+
+let pp_loc ppf { line; col } = Format.fprintf ppf "%d:%d" line col
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type expr = { desc : expr_desc; eloc : loc }
+
+and expr_desc =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Call of expr * expr list
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type stmt = { sdesc : stmt_desc; sloc : loc }
+
+and stmt_desc =
+  | Decl of string * expr option
+  | Assign of string * expr
+  | Astore of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt * expr * stmt * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr of expr
+
+type fundef = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  floc : loc;
+}
+
+type global =
+  | Gvar of string * int * loc
+  | Garray of string * int * loc
+
+type program = { globals : global list; funs : fundef list }
+
+let mk_expr ?(loc = dummy_loc) desc = { desc; eloc = loc }
+let mk_stmt ?(loc = dummy_loc) sdesc = { sdesc; sloc = loc }
+
+let rec equal_expr a b =
+  match (a.desc, b.desc) with
+  | Int x, Int y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Index (x, i), Index (y, j) -> String.equal x y && equal_expr i j
+  | Call (f, xs), Call (g, ys) ->
+    equal_expr f g
+    && List.length xs = List.length ys
+    && List.for_all2 equal_expr xs ys
+  | Binop (o1, l1, r1), Binop (o2, l2, r2) ->
+    o1 = o2 && equal_expr l1 l2 && equal_expr r1 r2
+  | Unop (o1, e1), Unop (o2, e2) -> o1 = o2 && equal_expr e1 e2
+  | (Int _ | Var _ | Index _ | Call _ | Binop _ | Unop _), _ -> false
+
+let equal_expr_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> equal_expr a b
+  | _ -> false
+
+let rec equal_stmt a b =
+  match (a.sdesc, b.sdesc) with
+  | Decl (x, i1), Decl (y, i2) -> String.equal x y && equal_expr_opt i1 i2
+  | Assign (x, e1), Assign (y, e2) -> String.equal x y && equal_expr e1 e2
+  | Astore (x, i1, e1), Astore (y, i2, e2) ->
+    String.equal x y && equal_expr i1 i2 && equal_expr e1 e2
+  | If (c1, t1, e1), If (c2, t2, e2) ->
+    equal_expr c1 c2 && equal_block t1 t2 && equal_block e1 e2
+  | While (c1, b1), While (c2, b2) -> equal_expr c1 c2 && equal_block b1 b2
+  | For (i1, c1, s1, b1), For (i2, c2, s2, b2) ->
+    equal_stmt i1 i2 && equal_expr c1 c2 && equal_stmt s1 s2 && equal_block b1 b2
+  | Return e1, Return e2 -> equal_expr_opt e1 e2
+  | Break, Break | Continue, Continue -> true
+  | Expr e1, Expr e2 -> equal_expr e1 e2
+  | ( ( Decl _ | Assign _ | Astore _ | If _ | While _ | For _ | Return _
+      | Break | Continue | Expr _ ),
+      _ ) -> false
+
+and equal_block a b =
+  List.length a = List.length b && List.for_all2 equal_stmt a b
+
+let equal_fundef a b =
+  String.equal a.fname b.fname
+  && a.params = b.params
+  && equal_block a.body b.body
+
+let equal_global a b =
+  match (a, b) with
+  | Gvar (x, i, _), Gvar (y, j, _) -> String.equal x y && i = j
+  | Garray (x, n, _), Garray (y, m, _) -> String.equal x y && n = m
+  | (Gvar _ | Garray _), _ -> false
+
+let equal_program a b =
+  List.length a.globals = List.length b.globals
+  && List.for_all2 equal_global a.globals b.globals
+  && List.length a.funs = List.length b.funs
+  && List.for_all2 equal_fundef a.funs b.funs
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+let unop_name = function Neg -> "-" | Not -> "!"

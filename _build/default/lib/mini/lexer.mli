@@ -1,0 +1,26 @@
+(** Hand-written lexer for Mini source text. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_FUN | KW_VAR | KW_ARRAY | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN
+  | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | ASSIGN                             (* =  *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | AMPAMP | BARBAR | BANG
+  | EOF
+
+val token_name : token -> string
+(** Human-readable token description for error messages. *)
+
+exception Error of string * Ast.loc
+
+val tokenize : string -> (token * Ast.loc) list
+(** Lex a whole source string. Supports decimal and negative literals
+    (by the parser, as unary minus), [//] line comments and
+    [/* ... */] block comments (non-nesting).
+    @raise Error on an illegal character, an unterminated comment, or
+    an integer literal that does not fit in an OCaml [int]. *)

@@ -1,0 +1,1 @@
+lib/objcode/asm.ml: Array Format Hashtbl Instr List Objfile String

@@ -1,0 +1,1 @@
+lib/objcode/asm.mli: Instr Objfile

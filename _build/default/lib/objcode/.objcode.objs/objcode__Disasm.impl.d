@@ -1,0 +1,1 @@
+lib/objcode/disasm.ml: Array Buffer Instr Objfile Printf

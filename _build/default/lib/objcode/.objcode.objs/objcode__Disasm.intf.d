@@ -1,0 +1,1 @@
+lib/objcode/disasm.mli: Objfile

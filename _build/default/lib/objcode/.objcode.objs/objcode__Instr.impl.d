@@ -1,0 +1,1 @@
+lib/objcode/instr.ml: Format List Printf String

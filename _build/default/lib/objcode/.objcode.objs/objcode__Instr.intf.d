@@ -1,0 +1,1 @@
+lib/objcode/instr.mli: Format

@@ -1,0 +1,1 @@
+lib/objcode/objfile.ml: Array Buffer Format Fun In_channel Instr List Option Printf String

@@ -1,0 +1,1 @@
+lib/objcode/objfile.mli: Instr

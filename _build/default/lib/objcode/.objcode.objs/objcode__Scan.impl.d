@@ -1,0 +1,1 @@
+lib/objcode/scan.ml: Array Graphlib Hashtbl Instr List Objfile

@@ -1,0 +1,1 @@
+lib/objcode/scan.mli: Graphlib Objfile

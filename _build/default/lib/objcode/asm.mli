@@ -1,0 +1,64 @@
+(** Symbolic assembly.
+
+    The compiler (and hand-written test programs) emit symbolic
+    instructions whose control-flow targets are names — local labels
+    for jumps, function names for calls and function references, and
+    data names for globals and arrays. [assemble] lays functions out
+    consecutively, resolves every name, and produces an executable
+    {!Objfile.t}.
+
+    Per-function prologues are the caller's responsibility: the
+    compiler prepends [AMcount]/[APcount] according to its profiling
+    options, so the assembler stays policy-free. *)
+
+type ains =
+  | ANop
+  | AConst of int
+  | ALoad of int
+  | AStore of int
+  | AGload of string
+  | AGstore of string
+  | AAload of string
+  | AAstore of string
+  | AAlu of Instr.alu
+  | AUnop of Instr.unop
+  | AJump of string
+  | AJumpz of string
+  | ACall of string * int
+  | ACalli of int
+  | AFunref of string
+  | AEnter of int
+  | AMcount
+  | APcount  (** resolves to the containing function's id *)
+  | ARet
+  | APop
+  | ASyscall of Instr.syscall
+  | AHalt
+
+type item =
+  | Label of string
+  | Ins of ains
+  | SrcLine of int
+      (** marks the source line of the instructions that follow, until
+          the next marker; feeds the object file's line table *)
+
+type afun = {
+  name : string;
+  items : item list;
+  profiled : bool;  (** recorded in the symbol table *)
+}
+
+type aprog = {
+  a_globals : (string * int) list;  (** scalar name, initial value *)
+  a_arrays : (string * int) list;  (** array name, length *)
+  a_funs : afun list;
+  a_entry : string;  (** name of the start function *)
+  a_source : string;
+}
+
+val assemble : aprog -> (Objfile.t, string) result
+(** Lay out, resolve, and validate. Errors include: duplicate or
+    unknown labels/functions/data names, an entry function that does
+    not exist, duplicate function names, and a function whose body is
+    empty. The resulting object file always passes
+    {!Objfile.validate}. *)

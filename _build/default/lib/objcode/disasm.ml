@@ -1,0 +1,48 @@
+let annot o pc =
+  let name_of addr =
+    match Objfile.find_symbol o addr with
+    | Some s when s.addr = addr -> Some s.name
+    | _ -> None
+  in
+  match o.Objfile.text.(pc) with
+  | Instr.Call (a, _) | Instr.Funref a -> (
+    match name_of a with Some n -> Printf.sprintf "  ; %s" n | None -> "")
+  | Instr.Gload g | Instr.Gstore g when g < Array.length o.globals ->
+    Printf.sprintf "  ; %s" o.globals.(g)
+  | Instr.Aload a | Instr.Astore a when a < Array.length o.arrays ->
+    Printf.sprintf "  ; %s" (fst o.arrays.(a))
+  | Instr.Pcount f when f < Array.length o.symbols ->
+    Printf.sprintf "  ; %s" o.symbols.(f).name
+  | _ -> ""
+
+let instruction o pc =
+  if pc < 0 || pc >= Array.length o.Objfile.text then
+    invalid_arg "Disasm.instruction: pc out of range";
+  Printf.sprintf "%4d: %-16s%s" pc (Instr.to_string o.Objfile.text.(pc)) (annot o pc)
+
+let function_listing o (s : Objfile.symbol) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s:%s  (addr %d, size %d)\n" s.name
+       (if s.profiled then "  [profiled]" else "")
+       s.addr s.size);
+  for pc = s.addr to s.addr + s.size - 1 do
+    Buffer.add_string buf (instruction o pc);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let program_listing o =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "; %s: %d instructions, %d functions, entry %d\n"
+       o.Objfile.source_name
+       (Array.length o.Objfile.text)
+       (Array.length o.Objfile.symbols)
+       o.Objfile.entry);
+  Array.iter
+    (fun s ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (function_listing o s))
+    o.Objfile.symbols;
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Disassembly listings with symbol annotations. *)
+
+val instruction : Objfile.t -> int -> string
+(** [instruction o pc] renders the instruction at [pc] with symbolic
+    annotations: call and funref targets get the callee name appended,
+    global/array operands their data names. *)
+
+val function_listing : Objfile.t -> Objfile.symbol -> string
+(** Multi-line listing of one function: a header line, then
+    [addr: instruction] lines. *)
+
+val program_listing : Objfile.t -> string
+(** Full listing of the text segment in symbol order. *)

@@ -1,0 +1,59 @@
+type site = { site_addr : int; caller : string; callee : string }
+
+let call_sites o =
+  let sites = ref [] in
+  Array.iteri
+    (fun pc ins ->
+      match (ins : Instr.t) with
+      | Call (target, _) -> (
+        match (Objfile.find_symbol o pc, Objfile.find_symbol o target) with
+        | Some caller, Some callee when callee.addr = target ->
+          sites := { site_addr = pc; caller = caller.name; callee = callee.name } :: !sites
+        | _ -> ())
+      | _ -> ())
+    o.Objfile.text;
+  List.rev !sites
+
+let static_arcs o =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun s ->
+      let key = (s.caller, s.callee) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.replace seen key ();
+        Some key
+      end)
+    (call_sites o)
+
+let function_graph o =
+  let n = Array.length o.Objfile.symbols in
+  let g = Graphlib.Digraph.create n in
+  let id name =
+    match Objfile.symbol_by_name o name with
+    | Some s -> Objfile.func_id_of_addr o s.addr
+    | None -> None
+  in
+  List.iter
+    (fun (caller, callee) ->
+      match (id caller, id callee) with
+      | Some src, Some dst -> Graphlib.Digraph.add_arc g ~src ~dst ~count:0
+      | _ -> ())
+    (static_arcs o);
+  g
+
+let referenced_functions o =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun ins ->
+      match (ins : Instr.t) with
+      | Funref target -> (
+        match Objfile.find_symbol o target with
+        | Some s when s.addr = target && not (Hashtbl.mem seen s.name) ->
+          Hashtbl.replace seen s.name ();
+          out := s.name :: !out
+        | _ -> ())
+      | _ -> ())
+    o.Objfile.text;
+  List.rev !out

@@ -1,0 +1,34 @@
+(** Static call-graph discovery by crawling the executable.
+
+    The paper: "One can examine the instructions in the object
+    program, looking for calls to routines, and note which routines
+    can be called. … Statically discovered arcs that do not exist in
+    the dynamic call graph are added to the graph with a traversal
+    count of zero." Only direct calls are statically visible —
+    indirect calls through functional variables are exactly the arcs
+    the static graph may omit (§2 of the paper). *)
+
+type site = {
+  site_addr : int;  (** address of the call instruction *)
+  caller : string;
+  callee : string;
+}
+
+val call_sites : Objfile.t -> site list
+(** Every direct call instruction, in text order. Call instructions
+    that fall outside any symbol are skipped (there are none in
+    assembler output, but hand-built images may have gaps). *)
+
+val static_arcs : Objfile.t -> (string * string) list
+(** Deduplicated (caller, callee) pairs, in first-occurrence order. *)
+
+val function_graph : Objfile.t -> Graphlib.Digraph.t
+(** The static call graph over symbol indices: node [i] is
+    [o.symbols.(i)]; every arc has weight 0, matching how static arcs
+    enter the profile. *)
+
+val referenced_functions : Objfile.t -> string list
+(** Functions whose entry address is taken with [Funref] — potential
+    targets of indirect calls. These are NOT added as arcs (the
+    static scanner cannot know the call site), but the listing tools
+    report them. *)

@@ -1,0 +1,1 @@
+lib/prof/prof.ml: Array Buffer Gprof_core List Printf String

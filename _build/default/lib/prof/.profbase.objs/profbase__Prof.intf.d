@@ -1,0 +1,1 @@
+lib/prof/prof.mli: Gmon Objcode

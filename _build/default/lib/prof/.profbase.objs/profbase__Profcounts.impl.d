@@ -1,0 +1,1 @@
+lib/prof/profcounts.ml: Array Buffer Fun In_channel List Objcode Printf String

@@ -1,0 +1,1 @@
+lib/prof/profcounts.mli: Objcode

@@ -1,0 +1,63 @@
+type row = {
+  r_id : int;
+  r_name : string;
+  r_pct : float;
+  r_seconds : float;
+  r_calls : int;
+  r_ms_per_call : float option;
+}
+
+type t = {
+  rows : row list;
+  total_seconds : float;
+  unattributed : float;
+}
+
+let analyze o ~hist ~counts ~ticks_per_second =
+  let st = Gprof_core.Symtab.of_objfile o in
+  let n = Gprof_core.Symtab.n_funcs st in
+  if Array.length counts <> n then
+    invalid_arg "Prof.analyze: counts must have one entry per symbol";
+  let asg = Gprof_core.Assign.assign st hist in
+  let spt = 1.0 /. float_of_int ticks_per_second in
+  let total = float_of_int asg.total_ticks *. spt in
+  let rows =
+    List.init n (fun id ->
+        let seconds = asg.self_ticks.(id) *. spt in
+        let calls = counts.(id) in
+        {
+          r_id = id;
+          r_name = Gprof_core.Symtab.name st id;
+          r_pct = (if total > 0.0 then 100.0 *. seconds /. total else 0.0);
+          r_seconds = seconds;
+          r_calls = calls;
+          r_ms_per_call =
+            (if calls > 0 then Some (1000.0 *. seconds /. float_of_int calls)
+             else None);
+        })
+    |> List.filter (fun r -> r.r_seconds > 0.0 || r.r_calls > 0)
+    |> List.sort (fun a b ->
+           let c = compare b.r_seconds a.r_seconds in
+           if c <> 0 then c else compare a.r_id b.r_id)
+  in
+  { rows; total_seconds = total; unattributed = asg.unattributed *. spt }
+
+let listing t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf " %time   seconds    #call  ms/call  name\n";
+  List.iter
+    (fun r ->
+      let ms =
+        match r.r_ms_per_call with
+        | Some ms -> Printf.sprintf "%8.2f" ms
+        | None -> String.make 8 ' '
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%6.1f %9.2f %8d %s  %s\n" r.r_pct r.r_seconds r.r_calls
+           ms r.r_name))
+    t.rows;
+  Buffer.add_string buf (Printf.sprintf "\ntotal: %.2f seconds\n" t.total_seconds);
+  if t.unattributed > 0.0 then
+    Buffer.add_string buf
+      (Printf.sprintf "unattributed: %.2f seconds\n" t.unattributed);
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** The baseline: prof(1).
+
+    The profiler the paper improved on: "a table of each function
+    listing the number of times it was called, the time spent in it,
+    and the average time per call" — a PC histogram plus per-function
+    call counters, no arcs, no propagation. Reimplemented as the
+    comparison point for the experiments: everything prof shows, gprof
+    shows too, but prof cannot attribute a shared routine's time to
+    the abstractions using it. *)
+
+type row = {
+  r_id : int;  (** function id *)
+  r_name : string;
+  r_pct : float;  (** share of total time *)
+  r_seconds : float;  (** self seconds *)
+  r_calls : int;  (** from the per-function counters *)
+  r_ms_per_call : float option;  (** None when never counted *)
+}
+
+type t = {
+  rows : row list;  (** decreasing self time *)
+  total_seconds : float;
+  unattributed : float;
+}
+
+val analyze : Objcode.Objfile.t -> hist:Gmon.hist -> counts:int array ->
+  ticks_per_second:int -> t
+(** [counts] are the [Pcount] counters indexed by function id (from
+    {!Vm.Machine.pcounts}). @raise Invalid_argument if [counts] does
+    not have one entry per symbol. *)
+
+val listing : t -> string

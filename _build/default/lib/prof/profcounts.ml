@@ -1,0 +1,63 @@
+let magic = "PROFCOUNTS 1"
+
+let to_string (o : Objcode.Objfile.t) counts =
+  let n = Array.length o.symbols in
+  if Array.length counts <> n then
+    invalid_arg "Profcounts.to_string: one count per symbol required";
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (magic ^ "\n");
+  Array.iteri
+    (fun i (s : Objcode.Objfile.symbol) ->
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" s.name counts.(i)))
+    o.symbols;
+  Buffer.contents buf
+
+let of_string (o : Objcode.Objfile.t) s =
+  let lines = String.split_on_char '\n' s |> List.filter (( <> ) "") in
+  match lines with
+  | m :: rest when m = magic -> (
+    let n = Array.length o.symbols in
+    let counts = Array.make n (-1) in
+    let id_of name =
+      let found = ref None in
+      Array.iteri
+        (fun i (sym : Objcode.Objfile.symbol) ->
+          if sym.name = name && !found = None then found := Some i)
+        o.symbols;
+      !found
+    in
+    let exception Bad of string in
+    try
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ name; v ] -> (
+            match (id_of name, int_of_string_opt v) with
+            | Some i, Some c ->
+              if counts.(i) >= 0 then
+                raise (Bad (Printf.sprintf "duplicate entry for %s" name));
+              if c < 0 then raise (Bad (Printf.sprintf "negative count for %s" name));
+              counts.(i) <- c
+            | None, _ -> raise (Bad (Printf.sprintf "unknown function %s" name))
+            | _, None -> raise (Bad (Printf.sprintf "bad count %S for %s" v name)))
+          | _ -> raise (Bad (Printf.sprintf "malformed line %S" line)))
+        rest;
+      Array.iteri
+        (fun i c ->
+          if c < 0 then
+            raise (Bad (Printf.sprintf "missing count for %s" o.symbols.(i).name)))
+        counts;
+      Ok counts
+    with Bad msg -> Error msg)
+  | _ -> Error "bad magic line"
+
+let save o counts path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string o counts))
+
+let load o path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string o s
+  | exception Sys_error e -> Error e

@@ -1,0 +1,1 @@
+lib/stacksample/stackprof.ml: Array Buffer Gprof_core Hashtbl List Option Printf

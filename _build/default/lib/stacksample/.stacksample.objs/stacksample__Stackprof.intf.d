@@ -1,0 +1,1 @@
+lib/stacksample/stackprof.mli: Objcode

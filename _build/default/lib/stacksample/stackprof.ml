@@ -1,0 +1,108 @@
+type row = {
+  s_id : int;
+  s_name : string;
+  s_exclusive : float;
+  s_inclusive : float;
+  s_samples : int;
+}
+
+type t = {
+  rows : row list;
+  n_samples : int;
+  seconds_per_sample : float;
+  total_seconds : float;
+  arc_inclusive : ((int * int) * float) list;
+}
+
+let analyze o ~samples ~ticks_per_second ~sample_interval =
+  if sample_interval < 1 then
+    invalid_arg "Stackprof.analyze: sample_interval must be >= 1";
+  let st = Gprof_core.Symtab.of_objfile o in
+  let n = Gprof_core.Symtab.n_funcs st in
+  let incl = Array.make n 0 in
+  let excl = Array.make n 0 in
+  let arcs = Hashtbl.create 64 in
+  let n_samples = ref 0 in
+  List.iter
+    (fun stack ->
+      incr n_samples;
+      let ids =
+        Array.to_list stack
+        |> List.filter_map (fun addr -> Gprof_core.Symtab.id_of_entry st addr)
+      in
+      (match List.rev ids with
+      | leaf :: _ -> excl.(leaf) <- excl.(leaf) + 1
+      | [] -> ());
+      (* Inclusive: each function once per sample, no matter how many
+         frames it holds. *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun id ->
+          if not (Hashtbl.mem seen id) then begin
+            Hashtbl.replace seen id ();
+            incl.(id) <- incl.(id) + 1
+          end)
+        ids;
+      (* Arc attribution: adjacent frames, deduplicated per sample. *)
+      let arcs_seen = Hashtbl.create 8 in
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          if not (Hashtbl.mem arcs_seen (a, b)) then begin
+            Hashtbl.replace arcs_seen (a, b) ();
+            let prev = Option.value ~default:0 (Hashtbl.find_opt arcs (a, b)) in
+            Hashtbl.replace arcs (a, b) (prev + 1)
+          end;
+          pairs rest
+        | _ -> ()
+      in
+      pairs ids)
+    samples;
+  let seconds_per_sample =
+    float_of_int sample_interval /. float_of_int ticks_per_second
+  in
+  let sec k = float_of_int k *. seconds_per_sample in
+  let rows =
+    List.init n (fun id ->
+        {
+          s_id = id;
+          s_name = Gprof_core.Symtab.name st id;
+          s_exclusive = sec excl.(id);
+          s_inclusive = sec incl.(id);
+          s_samples = incl.(id);
+        })
+    |> List.filter (fun r -> r.s_samples > 0)
+    |> List.sort (fun a b ->
+           let c = compare b.s_inclusive a.s_inclusive in
+           if c <> 0 then c else compare a.s_id b.s_id)
+  in
+  {
+    rows;
+    n_samples = !n_samples;
+    seconds_per_sample;
+    total_seconds = sec !n_samples;
+    arc_inclusive =
+      Hashtbl.fold (fun k v acc -> (k, sec v) :: acc) arcs []
+      |> List.sort compare;
+  }
+
+let find t id = List.find_opt (fun r -> r.s_id = id) t.rows
+
+let inclusive_of t id =
+  match find t id with Some r -> r.s_inclusive | None -> 0.0
+
+let exclusive_of t id =
+  match find t id with Some r -> r.s_exclusive | None -> 0.0
+
+let listing t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "call-stack samples: %d (%.4fs each, %.2fs total)\n\n"
+       t.n_samples t.seconds_per_sample t.total_seconds);
+  Buffer.add_string buf "  inclusive  exclusive   samples  name\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %9.2f  %9.2f  %8d  %s\n" r.s_inclusive r.s_exclusive
+           r.s_samples r.s_name))
+    t.rows;
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Post-processing complete-call-stack samples.
+
+    The retrospective's "modern profiler": each sample is the whole
+    chain of live routines, so inclusive time needs no propagation
+    and no average-time-per-call assumption — a routine is charged
+    inclusively for every sample it appears on (once, however many
+    times it recurs on that stack), and exclusively for samples where
+    it is the leaf. Caller attribution is likewise direct: a sample
+    charges the callee's inclusive hit to the caller immediately
+    below it on the stack. This estimator is what gprof's propagated
+    times approximate; the accuracy experiments compare both against
+    the oracle. *)
+
+type row = {
+  s_id : int;  (** function id *)
+  s_name : string;
+  s_exclusive : float;  (** seconds: leaf samples *)
+  s_inclusive : float;  (** seconds: samples anywhere on the stack *)
+  s_samples : int;  (** raw inclusive sample count *)
+}
+
+type t = {
+  rows : row list;  (** decreasing inclusive time *)
+  n_samples : int;
+  seconds_per_sample : float;
+  total_seconds : float;
+  arc_inclusive : ((int * int) * float) list;
+      (** ((caller id, callee id), inclusive seconds attributed to the
+          caller for that callee), deduplicated per sample, sorted *)
+}
+
+val analyze :
+  Objcode.Objfile.t ->
+  samples:int array list ->
+  ticks_per_second:int ->
+  sample_interval:int ->
+  t
+(** [samples] are stacks of function entry addresses, root first (from
+    {!Vm.Machine.stack_samples}); [sample_interval] the tick stride
+    they were taken at. Addresses that match no function entry are
+    skipped. *)
+
+val inclusive_of : t -> int -> float
+(** By function id (the symbol's index, as in {!Gprof_core.Symtab});
+    0.0 for functions never sampled. *)
+
+val exclusive_of : t -> int -> float
+
+val listing : t -> string

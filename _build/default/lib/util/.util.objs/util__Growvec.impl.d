@@ -1,0 +1,1 @@
+lib/util/growvec.ml: Array List Printf

@@ -1,0 +1,61 @@
+let sum = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let variance = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let sq = List.map (fun x -> (x -. m) *. (x -. m)) xs in
+    sum sq /. float_of_int (List.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: xs -> List.fold_left max x xs
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+  end
+
+let mean_abs_error xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Stats.mean_abs_error: length mismatch";
+  if xs = [] then invalid_arg "Stats.mean_abs_error: empty lists";
+  mean (List.map2 (fun x y -> abs_float (x -. y)) xs ys)
+
+let rel_error ~actual ~expected =
+  let denom = max (abs_float expected) 1e-12 in
+  abs_float (actual -. expected) /. denom
+
+let linear_fit pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least 2 points";
+  let nf = float_of_int n in
+  let sx = sum (List.map fst pts) in
+  let sy = sum (List.map snd pts) in
+  let sxx = sum (List.map (fun (x, _) -> x *. x) pts) in
+  let sxy = sum (List.map (fun (x, y) -> x *. y) pts) in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x";
+  let slope = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. nf in
+  (slope, intercept)

@@ -1,0 +1,33 @@
+(** Small descriptive-statistics helpers for the experiment harness. *)
+
+val sum : float list -> float
+
+val mean : float list -> float
+(** Arithmetic mean; 0.0 on the empty list. *)
+
+val variance : float list -> float
+(** Population variance; 0.0 on lists shorter than 2. *)
+
+val stddev : float list -> float
+
+val minimum : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val maximum : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation
+    between order statistics. @raise Invalid_argument on the empty
+    list or out-of-range [p]. *)
+
+val mean_abs_error : float list -> float list -> float
+(** [mean_abs_error xs ys] is the mean of [|x - y|] pairwise.
+    @raise Invalid_argument on length mismatch or empty lists. *)
+
+val rel_error : actual:float -> expected:float -> float
+(** [|actual - expected| / max |expected| eps]; safe near zero. *)
+
+val linear_fit : (float * float) list -> float * float
+(** Least-squares [(slope, intercept)] of y on x.
+    @raise Invalid_argument with fewer than 2 points. *)

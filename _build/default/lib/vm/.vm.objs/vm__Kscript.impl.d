@@ -1,0 +1,1 @@
+lib/vm/kscript.ml: Gmon List Machine Printf String

@@ -1,0 +1,1 @@
+lib/vm/kscript.mli: Gmon Machine

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Buffer Char Format Gmon Monitor Objcode Option Oracle Printf Profil Stacksamp Util

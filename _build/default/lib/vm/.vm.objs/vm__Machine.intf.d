@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Format Gmon Monitor Objcode Oracle

@@ -1,0 +1,1 @@
+lib/vm/monitor.ml: Array Gmon List Util

@@ -1,0 +1,1 @@
+lib/vm/oracle.ml: Hashtbl List Option Util

@@ -1,0 +1,1 @@
+lib/vm/profil.ml: Array Gmon

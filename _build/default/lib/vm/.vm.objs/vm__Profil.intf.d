@@ -1,0 +1,1 @@
+lib/vm/profil.mli: Gmon

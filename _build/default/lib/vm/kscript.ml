@@ -1,0 +1,60 @@
+type command =
+  | On
+  | Off
+  | Reset
+  | Run of int
+  | Run_to_end
+  | Dump of string
+
+let command_to_string = function
+  | On -> "on"
+  | Off -> "off"
+  | Reset -> "reset"
+  | Run n -> Printf.sprintf "run %d" n
+  | Run_to_end -> "run-to-end"
+  | Dump label -> Printf.sprintf "dump %s" label
+
+let parse s =
+  let exception Bad of string in
+  try
+    let cmds =
+      String.split_on_char ';' s
+      |> List.map String.trim
+      |> List.filter (( <> ) "")
+      |> List.map (fun cmd ->
+             match
+               String.split_on_char ' ' cmd |> List.filter (( <> ) "")
+             with
+             | [ "on" ] -> On
+             | [ "off" ] -> Off
+             | [ "reset" ] -> Reset
+             | [ "run"; n ] -> (
+               match int_of_string_opt n with
+               | Some n when n > 0 -> Run n
+               | _ -> raise (Bad (Printf.sprintf "bad cycle count %S" n)))
+             | [ "run-to-end" ] -> Run_to_end
+             | [ "dump"; label ] -> Dump label
+             | _ -> raise (Bad (Printf.sprintf "unknown command %S" cmd)))
+    in
+    if cmds = [] then raise (Bad "empty script");
+    Ok cmds
+  with Bad msg -> Error msg
+
+type outcome = {
+  dumps : (string * Gmon.t) list;
+  status : Machine.status;
+}
+
+let execute m cmds =
+  let dumps = ref [] in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | On -> Machine.profiling_on m
+      | Off -> Machine.profiling_off m
+      | Reset -> Machine.reset_profile m
+      | Run n -> ignore (Machine.run_cycles m n)
+      | Run_to_end -> ignore (Machine.run m)
+      | Dump label -> dumps := (label, Machine.profile m) :: !dumps)
+    cmds;
+  { dumps = List.rev !dumps; status = Machine.status m }

@@ -1,0 +1,40 @@
+(** Scripted control of a running machine — the kgmon workflow.
+
+    The retrospective: profiling the kernel "required adding a
+    programmer's interface to control the profiler, and a tool to
+    communicate through that interface … to turn the profiler on and
+    off, extract the profiling data, and reset the data" — without
+    taking the system down. This module is that tool's engine: a tiny
+    command language executed against a live {!Machine.t}, used by the
+    [kgmonx] executable and directly testable as a library.
+
+    Script syntax: commands separated by [;], case-sensitive:
+    {v
+    on                 enable profiling
+    off                disable profiling
+    reset              zero the histogram, arc table, and counters
+    run N              execute (at least) N more cycles
+    run-to-end         execute until the program halts or faults
+    dump LABEL         snapshot the current profile under LABEL
+    v} *)
+
+type command =
+  | On
+  | Off
+  | Reset
+  | Run of int
+  | Run_to_end
+  | Dump of string
+
+val parse : string -> (command list, string) result
+
+val command_to_string : command -> string
+
+type outcome = {
+  dumps : (string * Gmon.t) list;  (** in execution order *)
+  status : Machine.status;  (** machine state after the script *)
+}
+
+val execute : Machine.t -> command list -> outcome
+(** Commands after a halt or fault still execute where meaningful
+    (dumps and resets work on a stopped machine; runs are no-ops). *)

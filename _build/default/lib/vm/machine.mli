@@ -1,0 +1,115 @@
+(** The virtual machine.
+
+    Executes an {!Objcode.Objfile.t} with a per-instruction cycle cost
+    model. The cycle counter drives a simulated wall clock: every
+    [cycles_per_tick] cycles a clock tick fires, sampling the program
+    counter into the {!Profil} histogram (and, when configured, the
+    whole call stack into the {!Stacksamp} collector) — the simulated
+    equivalent of the paper's 1/60-second hardware clock interrupts.
+
+    Instrumentation costs are charged to the running program: the
+    monitor's hash work on every [Mcount], and the stack walk on
+    sampled ticks. An uninstrumented binary therefore runs measurably
+    faster, which is how the paper's overhead claim is reproduced
+    rather than assumed.
+
+    The {!profiling_on}/{!profiling_off}/{!reset_profile}/{!profile}
+    quartet is the "programmer's interface to control the profiler"
+    that the retrospective added for kernel profiling: the profile of
+    a long-running program can be extracted, reset, and toggled
+    without stopping execution ({!run_cycles} runs bounded slices). *)
+
+type config = {
+  cycles_per_tick : int;
+  ticks_per_second : int;
+      (** together these define simulated time; defaults give a 60 Hz
+          clock over a 1 MHz machine *)
+  hist_bucket_size : int;  (** histogram granularity; 1 = one-to-one *)
+  keying : Monitor.keying;
+  histogram : bool;  (** PC histogram enabled at start *)
+  monitoring : bool;  (** arc recording enabled at start *)
+  oracle : bool;  (** exact-timing ground truth (no cycle cost) *)
+  stack_interval : int option;
+      (** sample complete call stacks every k ticks *)
+  count_instructions : bool;
+      (** keep an exact per-address execution count (drives the
+          annotated-source listing); free of simulated-cycle cost,
+          like a hardware trace unit *)
+  tick_jitter : float;
+      (** 0 = strictly periodic ticks; q > 0 randomizes each interval
+          uniformly within ±q/2 of its length, modelling an imperfect
+          clock *)
+  seed : int;  (** PRNG seed for [rand] and jitter *)
+  max_cycles : int option;  (** fault when exceeded; None = unlimited *)
+  max_depth : int;  (** call-stack depth limit *)
+}
+
+val default_config : config
+(** 16666 cycles/tick, 60 ticks/s, bucket size 1, [Site_primary],
+    histogram and monitoring on, no oracle, no stack sampling, no
+    jitter, seed 1, max_cycles [None], depth 100000. *)
+
+type fault = { fault_pc : int; reason : string }
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type status = Running | Halted | Faulted of fault
+
+type t
+
+val create : ?config:config -> Objcode.Objfile.t -> t
+
+val obj : t -> Objcode.Objfile.t
+
+val step : t -> status
+(** Execute one instruction (and any clock ticks it completes). *)
+
+val run : t -> status
+(** Run until halt or fault. *)
+
+val run_cycles : t -> int -> status
+(** [run_cycles m n] runs until at least [n] more cycles have elapsed
+    (or halt/fault). Returns [Running] if the budget expired. *)
+
+val status : t -> status
+
+val cycles : t -> int
+
+val ticks : t -> int
+
+val output : t -> string
+(** Everything the program printed so far. *)
+
+val result : t -> int option
+(** [main]'s return value once halted normally. *)
+
+val pcounts : t -> int array
+(** The prof-style per-function counters, indexed by symbol id. *)
+
+val instruction_counts : t -> int array option
+(** Exact execution count per text address, when
+    [count_instructions] was configured. *)
+
+val call_stack : t -> int array
+(** Entry addresses of the live frames, root first. *)
+
+val monitor : t -> Monitor.t
+
+val mcount_cycles : t -> int
+(** Total cycles charged by the monitoring routine so far. *)
+
+val the_oracle : t -> Oracle.t option
+
+val stack_samples : t -> int array list
+
+val profiling_on : t -> unit
+
+val profiling_off : t -> unit
+
+val reset_profile : t -> unit
+(** Zero the histogram, the arc table, and the per-function
+    counters. *)
+
+val profile : t -> Gmon.t
+(** Snapshot the current histogram and arc table as a profile data
+    record ([runs = 1]); usable mid-run. *)

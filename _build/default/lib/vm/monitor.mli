@@ -1,0 +1,62 @@
+(** The monitoring routine's arc table — mcount.
+
+    "The monitoring routine maintains a table of all the arcs
+    discovered, with counts of the numbers of times each is traversed
+    … Our solution is to access the table through a hash table. We use
+    the call site as the primary key with the callee address being the
+    secondary key. … we were able to allocate enough space for the
+    primary hash table to allow a one-to-one mapping from call site
+    addresses to the primary hash table. Thus our hash function is
+    trivial to calculate and collisions occur only for call sites that
+    call multiple destinations."
+
+    [Site_primary] is that structure: a direct-mapped [froms] array
+    indexed by call-site address, each entry heading a chain of
+    (callee, count) records. [Callee_primary] is the alternative the
+    paper considers and rejects — callee-indexed with call sites on
+    the chains, "at the expense of longer lookups" — implemented here
+    so the design choice can be measured (bench [t-hash]).
+
+    Calls whose source cannot be identified (the caller's return
+    address falls outside the text segment — e.g. the startup code
+    invoking [main]) are "declared spontaneous" and recorded under the
+    pseudo call site {!spontaneous_from}. *)
+
+type keying = Site_primary | Callee_primary
+
+type t
+
+val spontaneous_from : int
+(** The pseudo call-site address ([-1]) under which anomalous
+    invocations are recorded. *)
+
+val create : text_size:int -> keying:keying -> t
+
+val keying : t -> keying
+
+val record : t -> frompc:int -> selfpc:int -> int
+(** [record m ~frompc ~selfpc] notes one traversal of the arc and
+    returns the cycle cost of the table operation (a fixed entry cost
+    plus a per-chain-probe cost), which the VM charges to the running
+    program — this is where the paper's "five to thirty percent
+    execution overhead" comes from. [frompc] outside [\[0, text_size)]
+    is recorded as spontaneous. @raise Invalid_argument if [selfpc] is
+    outside the text segment. *)
+
+val arcs : t -> Gmon.arc list
+(** Condensed arc records, sorted by (from, self) — what gets written
+    to the profile data file. *)
+
+val distinct_arcs : t -> int
+
+val total_records : t -> int
+(** Number of [record] calls since creation/reset. *)
+
+val total_probes : t -> int
+(** Number of chain probes performed, for the keying ablation. *)
+
+val reset : t -> unit
+(** Clear all counts (the kernel-control "reset" operation). *)
+
+val base_cost : int
+val probe_cost : int

@@ -1,0 +1,113 @@
+type fun_stat = {
+  f_calls : int;
+  f_self_cycles : int;
+  f_total_cycles : int;
+}
+
+type arc_stat = { ar_calls : int; ar_total_cycles : int }
+
+type frame = {
+  site : int;
+  callee : int;
+  entry : int;
+  mutable child : int; (* cycles spent in direct children *)
+}
+
+type mut_fun = {
+  mutable calls : int;
+  mutable self : int;
+  mutable total : int;
+}
+
+type mut_arc = { mutable acalls : int; mutable atotal : int }
+
+type t = {
+  stack : frame Util.Growvec.t;
+  funs : (int, mut_fun) Hashtbl.t;
+  arcs : (int * int, mut_arc) Hashtbl.t;
+  on_stack : (int, int) Hashtbl.t; (* callee -> live activation count *)
+}
+
+let dummy_frame = { site = 0; callee = 0; entry = 0; child = 0 }
+
+let create () =
+  {
+    stack = Util.Growvec.create ~capacity:64 ~dummy:dummy_frame ();
+    funs = Hashtbl.create 64;
+    arcs = Hashtbl.create 64;
+    on_stack = Hashtbl.create 64;
+  }
+
+let live t callee = Option.value ~default:0 (Hashtbl.find_opt t.on_stack callee)
+
+let on_call t ~site ~callee ~now =
+  Util.Growvec.push t.stack { site; callee; entry = now; child = 0 };
+  Hashtbl.replace t.on_stack callee (live t callee + 1)
+
+let mut_fun t callee =
+  match Hashtbl.find_opt t.funs callee with
+  | Some f -> f
+  | None ->
+    let f = { calls = 0; self = 0; total = 0 } in
+    Hashtbl.replace t.funs callee f;
+    f
+
+let mut_arc t key =
+  match Hashtbl.find_opt t.arcs key with
+  | Some a -> a
+  | None ->
+    let a = { acalls = 0; atotal = 0 } in
+    Hashtbl.replace t.arcs key a;
+    a
+
+let pop_frame t ~now =
+  match Util.Growvec.pop t.stack with
+  | None -> invalid_arg "Oracle.on_return: no outstanding call"
+  | Some fr ->
+    let tot = now - fr.entry in
+    let self = tot - fr.child in
+    let f = mut_fun t fr.callee in
+    f.calls <- f.calls + 1;
+    f.self <- f.self + self;
+    let depth = live t fr.callee in
+    if depth = 1 then f.total <- f.total + tot;
+    Hashtbl.replace t.on_stack fr.callee (depth - 1);
+    let a = mut_arc t (fr.site, fr.callee) in
+    a.acalls <- a.acalls + 1;
+    if depth = 1 then a.atotal <- a.atotal + tot;
+    (* Charge this activation's full span to the parent's child time. *)
+    (match Util.Growvec.top t.stack with
+    | Some parent -> parent.child <- parent.child + tot
+    | None -> ())
+
+let on_return t ~now = pop_frame t ~now
+
+let finish t ~now =
+  while Util.Growvec.length t.stack > 0 do
+    pop_frame t ~now
+  done
+
+let depth t = Util.Growvec.length t.stack
+
+let fun_stats t =
+  Hashtbl.fold
+    (fun callee f acc ->
+      (callee, { f_calls = f.calls; f_self_cycles = f.self; f_total_cycles = f.total })
+      :: acc)
+    t.funs []
+  |> List.sort compare
+
+let arc_stats t =
+  Hashtbl.fold
+    (fun key a acc ->
+      (key, { ar_calls = a.acalls; ar_total_cycles = a.atotal }) :: acc)
+    t.arcs []
+  |> List.sort compare
+
+let self_cycles t callee =
+  match Hashtbl.find_opt t.funs callee with Some f -> f.self | None -> 0
+
+let total_cycles t callee =
+  match Hashtbl.find_opt t.funs callee with Some f -> f.total | None -> 0
+
+let grand_total t = Hashtbl.fold (fun _ f acc -> acc + f.self) t.funs 0

@@ -1,0 +1,56 @@
+(** Exact-timing ground truth.
+
+    The paper's authors had no way to observe true per-routine times;
+    their design accepts "a statistical sample … and the count of the
+    number of calls", deriving "an average time per call that need not
+    reflect reality". Because our machine is simulated, we {e can}
+    observe reality: the oracle records exact entry/exit cycle counts
+    for every call, giving true self times, true total (inclusive)
+    times, and true per-arc inclusive times. The accuracy experiments
+    ([t-avgtime], [t-sample]) quantify the profiler's error against
+    this oracle.
+
+    Recursion: a routine's total time counts only outermost
+    activations (nested instances are already inside the outer one),
+    and likewise an arc's total time only counts activations of a
+    callee not already on the stack. Mutually-recursive totals
+    therefore measure "time below the first entry into the routine",
+    the same quantity gprof's cycle handling aims for. *)
+
+type fun_stat = {
+  f_calls : int;
+  f_self_cycles : int;
+  f_total_cycles : int;
+}
+
+type arc_stat = { ar_calls : int; ar_total_cycles : int }
+
+type t
+
+val create : unit -> t
+
+val on_call : t -> site:int -> callee:int -> now:int -> unit
+
+val on_return : t -> now:int -> unit
+(** @raise Invalid_argument if no call is outstanding. *)
+
+val finish : t -> now:int -> unit
+(** Unwind any frames still outstanding when the program halts,
+    attributing their elapsed time as if they returned at [now]. *)
+
+val depth : t -> int
+
+val fun_stats : t -> (int * fun_stat) list
+(** Per callee entry address, sorted by address. *)
+
+val arc_stats : t -> ((int * int) * arc_stat) list
+(** Per (site, callee), sorted. *)
+
+val self_cycles : t -> int -> int
+(** Self cycles of the function entered at the given address (0 when
+    never seen). *)
+
+val total_cycles : t -> int -> int
+
+val grand_total : t -> int
+(** Sum of all self cycles = total measured program cycles. *)

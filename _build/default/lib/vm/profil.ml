@@ -1,0 +1,35 @@
+type t = {
+  shape : Gmon.hist; (* h_counts unused; retained for geometry *)
+  counts : int array;
+  mutable enabled : bool;
+  mutable ticks : int;
+}
+
+let create ~lowpc ~highpc ~bucket_size =
+  let shape = Gmon.make_hist ~lowpc ~highpc ~bucket_size in
+  {
+    shape;
+    counts = Array.make (Array.length shape.h_counts) 0;
+    enabled = true;
+    ticks = 0;
+  }
+
+let enabled t = t.enabled
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+
+let sample t ~pc =
+  if t.enabled then
+    match Gmon.bucket_of_pc t.shape pc with
+    | Some i ->
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.ticks <- t.ticks + 1
+    | None -> ()
+
+let ticks t = t.ticks
+
+let hist t = { t.shape with h_counts = Array.copy t.counts }
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.ticks <- 0

@@ -1,0 +1,33 @@
+(** The program-counter histogram — profil(2).
+
+    "the operating system can provide a histogram of the location of
+    the program counter at the end of each clock tick … The histogram
+    is assembled in memory as the program runs." The granularity is a
+    scale: with [bucket_size = 1] "program counter values map
+    one-to-one onto the histogram" (the paper's configuration); larger
+    bucket sizes trade memory for attribution precision (the
+    retrospective's 16-bit-era compromise, measured by bench
+    [t-gran]). *)
+
+type t
+
+val create : lowpc:int -> highpc:int -> bucket_size:int -> t
+(** Zeroed, enabled histogram over [\[lowpc, highpc)]. *)
+
+val enabled : t -> bool
+
+val enable : t -> unit
+
+val disable : t -> unit
+
+val sample : t -> pc:int -> unit
+(** Record one clock tick observed at [pc]. No-op when disabled or
+    when [pc] lies outside the covered range. *)
+
+val ticks : t -> int
+(** Total ticks recorded since creation/reset. *)
+
+val hist : t -> Gmon.hist
+(** Snapshot (the counts array is copied). *)
+
+val reset : t -> unit

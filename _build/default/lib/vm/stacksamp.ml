@@ -1,0 +1,31 @@
+type t = {
+  interval : int;
+  store : int array Util.Growvec.t;
+  mutable tick : int;
+}
+
+(* Walking one stack frame costs about as much as a monitor hash
+   probe: a couple of loads chasing the frame link. *)
+let frame_walk_cost = 2
+
+let create ~interval =
+  if interval < 1 then invalid_arg "Stacksamp.create: interval must be >= 1";
+  { interval; store = Util.Growvec.create ~capacity:256 ~dummy:[||] (); tick = 0 }
+
+let interval t = t.interval
+
+let on_tick t ~stack =
+  t.tick <- t.tick + 1;
+  if t.tick mod t.interval = 0 then begin
+    Util.Growvec.push t.store (Array.copy stack);
+    frame_walk_cost * Array.length stack
+  end
+  else 0
+
+let samples t = Util.Growvec.to_list t.store
+
+let n_samples t = Util.Growvec.length t.store
+
+let reset t =
+  Util.Growvec.clear t.store;
+  t.tick <- 0

@@ -1,0 +1,33 @@
+(** Complete-call-stack sampling.
+
+    The retrospective: "Modern profilers solve both these problems by
+    periodically gathering not just isolated program counter samples
+    and isolated call graph arcs, but complete call stacks. The
+    additional overhead of gathering the call stack can be hidden by
+    backing off the frequency with which the call stacks are
+    sampled." This collector does exactly that inside the VM: every
+    [interval] clock ticks it walks the frame stack and stores the
+    chain of function entry addresses, root first, leaf last. The
+    {!Stacksample} library post-processes these into
+    inclusive/exclusive profiles with no average-time assumption. *)
+
+type t
+
+val create : interval:int -> t
+(** Sample every [interval]-th clock tick ([1] = every tick).
+    @raise Invalid_argument if [interval < 1]. *)
+
+val interval : t -> int
+
+val on_tick : t -> stack:int array -> int
+(** Offer the current stack (root first) on a clock tick; the sampler
+    keeps it if this tick is on its schedule. Returns the cycle cost
+    charged for the walk (proportional to the stack depth when
+    sampled, 0 when skipped). *)
+
+val samples : t -> int array list
+(** All retained samples, oldest first. *)
+
+val n_samples : t -> int
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Compile Format Gmon Gprof_core Objcode Printf Programs Result Vm

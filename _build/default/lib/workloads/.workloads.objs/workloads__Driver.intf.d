@@ -1,0 +1,1 @@
+lib/workloads/driver.mli: Compile Gmon Gprof_core Objcode Programs Vm

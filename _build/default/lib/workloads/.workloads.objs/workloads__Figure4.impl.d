@@ -1,0 +1,1 @@
+lib/workloads/figure4.ml: Array Gmon List Objcode

@@ -1,0 +1,1 @@
+lib/workloads/figure4.mli: Gmon Objcode

@@ -1,0 +1,879 @@
+type t = { w_name : string; w_source : string; w_about : string }
+
+let quick =
+  {
+    w_name = "quick";
+    w_about = "small arithmetic demo for the quickstart";
+    w_source =
+      {|
+var acc;
+
+fun square(x) { return x * x; }
+
+fun sum_squares(n) {
+  var i;
+  var s = 0;
+  for (i = 1; i <= n; i = i + 1) { s = s + square(i); }
+  return s;
+}
+
+fun main() {
+  var k;
+  for (k = 0; k < 300; k = k + 1) { acc = acc + sum_squares(100); }
+  print(acc);
+  return 0;
+}
+|};
+  }
+
+let matrix =
+  {
+    w_name = "matrix";
+    w_about = "matrix multiply through get/set/dot abstractions";
+    w_source =
+      {|
+array a[256];
+array b[256];
+array c[256];
+
+fun get_a(i, j) { return a[i * 16 + j]; }
+fun get_b(i, j) { return b[i * 16 + j]; }
+fun set_c(i, j, v) { c[i * 16 + j] = v; return v; }
+
+fun dot(i, j) {
+  var k;
+  var s = 0;
+  for (k = 0; k < 16; k = k + 1) { s = s + get_a(i, k) * get_b(k, j); }
+  return s;
+}
+
+fun fill() {
+  var i;
+  for (i = 0; i < 256; i = i + 1) {
+    a[i] = i % 7;
+    b[i] = i % 5;
+  }
+  return 0;
+}
+
+fun multiply() {
+  var i;
+  var j;
+  for (i = 0; i < 16; i = i + 1) {
+    for (j = 0; j < 16; j = j + 1) { set_c(i, j, dot(i, j)); }
+  }
+  return 0;
+}
+
+fun main() {
+  var r;
+  fill();
+  for (r = 0; r < 60; r = r + 1) { multiply(); }
+  print(c[17]);
+  return 0;
+}
+|};
+  }
+
+let sort =
+  {
+    w_name = "sort";
+    w_about = "quicksort with compare/swap helpers and self-recursion";
+    w_source =
+      {|
+array data[512];
+
+fun less(i, j) { return data[i] < data[j]; }
+
+fun swap(i, j) {
+  var t = data[i];
+  data[i] = data[j];
+  data[j] = t;
+  return 0;
+}
+
+fun partition(lo, hi) {
+  var i = lo;
+  var j;
+  for (j = lo; j < hi; j = j + 1) {
+    if (less(j, hi)) {
+      swap(i, j);
+      i = i + 1;
+    }
+  }
+  swap(i, hi);
+  return i;
+}
+
+fun quicksort(lo, hi) {
+  var p;
+  if (lo < hi) {
+    p = partition(lo, hi);
+    quicksort(lo, p - 1);
+    quicksort(p + 1, hi);
+  }
+  return 0;
+}
+
+fun scramble(seed) {
+  var i;
+  var x = seed;
+  for (i = 0; i < 512; i = i + 1) {
+    x = (x * 1103 + 12345) % 65536;
+    data[i] = x % 1000;
+  }
+  return 0;
+}
+
+fun checksum() {
+  var i;
+  var s = 0;
+  for (i = 0; i < 512; i = i + 1) { s = s + data[i] * i; }
+  return s;
+}
+
+fun main() {
+  var round;
+  var total = 0;
+  for (round = 0; round < 40; round = round + 1) {
+    scramble(round + 1);
+    quicksort(0, 511);
+    total = total + checksum() % 97;
+  }
+  print(total);
+  return 0;
+}
+|};
+  }
+
+let codegen =
+  {
+    w_name = "codegen";
+    w_about = "table-driven code generator pipeline over a shared symbol table";
+    w_source =
+      {|
+// A toy of the program gprof was written for: passes over an
+// instruction stream, sharing a hashed symbol-table abstraction.
+array symtab_keys[509];
+array symtab_vals[509];
+array stream[2048];
+array emitted[4096];
+var emit_ptr;
+var probes;
+
+fun hash(key) { return (key * 131 + 17) % 509; }
+
+fun rehash(h) { return (h + 1) % 509; }
+
+fun lookup(key) {
+  var h = hash(key);
+  while (symtab_keys[h] != 0 && symtab_keys[h] != key) {
+    probes = probes + 1;
+    h = rehash(h);
+  }
+  if (symtab_keys[h] == key) { return symtab_vals[h]; }
+  return 0 - 1;
+}
+
+fun insert(key, val) {
+  var h = hash(key);
+  while (symtab_keys[h] != 0 && symtab_keys[h] != key) {
+    probes = probes + 1;
+    h = rehash(h);
+  }
+  symtab_keys[h] = key;
+  symtab_vals[h] = val;
+  return h;
+}
+
+fun emit(word) {
+  emitted[emit_ptr % 4096] = word;
+  emit_ptr = emit_ptr + 1;
+  return word;
+}
+
+fun gen_load(sym) {
+  var v = lookup(sym);
+  if (v < 0) { v = insert(sym, sym * 3); }
+  return emit(1000 + v);
+}
+
+fun gen_store(sym) {
+  var v = lookup(sym);
+  if (v < 0) { v = insert(sym, sym * 3); }
+  return emit(2000 + v);
+}
+
+fun gen_op(code) { return emit(3000 + code); }
+
+fun select_pattern(op, arg) {
+  // the "table-driven" dispatch
+  if (op == 0) { return gen_load(arg); }
+  if (op == 1) { return gen_store(arg); }
+  if (op == 2) { return gen_op(arg % 64); }
+  return gen_op((arg * 7) % 64);
+}
+
+fun front_end(n) {
+  var i;
+  for (i = 0; i < n; i = i + 1) { stream[i] = rand(4) * 1000 + rand(200) + 1; }
+  return n;
+}
+
+fun back_end(n) {
+  var i;
+  var s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + select_pattern(stream[i] / 1000, stream[i] % 1000);
+  }
+  return s;
+}
+
+fun main() {
+  var pass;
+  var s = 0;
+  for (pass = 0; pass < 60; pass = pass + 1) {
+    front_end(2048);
+    s = s + back_end(2048);
+  }
+  print(s);
+  print(probes);
+  return 0;
+}
+|};
+  }
+
+let skewed =
+  {
+    w_name = "skewed";
+    w_about = "one routine, cheap and expensive call sites: the average-time pitfall";
+    w_source =
+      {|
+var sink;
+
+fun work(n) {
+  var i;
+  var s = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + i * i; }
+  return s;
+}
+
+fun cheap_site() {
+  // many fast calls: work(4)
+  var i;
+  for (i = 0; i < 900; i = i + 1) { sink = sink + work(4); }
+  return 0;
+}
+
+fun expensive_site() {
+  // few slow calls: work(400)
+  var i;
+  for (i = 0; i < 100; i = i + 1) { sink = sink + work(400); }
+  return 0;
+}
+
+fun main() {
+  var r;
+  for (r = 0; r < 40; r = r + 1) {
+    cheap_site();
+    expensive_site();
+  }
+  print(sink);
+  return 0;
+}
+|};
+  }
+
+let kernel =
+  {
+    w_name = "kernel";
+    w_about = "four subsystems closed into one big cycle by two rare upcalls";
+    w_source =
+      {|
+// syscall_layer -> net -> fs -> dev, with two rare upcalls:
+// dev -> net (readahead completion) and fs -> syscall_layer
+// (recursive namei-style reentry). The upcalls have tiny counts but
+// weld everything into one cycle.
+var packets;
+var blocks;
+
+fun dev_io(n) {
+  var i;
+  var s = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + (i * 3) % 7; }
+  blocks = blocks + 1;
+  if (blocks % 400 == 0) { return net_input(2); }
+  return s;
+}
+
+fun fs_read(n) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 12; i = i + 1) { s = s + dev_io(n); }
+  if (blocks % 977 == 0) { return syscall_layer(1); }
+  return s;
+}
+
+fun net_input(n) {
+  var i;
+  var s = 0;
+  packets = packets + n;
+  for (i = 0; i < 4; i = i + 1) { s = s + fs_read(8 + (n % 4)); }
+  return s;
+}
+
+fun proc_sched(n) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 20 + n % 10; i = i + 1) { s = s + i * i; }
+  return s;
+}
+
+fun syscall_layer(depth) {
+  var s;
+  s = net_input(1);
+  s = s + proc_sched(depth);
+  return s;
+}
+
+fun idle_loop(n) {
+  var i;
+  var s = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + i % 3; }
+  return s;
+}
+
+fun main() {
+  var t;
+  var s = 0;
+  for (t = 0; t < 260; t = t + 1) {
+    s = s + syscall_layer(t % 5);
+    s = s + idle_loop(40);
+  }
+  print(s);
+  print(packets);
+  print(blocks);
+  return 0;
+}
+|};
+  }
+
+let recursive =
+  {
+    w_name = "recursive";
+    w_about = "heavy direct and mutual recursion: the monolithic-cycle case";
+    w_source =
+      {|
+var calls;
+
+fun fib(n) {
+  calls = calls + 1;
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+
+fun is_even(n) {
+  if (n == 0) { return 1; }
+  return is_odd(n - 1);
+}
+
+fun is_odd(n) {
+  if (n == 0) { return 0; }
+  return is_even(n - 1);
+}
+
+fun descend(n, acc) {
+  if (n <= 0) { return acc; }
+  return ascend(n - 1, acc + n);
+}
+
+fun ascend(n, acc) {
+  if (n <= 0) { return acc; }
+  return descend(n - 1, acc + 1);
+}
+
+fun main() {
+  var i;
+  var s = 0;
+  for (i = 0; i < 14; i = i + 1) { s = s + fib(16); }
+  for (i = 0; i < 250; i = i + 1) {
+    s = s + is_even(i % 90);
+    s = s + descend(60, 0);
+  }
+  print(s);
+  print(calls);
+  return 0;
+}
+|};
+  }
+
+let indirect =
+  {
+    w_name = "indirect";
+    w_about = "dispatch through a function table: one site, many callees";
+    w_source =
+      {|
+array handlers[4];
+var processed;
+
+fun on_add(x) { return x + 1; }
+fun on_mul(x) { return x * 3; }
+fun on_neg(x) { return 0 - x; }
+
+fun on_mix(x) {
+  var f = handlers[x % 3];
+  return f(x) + 1;
+}
+
+fun dispatch(kind, x) {
+  var f = handlers[kind];
+  processed = processed + 1;
+  return f(x);
+}
+
+fun main() {
+  var i;
+  var s = 0;
+  handlers[0] = on_add;
+  handlers[1] = on_mul;
+  handlers[2] = on_neg;
+  handlers[3] = on_mix;
+  for (i = 0; i < 60000; i = i + 1) { s = s + dispatch(i % 4, i % 100); }
+  print(s);
+  print(processed);
+  return 0;
+}
+|};
+  }
+
+let short =
+  {
+    w_name = "short";
+    w_about = "a run of a few ticks only, for multi-run summing";
+    w_source =
+      {|
+var out;
+
+fun tiny_leaf(x) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 8; i = i + 1) { s = s + x * i; }
+  return s;
+}
+
+fun tiny_mid(x) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 6; i = i + 1) { s = s + tiny_leaf(x + i); }
+  return s;
+}
+
+fun main() {
+  var i;
+  for (i = 0; i < 120; i = i + 1) { out = out + tiny_mid(i); }
+  print(out);
+  return 0;
+}
+|};
+  }
+
+let wide =
+  {
+    w_name = "wide";
+    w_about = "many similar routines: a diffuse flat profile";
+    w_source =
+      {|
+var total;
+
+fun stage0(x) { var i; var s = 0; for (i = 0; i < 40; i = i + 1) { s = s + x + i; } return s; }
+fun stage1(x) { var i; var s = 0; for (i = 0; i < 41; i = i + 1) { s = s + x * 2 + i; } return s; }
+fun stage2(x) { var i; var s = 0; for (i = 0; i < 42; i = i + 1) { s = s + x * 3 + i; } return s; }
+fun stage3(x) { var i; var s = 0; for (i = 0; i < 43; i = i + 1) { s = s + x * 5 + i; } return s; }
+fun stage4(x) { var i; var s = 0; for (i = 0; i < 44; i = i + 1) { s = s + x * 7 + i; } return s; }
+fun stage5(x) { var i; var s = 0; for (i = 0; i < 45; i = i + 1) { s = s + x % 11 + i; } return s; }
+fun stage6(x) { var i; var s = 0; for (i = 0; i < 46; i = i + 1) { s = s + x % 13 + i; } return s; }
+fun stage7(x) { var i; var s = 0; for (i = 0; i < 47; i = i + 1) { s = s + x % 17 + i; } return s; }
+
+fun pipeline(x) {
+  var s = 0;
+  s = s + stage0(x);
+  s = s + stage1(x);
+  s = s + stage2(x);
+  s = s + stage3(x);
+  s = s + stage4(x);
+  s = s + stage5(x);
+  s = s + stage6(x);
+  s = s + stage7(x);
+  return s;
+}
+
+fun main() {
+  var i;
+  for (i = 0; i < 2500; i = i + 1) { total = total + pipeline(i); }
+  print(total);
+  return 0;
+}
+|};
+  }
+
+let explore =
+  {
+    w_name = "explore";
+    w_about = "Section 6's output-format exploration: CALCs over FORMATs over WRITE";
+    w_source =
+      {|
+var written;
+
+fun write_out(x) {
+  written = written + 1;
+  putc(x % 64 + 32);
+  return x;
+}
+
+fun format1(v) {
+  var d = v;
+  while (d > 0) {
+    write_out(d % 10 + 48);
+    d = d / 10;
+  }
+  return write_out(10);
+}
+
+fun format2(v) {
+  write_out(43);
+  return format1(v * 2 + 1);
+}
+
+fun calc1(n) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 30; i = i + 1) { s = s + i * n; }
+  return format1(s);
+}
+
+fun calc2(n) {
+  var i;
+  var s = 1;
+  for (i = 1; i < 14; i = i + 1) { s = (s * n + i) % 100000; }
+  return format2(s);
+}
+
+fun calc3(n) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 55; i = i + 1) { s = s + (i * i) % (n + 7); }
+  return format2(s);
+}
+
+fun main() {
+  var r;
+  for (r = 1; r <= 900; r = r + 1) {
+    calc1(r);
+    calc2(r);
+    calc3(r);
+  }
+  print(written);
+  return 0;
+}
+|};
+  }
+
+let selfprof =
+  {
+    w_name = "selfprof";
+    w_about = "a gprof-shaped program where reading data files dominates";
+    w_source =
+      {|
+// gprof run on itself: after the analysis passes were tuned,
+// "reading data files (hardly a target for optimization!) represents
+// the dominating factor in its execution time".
+array records[4096];
+array graph_from[512];
+array graph_to[512];
+array times[128];
+var n_records;
+var n_arcs;
+
+fun read_byte(i) {
+  // deliberately byte-at-a-time: the untuned hot spot
+  var v = (i * 37 + 11) % 251;
+  return v;
+}
+
+fun read_record(i) {
+  var b0 = read_byte(i * 4);
+  var b1 = read_byte(i * 4 + 1);
+  var b2 = read_byte(i * 4 + 2);
+  var b3 = read_byte(i * 4 + 3);
+  records[i % 4096] = b0 + b1 * 256 + b2 * 65536 + b3 % 8;
+  return records[i % 4096];
+}
+
+fun read_data_file(n) {
+  var i;
+  var s = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + read_record(i); }
+  n_records = n;
+  return s;
+}
+
+fun build_graph() {
+  var i;
+  for (i = 0; i < 512; i = i + 1) {
+    graph_from[i] = records[i * 3 % 4096] % 128;
+    graph_to[i] = records[(i * 3 + 1) % 4096] % 128;
+  }
+  n_arcs = 512;
+  return n_arcs;
+}
+
+fun propagate_times() {
+  var i;
+  var pass;
+  for (pass = 0; pass < 4; pass = pass + 1) {
+    for (i = 0; i < 512; i = i + 1) {
+      times[graph_from[i]] = times[graph_from[i]] + times[graph_to[i]] / 2 + 1;
+    }
+  }
+  return times[0];
+}
+
+fun format_listing() {
+  var i;
+  var s = 0;
+  for (i = 0; i < 128; i = i + 1) { s = s + times[i] % 97; }
+  return s;
+}
+
+fun main() {
+  var run;
+  var s = 0;
+  for (run = 0; run < 25; run = run + 1) {
+    s = s + read_data_file(4096);
+    build_graph();
+    propagate_times();
+    s = s + format_listing();
+  }
+  print(s);
+  return 0;
+}
+|};
+  }
+
+let unprofiled_leaf =
+  {
+    w_name = "unprofiled_leaf";
+    w_about = "matrix-style workload whose hot leaf can be left uninstrumented";
+    w_source =
+      {|
+var acc;
+
+fun hot_leaf(x) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 12; i = i + 1) { s = s + x * i; }
+  return s;
+}
+
+fun warm_mid(x) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 8; i = i + 1) { s = s + hot_leaf(x + i); }
+  return s;
+}
+
+fun main() {
+  var i;
+  for (i = 0; i < 4000; i = i + 1) { acc = acc + warm_mid(i); }
+  print(acc);
+  return 0;
+}
+|};
+  }
+
+(* The two lookup variants share everything except the search routine,
+   so their profiles are directly comparable (§6: "a lookup routine
+   might be called only a few times, but use an inefficient linear
+   search algorithm, that might be replaced with a binary search"). *)
+let lookup_shell ~name ~about ~search_body =
+  {
+    w_name = name;
+    w_about = about;
+    w_source =
+      Printf.sprintf
+        {|
+array keys[512];
+array vals[512];
+var hits;
+
+fun build_table() {
+  var i;
+  for (i = 0; i < 512; i = i + 1) {
+    keys[i] = i * 7;
+    vals[i] = i * i;
+  }
+  return 512;
+}
+
+fun lookup(key) {
+%s
+}
+
+fun digest(v) {
+  var i;
+  var s = v;
+  for (i = 0; i < 14; i = i + 1) { s = (s * 31 + i) %% 65536; }
+  return s;
+}
+
+fun main() {
+  var q;
+  var s = 0;
+  build_table();
+  for (q = 0; q < 4000; q = q + 1) {
+    var v = lookup((q * 13 %% 512) * 7);
+    if (v >= 0) { hits = hits + 1; }
+    s = s + digest(v);
+  }
+  print(hits);
+  print(s);
+  return 0;
+}
+|}
+        search_body;
+  }
+
+let lookup_linear =
+  lookup_shell ~name:"lookup_linear"
+    ~about:"table lookups through a linear search (the pre-optimization program)"
+    ~search_body:
+      {|  var i;
+  for (i = 0; i < 512; i = i + 1) {
+    if (keys[i] == key) { return vals[i]; }
+  }
+  return 0 - 1;|}
+
+let lookup_binary =
+  lookup_shell ~name:"lookup_binary"
+    ~about:"the same program with the search replaced by bisection"
+    ~search_body:
+      {|  var lo = 0;
+  var hi = 511;
+  while (lo <= hi) {
+    var mid = (lo + hi) / 2;
+    if (keys[mid] == key) { return vals[mid]; }
+    if (keys[mid] < key) { lo = mid + 1; } else { hi = mid - 1; }
+  }
+  return 0 - 1;|}
+
+let rdparser =
+  {
+    w_name = "rdparser";
+    w_about = "a recursive-descent expression parser: §6's monolithic cycle";
+    w_source =
+      {|
+// Token codes: 0 end, 1 '+', 2 '-', 3 '*', 4 '/', 5 '(', 6 ')',
+// 100+n a number literal n.
+array toks[4096];
+var fill;
+var pos;
+var parse_errors;
+
+// --- the expression generator (itself recursive) -------------------
+fun emit(t) {
+  if (fill < 4096) { toks[fill] = t; fill = fill + 1; }
+  return t;
+}
+
+fun gen_factor(depth, seed) {
+  if (depth <= 0 || seed % 5 < 3) { return emit(100 + seed % 97); }
+  emit(5);
+  gen_expr(depth - 1, seed * 7 + 1);
+  return emit(6);
+}
+
+fun gen_term(depth, seed) {
+  gen_factor(depth, seed);
+  if (seed % 3 == 0) {
+    emit(3 + seed % 2);
+    gen_factor(depth, seed / 3 + 11);
+  }
+  return 0;
+}
+
+fun gen_expr(depth, seed) {
+  gen_term(depth, seed);
+  if (seed % 2 == 0) {
+    emit(1 + seed % 2);
+    gen_term(depth, seed / 2 + 5);
+  }
+  return 0;
+}
+
+// --- the recursive-descent parser/evaluator ------------------------
+fun peek() { return toks[pos]; }
+
+fun advance() {
+  var t = toks[pos];
+  pos = pos + 1;
+  return t;
+}
+
+fun parse_factor() {
+  var t = advance();
+  if (t == 5) {
+    var v = parse_expr();
+    if (advance() != 6) { parse_errors = parse_errors + 1; }
+    return v;
+  }
+  if (t >= 100) { return t - 100; }
+  parse_errors = parse_errors + 1;
+  return 0;
+}
+
+fun parse_term() {
+  var v = parse_factor();
+  while (peek() == 3 || peek() == 4) {
+    var op = advance();
+    var rhs = parse_factor();
+    // the divisor offset keeps it positive even for negative rhs
+    if (op == 3) { v = v * rhs; } else { v = v / (rhs % 13 + 14); }
+  }
+  return v;
+}
+
+fun parse_expr() {
+  var v = parse_term();
+  while (peek() == 1 || peek() == 2) {
+    var op = advance();
+    var rhs = parse_term();
+    if (op == 1) { v = v + rhs; } else { v = v - rhs; }
+  }
+  return v;
+}
+
+fun main() {
+  var round;
+  var s = 0;
+  for (round = 0; round < 420; round = round + 1) {
+    fill = 0;
+    gen_expr(6, round * 13 + 7);
+    emit(0);
+    pos = 0;
+    s = s + parse_expr();
+  }
+  print(s);
+  print(parse_errors);
+  return 0;
+}
+|};
+  }
+
+let all =
+  [
+    quick; matrix; sort; codegen; skewed; kernel; recursive; indirect; short;
+    wide; explore; selfprof; unprofiled_leaf; lookup_linear; lookup_binary;
+    rdparser;
+  ]
+
+let find name = List.find_opt (fun w -> w.w_name = name) all

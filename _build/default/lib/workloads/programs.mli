@@ -1,0 +1,86 @@
+(** The Mini workload programs.
+
+    Each source is written to exercise a phenomenon from the paper or
+    retrospective; the experiment index in DESIGN.md maps experiments
+    to workloads. All programs are deterministic (any randomness comes
+    from the VM's seeded [rand]) and run for enough simulated time to
+    accumulate hundreds of clock ticks at the default 60 Hz clock. *)
+
+type t = {
+  w_name : string;
+  w_source : string;
+  w_about : string;  (** one-line description for listings *)
+}
+
+val quick : t
+(** A small arithmetic demo used by the quickstart. *)
+
+val matrix : t
+(** Matrix multiply through get/set/dot abstractions — "the time for
+    an operation spread across the several functions". *)
+
+val sort : t
+(** Quicksort over a global array with compare/swap helpers; includes
+    self-recursion. *)
+
+val codegen : t
+(** The paper's motivating program shape: a table-driven code
+    generator pipeline whose passes share a symbol-table abstraction
+    (lookup/insert/rehash). *)
+
+val skewed : t
+(** One routine whose cost depends on its argument, called from a
+    cheap site (many fast calls) and an expensive site (few slow
+    calls): the average-time-per-call pitfall. *)
+
+val kernel : t
+(** Four "kernel subsystems" that mostly call downward but are closed
+    into one big cycle by two low-count upcalls — the situation that
+    motivated arc removal. *)
+
+val recursive : t
+(** Deep direct and mutual recursion ("programs that exhibit a large
+    degree of recursion … grouped into a single monolithic cycle"). *)
+
+val indirect : t
+(** Dispatch through a table of function values: one call site with
+    many callees, exercising the monitor's hash chains. *)
+
+val short : t
+(** A run short enough to land only a handful of clock ticks; used by
+    the multi-run summing experiment. *)
+
+val wide : t
+(** Many similar small routines: a diffuse flat profile where "no
+    single function is overwhelmingly responsible". *)
+
+val explore : t
+(** Section 6's control-flow exploration example: CALC1/2/3 above
+    FORMAT1/2 above a WRITE wrapper. *)
+
+val selfprof : t
+(** A gprof-shaped program: read records, build a graph, propagate,
+    format — with reading dominating after "optimization". *)
+
+val unprofiled_leaf : t
+(** Like {!matrix} but intended to be compiled with its hottest leaf
+    excluded from instrumentation ("routines that are not profiled
+    run at full speed"). *)
+
+val lookup_linear : t
+(** §6's optimization story, before: a lookup routine using "an
+    inefficient linear search algorithm". *)
+
+val lookup_binary : t
+(** The same program with the search "replaced with a binary
+    search"; everything else identical, so the profiles compare
+    directly. *)
+
+val rdparser : t
+(** A recursive-descent expression parser over generated token
+    streams: §6's hard case, where "most of the major routines are
+    grouped into a single monolithic cycle". *)
+
+val all : t list
+
+val find : string -> t option

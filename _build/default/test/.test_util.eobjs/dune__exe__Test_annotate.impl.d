@@ -1,0 +1,1 @@
+test/test_annotate.ml: Alcotest Array Compile Filename Fun Gen Gmon Gprof_core List Objcode Option Printf QCheck QCheck_alcotest String Sys Vm

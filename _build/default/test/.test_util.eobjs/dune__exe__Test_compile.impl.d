@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Compile Gmon List Objcode Option Result String Vm Workloads

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Bytes Char Compile Fun Gen Gmon Gprof_core List Mini Objcode Printf QCheck QCheck_alcotest String Sys Unix Vm Workloads

@@ -1,0 +1,1 @@
+test/test_gmon.ml: Alcotest Array Filename Format Fun Gmon List QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Condense Digraph Dot Feedback Format Fun Graphlib List Printf QCheck QCheck_alcotest Reach String Tarjan

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Compile Gmon Gprof_core List Objcode Option Printf Result Stacksample Util Vm Workloads

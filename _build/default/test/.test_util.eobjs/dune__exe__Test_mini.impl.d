@@ -1,0 +1,1 @@
+test/test_mini.ml: Alcotest Ast Check Compile Lexer List Mini Parser Pprint Printf QCheck QCheck_alcotest String Workloads

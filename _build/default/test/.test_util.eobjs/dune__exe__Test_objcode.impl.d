@@ -1,0 +1,1 @@
+test/test_objcode.ml: Alcotest Array Asm Disasm Filename Fun Graphlib Instr List Objcode Objfile Option Printf Scan String Sys

@@ -1,0 +1,1 @@
+test/test_prof.ml: Alcotest Array Compile Filename Fun Gmon Gprof_core List Objcode Profbase Result String Sys Vm Workloads

@@ -1,0 +1,1 @@
+test/test_stacksample.ml: Alcotest Array List Objcode Option Printf Result Stacksample Util Vm Workloads

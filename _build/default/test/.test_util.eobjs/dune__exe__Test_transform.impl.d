@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Compile Gen Gmon Gprof_core List Mini Objcode Option Printf QCheck QCheck_alcotest String Vm Workloads

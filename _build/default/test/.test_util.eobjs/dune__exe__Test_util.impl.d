@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen Growvec List Prng QCheck QCheck_alcotest Stats String Table Util

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Compile Gmon List Objcode Option Printf Result String Util Vm

@@ -1,0 +1,167 @@
+(* End-to-end tests of the command-line tools, driving the real
+   binaries the way a user would: compile, run, post-process, diff,
+   and control at run time. Paths to the executables are passed by
+   dune through environment variables (see test/dune). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let exe name =
+  match Sys.getenv_opt ("CLI_" ^ String.uppercase_ascii name) with
+  | Some p -> p
+  | None -> Alcotest.failf "CLI_%s not set" (String.uppercase_ascii name)
+
+let tmpdir = Filename.get_temp_dir_name ()
+
+let path name = Filename.concat tmpdir ("cli_test_" ^ name)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* Run a command, capture stdout, return (exit code, stdout). *)
+let run_cmd args =
+  let out = path "stdout.txt" in
+  let cmd =
+    String.concat " " (List.map Filename.quote args)
+    ^ " > " ^ Filename.quote out ^ " 2> " ^ Filename.quote (path "stderr.txt")
+  in
+  let code = Sys.command cmd in
+  let stdout = In_channel.with_open_text out In_channel.input_all in
+  (code, stdout)
+
+let source =
+  {|
+var total;
+
+fun square(x) { return x * x; }
+
+fun helper(x) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 25; i = i + 1) { s = s + square(x + i); }
+  return s;
+}
+
+fun main() {
+  var k;
+  for (k = 0; k < 4000; k = k + 1) { total = total + helper(k); }
+  print(total);
+  return 0;
+}
+|}
+
+let write_source () =
+  let src = path "prog.mini" in
+  Out_channel.with_open_text src (fun oc -> Out_channel.output_string oc source);
+  src
+
+let test_compile_run_analyze () =
+  let src = write_source () in
+  let obj = path "prog.obj" and gmon = path "prog.gmon" in
+  let counts = path "prog.counts" and icount = path "prog.icount" in
+  let code, _ =
+    run_cmd [ exe "minic"; src; "--pg"; "-p"; "-o"; obj ]
+  in
+  check_int "minic exits 0" 0 code;
+  check_bool "object file written" true (Sys.file_exists obj);
+  let code, out =
+    run_cmd
+      [ exe "minirun"; obj; "--gmon"; gmon; "--prof-out"; counts;
+        "--icount"; icount ]
+  in
+  check_int "minirun exits 0" 0 code;
+  check_bool "program output printed" true (String.length (String.trim out) > 0);
+  check_bool "gmon written" true (Sys.file_exists gmon);
+  (* gprofx: full listing with annotation *)
+  let code, out =
+    run_cmd
+      [ exe "gprofx"; obj; gmon; "--annotate"; src; "--icount"; icount; "-v" ]
+  in
+  check_int "gprofx exits 0" 0 code;
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle out))
+    [ "call graph profile"; "flat profile"; "helper"; "index by function name";
+      "executions"; "% time" ];
+  (* profx over the same data *)
+  let code, out = run_cmd [ exe "profx"; obj; gmon; counts ] in
+  check_int "profx exits 0" 0 code;
+  check_bool "prof shows calls" true (contains ~needle:"4000" out)
+
+let test_multirun_merge_cli () =
+  let src = write_source () in
+  let obj = path "prog.obj" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj ]);
+  let g1 = path "r1.gmon" and g2 = path "r2.gmon" in
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; g1; "-q"; "--seed"; "1" ]);
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; g2; "-q"; "--seed"; "2" ]);
+  let code, out = run_cmd [ exe "gprofx"; obj; g1; g2; "--flat" ] in
+  check_int "summed analysis exits 0" 0 code;
+  (* two identical runs: the merged total is twice a single run's *)
+  let single = Result.get_ok (Gmon.load g1) in
+  let merged_seconds =
+    2.0 *. Gmon.total_seconds single
+  in
+  check_bool "flat mentions helper" true (contains ~needle:"helper" out);
+  check_bool "merged time doubled" true
+    (contains ~needle:(Printf.sprintf "%.2f" merged_seconds) out)
+
+let test_profdiff_cli () =
+  let src = write_source () in
+  let obj_a = path "a.obj" and obj_b = path "b.obj" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj_a ]);
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "--inline"; "square"; "-o"; obj_b ]);
+  let ga = path "a.gmon" and gb = path "b.gmon" in
+  ignore (run_cmd [ exe "minirun"; obj_a; "--gmon"; ga; "-q" ]);
+  ignore (run_cmd [ exe "minirun"; obj_b; "--gmon"; gb; "-q" ]);
+  let code, out = run_cmd [ exe "profdiff"; obj_a; ga; obj_b; gb ] in
+  check_int "profdiff exits 0" 0 code;
+  check_bool "square reported gone" true (contains ~needle:"[gone]" out);
+  check_bool "total improved" true (contains ~needle:"profile diff" out)
+
+let test_kgmonx_cli () =
+  let src = write_source () in
+  let obj = path "prog.obj" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj ]);
+  let w1 = path "w1.gmon" and w2 = path "w2.gmon" in
+  let code, _ =
+    run_cmd
+      [ exe "kgmonx"; obj;
+        Printf.sprintf "off; run 400000; on; run 1500000; dump %s; reset; run-to-end; dump %s"
+          w1 w2;
+        "-q" ]
+  in
+  check_int "kgmonx exits 0" 0 code;
+  let g1 = Result.get_ok (Gmon.load w1) in
+  let g2 = Result.get_ok (Gmon.load w2) in
+  check_bool "first window gathered while on" true (Gmon.total_ticks g1 > 0);
+  check_bool "second window disjoint and nonempty" true (Gmon.total_ticks g2 > 0)
+
+let test_bad_inputs_fail_cleanly () =
+  let code, _ = run_cmd [ exe "minic"; path "nonexistent.mini" ] in
+  check_bool "minic rejects missing file" true (code <> 0);
+  let bad = path "bad.mini" in
+  Out_channel.with_open_text bad (fun oc ->
+      Out_channel.output_string oc "fun main( { return 0; }");
+  let code, _ = run_cmd [ exe "minic"; bad ] in
+  check_bool "minic rejects syntax errors" true (code <> 0);
+  let src = write_source () in
+  let obj = path "prog.obj" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj ]);
+  let code, _ = run_cmd [ exe "gprofx"; obj; src ] in
+  (* a source file is not a gmon file *)
+  check_bool "gprofx rejects non-gmon data" true (code <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "compile/run/analyze" `Slow test_compile_run_analyze;
+          Alcotest.test_case "multi-run summing" `Slow test_multirun_merge_cli;
+          Alcotest.test_case "profdiff" `Slow test_profdiff_cli;
+          Alcotest.test_case "kgmonx" `Slow test_kgmonx_cli;
+          Alcotest.test_case "bad inputs" `Slow test_bad_inputs_fail_cleanly;
+        ] );
+    ]

@@ -1,0 +1,295 @@
+(* End-to-end tests across the whole system on the workload programs:
+   the invariants the paper states, checked on real runs. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let analyze ?report w =
+  match Workloads.Driver.analyze ?report w with
+  | Ok (r, run) -> (r.profile, run)
+  | Error e -> Alcotest.failf "analyze %s: %s" w.Workloads.Programs.w_name e
+
+let entry_by (p : Gprof_core.Profile.t) name =
+  p.entries.(Option.get (Gprof_core.Symtab.id_of_name p.symtab name))
+
+(* §5.1: "the individual times sum to the total execution time". *)
+let test_flat_conservation () =
+  List.iter
+    (fun w ->
+      let p, _ = analyze w in
+      let rows = Gprof_core.Flat.rows p in
+      let sum = List.fold_left (fun a (_, s, _, _) -> a +. s) 0.0 rows in
+      check_bool
+        (Printf.sprintf "%s: flat sums %.4f vs total %.4f" w.Workloads.Programs.w_name
+           sum p.total_time)
+        true
+        (abs_float (sum +. p.unattributed -. p.total_time) < 1e-6))
+    [ Workloads.Programs.matrix; Workloads.Programs.sort;
+      Workloads.Programs.codegen; Workloads.Programs.wide ]
+
+(* main inherits (essentially) the whole program. *)
+let test_main_inherits_everything () =
+  List.iter
+    (fun w ->
+      let p, _ = analyze w in
+      let main = entry_by p "main" in
+      check_bool
+        (Printf.sprintf "%s: main %.4f vs total %.4f" w.Workloads.Programs.w_name
+           (main.e_self +. main.e_child) p.total_time)
+        true
+        (Util.Stats.rel_error
+           ~actual:(main.e_self +. main.e_child)
+           ~expected:p.total_time
+         < 1e-6))
+    [ Workloads.Programs.matrix; Workloads.Programs.codegen;
+      Workloads.Programs.skewed; Workloads.Programs.wide ]
+
+(* gprof's self times track the oracle's true self times. *)
+let test_self_times_track_oracle () =
+  let config = { Vm.Machine.default_config with oracle = true } in
+  List.iter
+    (fun w ->
+      match Workloads.Driver.run ~config w with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        let report = Result.get_ok (Gprof_core.Report.analyze r.objfile r.gmon) in
+        let p = report.profile in
+        let orc = Option.get (Vm.Machine.the_oracle r.machine) in
+        let cps = 1_000_000.0 in
+        Array.iteri
+          (fun id (e : Gprof_core.Profile.entry) ->
+            let truth =
+              float_of_int
+                (Vm.Oracle.self_cycles orc (Gprof_core.Symtab.entry p.symtab id))
+              /. cps
+            in
+            (* Only check functions with enough samples for the
+               statistical estimate to settle (> 1 simulated second is
+               over 60 ticks). *)
+            if truth > 1.0 then
+              check_bool
+                (Printf.sprintf "%s/%s: gprof %.3f vs oracle %.3f"
+                   w.Workloads.Programs.w_name
+                   (Gprof_core.Symtab.name p.symtab id)
+                   e.e_self truth)
+                true
+                (Util.Stats.rel_error ~actual:e.e_self ~expected:truth < 0.10))
+          p.entries)
+    [ Workloads.Programs.matrix; Workloads.Programs.skewed ]
+
+(* Call counts are exact, not sampled. *)
+let test_call_counts_exact () =
+  let config = { Vm.Machine.default_config with oracle = true } in
+  let r = Result.get_ok (Workloads.Driver.run ~config Workloads.Programs.sort) in
+  let report = Result.get_ok (Gprof_core.Report.analyze r.objfile r.gmon) in
+  let p = report.profile in
+  let orc = Option.get (Vm.Machine.the_oracle r.machine) in
+  Array.iter
+    (fun (e : Gprof_core.Profile.entry) ->
+      let entry_addr = Gprof_core.Symtab.entry p.symtab e.e_id in
+      let truth =
+        List.fold_left
+          (fun acc (addr, (s : Vm.Oracle.fun_stat)) ->
+            if addr = entry_addr then acc + s.f_calls else acc)
+          0 (Vm.Oracle.fun_stats orc)
+      in
+      check_int
+        (Gprof_core.Symtab.name p.symtab e.e_id ^ " call count")
+        truth
+        (e.e_calls + e.e_self_calls))
+    p.entries
+
+(* The recursive workload collapses into cycles. *)
+let test_recursion_produces_cycles () =
+  let p, _ = analyze Workloads.Programs.recursive in
+  check_bool "at least two cycles" true (Array.length p.cycles >= 2);
+  let fib = entry_by p "fib" in
+  check_bool "fib is self-recursive" true (fib.e_self_calls > 0);
+  check_int "fib not in a multi-member cycle" 0 fib.e_cycle;
+  let even = entry_by p "is_even" in
+  check_bool "is_even in a cycle" true (even.e_cycle > 0);
+  let odd = entry_by p "is_odd" in
+  check_int "is_even and is_odd share a cycle" even.e_cycle odd.e_cycle
+
+(* The kernel workload: one big cycle, broken by removing the two
+   low-count upcalls, after which the subsystem hierarchy is visible. *)
+let test_kernel_cycle_breaking () =
+  let p, run = analyze Workloads.Programs.kernel in
+  check_int "one big cycle" 1 (Array.length p.cycles);
+  check_int "four members" 4 (List.length p.cycles.(0).c_members);
+  let report =
+    {
+      Gprof_core.Report.default_options with
+      removed_arcs = [ ("dev_io", "net_input"); ("fs_read", "syscall_layer") ];
+    }
+  in
+  match Gprof_core.Report.analyze ~options:report run.objfile run.gmon with
+  | Error e -> Alcotest.fail e
+  | Ok r2 ->
+    let p2 = r2.profile in
+    check_int "cycle broken" 0 (Array.length p2.cycles);
+    (* the hierarchy is restored: syscall_layer >= net_input >= fs_read
+       in inclusive time *)
+    let incl name =
+      let e = entry_by p2 name in
+      e.e_self +. e.e_child
+    in
+    check_bool "syscall_layer atop" true (incl "syscall_layer" >= incl "net_input");
+    check_bool "net_input above fs_read" true (incl "net_input" >= incl "fs_read");
+    check_bool "fs_read above dev_io self" true
+      (incl "fs_read" >= (entry_by p2 "dev_io").e_self)
+
+(* Indirect calls: one call site, several callees; all recorded. *)
+let test_indirect_callees_recorded () =
+  let p, _ = analyze Workloads.Programs.indirect in
+  let dispatch = entry_by p "dispatch" in
+  let children =
+    List.filter_map
+      (fun (v : Gprof_core.Profile.arc_view) ->
+        match v.av_other with
+        | Gprof_core.Profile.Func id ->
+          Some (Gprof_core.Symtab.name p.symtab id)
+        | _ -> None)
+      dispatch.e_children
+  in
+  List.iter
+    (fun n -> check_bool ("dispatch calls " ^ n) true (List.mem n children))
+    [ "on_add"; "on_mul"; "on_neg"; "on_mix" ]
+
+(* "Routines that are not profiled run at full speed": excluding the
+   hot leaf removes its mcount arcs and most of the overhead. *)
+let test_selective_profiling () =
+  let w = Workloads.Programs.unprofiled_leaf in
+  let all = Result.get_ok (Workloads.Driver.run w) in
+  let partial_options =
+    { Compile.Codegen.profiling_options with profiled = (fun n -> n <> "hot_leaf") }
+  in
+  let partial = Result.get_ok (Workloads.Driver.run ~options:partial_options w) in
+  check_bool "partial instrumentation is faster" true
+    (Vm.Machine.cycles partial.machine < Vm.Machine.cycles all.machine);
+  let leaf_entry =
+    (Option.get (Objcode.Objfile.symbol_by_name partial.objfile "hot_leaf")).addr
+  in
+  check_int "no arcs into the unprofiled leaf" 0
+    (Gmon.arc_count_into partial.gmon leaf_entry);
+  check_bool "arcs into profiled warm_mid remain" true
+    (Gmon.arc_count_into partial.gmon
+       (Option.get (Objcode.Objfile.symbol_by_name partial.objfile "warm_mid")).addr
+     > 0)
+
+(* Multi-run summing (gprof -s): short runs accumulate. *)
+let test_multirun_summing () =
+  let w = Workloads.Programs.short in
+  let runs =
+    List.init 30 (fun i ->
+        let config = { Vm.Machine.default_config with seed = i + 1 } in
+        (Result.get_ok (Workloads.Driver.run ~config w)).gmon)
+  in
+  let single = List.hd runs in
+  let merged = Result.get_ok (Gmon.merge_all runs) in
+  check_int "thirty runs" 30 merged.runs;
+  check_bool "a single short run has a handful of ticks" true
+    (Gmon.total_ticks single < 20);
+  check_bool "merged accumulates 30x" true
+    (Gmon.total_ticks merged >= 25 * Gmon.total_ticks single);
+  let o = (Result.get_ok (Workloads.Driver.run w)).objfile in
+  let report = Result.get_ok (Gprof_core.Report.analyze o merged) in
+  let leaf = entry_by report.profile "tiny_leaf" in
+  check_bool "short routine resolves in the merged profile" true (leaf.e_self > 0.0)
+
+(* The avg-time pitfall: gprof splits `work`'s time by call counts
+   (900:100 per round), but the truth is the opposite (expensive site
+   dominates). The oracle and the stack sampler both see the truth. *)
+let test_avgtime_pitfall () =
+  let config =
+    { Vm.Machine.default_config with oracle = true; stack_interval = Some 1 }
+  in
+  let r = Result.get_ok (Workloads.Driver.run ~config Workloads.Programs.skewed) in
+  let report = Result.get_ok (Gprof_core.Report.analyze r.objfile r.gmon) in
+  let p = report.profile in
+  let cheap = entry_by p "cheap_site" and exp = entry_by p "expensive_site" in
+  (* gprof: cheap_site gets ~90% of work's time (it makes 90% of calls). *)
+  check_bool "gprof inflates the cheap site" true (cheap.e_child > exp.e_child);
+  (* oracle: the expensive site truly dominates. *)
+  let orc = Option.get (Vm.Machine.the_oracle r.machine) in
+  let entry name = (Option.get (Objcode.Objfile.symbol_by_name r.objfile name)).addr in
+  check_bool "oracle: expensive site dominates" true
+    (Vm.Oracle.total_cycles orc (entry "expensive_site")
+    > Vm.Oracle.total_cycles orc (entry "cheap_site"));
+  (* stack sampler agrees with the oracle. *)
+  let t =
+    Stacksample.Stackprof.analyze r.objfile
+      ~samples:(Vm.Machine.stack_samples r.machine)
+      ~ticks_per_second:60 ~sample_interval:1
+  in
+  let id name = Option.get (Objcode.Objfile.func_id_of_addr r.objfile (entry name)) in
+  check_bool "stack sampler agrees with oracle" true
+    (Stacksample.Stackprof.inclusive_of t (id "expensive_site")
+    > Stacksample.Stackprof.inclusive_of t (id "cheap_site"))
+
+(* The section-6 navigation facts. *)
+let test_explore_structure () =
+  let p, _ = analyze Workloads.Programs.explore in
+  let parents_of name =
+    List.filter_map
+      (fun (v : Gprof_core.Profile.arc_view) ->
+        match v.av_other with
+        | Gprof_core.Profile.Func id -> Some (Gprof_core.Symtab.name p.symtab id)
+        | _ -> None)
+      (entry_by p name).e_parents
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "write_out's parents are the formats"
+    [ "format1"; "format2" ] (parents_of "write_out");
+  Alcotest.(check (list string)) "format2's parents"
+    [ "calc2"; "calc3" ] (parents_of "format2");
+  Alcotest.(check (list string)) "format1's parents"
+    [ "calc1"; "format2" ] (parents_of "format1")
+
+(* Histogram granularity: coarser buckets leave conservation intact
+   but smear attribution. *)
+let test_granularity_tradeoff () =
+  let fine =
+    Result.get_ok
+      (Workloads.Driver.run
+         ~config:{ Vm.Machine.default_config with hist_bucket_size = 1 }
+         Workloads.Programs.wide)
+  in
+  let coarse =
+    Result.get_ok
+      (Workloads.Driver.run
+         ~config:{ Vm.Machine.default_config with hist_bucket_size = 64 }
+         Workloads.Programs.wide)
+  in
+  check_bool "coarse histogram is smaller" true
+    (Array.length coarse.gmon.Gmon.hist.h_counts
+    < Array.length fine.gmon.Gmon.hist.h_counts);
+  let report g = Result.get_ok (Gprof_core.Report.analyze fine.objfile g) in
+  let pf = (report fine.gmon).profile and pc = (report coarse.gmon).profile in
+  check_bool "both conserve" true
+    (abs_float (pf.total_time -. pc.total_time) /. pf.total_time < 0.02)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "flat conservation" `Slow test_flat_conservation;
+          Alcotest.test_case "main inherits everything" `Slow
+            test_main_inherits_everything;
+          Alcotest.test_case "self times track oracle" `Slow
+            test_self_times_track_oracle;
+          Alcotest.test_case "call counts exact" `Slow test_call_counts_exact;
+        ] );
+      ( "phenomena",
+        [
+          Alcotest.test_case "recursion cycles" `Slow test_recursion_produces_cycles;
+          Alcotest.test_case "kernel cycle breaking" `Slow test_kernel_cycle_breaking;
+          Alcotest.test_case "indirect callees" `Slow test_indirect_callees_recorded;
+          Alcotest.test_case "selective profiling" `Slow test_selective_profiling;
+          Alcotest.test_case "multi-run summing" `Slow test_multirun_summing;
+          Alcotest.test_case "avg-time pitfall" `Slow test_avgtime_pitfall;
+          Alcotest.test_case "explore structure" `Slow test_explore_structure;
+          Alcotest.test_case "granularity trade-off" `Slow test_granularity_tradeoff;
+        ] );
+    ]

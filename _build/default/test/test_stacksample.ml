@@ -1,0 +1,124 @@
+(* Tests for the complete-call-stack sampling post-processor. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_time = Alcotest.(check (float 1e-6))
+
+let synthetic names =
+  let fsize = 4 in
+  {
+    Objcode.Objfile.text =
+      Array.concat
+        (List.map (fun _ -> [| Objcode.Instr.Nop; Nop; Const 0; Ret |]) names);
+    symbols =
+      Array.of_list
+        (List.mapi
+           (fun i name ->
+             { Objcode.Objfile.name; addr = i * fsize; size = fsize; profiled = true })
+           names);
+    entry = 0;
+    globals = [||];
+    global_init = [||];
+    arrays = [||];
+    lines = [||];
+    source_name = "synthetic";
+  }
+
+(* main=0, f=4, g=8 *)
+let o3 = synthetic [ "main"; "f"; "g" ]
+
+let analyze samples =
+  Stacksample.Stackprof.analyze o3 ~samples ~ticks_per_second:60 ~sample_interval:1
+
+(* Function ids: main=0, f=1, g=2; entry addresses 0, 4, 8. *)
+let test_exclusive_inclusive () =
+  let t =
+    analyze [ [| 0; 4 |]; [| 0; 4; 8 |]; [| 0; 8 |]; [| 0 |] ]
+  in
+  check_int "samples" 4 t.n_samples;
+  (* main on all 4, leaf on 1 *)
+  check_time "main inclusive" (4.0 /. 60.0) (Stacksample.Stackprof.inclusive_of t 0);
+  check_time "main exclusive" (1.0 /. 60.0) (Stacksample.Stackprof.exclusive_of t 0);
+  check_time "f inclusive" (2.0 /. 60.0) (Stacksample.Stackprof.inclusive_of t 1);
+  check_time "f exclusive" (1.0 /. 60.0) (Stacksample.Stackprof.exclusive_of t 1);
+  check_time "g inclusive" (2.0 /. 60.0) (Stacksample.Stackprof.inclusive_of t 2);
+  check_time "g exclusive" (2.0 /. 60.0) (Stacksample.Stackprof.exclusive_of t 2);
+  (* Exclusive times sum to total. *)
+  let excl = List.fold_left (fun a r -> a +. r.Stacksample.Stackprof.s_exclusive) 0.0 t.rows in
+  check_time "exclusive sums to total" t.total_seconds excl
+
+let test_recursion_dedup () =
+  (* f appears twice on one stack: inclusive charged once. *)
+  let t = analyze [ [| 0; 4; 4 |]; [| 0; 4; 4; 4 |] ] in
+  check_time "f inclusive counted once per sample" (2.0 /. 60.0)
+    (Stacksample.Stackprof.inclusive_of t 1);
+  check_time "f exclusive as leaf" (2.0 /. 60.0)
+    (Stacksample.Stackprof.exclusive_of t 1)
+
+let test_arc_attribution () =
+  let t = analyze [ [| 0; 4; 8 |]; [| 0; 4 |]; [| 0; 8 |] ] in
+  let find key = List.assoc_opt key t.arc_inclusive in
+  check_time "main->f over two samples" (2.0 /. 60.0)
+    (Option.value ~default:0.0 (find (0, 1)));
+  check_time "f->g once" (1.0 /. 60.0) (Option.value ~default:0.0 (find (1, 2)));
+  check_time "main->g once" (1.0 /. 60.0) (Option.value ~default:0.0 (find (0, 2)))
+
+let test_interval_scales_time () =
+  let samples = [ [| 0 |]; [| 0 |] ] in
+  let t1 =
+    Stacksample.Stackprof.analyze o3 ~samples ~ticks_per_second:60 ~sample_interval:1
+  in
+  let t5 =
+    Stacksample.Stackprof.analyze o3 ~samples ~ticks_per_second:60 ~sample_interval:5
+  in
+  check_time "coarser samples weigh more" (5.0 *. t1.total_seconds) t5.total_seconds;
+  Alcotest.check_raises "bad interval"
+    (Invalid_argument "Stackprof.analyze: sample_interval must be >= 1") (fun () ->
+      ignore
+        (Stacksample.Stackprof.analyze o3 ~samples ~ticks_per_second:60
+           ~sample_interval:0))
+
+let test_unknown_addresses_skipped () =
+  let t = analyze [ [| 0; 999; 4 |] ] in
+  check_time "known frames still counted" (1.0 /. 60.0)
+    (Stacksample.Stackprof.inclusive_of t 1);
+  check_int "one sample" 1 t.n_samples
+
+let test_end_to_end_against_oracle () =
+  (* On a deep workload, stack-sampling inclusive times should be close
+     to the oracle's (within sampling noise). *)
+  let config =
+    { Vm.Machine.default_config with oracle = true; stack_interval = Some 1 }
+  in
+  let r = Result.get_ok (Workloads.Driver.run ~config Workloads.Programs.matrix) in
+  let orc = Option.get (Vm.Machine.the_oracle r.machine) in
+  let t =
+    Stacksample.Stackprof.analyze r.objfile
+      ~samples:(Vm.Machine.stack_samples r.machine)
+      ~ticks_per_second:60 ~sample_interval:1
+  in
+  let cps = 1_000_000.0 in
+  let dot = (Option.get (Objcode.Objfile.symbol_by_name r.objfile "dot")).addr in
+  let dot_id = Option.get (Objcode.Objfile.func_id_of_addr r.objfile dot) in
+  let oracle_incl = float_of_int (Vm.Oracle.total_cycles orc dot) /. cps in
+  let sampled_incl = Stacksample.Stackprof.inclusive_of t dot_id in
+  check_bool
+    (Printf.sprintf "dot inclusive: oracle %.2f vs sampled %.2f" oracle_incl
+       sampled_incl)
+    true
+    (Util.Stats.rel_error ~actual:sampled_incl ~expected:oracle_incl < 0.15)
+
+let () =
+  Alcotest.run "stacksample"
+    [
+      ( "stackprof",
+        [
+          Alcotest.test_case "exclusive/inclusive" `Quick test_exclusive_inclusive;
+          Alcotest.test_case "recursion dedup" `Quick test_recursion_dedup;
+          Alcotest.test_case "arc attribution" `Quick test_arc_attribution;
+          Alcotest.test_case "interval scaling" `Quick test_interval_scales_time;
+          Alcotest.test_case "unknown addresses" `Quick test_unknown_addresses_skipped;
+          Alcotest.test_case "matches oracle end to end" `Quick
+            test_end_to_end_against_oracle;
+        ] );
+    ]

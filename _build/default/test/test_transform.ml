@@ -1,0 +1,404 @@
+(* Tests for the source-to-source transformations: inline expansion
+   (§6's "easiest optimization") and constant folding. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse src = Mini.Parser.parse_program src
+
+let run_program ?(options = Compile.Codegen.default_options) src =
+  match Compile.Codegen.compile_source ~options src with
+  | Error e -> Alcotest.failf "compile: %s" e
+  | Ok o -> (
+    let m = Vm.Machine.create o in
+    match Vm.Machine.run m with
+    | Vm.Machine.Halted -> (m, Option.get (Vm.Machine.result m))
+    | Vm.Machine.Faulted f -> Alcotest.failf "fault: %a" Vm.Machine.pp_fault f
+    | Vm.Machine.Running -> Alcotest.fail "did not halt")
+
+(* ------------------------------------------------------------------ *)
+(* is_pure *)
+
+let test_is_pure () =
+  let pure s = Compile.Transform.is_pure (Mini.Parser.parse_expr s) in
+  check_bool "literal" true (pure "42");
+  check_bool "variable" true (pure "x");
+  check_bool "arith" true (pure "x * 3 + y");
+  check_bool "div by constant" true (pure "x / 4");
+  check_bool "call" false (pure "f(1)");
+  check_bool "call inside" false (pure "1 + f(x)");
+  check_bool "indexing can fault" false (pure "t[i]");
+  check_bool "division can fault" false (pure "x / y")
+
+(* ------------------------------------------------------------------ *)
+(* Inline expansion *)
+
+let square_src =
+  {|
+var total;
+fun square(x) { return x * x; }
+fun sum_squares(n) {
+  var i;
+  var s = 0;
+  for (i = 1; i <= n; i = i + 1) { s = s + square(i); }
+  return s;
+}
+fun main() {
+  var k;
+  for (k = 0; k < 50; k = k + 1) { total = total + sum_squares(40); }
+  return total % 100000;
+}
+|}
+
+let test_inline_removes_calls () =
+  let p = Compile.Transform.inline_expansion ~names:[ "square" ] (parse square_src) in
+  let printed = Mini.Pprint.program p in
+  (* the expansion has substituted i * i at the call site *)
+  check_bool "call site replaced" true
+    (let needle = "s + i * i" in
+     let n = String.length needle and h = String.length printed in
+     let rec go i = i + n <= h && (String.sub printed i n = needle || go (i + 1)) in
+     go 0);
+  (* the definition remains *)
+  check_int "definition kept" 3 (List.length p.funs)
+
+let test_inline_preserves_semantics () =
+  let _, plain = run_program square_src in
+  let options = { Compile.Codegen.default_options with inline = [ "square" ] } in
+  let m, inlined = run_program ~options square_src in
+  check_int "same result" plain inlined;
+  ignore m
+
+let test_inline_saves_call_overhead () =
+  let m_plain, _ = run_program square_src in
+  let options = { Compile.Codegen.default_options with inline = [ "square" ] } in
+  let m_inl, _ = run_program ~options square_src in
+  check_bool "inlined build is faster" true
+    (Vm.Machine.cycles m_inl < Vm.Machine.cycles m_plain)
+
+let test_inline_profile_loses_routine () =
+  (* "the loss of routines will make its output more granular": after
+     inlining, square receives no calls and no arcs. *)
+  let options = { Compile.Codegen.profiling_options with inline = [ "square" ] } in
+  match Compile.Codegen.compile_source ~options square_src with
+  | Error e -> Alcotest.failf "compile: %s" e
+  | Ok o ->
+    let m = Vm.Machine.create o in
+    ignore (Vm.Machine.run m);
+    let g = Vm.Machine.profile m in
+    let square = Option.get (Objcode.Objfile.symbol_by_name o "square") in
+    check_int "no arcs into square" 0 (Gmon.arc_count_into g square.addr);
+    (match Gprof_core.Report.analyze o g with
+    | Error e -> Alcotest.fail e
+    | Ok r ->
+      check_bool "square is in the never-called list" true
+        (List.exists
+           (fun id -> Gprof_core.Symtab.name r.profile.symtab id = "square")
+           r.profile.never_called))
+
+let test_inline_skips_unsafe () =
+  (* impure argument: the call must survive *)
+  let src =
+    {|
+var effects;
+fun bump() { effects = effects + 1; return effects; }
+fun double(x) { return x + x; }
+fun main() { return double(bump()); }
+|}
+  in
+  let p = Compile.Transform.inline_expansion ~names:[ "double" ] (parse src) in
+  let printed = Mini.Pprint.program p in
+  check_bool "call kept (impure argument)" true
+    (let needle = "double(bump())" in
+     let n = String.length needle and h = String.length printed in
+     let rec go i = i + n <= h && (String.sub printed i n = needle || go (i + 1)) in
+     go 0);
+  (* semantics would differ if bump() were duplicated *)
+  let _, r = run_program src in
+  let options = { Compile.Codegen.default_options with inline = [ "double" ] } in
+  let _, r2 = run_program ~options src in
+  check_int "identical result" r r2
+
+let test_inline_skips_multi_statement_and_recursive () =
+  let src =
+    {|
+fun fact(n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+fun wrap(n) { return fact(n); }
+fun main() { return wrap(6); }
+|}
+  in
+  (* fact is recursive and multi-statement; wrap is a candidate. *)
+  let p = Compile.Transform.inline_expansion ~names:[ "fact"; "wrap" ] (parse src) in
+  let wrap_calls_left =
+    List.exists
+      (fun (f : Mini.Ast.fundef) ->
+        f.fname = "main"
+        && Mini.Pprint.program { Mini.Ast.globals = []; funs = [ f ] }
+           |> fun s ->
+           let needle = "fact(6)" in
+           let n = String.length needle and h = String.length s in
+           let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+           go 0)
+      p.funs
+  in
+  check_bool "wrap expanded into a direct fact call" true wrap_calls_left;
+  let _, r = run_program src in
+  let options = { Compile.Codegen.default_options with inline = [ "fact"; "wrap" ] } in
+  let _, r2 = run_program ~options src in
+  check_int "result preserved" r r2;
+  check_int "720" 720 r2
+
+let test_inline_chain_flattens () =
+  let src =
+    {|
+fun a(x) { return x + 1; }
+fun b(x) { return a(x) * 2; }
+fun c(x) { return b(x) + 3; }
+fun main() { return c(10); }
+|}
+  in
+  let p = Compile.Transform.inline_expansion ~names:[ "a"; "b"; "c" ] (parse src) in
+  let main = List.find (fun (f : Mini.Ast.fundef) -> f.fname = "main") p.funs in
+  let printed = Mini.Pprint.program { Mini.Ast.globals = []; funs = [ main ] } in
+  check_bool "no calls left in main" true
+    (not
+       (let needle = "(" in
+        ignore needle;
+        String.exists (fun c -> c = 'a' || c = 'b' || c = 'c') printed
+        && (let has call =
+              let n = String.length call and h = String.length printed in
+              let rec go i = i + n <= h && (String.sub printed i n = call || go (i + 1)) in
+              go 0
+            in
+            has "a(" || has "b(" || has "c(")));
+  let _, r = run_program src in
+  check_int "25" 25 r;
+  let options =
+    { Compile.Codegen.default_options with inline = [ "a"; "b"; "c" ] }
+  in
+  let _, r2 = run_program ~options src in
+  check_int "same" r r2
+
+(* Inlining must preserve semantics on every workload it can touch. *)
+let test_inline_workloads_semantics () =
+  List.iter
+    (fun ((w : Workloads.Programs.t), names) ->
+      let _, plain = run_program w.w_source in
+      let options = { Compile.Codegen.default_options with inline = names } in
+      let m1, inlined = run_program ~options w.w_source in
+      ignore m1;
+      check_int (w.w_name ^ " semantics") plain inlined)
+    [
+      (Workloads.Programs.matrix, [ "get_a"; "get_b" ]);
+      (Workloads.Programs.quick, [ "square" ]);
+      (Workloads.Programs.sort, [ "less" ]);
+      (Workloads.Programs.codegen, [ "hash"; "rehash" ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding *)
+
+let fold_expr_str s =
+  let p = parse (Printf.sprintf "fun main() { return %s; }" s) in
+  let p = Compile.Transform.constant_fold p in
+  match (List.hd p.funs).body with
+  | [ { Mini.Ast.sdesc = Mini.Ast.Return (Some e); _ } ] -> Mini.Pprint.expr e
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_fold_arith () =
+  Alcotest.(check string) "const" "42" (fold_expr_str "40 + 2");
+  Alcotest.(check string) "nested" "6" (fold_expr_str "1 + 2 + 3");
+  Alcotest.(check string) "mul" "6 + x" (fold_expr_str "2 * 3 + x");
+  Alcotest.(check string) "div" "3" (fold_expr_str "10 / 3");
+  Alcotest.(check string) "cmp" "1" (fold_expr_str "2 < 3");
+  Alcotest.(check string) "div by zero kept" "1 / 0" (fold_expr_str "1 / 0")
+
+let test_fold_identities () =
+  Alcotest.(check string) "x + 0" "x" (fold_expr_str "x + 0");
+  Alcotest.(check string) "0 + x" "x" (fold_expr_str "0 + x");
+  Alcotest.(check string) "x * 1" "x" (fold_expr_str "x * 1");
+  Alcotest.(check string) "x * 0" "0" (fold_expr_str "x * 0");
+  Alcotest.(check string) "x - 0" "x" (fold_expr_str "x - 0");
+  Alcotest.(check string) "x / 1" "x" (fold_expr_str "x / 1");
+  (* impure operand: must not discard the call *)
+  Alcotest.(check string) "f() * 0 kept" "main() * 0" (fold_expr_str "main() * 0")
+
+let test_fold_logic () =
+  Alcotest.(check string) "0 && x" "0" (fold_expr_str "0 && x");
+  Alcotest.(check string) "1 || x" "1" (fold_expr_str "1 || x");
+  Alcotest.(check string) "1 && x normalizes" "!!x" (fold_expr_str "1 && x");
+  Alcotest.(check string) "0 || x normalizes" "!!x" (fold_expr_str "0 || x")
+
+let test_fold_dead_branches () =
+  let src =
+    {|
+fun main() {
+  var x = 1;
+  if (1 < 2) { x = 10; } else { x = 20; }
+  if (0) { x = 30; }
+  while (0) { x = 40; }
+  return x;
+}
+|}
+  in
+  let p = Compile.Transform.constant_fold (parse src) in
+  let printed = Mini.Pprint.program p in
+  let has needle =
+    let n = String.length needle and h = String.length printed in
+    let rec go i = i + n <= h && (String.sub printed i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "then branch kept inline" true (has "x = 10;");
+  check_bool "else branch dropped" false (has "x = 20;");
+  check_bool "dead if dropped" false (has "x = 30;");
+  check_bool "dead while dropped" false (has "x = 40;")
+
+let test_fold_keeps_declaring_dead_code () =
+  (* A dead branch that declares must survive: its slot is used later
+     in the (admittedly odd) flat scope. *)
+  let src =
+    {|
+fun main() {
+  if (0) { var y = 1; }
+  y = 7;
+  return y;
+}
+|}
+  in
+  let p = Compile.Transform.constant_fold (parse src) in
+  check_int "still checks" 0
+    (List.length (Mini.Check.check ~builtins:Compile.Builtins.arities p));
+  let options = { Compile.Codegen.default_options with fold = true } in
+  let _, r = run_program ~options src in
+  check_int "runs to 7" 7 r
+
+let test_fold_workloads_semantics () =
+  List.iter
+    (fun (w : Workloads.Programs.t) ->
+      let _, plain = run_program w.w_source in
+      let options = { Compile.Codegen.default_options with fold = true } in
+      let _, folded = run_program ~options w.w_source in
+      check_int (w.w_name ^ " semantics") plain folded)
+    Workloads.Programs.[ quick; matrix; sort; kernel; recursive; explore ]
+
+(* Random-expression property: folding preserves evaluation. *)
+let fold_matches_eval =
+  QCheck.Test.make ~name:"constant folding preserves pure evaluation" ~count:300
+    QCheck.(
+      make
+        ~print:(fun e -> Mini.Pprint.expr e)
+        Gen.(
+          sized (fun n ->
+              fix
+                (fun self n ->
+                  if n <= 1 then map (fun k -> Mini.Ast.mk_expr (Mini.Ast.Int k))
+                      (int_range (-20) 20)
+                  else
+                    let sub = self (n / 2) in
+                    oneof
+                      [
+                        map (fun k -> Mini.Ast.mk_expr (Mini.Ast.Int k))
+                          (int_range (-20) 20);
+                        (let* op =
+                           oneofl
+                             Mini.Ast.[ Add; Sub; Mul; Div; Mod; Lt; Le; Gt; Ge;
+                                        Eq; Ne; And; Or ]
+                         in
+                         map2
+                           (fun l r -> Mini.Ast.mk_expr (Mini.Ast.Binop (op, l, r)))
+                           sub sub);
+                        map (fun e -> Mini.Ast.mk_expr (Mini.Ast.Unop (Mini.Ast.Not, e))) sub;
+                      ])
+                n)))
+    (fun e ->
+      (* Reference evaluator with Mini's semantics; Division_by_zero
+         bubbles as None. *)
+      let rec eval (e : Mini.Ast.expr) =
+        match e.desc with
+        | Mini.Ast.Int n -> Some n
+        | Mini.Ast.Var _ | Mini.Ast.Index _ | Mini.Ast.Call _ -> None
+        | Mini.Ast.Unop (Mini.Ast.Neg, e1) -> Option.map (fun v -> -v) (eval e1)
+        | Mini.Ast.Unop (Mini.Ast.Not, e1) ->
+          Option.map (fun v -> if v = 0 then 1 else 0) (eval e1)
+        | Mini.Ast.Binop (op, l, r) -> (
+          match op with
+          | Mini.Ast.And -> (
+            match eval l with
+            | Some 0 -> Some 0
+            | Some _ -> Option.map (fun v -> if v <> 0 then 1 else 0) (eval r)
+            | None -> None)
+          | Mini.Ast.Or -> (
+            match eval l with
+            | Some 0 -> Option.map (fun v -> if v <> 0 then 1 else 0) (eval r)
+            | Some _ -> Some 1
+            | None -> None)
+          | _ -> (
+            match (eval l, eval r) with
+            | Some a, Some b -> (
+              match op with
+              | Mini.Ast.Add -> Some (a + b)
+              | Mini.Ast.Sub -> Some (a - b)
+              | Mini.Ast.Mul -> Some (a * b)
+              | Mini.Ast.Div -> if b = 0 then None else Some (a / b)
+              | Mini.Ast.Mod -> if b = 0 then None else Some (a mod b)
+              | Mini.Ast.Lt -> Some (if a < b then 1 else 0)
+              | Mini.Ast.Le -> Some (if a <= b then 1 else 0)
+              | Mini.Ast.Gt -> Some (if a > b then 1 else 0)
+              | Mini.Ast.Ge -> Some (if a >= b then 1 else 0)
+              | Mini.Ast.Eq -> Some (if a = b then 1 else 0)
+              | Mini.Ast.Ne -> Some (if a <> b then 1 else 0)
+              | Mini.Ast.And | Mini.Ast.Or -> assert false)
+            | _ -> None))
+      in
+      let p =
+        { Mini.Ast.globals = [];
+          funs =
+            [ { Mini.Ast.fname = "main"; params = [];
+                body = [ Mini.Ast.mk_stmt (Mini.Ast.Return (Some e)) ];
+                floc = Mini.Ast.dummy_loc } ] }
+      in
+      let folded = Compile.Transform.constant_fold p in
+      let folded_e =
+        match (List.hd folded.funs).body with
+        | [ { Mini.Ast.sdesc = Mini.Ast.Return (Some e'); _ } ] -> e'
+        | _ -> e
+      in
+      match eval e with
+      | Some v -> (
+        (* a fully-constant expression must fold to that literal *)
+        match folded_e.desc with Mini.Ast.Int v' -> v = v' | _ -> false)
+      | None ->
+        (* division by zero somewhere: folding must keep an expression
+           that still evaluates to None (faults at run time) *)
+        eval folded_e = None)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "transform"
+    [
+      ("purity", [ Alcotest.test_case "is_pure" `Quick test_is_pure ]);
+      ( "inline",
+        [
+          Alcotest.test_case "expands call sites" `Quick test_inline_removes_calls;
+          Alcotest.test_case "preserves semantics" `Quick test_inline_preserves_semantics;
+          Alcotest.test_case "saves call overhead" `Quick test_inline_saves_call_overhead;
+          Alcotest.test_case "profile loses the routine" `Quick
+            test_inline_profile_loses_routine;
+          Alcotest.test_case "skips impure arguments" `Quick test_inline_skips_unsafe;
+          Alcotest.test_case "skips recursive/multi-statement" `Quick
+            test_inline_skips_multi_statement_and_recursive;
+          Alcotest.test_case "chains flatten" `Quick test_inline_chain_flattens;
+          Alcotest.test_case "workload semantics" `Slow test_inline_workloads_semantics;
+        ] );
+      ( "fold",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_fold_arith;
+          Alcotest.test_case "identities" `Quick test_fold_identities;
+          Alcotest.test_case "logic" `Quick test_fold_logic;
+          Alcotest.test_case "dead branches" `Quick test_fold_dead_branches;
+          Alcotest.test_case "declaring dead code" `Quick
+            test_fold_keeps_declaring_dead_code;
+          Alcotest.test_case "workload semantics" `Slow test_fold_workloads_semantics;
+          qt fold_matches_eval;
+        ] );
+    ]
