@@ -1,0 +1,32 @@
+SMOKE_DIR := _build/smoke
+
+.PHONY: all check build test smoke bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Build, run the full test suite, then drive the real binaries through
+# the whole pipeline once: compile with profiling, execute, and check
+# that the analyzer produces a report and a metrics dump.
+check: build test smoke
+
+smoke: build
+	mkdir -p $(SMOKE_DIR)
+	dune exec bin/minic.exe -- test/fixtures/smoke.mini --pg -o $(SMOKE_DIR)/smoke.obj
+	dune exec bin/minirun.exe -- $(SMOKE_DIR)/smoke.obj -q --gmon $(SMOKE_DIR)/smoke.gmon
+	dune exec bin/gprofx.exe -- $(SMOKE_DIR)/smoke.obj $(SMOKE_DIR)/smoke.gmon \
+	  --obs-metrics /dev/stdout > $(SMOKE_DIR)/smoke.out
+	grep -q "call graph profile" $(SMOKE_DIR)/smoke.out
+	grep -q '"gmon.bytes_read"' $(SMOKE_DIR)/smoke.out
+	@echo "smoke: ok"
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -4,24 +4,6 @@
 
 open Harness
 
-(* Run a bechamel test group and return (name, ns-per-run) estimates. *)
-let stats_of_benchmark test =
-  let open Bechamel in
-  let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) ~kde:None () in
-  let raw = Benchmark.all cfg instances test in
-  let results =
-    Analyze.all
-      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-      Toolkit.Instance.monotonic_clock raw
-  in
-  Hashtbl.fold
-    (fun name result acc ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> (name, est) :: acc
-      | _ -> acc)
-    results []
-
 (* §3.1: "We use the call site as the primary key … Another
    alternative would use the callee as the primary key … at the
    expense of longer lookups in the monitoring routine." *)

@@ -1,0 +1,94 @@
+(* Self-observability: sanity of the metrics the instrumented layers
+   publish, span coverage of the post-processing passes, and the
+   host-time overhead of leaving the VM's execution-mix counters on
+   (target: below 5%). *)
+
+open Harness
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let t_obs () =
+  section "metrics published by an instrumented run (matrix workload)";
+  let r = run_workload Workloads.Programs.matrix in
+  let reg = Obs.Metrics.create () in
+  Vm.Machine.observe r.machine reg;
+  print_string (Obs.Metrics.dump reg);
+  let gv n = Option.value ~default:0 (Obs.Metrics.find_gauge reg n) in
+  expect "instruction count present" (gv "vm.instructions" > 0);
+  expect "dispatch breakdown sums to the instruction count"
+    (List.fold_left (fun a (_, n) -> a + n) 0 (Vm.Machine.dispatch_counts r.machine)
+    = Vm.Machine.instructions_executed r.machine);
+  let mon = Vm.Machine.monitor r.machine in
+  expect "probe-depth histogram covers every mcount record"
+    (Array.fold_left ( + ) 0 (Vm.Monitor.probe_depth_hist mon)
+    = Vm.Monitor.total_records mon);
+  expect "chain cells equal distinct arcs"
+    ((Vm.Monitor.chain_stats mon).Vm.Monitor.n_cells
+    = Vm.Monitor.distinct_arcs mon);
+  expect "histogram ticks equal VM ticks" (gv "profil.ticks" = gv "vm.ticks");
+
+  section "span coverage of the post-processing passes (figure4)";
+  let tr = Obs.Trace.default in
+  let was_enabled = Obs.Trace.enabled tr in
+  Obs.Trace.set_enabled tr true;
+  Obs.Trace.clear tr;
+  (match
+     Gprof_core.Report.analyze Workloads.Figure4.objfile Workloads.Figure4.gmon
+   with
+  | Ok rep -> ignore (Gprof_core.Report.full_listing rep)
+  | Error e -> Printf.eprintf "figure4 analyze failed: %s\n" e);
+  print_string (Obs.Trace.summary tr);
+  let names = List.map (fun s -> s.Obs.Trace.s_name) (Obs.Trace.spans tr) in
+  let json = Obs.Trace.to_chrome_json tr in
+  Obs.Trace.set_enabled tr was_enabled;
+  Obs.Trace.clear tr;
+  expect "one span per post-processing pass"
+    (List.for_all
+       (fun n -> List.mem n names)
+       [
+         "analyze"; "symtab"; "assign"; "static-scan"; "arcgraph"; "cyclefind";
+         "propagate"; "report"; "flat"; "graph"; "index";
+       ]);
+  expect "chrome export carries a traceEvents array"
+    (contains ~needle:"\"traceEvents\":[" json);
+
+  section "host-time overhead of the always-on VM metrics (Bechamel)";
+  let obj =
+    match Workloads.Driver.compile Workloads.Programs.matrix with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  let bench metrics name =
+    Bechamel.Test.make ~name
+      (Bechamel.Staged.stage (fun () ->
+           let config = { Vm.Machine.default_config with metrics } in
+           ignore (Vm.Machine.run (Vm.Machine.create ~config obj))))
+  in
+  let grouped =
+    Bechamel.Test.make_grouped ~name:"vm"
+      [ bench false "metrics-off"; bench true "metrics-on" ]
+  in
+  let ests = stats_of_benchmark grouped in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-20s %12.0f ns/run\n" name ns)
+    (List.sort compare ests);
+  match (List.assoc_opt "vm/metrics-off" ests, List.assoc_opt "vm/metrics-on" ests) with
+  | Some off, Some on ->
+    let overhead = (on -. off) /. off in
+    Printf.printf "  overhead: %.2f%%\n" (100.0 *. overhead);
+    (* Published so `bench/main.exe --obs-json` lets BENCH files track
+       instrumentation overhead across PRs. *)
+    Obs.Metrics.set
+      (Obs.Metrics.gauge Obs.Metrics.default "bench.obs.overhead_ppm"
+         ~help:"relative host-time cost of metrics-on VM runs, parts per million")
+      (int_of_float (overhead *. 1e6));
+    expect "metrics-on overhead below 5%" (on <= off *. 1.05)
+  | _ -> expect "bechamel produced estimates for both configurations" false
+
+let register () =
+  register "t-obs"
+    "self-observability: metric sanity, pass spans, instrumentation overhead"
+    t_obs

@@ -24,7 +24,13 @@ let run_one t =
   Printf.printf "[%s] %s\n" t.id t.what;
   Printf.printf "%s\n" (String.make 74 '=');
   expectations := [];
-  t.run ();
+  let started = Unix.gettimeofday () in
+  Obs.Trace.with_span ~cat:"bench" ("exp:" ^ t.id) t.run;
+  (* Per-experiment wall time lands in the default registry so
+     --obs-json captures a machine-readable cost breakdown. *)
+  Obs.Metrics.set
+    (Obs.Metrics.gauge Obs.Metrics.default ("bench.exp." ^ t.id ^ ".us"))
+    (int_of_float ((Unix.gettimeofday () -. started) *. 1e6));
   let exps = List.rev !expectations in
   List.iter
     (fun (holds, label) ->
@@ -58,6 +64,24 @@ let run_all ~only =
   if bad then exit 2
 
 (* Shared helpers. *)
+
+(* Run a bechamel test group and return (name, ns-per-run) estimates. *)
+let stats_of_benchmark test =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  Hashtbl.fold
+    (fun name result acc ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> (name, est) :: acc
+      | _ -> acc)
+    results []
 
 let run_workload ?options ?config w =
   match Workloads.Driver.run ?options ?config w with

@@ -8,6 +8,7 @@
      dune exec bench/main.exe                 # run everything
      dune exec bench/main.exe -- --list       # list experiment ids
      dune exec bench/main.exe -- --only fig4  # run a single experiment
+     dune exec bench/main.exe -- --obs-json m.json   # dump the metrics registry
 *)
 
 let () =
@@ -15,7 +16,9 @@ let () =
   Exp_claims.register ();
   Exp_accuracy.register ();
   Exp_micro.register ();
+  Exp_obs.register ();
   let args = Array.to_list Sys.argv |> List.tl in
+  let obs_json = ref None in
   let rec parse only = function
     | [] -> List.rev only
     | "--list" :: _ ->
@@ -24,9 +27,19 @@ let () =
         (List.rev !Harness.registry);
       exit 0
     | "--only" :: id :: rest -> parse (id :: only) rest
+    | "--obs-json" :: file :: rest ->
+      obs_json := Some file;
+      parse only rest
     | arg :: _ ->
-      Printf.eprintf "unknown argument %s (try --list or --only ID)\n" arg;
+      Printf.eprintf "unknown argument %s (try --list, --only ID, --obs-json FILE)\n"
+        arg;
       exit 1
   in
   let only = parse [] args in
-  Harness.run_all ~only
+  let finally () =
+    (* Written even when expectations failed: the registry — per-
+       experiment wall times, gmon traffic, the instrumentation-
+       overhead gauge — is exactly what BENCH files want to track. *)
+    Option.iter (Obs.Metrics.save Obs.Metrics.default) !obs_json
+  in
+  Fun.protect ~finally (fun () -> Harness.run_all ~only)

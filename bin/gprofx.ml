@@ -14,7 +14,27 @@ let parse_arc s =
 let arc_conv = Arg.conv (parse_arc, fun ppf (a, b) -> Format.fprintf ppf "%s:%s" a b)
 
 let run obj_path gmon_paths no_static removed break focus exclude min_percent
-    view annotate icount_path verbose dot_out =
+    view annotate icount_path verbose dot_out obs_metrics obs_trace self_profile =
+  if obs_trace <> None || self_profile then
+    Obs.Trace.set_enabled Obs.Trace.default true;
+  let finish code =
+    (* Exports happen last so the spans and counters of every pass —
+       including the listing renderers — are included. *)
+    if self_profile then begin
+      print_newline ();
+      print_string "gprofx self-profile (wall time of its own passes):\n";
+      print_string (Obs.Trace.summary Obs.Trace.default)
+    end;
+    try
+      Option.iter (Obs.Metrics.save Obs.Metrics.default) obs_metrics;
+      Option.iter (Obs.Trace.save_chrome Obs.Trace.default) obs_trace;
+      code
+    with Sys_error e ->
+      Printf.eprintf "gprofx: %s\n" e;
+      1
+  in
+  finish
+  @@
   match Objcode.Objfile.load obj_path with
   | Error e ->
     Printf.eprintf "gprofx: %s: %s\n" obj_path e;
@@ -137,10 +157,26 @@ let view =
              (`Index, info [ "index" ] ~doc:"Index only.");
            ])
 
+let obs_metrics =
+  Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
+         ~doc:"Write gprofx's own metrics registry as JSON to $(docv) \
+               ('-' for stdout).")
+
+let obs_trace =
+  Arg.(value & opt (some string) None & info [ "obs-trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event JSON of gprofx's own analysis \
+               passes to $(docv) — open it in chrome://tracing or Perfetto.")
+
+let self_profile =
+  Arg.(value & flag & info [ "self-profile" ]
+         ~doc:"Append the wall time of gprofx's own passes to the output — \
+               the profiler profiled, as the paper does in its section 7.")
+
 let cmd =
   Cmd.v
     (Cmd.info "gprofx" ~doc:"call graph execution profiler")
     Term.(const run $ obj $ gmons $ no_static $ removed $ break $ focus
-          $ exclude $ min_percent $ view $ annotate $ icount $ verbose $ dot_out)
+          $ exclude $ min_percent $ view $ annotate $ icount $ verbose $ dot_out
+          $ obs_metrics $ obs_trace $ self_profile)
 
 let () = exit (Cmd.eval' cmd)

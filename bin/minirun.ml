@@ -7,8 +7,23 @@
 open Cmdliner
 
 let run obj_path gmon_out prof_out icount_out hz cpt bucket callee_primary seed
-    jitter quiet max_cycles =
-  match Objcode.Objfile.load obj_path with
+    jitter quiet max_cycles obs_metrics obs_trace =
+  if obs_trace <> None then Obs.Trace.set_enabled Obs.Trace.default true;
+  let finish code =
+    try
+      Option.iter (Obs.Metrics.save Obs.Metrics.default) obs_metrics;
+      Option.iter (Obs.Trace.save_chrome Obs.Trace.default) obs_trace;
+      code
+    with Sys_error e ->
+      Printf.eprintf "minirun: %s\n" e;
+      1
+  in
+  finish
+  @@
+  match
+    Obs.Trace.with_span ~cat:"minirun" "load-objfile" (fun () ->
+        Objcode.Objfile.load obj_path)
+  with
   | Error e ->
     Printf.eprintf "minirun: %s: %s\n" obj_path e;
     1
@@ -29,7 +44,9 @@ let run obj_path gmon_out prof_out icount_out hz cpt bucket callee_primary seed
       }
     in
     let m = Vm.Machine.create ~config o in
-    match Vm.Machine.run m with
+    let status = Obs.Trace.with_span ~cat:"minirun" "vm-run" (fun () -> Vm.Machine.run m) in
+    Vm.Machine.observe m Obs.Metrics.default;
+    match status with
     | Vm.Machine.Halted ->
       if not quiet then print_string (Vm.Machine.output m);
       let gmon_out =
@@ -103,10 +120,22 @@ let max_cycles =
   Arg.(value & opt (some int) None & info [ "max-cycles" ] ~docv:"N"
          ~doc:"Fault after N simulated cycles.")
 
+let obs_metrics =
+  Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
+         ~doc:"Write the VM's self-observability metrics (instructions by \
+               dispatch group, monitor probe-depth histogram, histogram \
+               ticks/overflow) as JSON to $(docv) ('-' for stdout).")
+
+let obs_trace =
+  Arg.(value & opt (some string) None & info [ "obs-trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event JSON of minirun's phases to \
+               $(docv) — open it in chrome://tracing or Perfetto.")
+
 let cmd =
   Cmd.v
     (Cmd.info "minirun" ~doc:"profiling virtual machine")
     Term.(const run $ obj $ gmon_out $ prof_out $ icount_out $ hz $ cpt $ bucket
-          $ callee_primary $ seed $ jitter $ quiet $ max_cycles)
+          $ callee_primary $ seed $ jitter $ quiet $ max_cycles $ obs_metrics
+          $ obs_trace)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,8 +5,23 @@
 
 open Cmdliner
 
-let run obj_path gmon_path counts_path =
-  match Objcode.Objfile.load obj_path with
+let run obj_path gmon_path counts_path obs_metrics obs_trace =
+  if obs_trace <> None then Obs.Trace.set_enabled Obs.Trace.default true;
+  let finish code =
+    try
+      Option.iter (Obs.Metrics.save Obs.Metrics.default) obs_metrics;
+      Option.iter (Obs.Trace.save_chrome Obs.Trace.default) obs_trace;
+      code
+    with Sys_error e ->
+      Printf.eprintf "profx: %s\n" e;
+      1
+  in
+  finish
+  @@
+  match
+    Obs.Trace.with_span ~cat:"prof" "load-objfile" (fun () ->
+        Objcode.Objfile.load obj_path)
+  with
   | Error e ->
     Printf.eprintf "profx: %s: %s\n" obj_path e;
     1
@@ -27,10 +42,13 @@ let run obj_path gmon_path counts_path =
         1
       | Ok counts ->
         let t =
-          Profbase.Prof.analyze o ~hist:gmon.Gmon.hist ~counts
-            ~ticks_per_second:gmon.Gmon.ticks_per_second
+          Obs.Trace.with_span ~cat:"prof" "analyze" (fun () ->
+              Profbase.Prof.analyze o ~hist:gmon.Gmon.hist ~counts
+                ~ticks_per_second:gmon.Gmon.ticks_per_second)
         in
-        print_string (Profbase.Prof.listing t);
+        print_string
+          (Obs.Trace.with_span ~cat:"prof" "listing" (fun () ->
+               Profbase.Prof.listing t));
         0))
 
 let obj =
@@ -43,9 +61,18 @@ let counts =
   Arg.(value & pos 2 (some file) None & info [] ~docv:"COUNTS"
          ~doc:"Per-function counter file from minirun --prof-out.")
 
+let obs_metrics =
+  Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
+         ~doc:"Write profx's own metrics registry as JSON to $(docv) \
+               ('-' for stdout).")
+
+let obs_trace =
+  Arg.(value & opt (some string) None & info [ "obs-trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event JSON of profx's phases to $(docv).")
+
 let cmd =
   Cmd.v
     (Cmd.info "profx" ~doc:"flat execution profiler (the prof(1) baseline)")
-    Term.(const run $ obj $ gmon $ counts)
+    Term.(const run $ obj $ gmon $ counts $ obs_metrics $ obs_trace)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,9 @@ type t = {
 }
 
 let build ?(static = []) st (arcs : Gmon.arc list) =
+  Obs.Trace.with_span ~cat:"core" "arcgraph"
+    ~args:[ ("arcs", string_of_int (List.length arcs)) ]
+  @@ fun () ->
   let n = Symtab.n_funcs st in
   let g = Graphlib.Digraph.create n in
   let spont = Hashtbl.create 8 in
@@ -30,14 +33,21 @@ let build ?(static = []) st (arcs : Gmon.arc list) =
         if not (Graphlib.Digraph.mem_arc g ~src ~dst) then
           Graphlib.Digraph.add_arc g ~src ~dst ~count:0)
     static;
-  {
-    graph = g;
-    spontaneous =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) spont [] |> List.sort compare;
-    dynamic_arcs =
-      Hashtbl.fold (fun k () acc -> k :: acc) dynamic [] |> List.sort compare;
-    dropped = !dropped;
-  }
+  let t =
+    {
+      graph = g;
+      spontaneous =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) spont [] |> List.sort compare;
+      dynamic_arcs =
+        Hashtbl.fold (fun k () acc -> k :: acc) dynamic [] |> List.sort compare;
+      dropped = !dropped;
+    }
+  in
+  let module M = Obs.Metrics in
+  M.set (M.gauge M.default "core.arcgraph.dynamic") (List.length t.dynamic_arcs);
+  M.set (M.gauge M.default "core.arcgraph.spontaneous") (List.length t.spontaneous);
+  M.set (M.gauge M.default "core.arcgraph.dropped") t.dropped;
+  t
 
 let remove_arcs t arcs =
   let g = Graphlib.Digraph.copy t.graph in

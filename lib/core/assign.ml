@@ -5,6 +5,7 @@ type result = {
 }
 
 let assign st (h : Gmon.hist) =
+  Obs.Trace.with_span ~cat:"core" "assign" @@ fun () ->
   let n = Symtab.n_funcs st in
   let self = Array.make n 0.0 in
   let unattributed = ref 0.0 in

@@ -6,6 +6,7 @@ type t = {
 }
 
 let find g =
+  Obs.Trace.with_span ~cat:"core" "cyclefind" @@ fun () ->
   let cond = Graphlib.Condense.condense g in
   let n = Graphlib.Digraph.n_nodes g in
   let cycle_no = Array.make n 0 in

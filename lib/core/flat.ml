@@ -35,6 +35,7 @@ let explanation =
    column sums to the total execution time.\n\n"
 
 let listing ?(verbose = false) (p : Profile.t) =
+  Obs.Trace.with_span ~cat:"core" "flat" @@ fun () ->
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "flat profile:\n\n";
   if verbose then Buffer.add_string buf explanation;

@@ -107,6 +107,7 @@ let explanation =
    the index where its own entry can be found.\n\n"
 
 let listing ?(verbose = false) (p : Profile.t) =
+  Obs.Trace.with_span ~cat:"core" "graph" @@ fun () ->
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "call graph profile:\n\n";
   if verbose then Buffer.add_string buf explanation;

@@ -1,6 +1,7 @@
 module Digraph = Graphlib.Digraph
 
 let run st (asg : Assign.result) (ag : Arcgraph.t) ~seconds_per_tick =
+  Obs.Trace.with_span ~cat:"core" "propagate" @@ fun () ->
   let n = Symtab.n_funcs st in
   let g = ag.graph in
   let cf = Cyclefind.find g in

@@ -85,6 +85,7 @@ let apply_min_percent (profile : Profile.t) min_percent =
     { profile with order }
 
 let analyze ?(options = default_options) o (gmon : Gmon.t) =
+  Obs.Trace.with_span ~cat:"core" "analyze" @@ fun () ->
   match Gmon.validate gmon with
   | Error es -> Error ("invalid profile data: " ^ String.concat "; " es)
   | Ok () when
@@ -101,12 +102,13 @@ let analyze ?(options = default_options) o (gmon : Gmon.t) =
     let asg = Assign.assign st gmon.hist in
     let static =
       if options.use_static_arcs then
-        List.filter_map
-          (fun (a, b) ->
-            match (Symtab.id_of_name st a, Symtab.id_of_name st b) with
-            | Some ia, Some ib -> Some (ia, ib)
-            | _ -> None)
-          (Objcode.Scan.static_arcs o)
+        Obs.Trace.with_span ~cat:"core" "static-scan" (fun () ->
+            List.filter_map
+              (fun (a, b) ->
+                match (Symtab.id_of_name st a, Symtab.id_of_name st b) with
+                | Some ia, Some ib -> Some (ia, ib)
+                | _ -> None)
+              (Objcode.Scan.static_arcs o))
       else []
     in
     let ag = Arcgraph.build ~static st gmon.arcs in
@@ -152,6 +154,7 @@ let index_listing t = Xindex.listing t.profile
 let dot_graph t = Dotprof.render t.profile
 
 let full_listing ?verbose t =
+  Obs.Trace.with_span ~cat:"core" "report" @@ fun () ->
   let buf = Buffer.create 8192 in
   if t.removed <> [] then begin
     Buffer.add_string buf "arcs removed from the analysis:\n";

@@ -4,6 +4,7 @@ type t = {
 }
 
 let of_objfile o =
+  Obs.Trace.with_span ~cat:"core" "symtab" @@ fun () ->
   let by_name = Hashtbl.create 64 in
   Array.iteri
     (fun i (s : Objcode.Objfile.symbol) -> Hashtbl.replace by_name s.name i)

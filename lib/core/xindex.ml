@@ -12,6 +12,7 @@ let entries (p : Profile.t) =
   List.sort (fun (a, _) (b, _) -> compare a b) (names @ cycles)
 
 let listing p =
+  Obs.Trace.with_span ~cat:"core" "index" @@ fun () ->
   let buf = Buffer.create 512 in
   Buffer.add_string buf "index by function name:\n\n";
   List.iter

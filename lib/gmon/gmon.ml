@@ -82,6 +82,30 @@ let validate t =
   if t.runs < 1 then err "runs %d < 1" t.runs;
   match List.rev !errs with [] -> Ok () | es -> Error es
 
+(* --- self-observability --------------------------------------------- *)
+
+(* The codec publishes its traffic to the process-wide registry: the
+   retrospective found that "reading data files … represents the
+   dominating factor" of gprof's own run time, so the byte counts are
+   first-class metrics. *)
+let m_bytes_written =
+  Obs.Metrics.counter Obs.Metrics.default "gmon.bytes_written"
+    ~help:"profile data bytes encoded"
+
+let m_bytes_read =
+  Obs.Metrics.counter Obs.Metrics.default "gmon.bytes_read"
+    ~help:"profile data bytes presented for decoding"
+
+let m_files_loaded = Obs.Metrics.counter Obs.Metrics.default "gmon.files_loaded"
+
+let m_files_saved = Obs.Metrics.counter Obs.Metrics.default "gmon.files_saved"
+
+let m_merges = Obs.Metrics.counter Obs.Metrics.default "gmon.merges"
+
+let m_arcs_merged =
+  Obs.Metrics.counter Obs.Metrics.default "gmon.arcs_merged"
+    ~help:"arc records combined on key collision during profile summing"
+
 let merge a b =
   let ha = a.hist and hb = b.hist in
   if
@@ -105,10 +129,14 @@ let merge a b =
         else if c < 0 then go xs' ys (x :: acc)
         else go xs ys' (y :: acc)
     in
+    let arcs = go a.arcs b.arcs [] in
+    Obs.Metrics.incr m_merges;
+    Obs.Metrics.incr m_arcs_merged
+      ~by:(List.length a.arcs + List.length b.arcs - List.length arcs);
     Ok
       {
         hist = { ha with h_counts = counts };
-        arcs = go a.arcs b.arcs [];
+        arcs;
         ticks_per_second = a.ticks_per_second;
         cycles_per_tick = a.cycles_per_tick;
         runs = a.runs + b.runs;
@@ -146,10 +174,12 @@ let to_bytes t =
       put_i64 buf a.a_self;
       put_i64 buf a.a_count)
     t.arcs;
+  Obs.Metrics.incr m_bytes_written ~by:(Buffer.length buf);
   Buffer.contents buf
 
 let of_bytes s =
   let exception Bad of string in
+  Obs.Metrics.incr m_bytes_read ~by:(String.length s);
   try
     let len = String.length s in
     if len < String.length magic || String.sub s 0 (String.length magic) <> magic
@@ -197,15 +227,19 @@ let of_bytes s =
   with Bad msg -> Error msg
 
 let save t path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_bytes t))
+  Obs.Metrics.incr m_files_saved;
+  Obs.Trace.with_span ~cat:"gmon" "gmon-save" (fun () ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (to_bytes t)))
 
 let load path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | s -> of_bytes s
-  | exception Sys_error e -> Error e
+  Obs.Metrics.incr m_files_loaded;
+  Obs.Trace.with_span ~cat:"gmon" "gmon-load" ~args:[ ("path", path) ] (fun () ->
+      match In_channel.with_open_bin path In_channel.input_all with
+      | s -> of_bytes s
+      | exception Sys_error e -> Error e)
 
 let equal a b =
   a.hist.h_lowpc = b.hist.h_lowpc

@@ -57,6 +57,32 @@ let cost = function
   | Syscall (Sys_print | Sys_putc) -> 40
   | Halt -> 1
 
+(* Coarse dispatch groups for the VM's execution-mix breakdown. *)
+let n_groups = 12
+
+let group = function
+  | Nop -> 0
+  | Const _ -> 1
+  | Load _ | Store _ -> 2
+  | Gload _ | Gstore _ -> 3
+  | Aload _ | Astore _ -> 4
+  | Alu _ | Unop _ -> 5
+  | Jump _ | Jumpz _ -> 6
+  | Call _ | Calli _ | Funref _ -> 7
+  | Enter _ | Ret | Pop -> 8
+  | Mcount | Pcount _ -> 9
+  | Syscall _ -> 10
+  | Halt -> 11
+
+let group_names =
+  [|
+    "nop"; "const"; "local"; "global"; "array"; "alu"; "branch"; "call"; "frame";
+    "instrument"; "syscall"; "halt";
+  |]
+
+let group_name g =
+  if g < 0 || g >= n_groups then invalid_arg "Instr.group_name" else group_names.(g)
+
 let alu_name = function
   | Add -> "add"
   | Sub -> "sub"

@@ -56,6 +56,19 @@ val cost : t -> int
     and returns slower than jumps, and syscalls slowest — coarse but
     shaped like the VAX of the paper. *)
 
+val n_groups : int
+(** Number of coarse dispatch groups. *)
+
+val group : t -> int
+(** Coarse dispatch group of an instruction, in [\[0, n_groups)]:
+    stack/local/global/array traffic, ALU, branches, the call family,
+    frame management, instrumentation, syscalls. Drives the VM's
+    execution-mix metrics. *)
+
+val group_name : int -> string
+(** Short name of a dispatch group.
+    @raise Invalid_argument when out of range. *)
+
 val alu_name : alu -> string
 
 val syscall_name : syscall -> string

@@ -1,0 +1,45 @@
+(* Minimal JSON emission over a Buffer — just enough for the metrics
+   and trace exporters. No parsing, no numbers-as-strings tricks. *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let int buf n = Buffer.add_string buf (string_of_int n)
+
+(* Trace timestamps are fractional microseconds; %.3f keeps them plain
+   (no exponent), which every trace viewer accepts. *)
+let float buf f = Buffer.add_string buf (Printf.sprintf "%.3f" f)
+
+(* Comma-separate the elements produced by [each] over [xs]. *)
+let seq buf xs each =
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char buf ',';
+      each x)
+    xs
+
+let obj buf fields =
+  Buffer.add_char buf '{';
+  seq buf fields (fun (k, emit) ->
+      escape buf k;
+      Buffer.add_char buf ':';
+      emit ());
+  Buffer.add_char buf '}'
+
+let arr buf xs each =
+  Buffer.add_char buf '[';
+  seq buf xs each;
+  Buffer.add_char buf ']'

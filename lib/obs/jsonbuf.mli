@@ -1,0 +1,17 @@
+(** Minimal JSON emission helpers shared by the metrics and trace
+    exporters. *)
+
+val escape : Buffer.t -> string -> unit
+(** Emit a JSON string literal, quoting and escaping as needed. *)
+
+val int : Buffer.t -> int -> unit
+
+val float : Buffer.t -> float -> unit
+(** Plain decimal notation (no exponent), 3 fractional digits. *)
+
+val obj : Buffer.t -> (string * (unit -> unit)) list -> unit
+(** [obj buf fields] emits [{"k":v,...}]; each field's value is
+    produced by its thunk. *)
+
+val arr : Buffer.t -> 'a list -> ('a -> unit) -> unit
+(** [arr buf xs each] emits [[...]] calling [each] per element. *)

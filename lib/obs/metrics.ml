@@ -1,0 +1,269 @@
+(* The metrics registry: named counters, gauges, and fixed-log2-bucket
+   histograms, with a human-readable dump and a JSON export. One
+   process-wide [default] registry serves the common case (the gmon
+   byte counters, the CLI exporters); components that snapshot their
+   own state publish into whatever registry they are handed. *)
+
+let n_hist_buckets = 32
+
+(* Bucket 0 collects non-positive values; bucket b >= 1 covers
+   [2^(b-1), 2^b). The top bucket absorbs everything larger. *)
+let hist_bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (n_hist_buckets - 1) (bits 0 v)
+  end
+
+let hist_bucket_bounds b =
+  if b = 0 then (0, 0)
+  else if b = n_hist_buckets - 1 then (1 lsl (b - 1), max_int)
+  else (1 lsl (b - 1), (1 lsl b) - 1)
+
+type counter = { mutable c_value : int; c_owner : t }
+
+and gauge = { mutable g_value : int; g_owner : t }
+
+and histogram = {
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+  h_owner : t;
+}
+
+and instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+and t = {
+  instruments : (string, instrument * string) Hashtbl.t; (* name -> (inst, help) *)
+  mutable enabled : bool;
+}
+
+let create () = { instruments = Hashtbl.create 32; enabled = true }
+
+let default = create ()
+
+let enabled t = t.enabled
+
+let set_enabled t on = t.enabled <- on
+
+let describe = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register t name help fresh select =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (inst, _) -> (
+    match select inst with
+    | Some x -> x
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %s already registered as a %s" name
+           (describe inst)))
+  | None ->
+    let inst, x = fresh () in
+    Hashtbl.replace t.instruments name (inst, Option.value ~default:"" help);
+    x
+
+let counter t ?help name =
+  register t name help
+    (fun () ->
+      let c = { c_value = 0; c_owner = t } in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t ?help name =
+  register t name help
+    (fun () ->
+      let g = { g_value = 0; g_owner = t } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram t ?help name =
+  register t name help
+    (fun () ->
+      let h =
+        {
+          h_buckets = Array.make n_hist_buckets 0;
+          h_count = 0;
+          h_sum = 0;
+          h_max = 0;
+          h_owner = t;
+        }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+
+let incr ?(by = 1) c = if c.c_owner.enabled then c.c_value <- c.c_value + by
+
+let counter_value c = c.c_value
+
+let set g v = if g.g_owner.enabled then g.g_value <- v
+
+let gauge_value g = g.g_value
+
+let observe h v =
+  if h.h_owner.enabled then begin
+    h.h_buckets.(hist_bucket_of v) <- h.h_buckets.(hist_bucket_of v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let set_snapshot h ~buckets ~count ~sum ~max =
+  if h.h_owner.enabled then begin
+    if Array.length buckets <> n_hist_buckets then
+      invalid_arg "Obs.Metrics.set_snapshot: wrong bucket count";
+    Array.blit buckets 0 h.h_buckets 0 n_hist_buckets;
+    h.h_count <- count;
+    h.h_sum <- sum;
+    h.h_max <- max
+  end
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+let hist_max h = h.h_max
+let hist_buckets h = Array.copy h.h_buckets
+
+let find_counter t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Counter c, _) -> Some c.c_value
+  | _ -> None
+
+let find_gauge t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Gauge g, _) -> Some g.g_value
+  | _ -> None
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Histogram h, _) -> Some h
+  | _ -> None
+
+let reset t =
+  Hashtbl.iter
+    (fun _ (inst, _) ->
+      match inst with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0
+      | Histogram h ->
+        Array.fill h.h_buckets 0 n_hist_buckets 0;
+        h.h_count <- 0;
+        h.h_sum <- 0;
+        h.h_max <- 0)
+    t.instruments
+
+let sorted t =
+  Hashtbl.fold (fun name (inst, help) acc -> (name, inst, help) :: acc) t.instruments []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let dump t =
+  let buf = Buffer.create 1024 in
+  let width =
+    List.fold_left (fun w (n, _, _) -> max w (String.length n)) 0 (sorted t)
+  in
+  List.iter
+    (fun (name, inst, help) ->
+      let pad = String.make (max 1 (width - String.length name + 2)) ' ' in
+      (match inst with
+      | Counter c ->
+        Buffer.add_string buf (Printf.sprintf "counter  %s%s%d" name pad c.c_value)
+      | Gauge g ->
+        Buffer.add_string buf (Printf.sprintf "gauge    %s%s%d" name pad g.g_value)
+      | Histogram h ->
+        Buffer.add_string buf
+          (Printf.sprintf "hist     %s%scount=%d sum=%d max=%d" name pad h.h_count
+             h.h_sum h.h_max);
+        Array.iteri
+          (fun b n ->
+            if n > 0 then begin
+              let lo, hi = hist_bucket_bounds b in
+              let range =
+                if b = 0 then "        <=0"
+                else if hi = max_int then Printf.sprintf "%9d..." lo
+                else if lo = hi then Printf.sprintf "%11d" lo
+                else Printf.sprintf "%5d..%4d" lo hi
+              in
+              Buffer.add_string buf (Printf.sprintf "\n           %s  %d" range n)
+            end)
+          h.h_buckets);
+      if help <> "" then Buffer.add_string buf ("    # " ^ help);
+      Buffer.add_char buf '\n')
+    (sorted t);
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let counters, gauges, hists =
+    List.fold_left
+      (fun (cs, gs, hs) (name, inst, _) ->
+        match inst with
+        | Counter c -> ((name, c) :: cs, gs, hs)
+        | Gauge g -> (cs, (name, g) :: gs, hs)
+        | Histogram h -> (cs, gs, (name, h) :: hs))
+      ([], [], []) (List.rev (sorted t))
+  in
+  Jsonbuf.obj buf
+    [
+      ( "counters",
+        fun () ->
+          Jsonbuf.obj buf
+            (List.map
+               (fun (n, c) -> (n, fun () -> Jsonbuf.int buf c.c_value))
+               counters) );
+      ( "gauges",
+        fun () ->
+          Jsonbuf.obj buf
+            (List.map (fun (n, g) -> (n, fun () -> Jsonbuf.int buf g.g_value)) gauges)
+      );
+      ( "histograms",
+        fun () ->
+          Jsonbuf.obj buf
+            (List.map
+               (fun (n, h) ->
+                 ( n,
+                   fun () ->
+                     let buckets =
+                       Array.to_list
+                         (Array.mapi (fun b c -> (b, c)) h.h_buckets)
+                       |> List.filter (fun (_, c) -> c > 0)
+                     in
+                     Jsonbuf.obj buf
+                       [
+                         ("count", fun () -> Jsonbuf.int buf h.h_count);
+                         ("sum", fun () -> Jsonbuf.int buf h.h_sum);
+                         ("max", fun () -> Jsonbuf.int buf h.h_max);
+                         ( "buckets",
+                           fun () ->
+                             Jsonbuf.arr buf buckets (fun (b, c) ->
+                                 let lo, hi = hist_bucket_bounds b in
+                                 Jsonbuf.obj buf
+                                   [
+                                     ("lo", fun () -> Jsonbuf.int buf lo);
+                                     ( "hi",
+                                       fun () ->
+                                         Jsonbuf.int buf (if hi = max_int then -1 else hi)
+                                     );
+                                     ("count", fun () -> Jsonbuf.int buf c);
+                                   ]) );
+                       ] ))
+               hists) );
+    ];
+  Buffer.contents buf
+
+let save t path =
+  let write oc = output_string oc (to_json t) in
+  (* /dev/stdout via open_out would write through a second fd whose
+     offset races the buffered report already on stdout; route it (and
+     "-") through the stdout channel instead. *)
+  if path = "-" || path = "/dev/stdout" then begin
+    write stdout;
+    flush stdout
+  end
+  else
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc)

@@ -1,0 +1,65 @@
+(** Span-based phase tracing with Chrome [trace_event] export.
+
+    A tracer collects completed spans — named intervals with
+    microsecond timestamps, nesting depth, and optional string
+    arguments. Timestamps come from [Unix.gettimeofday] clamped to be
+    non-decreasing and rebased to the first observation.
+
+    Tracers start {e disabled}: {!with_span} on a disabled tracer runs
+    its thunk with no timing, no allocation beyond the closure, and no
+    recording, so the pass instrumentation threaded through the
+    analysis pipeline is free unless an exporter turned tracing on.
+
+    The export is the Chrome trace-event JSON format: open the file in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+type t
+
+type span = {
+  s_name : string;
+  s_cat : string;
+  s_start_us : float;  (** microseconds since the tracer epoch *)
+  s_dur_us : float;
+  s_depth : int;  (** nesting depth at the time the span opened *)
+  s_args : (string * string) list;
+}
+
+val create : unit -> t
+(** A fresh, disabled tracer. *)
+
+val default : t
+(** The process-wide tracer the pipeline's pass spans record into. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+val clear : t -> unit
+
+val with_span :
+  ?t:t -> ?cat:string -> ?args:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** [with_span name f] times [f ()] as one span (recorded even when
+    [f] raises). Defaults to the {!default} tracer, category
+    ["gprof"]. *)
+
+val instant :
+  ?t:t -> ?cat:string -> ?args:(string * string) list -> string -> unit
+(** A zero-duration marker. *)
+
+val spans : t -> span list
+(** Completed spans in start order. *)
+
+val span_count : t -> int
+
+val to_chrome_json : t -> string
+(** [{"displayTimeUnit":"ms","traceEvents":[...]}] with one complete
+    ("X") event per span, pid/tid 1. *)
+
+val save_chrome : t -> string -> unit
+(** Write {!to_chrome_json} to a file; ["-"] or ["/dev/stdout"]
+    writes to stdout. *)
+
+val summary : t -> string
+(** Human-readable wall-time table, indented by nesting depth — the
+    self-profiling report. *)

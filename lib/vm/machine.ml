@@ -11,6 +11,7 @@ type config = {
   oracle : bool;
   stack_interval : int option;
   count_instructions : bool;
+  metrics : bool;
   tick_jitter : float;
   seed : int;
   max_cycles : int option;
@@ -28,6 +29,7 @@ let default_config =
     oracle = false;
     stack_interval = None;
     count_instructions = false;
+    metrics = true;
     tick_jitter = 0.0;
     seed = 1;
     max_cycles = None;
@@ -66,6 +68,8 @@ type t = {
   oracle : Oracle.t option;
   sampler : Stacksamp.t option;
   icounts : int array option;
+  mutable n_instr : int;
+  dispatch : int array; (* per Instr.group execution counts *)
   prng : Util.Prng.t;
   out : Buffer.t;
   mutable status : status;
@@ -102,6 +106,8 @@ let create ?(config = default_config) o =
       sampler = Option.map (fun i -> Stacksamp.create ~interval:i) config.stack_interval;
       icounts =
         (if config.count_instructions then Some (Array.make text_size 0) else None);
+      n_instr = 0;
+      dispatch = Array.make Instr.n_groups 0;
       prng = Util.Prng.create config.seed;
       out = Buffer.create 256;
       status = Running;
@@ -129,6 +135,26 @@ let instruction_counts m = Option.map Array.copy m.icounts
 let monitor m = m.monitor
 let mcount_cycles m = m.mcount_cycles
 let the_oracle m = m.oracle
+
+let instructions_executed m = m.n_instr
+
+let dispatch_counts m =
+  Array.to_list (Array.mapi (fun g n -> (Instr.group_name g, n)) m.dispatch)
+
+let observe m reg =
+  let module M = Obs.Metrics in
+  let g name v = M.set (M.gauge reg name) v in
+  g "vm.instructions" m.n_instr;
+  g "vm.cycles" m.cycles;
+  g "vm.ticks" m.n_ticks;
+  g "vm.mcount_cycles" m.mcount_cycles;
+  g "vm.stack_depth" (Util.Growvec.length m.stack);
+  g "vm.frame_depth" (Util.Growvec.length m.frames);
+  Array.iteri
+    (fun grp n -> if n > 0 then g ("vm.dispatch." ^ Instr.group_name grp) n)
+    m.dispatch;
+  Monitor.observe m.monitor reg;
+  Profil.observe m.profil reg
 
 let call_stack m =
   Array.init (Util.Growvec.length m.frames) (fun i ->
@@ -273,6 +299,11 @@ let step m =
         (match m.icounts with
         | Some counts -> counts.(at_pc) <- counts.(at_pc) + 1
         | None -> ());
+        if m.config.metrics then begin
+          m.n_instr <- m.n_instr + 1;
+          let grp = Instr.group ins in
+          m.dispatch.(grp) <- m.dispatch.(grp) + 1
+        end;
         m.cycles <- m.cycles + Instr.cost ins;
         (match m.config.max_cycles with
         | Some limit when m.cycles > limit -> raise (Fault "cycle limit exceeded")

@@ -35,6 +35,11 @@ type config = {
       (** keep an exact per-address execution count (drives the
           annotated-source listing); free of simulated-cycle cost,
           like a hardware trace unit *)
+  metrics : bool;
+      (** maintain the self-observability counters (instructions
+          executed, dispatch-group breakdown); free of simulated-cycle
+          cost, and cheap enough in host time to leave on (bench
+          [t-obs] measures the overhead) *)
   tick_jitter : float;
       (** 0 = strictly periodic ticks; q > 0 randomizes each interval
           uniformly within ±q/2 of its length, modelling an imperfect
@@ -46,8 +51,8 @@ type config = {
 
 val default_config : config
 (** 16666 cycles/tick, 60 ticks/s, bucket size 1, [Site_primary],
-    histogram and monitoring on, no oracle, no stack sampling, no
-    jitter, seed 1, max_cycles [None], depth 100000. *)
+    histogram, monitoring, and metrics on, no oracle, no stack
+    sampling, no jitter, seed 1, max_cycles [None], depth 100000. *)
 
 type fault = { fault_pc : int; reason : string }
 
@@ -97,6 +102,19 @@ val monitor : t -> Monitor.t
 
 val mcount_cycles : t -> int
 (** Total cycles charged by the monitoring routine so far. *)
+
+val instructions_executed : t -> int
+(** Instructions dispatched so far; 0 when [metrics] is off. *)
+
+val dispatch_counts : t -> (string * int) list
+(** Execution count per {!Objcode.Instr.group}, as
+    [(group name, count)] in group order; all zero when [metrics] is
+    off. *)
+
+val observe : t -> Obs.Metrics.t -> unit
+(** Publish the machine's execution metrics ([vm.*]) and its
+    monitor's ([monitor.*]) and histogram's ([profil.*]) into a
+    registry. *)
 
 val the_oracle : t -> Oracle.t option
 

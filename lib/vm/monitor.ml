@@ -16,6 +16,8 @@ type t = {
   mutable spontaneous : int; (* head of the spontaneous chain, 1-based *)
   mutable n_records : int;
   mutable n_probes : int;
+  mutable max_probe : int;
+  probe_hist : int array; (* log2 buckets of probes-per-record *)
 }
 
 let base_cost = 10
@@ -32,6 +34,8 @@ let create ~text_size ~keying =
     spontaneous = 0;
     n_records = 0;
     n_probes = 0;
+    max_probe = 0;
+    probe_hist = Array.make Obs.Metrics.n_hist_buckets 0;
   }
 
 let keying t = t.keying
@@ -59,33 +63,34 @@ let record t ~frompc ~selfpc =
   if selfpc < 0 || selfpc >= t.text_size then
     invalid_arg "Monitor.record: selfpc outside text segment";
   t.n_records <- t.n_records + 1;
-  let spontaneous = frompc < 0 || frompc >= t.text_size in
-  let key1, key2 =
-    match t.keying with
-    | Site_primary -> (frompc, selfpc)
-    | Callee_primary -> (selfpc, frompc)
+  (* A caller outside the text segment — the negative sentinel the
+     startup stub leaves, or an address past the end — is normalized
+     to the one spontaneous pseudo-site before keying, so both keyings
+     agree on the arc and distinct anomalous sources cannot smear into
+     distinct records. *)
+  let frompc =
+    if frompc < 0 || frompc >= t.text_size then spontaneous_from else frompc
   in
-  let get_head, set_head =
-    if spontaneous then begin
-      match t.keying with
-      | Site_primary ->
+  let spontaneous = frompc = spontaneous_from in
+  let get_head, set_head, key2 =
+    match t.keying with
+    | Site_primary ->
+      if spontaneous then
         (* All spontaneous invocations share one chain keyed by
            callee. *)
-        ((fun () -> t.spontaneous), fun h -> t.spontaneous <- h)
-      | Callee_primary ->
-        (* The callee is a real address; the unidentified caller is
-           just another secondary key. *)
-        ((fun () -> t.froms.(key1)), fun h -> t.froms.(key1) <- h)
-    end
-    else ((fun () -> t.froms.(key1)), fun h -> t.froms.(key1) <- h)
-  in
-  let key2 =
-    if spontaneous then
-      match t.keying with Site_primary -> selfpc | Callee_primary -> spontaneous_from
-    else key2
+        ((fun () -> t.spontaneous), (fun h -> t.spontaneous <- h), selfpc)
+      else
+        ((fun () -> t.froms.(frompc)), (fun h -> t.froms.(frompc) <- h), selfpc)
+    | Callee_primary ->
+      (* The callee is a real address; the (possibly normalized)
+         caller is just another secondary key. *)
+      ((fun () -> t.froms.(selfpc)), (fun h -> t.froms.(selfpc) <- h), frompc)
   in
   let found, probes = find_on_chain t (get_head ()) key2 in
   t.n_probes <- t.n_probes + probes;
+  if probes > t.max_probe then t.max_probe <- probes;
+  let pb = Obs.Metrics.hist_bucket_of probes in
+  t.probe_hist.(pb) <- t.probe_hist.(pb) + 1;
   (match found with
   | Some c -> c.count <- c.count + 1
   | None -> set_head (push_cell t key2 (get_head ())));
@@ -123,9 +128,52 @@ let total_records t = t.n_records
 
 let total_probes t = t.n_probes
 
+let max_probe t = t.max_probe
+
+let probe_depth_hist t = Array.copy t.probe_hist
+
+type chain_stats = { n_chains : int; n_cells : int; max_chain : int }
+
+let chain_stats t =
+  let n_chains = ref 0 and n_cells = ref 0 and max_chain = ref 0 in
+  let walk head =
+    if head <> 0 then begin
+      incr n_chains;
+      let len = ref 0 in
+      let rec go idx =
+        if idx <> 0 then begin
+          incr len;
+          go (Util.Growvec.get t.tos (idx - 1)).link
+        end
+      in
+      go head;
+      n_cells := !n_cells + !len;
+      if !len > !max_chain then max_chain := !len
+    end
+  in
+  Array.iter walk t.froms;
+  walk t.spontaneous;
+  { n_chains = !n_chains; n_cells = !n_cells; max_chain = !max_chain }
+
+let observe t reg =
+  let module M = Obs.Metrics in
+  let g name v = M.set (M.gauge reg name) v in
+  g "monitor.records" t.n_records;
+  g "monitor.probes" t.n_probes;
+  let cs = chain_stats t in
+  g "monitor.chains" cs.n_chains;
+  g "monitor.cells" cs.n_cells;
+  g "monitor.chain_max" cs.max_chain;
+  M.set_snapshot
+    (M.histogram reg "monitor.probe_depth"
+       ~help:"chain probes per mcount record")
+    ~buckets:t.probe_hist ~count:t.n_records ~sum:t.n_probes ~max:t.max_probe
+
 let reset t =
   Array.fill t.froms 0 (Array.length t.froms) 0;
   Util.Growvec.clear t.tos;
   t.spontaneous <- 0;
   t.n_records <- 0;
-  t.n_probes <- 0
+  t.n_probes <- 0;
+  t.max_probe <- 0;
+  Array.fill t.probe_hist 0 (Array.length t.probe_hist) 0

@@ -55,8 +55,27 @@ val total_records : t -> int
 val total_probes : t -> int
 (** Number of chain probes performed, for the keying ablation. *)
 
+val max_probe : t -> int
+(** Longest chain walk any single [record] performed. *)
+
+val probe_depth_hist : t -> int array
+(** Per-record probe counts bucketed as by
+    {!Obs.Metrics.hist_bucket_of} (length
+    {!Obs.Metrics.n_hist_buckets}); bucket 0 is the empty-chain case. *)
+
+type chain_stats = { n_chains : int; n_cells : int; max_chain : int }
+
+val chain_stats : t -> chain_stats
+(** Walk the live table: number of non-empty chains, total records on
+    them, and the longest chain. O(cells). *)
+
+val observe : t -> Obs.Metrics.t -> unit
+(** Publish records, probes, chain statistics, and the probe-depth
+    histogram into a registry under [monitor.*]. *)
+
 val reset : t -> unit
-(** Clear all counts (the kernel-control "reset" operation). *)
+(** Clear all counts (the kernel-control "reset" operation),
+    including the probe statistics. *)
 
 val base_cost : int
 val probe_cost : int

@@ -1,8 +1,11 @@
 type t = {
   shape : Gmon.hist; (* h_counts unused; retained for geometry *)
   counts : int array;
+  last_pc : int array; (* last sampled pc per bucket + 1; 0 = never hit *)
   mutable enabled : bool;
   mutable ticks : int;
+  mutable overflow : int;
+  mutable collisions : int;
 }
 
 let create ~lowpc ~highpc ~bucket_size =
@@ -10,8 +13,11 @@ let create ~lowpc ~highpc ~bucket_size =
   {
     shape;
     counts = Array.make (Array.length shape.h_counts) 0;
+    last_pc = Array.make (Array.length shape.h_counts) 0;
     enabled = true;
     ticks = 0;
+    overflow = 0;
+    collisions = 0;
   }
 
 let enabled t = t.enabled
@@ -23,13 +29,36 @@ let sample t ~pc =
     match Gmon.bucket_of_pc t.shape pc with
     | Some i ->
       t.counts.(i) <- t.counts.(i) + 1;
-      t.ticks <- t.ticks + 1
-    | None -> ()
+      t.ticks <- t.ticks + 1;
+      (* A collision is a tick that lands in a bucket a *different*
+         address already hit: exactly the attribution ambiguity a
+         bucket size > 1 introduces. *)
+      if t.last_pc.(i) <> 0 && t.last_pc.(i) <> pc + 1 then
+        t.collisions <- t.collisions + 1;
+      t.last_pc.(i) <- pc + 1
+    | None -> t.overflow <- t.overflow + 1
 
 let ticks t = t.ticks
+
+let overflow t = t.overflow
+
+let collisions t = t.collisions
+
+let observe t reg =
+  let module M = Obs.Metrics in
+  let g name v = M.set (M.gauge reg name) v in
+  g "profil.ticks" t.ticks;
+  g "profil.overflow" t.overflow;
+  g "profil.collisions" t.collisions;
+  g "profil.buckets" (Array.length t.counts);
+  g "profil.buckets_hit"
+    (Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 t.counts)
 
 let hist t = { t.shape with h_counts = Array.copy t.counts }
 
 let reset t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
-  t.ticks <- 0
+  Array.fill t.last_pc 0 (Array.length t.last_pc) 0;
+  t.ticks <- 0;
+  t.overflow <- 0;
+  t.collisions <- 0

@@ -21,11 +21,26 @@ val enable : t -> unit
 val disable : t -> unit
 
 val sample : t -> pc:int -> unit
-(** Record one clock tick observed at [pc]. No-op when disabled or
-    when [pc] lies outside the covered range. *)
+(** Record one clock tick observed at [pc]. No-op when disabled; a
+    [pc] outside the covered range is not counted but is tallied in
+    {!overflow}. *)
 
 val ticks : t -> int
 (** Total ticks recorded since creation/reset. *)
+
+val overflow : t -> int
+(** Ticks observed while enabled whose pc fell outside the covered
+    range — the histogram-overflow the paper's profil(2) silently
+    drops. *)
+
+val collisions : t -> int
+(** Ticks that landed in a bucket previously hit by a {e different}
+    address: the attribution ambiguity introduced by bucket sizes
+    greater than one. Always 0 when [bucket_size = 1]. *)
+
+val observe : t -> Obs.Metrics.t -> unit
+(** Publish ticks, overflow, collisions, and bucket occupancy into a
+    registry under [profil.*]. *)
 
 val hist : t -> Gmon.hist
 (** Snapshot (the counts array is copied). *)

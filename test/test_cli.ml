@@ -138,6 +138,45 @@ let test_kgmonx_cli () =
   check_bool "first window gathered while on" true (Gmon.total_ticks g1 > 0);
   check_bool "second window disjoint and nonempty" true (Gmon.total_ticks g2 > 0)
 
+let test_obs_flags () =
+  let src = write_source () in
+  let obj = path "prog.obj" and gmon = path "prog.gmon" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj ]);
+  let vm_metrics = path "vm_metrics.json" in
+  let code, _ =
+    run_cmd
+      [ exe "minirun"; obj; "--gmon"; gmon; "-q"; "--obs-metrics"; vm_metrics ]
+  in
+  check_int "minirun --obs-metrics exits 0" 0 code;
+  let vm_json = In_channel.with_open_text vm_metrics In_channel.input_all in
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle vm_json))
+    [ "\"gauges\"";       (* registry structure *)
+      "\"vm.instructions\""; "\"vm.dispatch.call\""; (* the machine *)
+      "\"monitor.records\""; "\"monitor.probe_depth\""; (* mcount *)
+      "\"profil.ticks\"";   (* the histogram sampler *)
+      "\"gmon.bytes_written\"" (* the codec *) ];
+  let metrics = path "gprofx_metrics.json" and trace = path "gprofx_trace.json" in
+  let code, _ =
+    run_cmd
+      [ exe "gprofx"; obj; gmon; "--obs-metrics"; metrics; "--obs-trace"; trace ]
+  in
+  check_int "gprofx --obs-* exits 0" 0 code;
+  let trace_json = In_channel.with_open_text trace In_channel.input_all in
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle trace_json))
+    [ "\"traceEvents\":["; "\"ph\":\"X\"";
+      "\"name\":\"symtab\""; "\"name\":\"arcgraph\""; "\"name\":\"propagate\"";
+      "\"name\":\"flat\""; "\"name\":\"gmon-load\"" ];
+  check_bool "gprofx metrics mention the gmon codec" true
+    (contains ~needle:"\"gmon.bytes_read\""
+       (In_channel.with_open_text metrics In_channel.input_all));
+  (* --self-profile prints the span summary on stdout after the report. *)
+  let code, out = run_cmd [ exe "gprofx"; obj; gmon; "--flat"; "--self-profile" ] in
+  check_int "gprofx --self-profile exits 0" 0 code;
+  check_bool "self-profile table printed" true
+    (contains ~needle:"gprofx self-profile" out && contains ~needle:"analyze" out)
+
 let test_bad_inputs_fail_cleanly () =
   let code, _ = run_cmd [ exe "minic"; path "nonexistent.mini" ] in
   check_bool "minic rejects missing file" true (code <> 0);
@@ -162,6 +201,7 @@ let () =
           Alcotest.test_case "multi-run summing" `Slow test_multirun_merge_cli;
           Alcotest.test_case "profdiff" `Slow test_profdiff_cli;
           Alcotest.test_case "kgmonx" `Slow test_kgmonx_cli;
+          Alcotest.test_case "observability flags" `Slow test_obs_flags;
           Alcotest.test_case "bad inputs" `Slow test_bad_inputs_fail_cleanly;
         ] );
     ]

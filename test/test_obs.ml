@@ -1,0 +1,375 @@
+(* Tests for the self-observability layer: the metrics registry
+   (bucket geometry, instrument semantics, export formats), the span
+   tracer (nesting, clocks, Chrome export), and the hooks the VM and
+   the analysis pipeline publish through. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* A minimal JSON syntax checker — enough to reject the classic
+   emission bugs (trailing commas, unescaped quotes, bare NaN) without
+   needing a JSON library in the test image. *)
+let json_ok (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail = ref false in
+  let error () = fail := true in
+  let skip_ws () =
+    while (not !fail) && !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () = Some c then advance () else error () in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> keyword "true"
+    | Some 'f' -> keyword "false"
+    | Some 'n' -> keyword "null"
+    | _ -> error ()
+  and keyword k =
+    if !pos + String.length k <= n && String.sub s !pos (String.length k) = k
+    then pos := !pos + String.length k
+    else error ()
+  and string_lit () =
+    expect '"';
+    let closed = ref false in
+    while (not !fail) && not !closed do
+      match peek () with
+      | None -> error ()
+      | Some '"' -> advance (); closed := true
+      | Some '\\' -> advance (); (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            (match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> error ())
+          done
+        | _ -> error ())
+      | Some c when Char.code c < 0x20 -> error ()
+      | Some _ -> advance ()
+    done
+  and number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let seen = ref false in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        seen := true; advance ()
+      done;
+      if not !seen then error ()
+    in
+    digits ();
+    if peek () = Some '.' then (advance (); digits ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ())
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let more = ref true in
+      while (not !fail) && !more do
+        skip_ws (); string_lit (); skip_ws (); expect ':'; value (); skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some '}' -> advance (); more := false
+        | _ -> error ()
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let more = ref true in
+      while (not !fail) && !more do
+        value (); skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some ']' -> advance (); more := false
+        | _ -> error ()
+      done
+    end
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: bucket geometry *)
+
+let test_bucket_geometry () =
+  let b = Obs.Metrics.hist_bucket_of in
+  check_int "negative" 0 (b (-3));
+  check_int "zero" 0 (b 0);
+  check_int "one" 1 (b 1);
+  check_int "two" 2 (b 2);
+  check_int "three" 2 (b 3);
+  check_int "four" 3 (b 4);
+  check_int "1024" 11 (b 1024);
+  check_int "max_int lands in the top bucket"
+    (Obs.Metrics.n_hist_buckets - 1) (b max_int);
+  (* Bounds and bucket_of must agree: every bucket's own bounds map
+     back to it, and adjacent buckets tile the integers. *)
+  for i = 0 to Obs.Metrics.n_hist_buckets - 1 do
+    let lo, hi = Obs.Metrics.hist_bucket_bounds i in
+    check_int (Printf.sprintf "lo of bucket %d" i) i (b lo);
+    check_int (Printf.sprintf "hi of bucket %d" i) i (b hi);
+    if i > 0 then begin
+      let _, prev_hi = Obs.Metrics.hist_bucket_bounds (i - 1) in
+      check_int (Printf.sprintf "buckets %d/%d tile" (i - 1) i) lo (prev_hi + 1)
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: instruments *)
+
+let test_counter_gauge () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter r "requests" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:4 c;
+  check_int "counter accumulates" 5 (Obs.Metrics.counter_value c);
+  (* Get-or-create: the same name yields the same instrument. *)
+  Obs.Metrics.incr (Obs.Metrics.counter r "requests");
+  check_int "same instrument by name" 6 (Obs.Metrics.counter_value c);
+  check_int "find_counter" 6 (Option.get (Obs.Metrics.find_counter r "requests"));
+  let g = Obs.Metrics.gauge r "depth" in
+  Obs.Metrics.set g 7;
+  Obs.Metrics.set g 3;
+  check_int "gauge is last-write-wins" 3 (Obs.Metrics.gauge_value g);
+  check_bool "find misses are None" true
+    (Obs.Metrics.find_gauge r "no-such" = None)
+
+let test_kind_mismatch_raises () =
+  let r = Obs.Metrics.create () in
+  ignore (Obs.Metrics.counter r "x");
+  check_bool "re-registering under another kind raises" true
+    (try ignore (Obs.Metrics.gauge r "x"); false
+     with Invalid_argument _ -> true)
+
+let test_histogram () =
+  let r = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram r "lat" in
+  List.iter (Obs.Metrics.observe h) [ 0; 1; 1; 3; 900 ];
+  check_int "count" 5 (Obs.Metrics.hist_count h);
+  check_int "sum" 905 (Obs.Metrics.hist_sum h);
+  check_int "max" 900 (Obs.Metrics.hist_max h);
+  let bk = Obs.Metrics.hist_buckets h in
+  check_int "bucket 0" 1 bk.(0);
+  check_int "bucket 1" 2 bk.(1);
+  check_int "bucket 2" 1 bk.(2);
+  check_int "bucket of 900" 1 bk.(Obs.Metrics.hist_bucket_of 900);
+  (* Snapshot publication, as the monitor's observe uses it. *)
+  let snap = Array.make Obs.Metrics.n_hist_buckets 0 in
+  snap.(4) <- 9;
+  Obs.Metrics.set_snapshot h ~buckets:snap ~count:9 ~sum:90 ~max:15;
+  check_int "snapshot count" 9 (Obs.Metrics.hist_count h);
+  check_int "snapshot bucket" 9 (Obs.Metrics.hist_buckets h).(4);
+  check_bool "wrong-length snapshot raises" true
+    (try Obs.Metrics.set_snapshot h ~buckets:[| 1; 2 |] ~count:3 ~sum:3 ~max:2; false
+     with Invalid_argument _ -> true)
+
+let test_disabled_registry () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter r "c" and g = Obs.Metrics.gauge r "g" in
+  let h = Obs.Metrics.histogram r "h" in
+  Obs.Metrics.set_enabled r false;
+  Obs.Metrics.incr c;
+  Obs.Metrics.set g 5;
+  Obs.Metrics.observe h 5;
+  check_int "counter untouched" 0 (Obs.Metrics.counter_value c);
+  check_int "gauge untouched" 0 (Obs.Metrics.gauge_value g);
+  check_int "histogram untouched" 0 (Obs.Metrics.hist_count h);
+  Obs.Metrics.set_enabled r true;
+  Obs.Metrics.incr c;
+  check_int "mutations resume" 1 (Obs.Metrics.counter_value c)
+
+let test_reset_keeps_registrations () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter r "c" in
+  let h = Obs.Metrics.histogram r "h" in
+  Obs.Metrics.incr ~by:3 c;
+  Obs.Metrics.observe h 12;
+  Obs.Metrics.reset r;
+  check_int "counter zeroed" 0 (Obs.Metrics.counter_value c);
+  check_int "histogram zeroed" 0 (Obs.Metrics.hist_count h);
+  check_int "max zeroed" 0 (Obs.Metrics.hist_max h);
+  check_bool "registration survives" true
+    (Obs.Metrics.find_counter r "c" = Some 0)
+
+let test_metrics_export () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.incr ~by:2 (Obs.Metrics.counter r ~help:"two" "a.count");
+  Obs.Metrics.set (Obs.Metrics.gauge r "z.depth") 7;
+  Obs.Metrics.observe (Obs.Metrics.histogram r "m.lat") 3;
+  let d = Obs.Metrics.dump r in
+  check_bool "dump lists the counter" true (contains ~needle:"a.count" d);
+  check_bool "dump lists the help text" true (contains ~needle:"two" d);
+  let index_of needle =
+    let nl = String.length needle in
+    let rec go i =
+      if i + nl > String.length d then -1
+      else if String.sub d i nl = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  check_bool "dump sorts by name" true
+    (index_of "a.count" >= 0 && index_of "a.count" < index_of "z.depth");
+  let j = Obs.Metrics.to_json r in
+  check_bool "json parses" true (json_ok j);
+  check_bool "json has the counter" true (contains ~needle:"\"a.count\":2" j);
+  check_bool "json has the gauge" true (contains ~needle:"\"z.depth\":7" j);
+  check_bool "json has bucket bounds" true (contains ~needle:"\"lo\":" j);
+  (* Names requiring escaping must not corrupt the document. *)
+  Obs.Metrics.set (Obs.Metrics.gauge r "weird\"name\n") 1;
+  check_bool "json stays valid under escaping" true
+    (json_ok (Obs.Metrics.to_json r))
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_disabled_is_free () =
+  let t = Obs.Trace.create () in
+  check_bool "starts disabled" false (Obs.Trace.enabled t);
+  let x = Obs.Trace.with_span ~t "work" (fun () -> 42) in
+  check_int "thunk result passes through" 42 x;
+  check_int "nothing recorded" 0 (Obs.Trace.span_count t)
+
+let test_trace_nesting () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.set_enabled t true;
+  Obs.Trace.with_span ~t "outer" (fun () ->
+      Obs.Trace.with_span ~t "inner" (fun () -> ());
+      Obs.Trace.with_span ~t ~args:[ ("k", "v") ] "inner2" (fun () -> ()));
+  Obs.Trace.instant ~t "mark";
+  let spans = Obs.Trace.spans t in
+  Alcotest.(check (list (pair string int)))
+    "start order and depths"
+    [ ("outer", 0); ("inner", 1); ("inner2", 1); ("mark", 0) ]
+    (List.map (fun s -> (s.Obs.Trace.s_name, s.Obs.Trace.s_depth)) spans);
+  List.iter
+    (fun s -> check_bool "durations are non-negative" true (s.Obs.Trace.s_dur_us >= 0.0))
+    spans;
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Obs.Trace.s_start_us <= b.Obs.Trace.s_start_us && sorted rest
+    | _ -> true
+  in
+  check_bool "start timestamps are non-decreasing" true (sorted spans);
+  let inner2 = List.nth spans 2 in
+  check_string "args survive" "v" (List.assoc "k" inner2.Obs.Trace.s_args);
+  Obs.Trace.clear t;
+  check_int "clear empties" 0 (Obs.Trace.span_count t)
+
+let test_trace_records_on_exception () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.set_enabled t true;
+  (try Obs.Trace.with_span ~t "boom" (fun () -> failwith "no")
+   with Failure _ -> ());
+  check_int "span recorded despite the raise" 1 (Obs.Trace.span_count t);
+  (* Depth must unwind, or every later span inherits a bogus depth. *)
+  Obs.Trace.with_span ~t "after" (fun () -> ());
+  match Obs.Trace.spans t with
+  | [ _; after ] -> check_int "depth unwound" 0 after.Obs.Trace.s_depth
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_trace_chrome_json () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.set_enabled t true;
+  Obs.Trace.with_span ~t ~cat:"test" ~args:[ ("n", "5") ] "phase-a" (fun () -> ());
+  let j = Obs.Trace.to_chrome_json t in
+  check_bool "parses" true (json_ok j);
+  check_bool "has traceEvents" true (contains ~needle:"\"traceEvents\":[" j);
+  check_bool "complete events" true (contains ~needle:"\"ph\":\"X\"" j);
+  check_bool "carries the name" true (contains ~needle:"\"name\":\"phase-a\"" j);
+  check_bool "carries the category" true (contains ~needle:"\"cat\":\"test\"" j);
+  check_bool "carries args" true (contains ~needle:"\"n\":\"5\"" j)
+
+(* ------------------------------------------------------------------ *)
+(* The hooks: what the VM and the pipeline actually publish *)
+
+let test_machine_observe () =
+  match Workloads.Driver.run Workloads.Programs.quick with
+  | Error e -> Alcotest.failf "workload failed: %s" e
+  | Ok r ->
+    let reg = Obs.Metrics.create () in
+    Vm.Machine.observe r.Workloads.Driver.machine reg;
+    let m = r.Workloads.Driver.machine in
+    let gv n = Option.get (Obs.Metrics.find_gauge reg n) in
+    check_int "vm.instructions mirrors the machine"
+      (Vm.Machine.instructions_executed m) (gv "vm.instructions");
+    check_int "dispatch groups sum to the instruction count"
+      (Vm.Machine.instructions_executed m)
+      (List.fold_left (fun a (_, n) -> a + n) 0 (Vm.Machine.dispatch_counts m));
+    check_bool "call group is populated" true
+      (List.assoc "call" (Vm.Machine.dispatch_counts m) > 0);
+    check_int "monitor records mirror the machine"
+      (Vm.Monitor.total_records (Vm.Machine.monitor m)) (gv "monitor.records");
+    let h = Option.get (Obs.Metrics.find_histogram reg "monitor.probe_depth") in
+    check_int "published histogram covers every record"
+      (Vm.Monitor.total_records (Vm.Machine.monitor m))
+      (Obs.Metrics.hist_count h)
+
+let test_pipeline_spans () =
+  let t = Obs.Trace.default in
+  let was = Obs.Trace.enabled t in
+  Obs.Trace.set_enabled t true;
+  Obs.Trace.clear t;
+  (match Gprof_core.Report.analyze Workloads.Figure4.objfile Workloads.Figure4.gmon with
+  | Ok rep -> ignore (Gprof_core.Report.full_listing rep)
+  | Error e -> Alcotest.failf "figure4 analyze failed: %s" e);
+  let names = List.map (fun s -> s.Obs.Trace.s_name) (Obs.Trace.spans t) in
+  Obs.Trace.set_enabled t was;
+  Obs.Trace.clear t;
+  List.iter
+    (fun n -> check_bool (Printf.sprintf "span %s present" n) true (List.mem n names))
+    [ "analyze"; "symtab"; "assign"; "static-scan"; "arcgraph"; "cyclefind";
+      "propagate"; "report"; "flat"; "graph"; "index" ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket geometry" `Quick test_bucket_geometry;
+          Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch_raises;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "disabled registry" `Quick test_disabled_registry;
+          Alcotest.test_case "reset" `Quick test_reset_keeps_registrations;
+          Alcotest.test_case "dump and json export" `Quick test_metrics_export;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is free" `Quick test_trace_disabled_is_free;
+          Alcotest.test_case "nesting and clocks" `Quick test_trace_nesting;
+          Alcotest.test_case "records on exception" `Quick
+            test_trace_records_on_exception;
+          Alcotest.test_case "chrome export" `Quick test_trace_chrome_json;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "machine observe" `Quick test_machine_observe;
+          Alcotest.test_case "pipeline spans" `Quick test_pipeline_spans;
+        ] );
+    ]

@@ -86,8 +86,65 @@ let test_monitor_reset () =
   Vm.Monitor.reset m;
   check_int "no arcs" 0 (Vm.Monitor.distinct_arcs m);
   check_int "no records" 0 (Vm.Monitor.total_records m);
+  check_int "no probes" 0 (Vm.Monitor.total_probes m);
+  check_int "no max probe" 0 (Vm.Monitor.max_probe m);
+  check_int "empty probe histogram" 0
+    (Array.fold_left ( + ) 0 (Vm.Monitor.probe_depth_hist m));
+  check_int "no chains" 0 (Vm.Monitor.chain_stats m).Vm.Monitor.n_chains;
   ignore (Vm.Monitor.record m ~frompc:10 ~selfpc:50);
   check_int "usable after reset" 1 (Vm.Monitor.distinct_arcs m)
+
+let test_monitor_probe_depth () =
+  (* Hand-computed chain walks: new cells are pushed at the head, so
+     a repeated callee sinks one position per later-arriving callee. *)
+  let m = Vm.Monitor.create ~text_size:100 ~keying:Vm.Monitor.Site_primary in
+  let probes = ref [] in
+  let rec_ frompc selfpc =
+    let cost = Vm.Monitor.record m ~frompc ~selfpc in
+    probes := ((cost - Vm.Monitor.base_cost) / Vm.Monitor.probe_cost) :: !probes
+  in
+  rec_ 10 50; (* empty chain: 0 probes *)
+  rec_ 10 50; (* head hit: 1 *)
+  rec_ 10 60; (* miss past [50]: 1, then 60 pushed at head *)
+  rec_ 10 50; (* 60 then 50: 2 *)
+  rec_ 10 70; (* miss past [60;50]: 2, then 70 pushed at head *)
+  rec_ 10 50; (* 70, 60, 50: 3 *)
+  Alcotest.(check (list int)) "per-record probes from returned cost"
+    [ 0; 1; 1; 2; 2; 3 ] (List.rev !probes);
+  check_int "total probes" 9 (Vm.Monitor.total_probes m);
+  check_int "max probe" 3 (Vm.Monitor.max_probe m);
+  let hist = Vm.Monitor.probe_depth_hist m in
+  check_int "bucket 0 (empty chain)" 1 hist.(0);
+  check_int "bucket [1,2)" 2 hist.(1);
+  check_int "bucket [2,4)" 3 hist.(2);
+  check_int "histogram covers every record" (Vm.Monitor.total_records m)
+    (Array.fold_left ( + ) 0 hist);
+  let cs = Vm.Monitor.chain_stats m in
+  check_int "one live chain" 1 cs.Vm.Monitor.n_chains;
+  check_int "three cells" 3 cs.Vm.Monitor.n_cells;
+  check_int "longest chain" 3 cs.Vm.Monitor.max_chain
+
+let test_monitor_spontaneous_callee_primary () =
+  (* Regression: out-of-text callers must normalize to the one
+     spontaneous pseudo-site under BOTH keyings, so a negative
+     sentinel and a past-the-end address cannot smear into distinct
+     arcs. *)
+  let run keying =
+    let m = Vm.Monitor.create ~text_size:100 ~keying in
+    ignore (Vm.Monitor.record m ~frompc:(-5) ~selfpc:50);
+    ignore (Vm.Monitor.record m ~frompc:107 ~selfpc:50);
+    ignore (Vm.Monitor.record m ~frompc:(-2) ~selfpc:60);
+    Vm.Monitor.arcs m
+  in
+  let arcs = run Vm.Monitor.Callee_primary in
+  (match arcs with
+  | [ a; b ] ->
+    check_int "one pseudo-site" Vm.Monitor.spontaneous_from a.Gmon.a_from;
+    check_int "conflated count" 2 a.Gmon.a_count;
+    check_int "other callee" 60 b.Gmon.a_self
+  | l -> Alcotest.failf "expected 2 arcs, got %d" (List.length l));
+  check_bool "keyings agree on anomalous callers" true
+    (arcs = run Vm.Monitor.Site_primary)
 
 let test_monitor_cost_grows_with_chain () =
   let m = Vm.Monitor.create ~text_size:100 ~keying:Vm.Monitor.Site_primary in
@@ -550,6 +607,10 @@ let () =
           Alcotest.test_case "keying equivalence" `Quick test_monitor_keying_equivalence;
           Alcotest.test_case "keying probe costs" `Quick test_monitor_keying_probes;
           Alcotest.test_case "reset" `Quick test_monitor_reset;
+          Alcotest.test_case "probe depth accounting" `Quick
+            test_monitor_probe_depth;
+          Alcotest.test_case "spontaneous under callee keying" `Quick
+            test_monitor_spontaneous_callee_primary;
           Alcotest.test_case "chain cost" `Quick test_monitor_cost_grows_with_chain;
         ] );
       ( "profil",
