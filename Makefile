@@ -23,7 +23,22 @@ smoke: build
 	  --obs-metrics /dev/stdout > $(SMOKE_DIR)/smoke.out
 	grep -q "call graph profile" $(SMOKE_DIR)/smoke.out
 	grep -q '"gmon.bytes_read"' $(SMOKE_DIR)/smoke.out
-	@echo "smoke: ok"
+	# Fault injection: truncate the profile mid-header, mid-data, and
+	# inside the checksum footer. Strict gprofx must reject each (exit 1);
+	# --lenient must quarantine or salvage and exit 2 (degraded).
+	set -e; for n in 40 150 $$(( $$(wc -c < $(SMOKE_DIR)/smoke.gmon) - 7 )); do \
+	  head -c $$n $(SMOKE_DIR)/smoke.gmon > $(SMOKE_DIR)/torn_$$n.gmon; \
+	  if dune exec bin/gprofx.exe -- $(SMOKE_DIR)/smoke.obj \
+	    $(SMOKE_DIR)/torn_$$n.gmon > /dev/null 2>&1; \
+	    then echo "smoke: strict accepted torn file ($$n bytes)"; exit 1; fi; \
+	  code=0; dune exec bin/gprofx.exe -- $(SMOKE_DIR)/smoke.obj $(SMOKE_DIR)/smoke.gmon \
+	    $(SMOKE_DIR)/torn_$$n.gmon --lenient > /dev/null 2>$(SMOKE_DIR)/torn_$$n.err \
+	    || code=$$?; \
+	  if [ $$code -ne 2 ]; then \
+	    echo "smoke: lenient run on torn file ($$n bytes) exited $$code, want 2"; exit 1; fi; \
+	  grep -Eq "quarantined|salvaged" $(SMOKE_DIR)/torn_$$n.err; \
+	done
+	@echo "smoke: ok (including fault injection)"
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,140 @@
+(* Fault tolerance of the profile data path: how much of a damaged
+   gmon file salvage decoding recovers, that strict decoding rejects
+   every corruption the checksum footer can see, and that quarantined
+   summing of a damaged batch equals the sum of its good subset. *)
+
+open Harness
+
+let t_robust () =
+  let r = run_workload Workloads.Programs.quick in
+  let original = r.gmon in
+  let bytes = Gmon.to_bytes original in
+  let len = String.length bytes in
+  let header_end = 11 + (7 * 8) in
+  let sub_profile (s : Gmon.t) (o : Gmon.t) =
+    s.hist.h_lowpc = o.hist.h_lowpc
+    && s.hist.h_highpc = o.hist.h_highpc
+    && Array.for_all2 ( >= ) o.hist.h_counts s.hist.h_counts
+    && List.for_all (fun a -> List.mem a o.Gmon.arcs) s.Gmon.arcs
+  in
+
+  section "salvage recovery rate over a truncation corpus (%d-byte file)" len;
+  let prng = Util.Prng.create 42 in
+  let n_trunc = 400 in
+  let recovered = ref 0 and valid = ref 0 and subset = ref 0 in
+  let tick_fraction = ref 0.0 in
+  let total = float_of_int (Gmon.total_ticks original) in
+  for _ = 1 to n_trunc do
+    let cut = Util.Prng.int prng len in
+    match Gmon.decode ~mode:`Salvage (String.sub bytes 0 cut) with
+    | Error _ -> ()
+    | Ok (g, _) ->
+      incr recovered;
+      if Gmon.validate g = Ok () then incr valid;
+      if sub_profile g original then incr subset;
+      tick_fraction := !tick_fraction +. (float_of_int (Gmon.total_ticks g) /. total)
+  done;
+  let rate = float_of_int !recovered /. float_of_int n_trunc in
+  let avg_ticks =
+    if !recovered = 0 then 0.0 else !tick_fraction /. float_of_int !recovered
+  in
+  Printf.printf
+    "  %d/%d truncations salvaged (%.1f%%); mean tick recovery of salvaged files %.1f%%\n"
+    !recovered n_trunc (100.0 *. rate) (100.0 *. avg_ticks);
+  Obs.Metrics.set
+    (Obs.Metrics.gauge Obs.Metrics.default "bench.robust.salvage_recovery_ppm"
+       ~help:"fraction of random truncations salvage decoding recovers, ppm")
+    (int_of_float (rate *. 1e6));
+  Obs.Metrics.set
+    (Obs.Metrics.gauge Obs.Metrics.default "bench.robust.tick_recovery_ppm"
+       ~help:"mean fraction of original ticks present in salvaged files, ppm")
+    (int_of_float (avg_ticks *. 1e6));
+  expect "every salvaged profile passes validation" (!valid = !recovered);
+  expect "salvage never invents data (sub-profile of the original)"
+    (!subset = !recovered);
+  (* the header is a fixed, tiny prefix; everything past it salvages *)
+  expect "recovery rate tracks the recoverable region"
+    (rate >= float_of_int (len - header_end) /. float_of_int len -. 0.05);
+  expect "salvaged files keep a usable share of the data" (avg_ticks > 0.25);
+
+  section "strict decoding vs %d random bit flips" 400;
+  let rejected = ref 0 and salvage_raised = ref false and salvage_ok = ref 0 in
+  for _ = 1 to 400 do
+    let b = Bytes.of_string bytes in
+    let pos = Util.Prng.int prng len in
+    Bytes.set b pos
+      (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl Util.Prng.int prng 8)));
+    let s = Bytes.to_string b in
+    (match Gmon.decode ~mode:`Strict s with
+    | Error _ -> incr rejected
+    | Ok _ -> ());
+    match Gmon.decode ~mode:`Salvage s with
+    | Ok (g, _) -> if Gmon.validate g = Ok () then incr salvage_ok
+    | Error _ -> ()
+    | exception _ -> salvage_raised := true
+  done;
+  Printf.printf "  strict rejected %d/400; salvage recovered %d/400 validly\n"
+    !rejected !salvage_ok;
+  expect "the checksum footer catches every single-bit flip" (!rejected = 400);
+  expect "the salvage decoder never raises" (not !salvage_raised);
+
+  section "quarantined summing equals the good subset";
+  let mk_run seed =
+    (run_workload ~config:{ Vm.Machine.default_config with seed }
+       Workloads.Programs.quick).gmon
+  in
+  let g1 = mk_run 1 and g2 = mk_run 2 and g3 = mk_run 3 in
+  let torn =
+    match Gmon.decode ~mode:`Salvage (String.sub (Gmon.to_bytes g3) 0 header_end) with
+    | Ok (g, _) -> g
+    | Error _ -> failwith "header-only prefix did not salvage"
+  in
+  (match
+     Gmon.merge_all_quarantine
+       [
+         ("g1", Ok g1);
+         ("bad", Error "at byte 0: magic: not a profile data file");
+         ("g2", Ok g2);
+         ("torn-salvaged", Ok torn);
+       ]
+   with
+  | Error e -> failwith e
+  | Ok (sum, quarantined) ->
+    Printf.printf "  quarantined: %s\n"
+      (String.concat ", "
+         (List.map (fun (q : Gmon.quarantined) -> q.q_path) quarantined));
+    expect "exactly the undecodable file is quarantined"
+      (List.map (fun (q : Gmon.quarantined) -> q.q_path) quarantined = [ "bad" ]);
+    expect "sum = good subset + salvaged zeros"
+      (Gmon.total_ticks sum = Gmon.total_ticks g1 + Gmon.total_ticks g2));
+
+  section "host-time cost of the checksum footer (Bechamel)";
+  let bench name f = Bechamel.Test.make ~name (Bechamel.Staged.stage f) in
+  let grouped =
+    Bechamel.Test.make_grouped ~name:"codec"
+      [
+        bench "encode" (fun () -> ignore (Gmon.to_bytes original));
+        bench "decode-strict" (fun () ->
+            ignore (Gmon.decode ~mode:`Strict bytes));
+        bench "decode-salvage" (fun () ->
+            ignore (Gmon.decode ~mode:`Salvage bytes));
+      ]
+  in
+  let ests = stats_of_benchmark grouped in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-24s %12.0f ns/run\n" name ns)
+    (List.sort compare ests);
+  match
+    ( List.assoc_opt "codec/decode-strict" ests,
+      List.assoc_opt "codec/decode-salvage" ests )
+  with
+  | Some strict, Some salvage ->
+    (* on intact input the two modes do the same work *)
+    expect "salvage mode is free on clean files (within 3x)"
+      (salvage <= strict *. 3.0 && strict <= salvage *. 3.0)
+  | _ -> expect "bechamel produced estimates for both decode modes" false
+
+let register () =
+  register "t-robust"
+    "fault tolerance: salvage recovery rate, checksum rejection, quarantined summing"
+    t_robust

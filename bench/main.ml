@@ -17,6 +17,7 @@ let () =
   Exp_accuracy.register ();
   Exp_micro.register ();
   Exp_obs.register ();
+  Exp_robust.register ();
   let args = Array.to_list Sys.argv |> List.tl in
   let obs_json = ref None in
   let rec parse only = function

@@ -14,7 +14,8 @@ let parse_arc s =
 let arc_conv = Arg.conv (parse_arc, fun ppf (a, b) -> Format.fprintf ppf "%s:%s" a b)
 
 let run obj_path gmon_paths no_static removed break focus exclude min_percent
-    view annotate icount_path verbose dot_out obs_metrics obs_trace self_profile =
+    lenient view annotate icount_path verbose dot_out obs_metrics obs_trace
+    self_profile =
   if obs_trace <> None || self_profile then
     Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
@@ -40,17 +41,46 @@ let run obj_path gmon_paths no_static removed break focus exclude min_percent
     Printf.eprintf "gprofx: %s: %s\n" obj_path e;
     1
   | Ok o -> (
-    let gmons = List.map Gmon.load gmon_paths in
-    let rec collect acc = function
-      | [] -> Ok (List.rev acc)
-      | Ok g :: rest -> collect (g :: acc) rest
-      | Error e :: _ -> Error e
+    (* Strict mode (the default) fails the whole run on the first
+       undecodable file. Lenient mode salvages what it can, quarantines
+       what it cannot, reports both on stderr, and turns any data loss
+       into the "degraded" exit code 2 rather than a failure. *)
+    let loaded =
+      if lenient then
+        match Gmon.load_merge ~mode:`Salvage gmon_paths with
+        | Error e -> Error e
+        | Ok (gmon, reports, quarantined) ->
+          List.iter
+            (fun (q : Gmon.quarantined) ->
+              Printf.eprintf "gprofx: quarantined %s: %s\n" q.q_path q.q_reason)
+            quarantined;
+          List.iter
+            (fun (path, rep) ->
+              if Gmon.report_degraded rep then
+                Printf.eprintf "gprofx: salvaged %s: %s\n" path
+                  (Gmon.report_summary rep))
+            reports;
+          let degraded =
+            quarantined <> []
+            || List.exists (fun (_, rep) -> Gmon.report_degraded rep) reports
+          in
+          Ok (gmon, degraded)
+      else
+        let gmons = List.map Gmon.load gmon_paths in
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | Ok g :: rest -> collect (g :: acc) rest
+          | Error e :: _ -> Error e
+        in
+        Result.map
+          (fun gmon -> (gmon, false))
+          (Result.bind (collect [] gmons) Gmon.merge_all)
     in
-    match Result.bind (collect [] gmons) Gmon.merge_all with
+    match loaded with
     | Error e ->
       Printf.eprintf "gprofx: %s\n" e;
       1
-    | Ok gmon -> (
+    | Ok (gmon, ingest_degraded) -> (
       let options =
         {
           Gprof_core.Report.use_static_arcs = not no_static;
@@ -59,6 +89,7 @@ let run obj_path gmon_paths no_static removed break focus exclude min_percent
           focus;
           exclude;
           min_percent;
+          lenient;
         }
       in
       match Gprof_core.Report.analyze ~options o gmon with
@@ -76,28 +107,37 @@ let run obj_path gmon_paths no_static removed break focus exclude min_percent
             Out_channel.with_open_text path (fun oc ->
                 Out_channel.output_string oc (Gprof_core.Report.dot_graph r)))
           dot_out;
-        (match annotate with
-        | None -> 0
-        | Some src_path -> (
-          let icounts =
-            match icount_path with
-            | None -> Ok None
-            | Some p -> Result.map Option.some (Gmon.Icount.load p)
-          in
-          match
-            Result.bind icounts (fun icounts ->
-                let source =
-                  In_channel.with_open_text src_path In_channel.input_all
-                in
-                Gprof_core.Annotate.analyze ?icounts ~source o gmon)
-          with
-          | Ok ann ->
-            print_newline ();
-            print_string (Gprof_core.Annotate.listing ann);
-            0
-          | Error e ->
-            Printf.eprintf "gprofx: %s\n" e;
-            1))))
+        let annotate_code =
+          match annotate with
+          | None -> 0
+          | Some src_path -> (
+            let icounts =
+              match icount_path with
+              | None -> Ok None
+              | Some p -> Result.map Option.some (Gmon.Icount.load p)
+            in
+            match
+              Result.bind icounts (fun icounts ->
+                  let source =
+                    In_channel.with_open_text src_path In_channel.input_all
+                  in
+                  Gprof_core.Annotate.analyze ?icounts ~source o gmon)
+            with
+            | Ok ann ->
+              print_newline ();
+              print_string (Gprof_core.Annotate.listing ann);
+              0
+            | Error e ->
+              Printf.eprintf "gprofx: %s\n" e;
+              1)
+        in
+        if annotate_code <> 0 then annotate_code
+        else if ingest_degraded || Gprof_core.Report.degraded r then begin
+          Printf.eprintf
+            "gprofx: analysis degraded (salvaged or quarantined data)\n";
+          2
+        end
+        else 0))
 
 let obj =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"OBJ" ~doc:"Executable.")
@@ -130,6 +170,25 @@ let exclude =
 let min_percent =
   Arg.(value & opt float 0.0 & info [ "min-percent" ] ~docv:"P"
          ~doc:"Hide entries below P%% of total time.")
+
+let lenient =
+  Arg.(value
+       & vflag false
+           [
+             ( true,
+               info [ "lenient" ]
+                 ~doc:
+                   "Salvage damaged profile data instead of failing: \
+                    undecodable files are quarantined (and reported on \
+                    stderr), truncated files contribute their valid prefix, \
+                    and samples outside the symbol table fold into a \
+                    synthetic <unknown> entry. Exits 2 when anything was \
+                    salvaged or quarantined, 0 when the data was clean." );
+             ( false,
+               info [ "strict" ]
+                 ~doc:
+                   "Reject any damaged profile data file outright (default)." );
+           ])
 
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ]
@@ -176,7 +235,7 @@ let cmd =
   Cmd.v
     (Cmd.info "gprofx" ~doc:"call graph execution profiler")
     Term.(const run $ obj $ gmons $ no_static $ removed $ break $ focus
-          $ exclude $ min_percent $ view $ annotate $ icount $ verbose $ dot_out
-          $ obs_metrics $ obs_trace $ self_profile)
+          $ exclude $ min_percent $ lenient $ view $ annotate $ icount $ verbose
+          $ dot_out $ obs_metrics $ obs_trace $ self_profile)
 
 let () = exit (Cmd.eval' cmd)

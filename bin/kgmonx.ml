@@ -22,29 +22,37 @@ let run obj_path script seed quiet =
         Vm.Machine.create ~config:{ Vm.Machine.default_config with seed } o
       in
       let outcome = Vm.Kscript.execute m cmds in
+      let dump_failed = ref false in
       List.iter
         (fun (label, g) ->
           let path =
             if Filename.check_suffix label ".gmon" then label
             else label ^ ".gmon"
           in
-          Gmon.save g path;
-          Printf.eprintf "kgmonx: %s: %d ticks, %d arcs\n" path
-            (Gmon.total_ticks g)
-            (List.length g.Gmon.arcs))
+          match Gmon.save g path with
+          | Ok () ->
+            Printf.eprintf "kgmonx: %s: %d ticks, %d arcs\n" path
+              (Gmon.total_ticks g)
+              (List.length g.Gmon.arcs)
+          | Error e ->
+            Printf.eprintf "kgmonx: %s\n" e;
+            dump_failed := true)
         outcome.dumps;
       if not quiet then print_string (Vm.Machine.output m);
-      (match outcome.status with
-      | Vm.Machine.Halted ->
-        Printf.eprintf "kgmonx: halted after %d cycles\n" (Vm.Machine.cycles m);
-        0
-      | Vm.Machine.Running ->
-        Printf.eprintf "kgmonx: still running at %d cycles (script ended)\n"
-          (Vm.Machine.cycles m);
-        0
-      | Vm.Machine.Faulted f ->
-        Format.eprintf "kgmonx: %a@." Vm.Machine.pp_fault f;
-        125))
+      let code =
+        match outcome.status with
+        | Vm.Machine.Halted ->
+          Printf.eprintf "kgmonx: halted after %d cycles\n" (Vm.Machine.cycles m);
+          0
+        | Vm.Machine.Running ->
+          Printf.eprintf "kgmonx: still running at %d cycles (script ended)\n"
+            (Vm.Machine.cycles m);
+          0
+        | Vm.Machine.Faulted f ->
+          Format.eprintf "kgmonx: %a@." Vm.Machine.pp_fault f;
+          125
+      in
+      if code = 0 && !dump_failed then 1 else code)
 
 let obj =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"OBJ" ~doc:"Executable.")

@@ -7,7 +7,7 @@
 open Cmdliner
 
 let run obj_path gmon_out prof_out icount_out hz cpt bucket callee_primary seed
-    jitter quiet max_cycles obs_metrics obs_trace =
+    jitter quiet max_cycles fault_after torn_save obs_metrics obs_trace =
   if obs_trace <> None then Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
     try
@@ -41,37 +41,60 @@ let run obj_path gmon_out prof_out icount_out hz cpt bucket callee_primary seed
         seed;
         tick_jitter = jitter;
         max_cycles;
+        fault_after_instr = fault_after;
       }
     in
     let m = Vm.Machine.create ~config o in
     let status = Obs.Trace.with_span ~cat:"minirun" "vm-run" (fun () -> Vm.Machine.run m) in
     Vm.Machine.observe m Obs.Metrics.default;
+    let gmon_out =
+      match gmon_out with
+      | Some p -> p
+      | None -> Filename.remove_extension obj_path ^ ".gmon"
+    in
+    let save_gmon () =
+      Option.iter (fun n -> Gmon.inject_torn_save (Some n)) torn_save;
+      match Gmon.save (Vm.Machine.profile m) gmon_out with
+      | Ok () -> true
+      | Error e ->
+        (* the save error already names the path *)
+        Printf.eprintf "minirun: %s\n" e;
+        false
+    in
     match status with
     | Vm.Machine.Halted ->
       if not quiet then print_string (Vm.Machine.output m);
-      let gmon_out =
-        match gmon_out with
-        | Some p -> p
-        | None -> Filename.remove_extension obj_path ^ ".gmon"
-      in
-      Gmon.save (Vm.Machine.profile m) gmon_out;
+      let saved = ref (save_gmon ()) in
       Option.iter
         (fun p -> Profbase.Profcounts.save o (Vm.Machine.pcounts m) p)
         prof_out;
       Option.iter
         (fun p ->
           match Vm.Machine.instruction_counts m with
-          | Some counts -> Gmon.Icount.save (Gmon.Icount.of_counts counts) p
+          | Some counts -> (
+            match Gmon.Icount.save (Gmon.Icount.of_counts counts) p with
+            | Ok () -> ()
+            | Error e ->
+              Printf.eprintf "minirun: %s\n" e;
+              saved := false)
           | None -> ())
         icount_out;
-      Printf.eprintf
-        "minirun: %d cycles, %d ticks (%.2f simulated seconds); profile written to %s\n"
-        (Vm.Machine.cycles m) (Vm.Machine.ticks m)
-        (float_of_int (Vm.Machine.ticks m) /. float_of_int hz)
-        gmon_out;
-      Option.value ~default:0 (Vm.Machine.result m) land 255
+      if not !saved then 1
+      else begin
+        Printf.eprintf
+          "minirun: %d cycles, %d ticks (%.2f simulated seconds); profile written to %s\n"
+          (Vm.Machine.cycles m) (Vm.Machine.ticks m)
+          (float_of_int (Vm.Machine.ticks m) /. float_of_int hz)
+          gmon_out;
+        Option.value ~default:0 (Vm.Machine.result m) land 255
+      end
     | Vm.Machine.Faulted f ->
       Format.eprintf "minirun: %a@." Vm.Machine.pp_fault f;
+      (* Even a crashed run flushes the profile gathered so far: the
+         atomic writer guarantees the file is either complete and
+         checksummed or not there at all. *)
+      if save_gmon () then
+        Printf.eprintf "minirun: partial profile written to %s\n" gmon_out;
       125
     | Vm.Machine.Running ->
       Printf.eprintf "minirun: internal error: still running\n";
@@ -120,6 +143,18 @@ let max_cycles =
   Arg.(value & opt (some int) None & info [ "max-cycles" ] ~docv:"N"
          ~doc:"Fault after N simulated cycles.")
 
+let fault_after =
+  Arg.(value & opt (some int) None & info [ "fault-after" ] ~docv:"N"
+         ~doc:"Fault injection: abort the program with a VM fault after N \
+               executed instructions (the gathered profile is still \
+               flushed, exercising the crash-safe writer).")
+
+let torn_save =
+  Arg.(value & opt (some int) None & info [ "torn-save" ] ~docv:"N"
+         ~doc:"Fault injection: make the profile writer die after emitting \
+               N bytes, leaving a torn file (as a non-atomic writer \
+               would).")
+
 let obs_metrics =
   Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
          ~doc:"Write the VM's self-observability metrics (instructions by \
@@ -135,7 +170,7 @@ let cmd =
   Cmd.v
     (Cmd.info "minirun" ~doc:"profiling virtual machine")
     Term.(const run $ obj $ gmon_out $ prof_out $ icount_out $ hz $ cpt $ bucket
-          $ callee_primary $ seed $ jitter $ quiet $ max_cycles $ obs_metrics
-          $ obs_trace)
+          $ callee_primary $ seed $ jitter $ quiet $ max_cycles $ fault_after
+          $ torn_save $ obs_metrics $ obs_trace)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,8 +9,9 @@ let analyze obj_path gmon_path =
   match Objcode.Objfile.load obj_path with
   | Error e -> Error (Printf.sprintf "%s: %s" obj_path e)
   | Ok o -> (
+    (* the decode error already names the file and byte offset *)
     match Gmon.load gmon_path with
-    | Error e -> Error (Printf.sprintf "%s: %s" gmon_path e)
+    | Error e -> Error e
     | Ok g -> (
       match Gprof_core.Report.analyze o g with
       | Error e -> Error e

@@ -28,7 +28,8 @@ let run obj_path gmon_path counts_path obs_metrics obs_trace =
   | Ok o -> (
     match Gmon.load gmon_path with
     | Error e ->
-      Printf.eprintf "profx: %s: %s\n" gmon_path e;
+      (* the decode error already names the file and byte offset *)
+      Printf.eprintf "profx: %s\n" e;
       1
     | Ok gmon -> (
       let counts =

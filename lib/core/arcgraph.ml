@@ -3,9 +3,10 @@ type t = {
   spontaneous : (int * int) list;
   dynamic_arcs : (int * int) list;
   dropped : int;
+  folded : int;
 }
 
-let build ?(static = []) st (arcs : Gmon.arc list) =
+let build ?(static = []) ?unknown st (arcs : Gmon.arc list) =
   Obs.Trace.with_span ~cat:"core" "arcgraph"
     ~args:[ ("arcs", string_of_int (List.length arcs)) ]
   @@ fun () ->
@@ -14,18 +15,32 @@ let build ?(static = []) st (arcs : Gmon.arc list) =
   let spont = Hashtbl.create 8 in
   let dynamic = Hashtbl.create 64 in
   let dropped = ref 0 in
+  let folded = ref 0 in
+  let add_spont callee count =
+    let prev = Option.value ~default:0 (Hashtbl.find_opt spont callee) in
+    Hashtbl.replace spont callee (prev + count)
+  in
+  let record caller_pc callee count =
+    match Symtab.id_of_pc st caller_pc with
+    | Some caller ->
+      Graphlib.Digraph.add_arc g ~src:caller ~dst:callee ~count;
+      Hashtbl.replace dynamic (caller, callee) ()
+    | None -> add_spont callee count
+  in
   List.iter
     (fun (a : Gmon.arc) ->
       match Symtab.id_of_entry st a.a_self with
-      | None -> incr dropped
-      | Some callee -> (
-        match Symtab.id_of_pc st a.a_from with
-        | Some caller ->
-          Graphlib.Digraph.add_arc g ~src:caller ~dst:callee ~count:a.a_count;
-          Hashtbl.replace dynamic (caller, callee) ()
-        | None ->
-          let prev = Option.value ~default:0 (Hashtbl.find_opt spont callee) in
-          Hashtbl.replace spont callee (prev + a.a_count)))
+      | Some callee -> record a.a_from callee a.a_count
+      | None -> (
+        (* A callee that is no routine entry cannot come from our
+           monitor — it is damage. A lenient analysis folds the record
+           into the synthetic <unknown> callee so the traversals stay
+           visible; a strict one drops and counts it. *)
+        match unknown with
+        | Some u ->
+          incr folded;
+          record a.a_from u a.a_count
+        | None -> incr dropped))
     arcs;
   List.iter
     (fun (src, dst) ->
@@ -41,12 +56,14 @@ let build ?(static = []) st (arcs : Gmon.arc list) =
       dynamic_arcs =
         Hashtbl.fold (fun k () acc -> k :: acc) dynamic [] |> List.sort compare;
       dropped = !dropped;
+      folded = !folded;
     }
   in
   let module M = Obs.Metrics in
   M.set (M.gauge M.default "core.arcgraph.dynamic") (List.length t.dynamic_arcs);
   M.set (M.gauge M.default "core.arcgraph.spontaneous") (List.length t.spontaneous);
   M.set (M.gauge M.default "core.arcgraph.dropped") t.dropped;
+  M.set (M.gauge M.default "core.arcgraph.folded") t.folded;
   t
 
 let remove_arcs t arcs =

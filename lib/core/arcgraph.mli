@@ -23,12 +23,18 @@ type t = {
           or an explicit dynamic record); static-only arcs are the
           rest *)
   dropped : int;  (** arc records that could not be resolved *)
+  folded : int;
+      (** arc records whose callee resolved to no routine and were
+          redirected into the synthetic [<unknown>] node (lenient
+          analyses only; strict ones count them as [dropped]) *)
 }
 
 val build :
-  ?static:(int * int) list -> Symtab.t -> Gmon.arc list -> t
+  ?static:(int * int) list -> ?unknown:int -> Symtab.t -> Gmon.arc list -> t
 (** [static] lists (caller id, callee id) pairs to add with count 0
-    when absent from the dynamic graph. *)
+    when absent from the dynamic graph. [unknown], when given, is the
+    synthetic function id that absorbs arc records whose callee is no
+    routine entry, instead of dropping them. *)
 
 val remove_arcs :
   t -> (int * int) list -> t

@@ -4,7 +4,7 @@ type result = {
   total_ticks : int;
 }
 
-let assign st (h : Gmon.hist) =
+let assign ?unknown st (h : Gmon.hist) =
   Obs.Trace.with_span ~cat:"core" "assign" @@ fun () ->
   let n = Symtab.n_funcs st in
   let self = Array.make n 0.0 in
@@ -60,6 +60,14 @@ let assign st (h : Gmon.hist) =
         end
       end)
     h.h_counts;
+  (* Lenient analyses fold the time of unresolvable PCs into the
+     synthetic <unknown> routine so it shows up in the listings
+     instead of silently shrinking the total. *)
+  (match unknown with
+  | Some u when !unattributed > 0.0 ->
+    self.(u) <- self.(u) +. !unattributed;
+    unattributed := 0.0
+  | _ -> ());
   { self_ticks = self; unattributed = !unattributed; total_ticks = !total }
 
 let check_conservation r =

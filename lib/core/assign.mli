@@ -13,7 +13,10 @@ type result = {
   total_ticks : int;  (** sum over the histogram *)
 }
 
-val assign : Symtab.t -> Gmon.hist -> result
+val assign : ?unknown:int -> Symtab.t -> Gmon.hist -> result
+(** [unknown], when given, is the function id that absorbs otherwise
+    unattributed ticks (the synthetic [<unknown>] routine of a lenient
+    analysis); [unattributed] is then 0. *)
 
 val check_conservation : result -> bool
 (** Attributed + unattributed = total (up to rounding); tested

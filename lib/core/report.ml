@@ -5,6 +5,7 @@ type options = {
   focus : string list;
   exclude : string list;
   min_percent : float;
+  lenient : bool;
 }
 
 let default_options =
@@ -15,12 +16,14 @@ let default_options =
     focus = [];
     exclude = [];
     min_percent = 0.0;
+    lenient = false;
   }
 
 type t = {
   profile : Profile.t;
   removed : (int * int) list;
   dropped_records : int;
+  folded_records : int;
   options : options;
 }
 
@@ -89,8 +92,12 @@ let analyze ?(options = default_options) o (gmon : Gmon.t) =
   match Gmon.validate gmon with
   | Error es -> Error ("invalid profile data: " ^ String.concat "; " es)
   | Ok () when
-      gmon.hist.h_lowpc <> 0
-      || gmon.hist.h_highpc <> Array.length o.Objcode.Objfile.text ->
+      (not options.lenient)
+      && (gmon.hist.h_lowpc <> 0
+          || gmon.hist.h_highpc <> Array.length o.Objcode.Objfile.text) ->
+    (* A lenient analysis accepts the mismatch: whatever the histogram
+       covers outside the text falls outside every routine and folds
+       into <unknown> below. *)
     Error
       (Printf.sprintf
          "profile data covers pc [%d,%d) but the executable's text is [0,%d): \
@@ -99,7 +106,13 @@ let analyze ?(options = default_options) o (gmon : Gmon.t) =
          (Array.length o.Objcode.Objfile.text))
   | Ok () -> (
     let st = Symtab.of_objfile o in
-    let asg = Assign.assign st gmon.hist in
+    let st, unknown =
+      if options.lenient then
+        let st, u = Symtab.with_unknown st in
+        (st, Some u)
+      else (st, None)
+    in
+    let asg = Assign.assign ?unknown st gmon.hist in
     let static =
       if options.use_static_arcs then
         Obs.Trace.with_span ~cat:"core" "static-scan" (fun () ->
@@ -111,7 +124,7 @@ let analyze ?(options = default_options) o (gmon : Gmon.t) =
               (Objcode.Scan.static_arcs o))
       else []
     in
-    let ag = Arcgraph.build ~static st gmon.arcs in
+    let ag = Arcgraph.build ~static ?unknown st gmon.arcs in
     match resolve_arc_names st options.removed_arcs with
     | Error e -> Error e
     | Ok explicit -> (
@@ -136,8 +149,20 @@ let analyze ?(options = default_options) o (gmon : Gmon.t) =
             profile;
             removed = explicit @ heuristic;
             dropped_records = ag.dropped;
+            folded_records = ag.folded;
             options;
           }))
+
+let degraded t =
+  t.folded_records > 0
+  ||
+  match Symtab.id_of_name t.profile.symtab Symtab.unknown_name with
+  | None -> false
+  | Some u ->
+    u < Array.length t.profile.entries
+    &&
+    let e = t.profile.entries.(u) in
+    e.Profile.e_ticks > 0.0 || e.Profile.e_calls > 0
 
 let removed_arc_names t =
   List.map
@@ -166,6 +191,10 @@ let full_listing ?verbose t =
   if t.dropped_records > 0 then
     Buffer.add_string buf
       (Printf.sprintf "%d arc records could not be resolved.\n\n" t.dropped_records);
+  if t.folded_records > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "%d unresolvable arc records folded into %s.\n\n"
+         t.folded_records Symtab.unknown_name);
   Buffer.add_string buf (graph_listing ?verbose t);
   Buffer.add_char buf '\n';
   Buffer.add_string buf (flat_listing ?verbose t);

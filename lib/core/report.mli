@@ -24,15 +24,25 @@ type options = {
           times still propagate; gprof's -e) *)
   min_percent : float;
       (** hide entries below this share of total time (0 = show all) *)
+  lenient : bool;
+      (** degrade instead of failing on damaged profile data: sampled
+          PCs and arc endpoints that resolve to no routine fold into a
+          synthetic [<unknown>] entry rather than being dropped, and a
+          histogram whose pc range disagrees with the executable's
+          text is analyzed anyway (the mismatch lands in
+          [<unknown>]) *)
 }
 
 val default_options : options
+(** Strict ([lenient = false]). *)
 
 type t = {
   profile : Profile.t;
   removed : (int * int) list;
       (** function-id arcs actually removed (explicit + heuristic) *)
   dropped_records : int;
+  folded_records : int;
+      (** arc records folded into [<unknown>] by a lenient analysis *)
   options : options;
 }
 
@@ -40,6 +50,10 @@ val analyze :
   ?options:options -> Objcode.Objfile.t -> Gmon.t -> (t, string) result
 (** [Error] on unknown routine names in [removed_arcs]/[focus], or on
     an invalid profile. *)
+
+val degraded : t -> bool
+(** True when a lenient analysis had to fold unresolvable records or
+    time into [<unknown>]. *)
 
 val removed_arc_names : t -> (string * string) list
 

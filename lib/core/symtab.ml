@@ -1,6 +1,9 @@
 type t = {
   o : Objcode.Objfile.t;
   by_name : (string, int) Hashtbl.t;
+  extra : Objcode.Objfile.symbol array;
+      (* synthetic symbols appended after the executable's own; they
+         have no address range, so pc/entry lookup never returns them *)
 }
 
 let of_objfile o =
@@ -9,13 +12,33 @@ let of_objfile o =
   Array.iteri
     (fun i (s : Objcode.Objfile.symbol) -> Hashtbl.replace by_name s.name i)
     o.Objcode.Objfile.symbols;
-  { o; by_name }
+  { o; by_name; extra = [||] }
+
+let unknown_name = "<unknown>"
+
+let with_unknown t =
+  match Hashtbl.find_opt t.by_name unknown_name with
+  | Some id -> (t, id)
+  | None ->
+    let n_real = Array.length t.o.Objcode.Objfile.symbols in
+    let id = n_real + Array.length t.extra in
+    let by_name = Hashtbl.copy t.by_name in
+    Hashtbl.replace by_name unknown_name id;
+    let unknown =
+      { Objcode.Objfile.name = unknown_name; addr = max_int; size = 0;
+        profiled = false }
+    in
+    ({ t with by_name; extra = Array.append t.extra [| unknown |] }, id)
 
 let objfile t = t.o
 
-let n_funcs t = Array.length t.o.Objcode.Objfile.symbols
+let n_real t = Array.length t.o.Objcode.Objfile.symbols
 
-let sym t id = t.o.Objcode.Objfile.symbols.(id)
+let n_funcs t = n_real t + Array.length t.extra
+
+let sym t id =
+  let real = n_real t in
+  if id < real then t.o.Objcode.Objfile.symbols.(id) else t.extra.(id - real)
 
 let name t id = (sym t id).name
 let entry t id = (sym t id).addr

@@ -9,6 +9,16 @@ type t
 
 val of_objfile : Objcode.Objfile.t -> t
 
+val unknown_name : string
+(** ["<unknown>"]. *)
+
+val with_unknown : t -> t * int
+(** Extend the table with a synthetic {!unknown_name} function (no
+    address range, never returned by pc lookup) and return its id —
+    the landing spot for sampled PCs and arc endpoints that resolve to
+    no routine when the analysis runs leniently over damaged profile
+    data. Idempotent. *)
+
 val objfile : t -> Objcode.Objfile.t
 
 val n_funcs : t -> int

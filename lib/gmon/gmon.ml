@@ -150,11 +150,117 @@ let merge_all = function
       (fun acc y -> Result.bind acc (fun a -> merge a y))
       (Ok x) rest
 
-(* --- binary serialization ------------------------------------------- *)
+(* --- fault-tolerant binary serialization ---------------------------- *)
+
+(* The interesting profiles come from the runs that died: a program
+   killed mid-exit leaves a torn gmon file, and one torn file must not
+   poison a whole multi-run summing batch. The codec therefore (1)
+   appends a checksum footer so torn or bit-flipped writes are
+   detectable, (2) reports decode failures as structured errors
+   carrying byte offsets, and (3) offers a salvage mode that recovers
+   the valid prefix of buckets and arcs instead of rejecting the
+   file. *)
+
+type mode = [ `Strict | `Salvage ]
+
+type decode_error = {
+  de_path : string option;
+  de_offset : int;
+  de_context : string;
+  de_msg : string;
+}
+
+let decode_error_to_string e =
+  let path = match e.de_path with Some p -> p ^ ": " | None -> "" in
+  Printf.sprintf "%sat byte %d: %s: %s" path e.de_offset e.de_context e.de_msg
+
+let pp_decode_error ppf e =
+  Format.pp_print_string ppf (decode_error_to_string e)
+
+type checksum_state = [ `Ok | `Missing | `Mismatch ]
+
+type report = {
+  r_checksum : checksum_state;
+  r_dropped_buckets : int;
+  r_dropped_arcs : int;
+  r_dropped_bytes : int;
+  r_notes : string list;
+}
+
+let lossless_report =
+  { r_checksum = `Ok; r_dropped_buckets = 0; r_dropped_arcs = 0;
+    r_dropped_bytes = 0; r_notes = [] }
+
+let report_degraded r =
+  r.r_checksum <> `Ok || r.r_dropped_buckets > 0 || r.r_dropped_arcs > 0
+  || r.r_dropped_bytes > 0 || r.r_notes <> []
+
+let report_summary r =
+  let checksum =
+    match r.r_checksum with
+    | `Ok -> []
+    | `Missing -> [ "checksum footer missing (torn write?)" ]
+    | `Mismatch -> [ "checksum mismatch" ]
+  in
+  let drop what n = if n > 0 then [ Printf.sprintf "%d %s dropped" n what ] else [] in
+  String.concat "; "
+    (checksum
+    @ drop "bucket(s)" r.r_dropped_buckets
+    @ drop "arc(s)" r.r_dropped_arcs
+    @ drop "byte(s)" r.r_dropped_bytes
+    @ r.r_notes)
+
+(* Salvage bookkeeping lands in the default registry so callers can
+   report exactly what was dropped without threading the report
+   around. *)
+let m_decode_errors =
+  Obs.Metrics.counter Obs.Metrics.default "gmon.decode_errors"
+    ~help:"profile decodes rejected outright (strict or unsalvageable)"
+
+let m_salvaged_files =
+  Obs.Metrics.counter Obs.Metrics.default "gmon.salvage.files"
+    ~help:"profiles recovered with data loss by salvage decoding"
+
+let m_salvaged_buckets =
+  Obs.Metrics.counter Obs.Metrics.default "gmon.salvage.dropped_buckets"
+
+let m_salvaged_arcs =
+  Obs.Metrics.counter Obs.Metrics.default "gmon.salvage.dropped_arcs"
+
+let m_salvaged_bytes =
+  Obs.Metrics.counter Obs.Metrics.default "gmon.salvage.dropped_bytes"
+
+let m_checksum_mismatches =
+  Obs.Metrics.counter Obs.Metrics.default "gmon.checksum_mismatches"
+
+let m_quarantined =
+  Obs.Metrics.counter Obs.Metrics.default "gmon.quarantined_files"
+    ~help:"undecodable profiles skipped by quarantined summing"
 
 let magic = "GMONOCAML1\n"
 
+(* 8-byte footer tag + 64-bit FNV-1a of everything before it. *)
+let footer_magic = "GMCKSUM1"
+
+let footer_len = String.length footer_magic + 8
+
+let fnv1a64 ?len s =
+  let len = match len with Some l -> l | None -> String.length s in
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to len - 1 do
+    h :=
+      Int64.mul
+        (Int64.logxor !h (Int64.of_int (Char.code (String.unsafe_get s i))))
+        0x100000001b3L
+  done;
+  !h
+
 let put_i64 buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+let add_footer buf =
+  let body = Buffer.contents buf in
+  Buffer.add_string buf footer_magic;
+  Buffer.add_int64_le buf (fnv1a64 body)
 
 let to_bytes t =
   let buf = Buffer.create (1024 + (8 * Array.length t.hist.h_counts)) in
@@ -174,72 +280,385 @@ let to_bytes t =
       put_i64 buf a.a_self;
       put_i64 buf a.a_count)
     t.arcs;
+  add_footer buf;
   Obs.Metrics.incr m_bytes_written ~by:(Buffer.length buf);
   Buffer.contents buf
 
-let of_bytes s =
-  let exception Bad of string in
+(* Locate the checksum footer: [body_len] is where the decodable
+   payload ends. A file without a verifiable footer is treated as
+   possibly torn — the whole string is the (suspect) body. *)
+let split_footer s =
+  let len = String.length s in
+  if
+    len >= String.length magic + footer_len
+    && String.sub s (len - footer_len) (String.length footer_magic) = footer_magic
+  then begin
+    let body_len = len - footer_len in
+    let stored = String.get_int64_le s (len - 8) in
+    if Int64.equal (fnv1a64 ~len:body_len s) stored then (`Ok, body_len)
+    else (`Mismatch, body_len)
+  end
+  else (`Missing, len)
+
+let decode ?path ~mode s =
+  let exception Bad of decode_error in
+  let fail ~offset ~context fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise
+          (Bad { de_path = path; de_offset = offset; de_context = context;
+                 de_msg = msg }))
+      fmt
+  in
   Obs.Metrics.incr m_bytes_read ~by:(String.length s);
-  try
-    let len = String.length s in
-    if len < String.length magic || String.sub s 0 (String.length magic) <> magic
-    then raise (Bad "bad magic");
-    let pos = ref (String.length magic) in
-    let get_i64 () =
-      if !pos + 8 > len then raise (Bad "truncated file");
-      let v = Int64.to_int (String.get_int64_le s !pos) in
-      pos := !pos + 8;
-      v
-    in
-    let lowpc = get_i64 () in
-    let highpc = get_i64 () in
-    let bucket_size = get_i64 () in
-    let ticks_per_second = get_i64 () in
-    let cycles_per_tick = get_i64 () in
-    let runs = get_i64 () in
-    let nbuckets = get_i64 () in
-    if nbuckets < 0 || nbuckets > 1 lsl 30 then raise (Bad "absurd bucket count");
-    let counts = Array.init nbuckets (fun _ -> get_i64 ()) in
-    let narcs = get_i64 () in
-    if narcs < 0 || narcs > 1 lsl 30 then raise (Bad "absurd arc count");
-    let arcs =
-      List.init narcs (fun _ ->
-          let a_from = get_i64 () in
-          let a_self = get_i64 () in
-          let a_count = get_i64 () in
-          { a_from; a_self; a_count })
-    in
-    if !pos <> len then raise (Bad "trailing bytes");
-    let t =
-      {
-        hist =
-          { h_lowpc = lowpc; h_highpc = highpc; h_bucket_size = bucket_size;
-            h_counts = counts };
-        arcs;
-        ticks_per_second;
-        cycles_per_tick;
-        runs;
-      }
-    in
-    match validate t with
-    | Ok () -> Ok t
-    | Error es -> Error (String.concat "; " es)
-  with Bad msg -> Error msg
+  let result =
+    try
+      let mlen = String.length magic in
+      if String.length s < mlen || String.sub s 0 mlen <> magic then
+        fail ~offset:0 ~context:"magic"
+          "expected %S, found %S (not a profile data file)" magic
+          (String.sub s 0 (min (String.length s) mlen));
+      let checksum, body_len = split_footer s in
+      if mode = `Strict && checksum <> `Ok then
+        fail ~offset:body_len ~context:"checksum footer"
+          "%s: file is torn or corrupt (total %d bytes)"
+          (match checksum with
+          | `Missing -> "missing"
+          | _ -> "stored checksum disagrees with the body")
+          (String.length s);
+      if checksum = `Mismatch then Obs.Metrics.incr m_checksum_mismatches;
+      let dropped_buckets = ref 0 in
+      let dropped_arcs = ref 0 in
+      let dropped_bytes = ref 0 in
+      let notes = ref [] in
+      let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+      let pos = ref mlen in
+      let get_i64 context =
+        if !pos + 8 > body_len then
+          fail ~offset:!pos ~context "need 8 bytes, have %d (file ends at %d)"
+            (body_len - !pos) body_len;
+        let v = Int64.to_int (String.get_int64_le s !pos) in
+        pos := !pos + 8;
+        v
+      in
+      (* The header is load-bearing: without its geometry and clock
+         rates nothing downstream can be interpreted, so a header
+         failure is unrecoverable even in salvage mode. *)
+      let header_field context =
+        let offset = !pos in
+        let v = get_i64 context in
+        (offset, v)
+      in
+      let _, lowpc = header_field "header field lowpc" in
+      let hp_off, highpc = header_field "header field highpc" in
+      let bs_off, bucket_size = header_field "header field bucket_size" in
+      let tps_off, ticks_per_second = header_field "header field ticks_per_second" in
+      let cpt_off, cycles_per_tick = header_field "header field cycles_per_tick" in
+      let runs_off, runs = header_field "header field runs" in
+      if bucket_size <= 0 then
+        fail ~offset:bs_off ~context:"header field bucket_size"
+          "%d not positive" bucket_size;
+      if lowpc < 0 || highpc <= lowpc then
+        fail ~offset:hp_off ~context:"header pc range" "bad range [%d,%d)" lowpc
+          highpc;
+      if ticks_per_second <= 0 then
+        fail ~offset:tps_off ~context:"header field ticks_per_second"
+          "%d not positive" ticks_per_second;
+      if cycles_per_tick <= 0 then
+        fail ~offset:cpt_off ~context:"header field cycles_per_tick"
+          "%d not positive" cycles_per_tick;
+      if runs < 1 then
+        fail ~offset:runs_off ~context:"header field runs" "%d < 1" runs;
+      let expect = n_buckets ~lowpc ~highpc ~bucket_size in
+      if expect < 0 || expect > 1 lsl 26 then
+        fail ~offset:hp_off ~context:"header pc range"
+          "range [%d,%d) at bucket size %d implies an absurd bucket count" lowpc
+          highpc bucket_size;
+      let nb_off = !pos in
+      let stored_buckets = get_i64 "bucket count" in
+      if stored_buckets <> expect then begin
+        if mode = `Strict then
+          fail ~offset:nb_off ~context:"bucket count"
+            "stored count %d disagrees with the pc range (expected %d)"
+            stored_buckets expect
+        else
+          note "stored bucket count %d disagrees with the pc range; using %d"
+            stored_buckets expect
+      end;
+      (* Buckets: in salvage mode a short or damaged histogram is
+         zero-filled — zeros never invent ticks, and the geometry stays
+         intact so the result still validates. *)
+      let counts = Array.make expect 0 in
+      let i = ref 0 in
+      (try
+         while !i < expect do
+           let off = !pos in
+           let c = get_i64 (Printf.sprintf "bucket %d" !i) in
+           if c < 0 then
+             if mode = `Strict then
+               fail ~offset:off ~context:(Printf.sprintf "bucket %d" !i)
+                 "negative count %d" c
+             else begin
+               incr dropped_buckets;
+               note "bucket %d had negative count %d; zeroed" !i c
+             end
+           else counts.(!i) <- c;
+           incr i
+         done
+       with Bad e when mode = `Salvage ->
+         dropped_buckets := !dropped_buckets + (expect - !i);
+         note "histogram truncated at byte %d: buckets %d..%d zero-filled"
+           e.de_offset !i (expect - 1);
+         pos := body_len);
+      if mode = `Salvage && stored_buckets > expect then begin
+        let skip = min ((stored_buckets - expect) * 8) (body_len - !pos) in
+        dropped_bytes := !dropped_bytes + skip;
+        pos := !pos + skip
+      end;
+      (* Arcs: recover whole records; a partial trailing record or a
+         record with a negative count is dropped, never repaired. *)
+      let rev_arcs = ref [] in
+      let n_read = ref 0 in
+      (try
+         let na_off = !pos in
+         let narcs = get_i64 "arc count" in
+         if narcs < 0 || narcs > 1 lsl 30 then
+           fail ~offset:na_off ~context:"arc count" "absurd value %d" narcs;
+         while !n_read < narcs do
+           let off = !pos in
+           if !pos + 24 > body_len then
+             fail ~offset:!pos ~context:(Printf.sprintf "arc %d" !n_read)
+               "need 24 bytes, have %d" (body_len - !pos);
+           let a_from = get_i64 "arc from" in
+           let a_self = get_i64 "arc self" in
+           let a_count = get_i64 "arc count field" in
+           if a_count < 0 then
+             if mode = `Strict then
+               fail ~offset:off ~context:(Printf.sprintf "arc %d" !n_read)
+                 "negative traversal count %d" a_count
+             else begin
+               incr dropped_arcs;
+               note "arc %d (%d -> %d) had negative count %d; dropped" !n_read
+                 a_from a_self a_count
+             end
+           else rev_arcs := { a_from; a_self; a_count } :: !rev_arcs;
+           incr n_read
+         done
+       with Bad e when mode = `Salvage ->
+         note "arc table ends early at byte %d after %d whole record(s)"
+           e.de_offset !n_read;
+         incr dropped_arcs;
+         dropped_bytes := !dropped_bytes + (body_len - !pos);
+         pos := body_len);
+      let arcs = List.rev !rev_arcs in
+      (* Strict files are written sorted; a salvaged bit-flip may break
+         the order, so restore it and drop duplicate keys (first
+         record wins — reordering invents nothing, merging would). *)
+      let arcs =
+        let rec sorted = function
+          | [] | [ _ ] -> true
+          | a :: (b :: _ as rest) ->
+            compare (a.a_from, a.a_self) (b.a_from, b.a_self) < 0 && sorted rest
+        in
+        if sorted arcs then arcs
+        else if mode = `Strict then
+          fail ~offset:!pos ~context:"arc table" "records not strictly sorted"
+        else begin
+          note "arc table unsorted; reordered";
+          let sorted_arcs =
+            List.stable_sort
+              (fun a b -> compare (a.a_from, a.a_self) (b.a_from, b.a_self))
+              arcs
+          in
+          let rec dedup = function
+            | [] -> []
+            | [ a ] -> [ a ]
+            | a :: (b :: _ as rest) ->
+              if (a.a_from, a.a_self) = (b.a_from, b.a_self) then begin
+                incr dropped_arcs;
+                dedup (a :: List.tl rest)
+              end
+              else a :: dedup rest
+          in
+          dedup sorted_arcs
+        end
+      in
+      if !pos <> body_len then begin
+        if mode = `Strict then
+          fail ~offset:!pos ~context:"end of file" "%d trailing bytes"
+            (body_len - !pos)
+        else begin
+          dropped_bytes := !dropped_bytes + (body_len - !pos);
+          note "%d trailing byte(s) ignored" (body_len - !pos)
+        end
+      end;
+      let t =
+        {
+          hist =
+            { h_lowpc = lowpc; h_highpc = highpc; h_bucket_size = bucket_size;
+              h_counts = counts };
+          arcs;
+          ticks_per_second;
+          cycles_per_tick;
+          runs;
+        }
+      in
+      (match validate t with
+      | Ok () -> ()
+      | Error es ->
+        fail ~offset:0 ~context:"validation" "%s" (String.concat "; " es));
+      let report =
+        {
+          r_checksum = checksum;
+          r_dropped_buckets = !dropped_buckets;
+          r_dropped_arcs = !dropped_arcs;
+          r_dropped_bytes = !dropped_bytes;
+          r_notes = List.rev !notes;
+        }
+      in
+      Ok (t, report)
+    with Bad e -> Error e
+  in
+  (match result with
+  | Error _ -> Obs.Metrics.incr m_decode_errors
+  | Ok (_, r) when report_degraded r ->
+    Obs.Metrics.incr m_salvaged_files;
+    Obs.Metrics.incr m_salvaged_buckets ~by:r.r_dropped_buckets;
+    Obs.Metrics.incr m_salvaged_arcs ~by:r.r_dropped_arcs;
+    Obs.Metrics.incr m_salvaged_bytes ~by:r.r_dropped_bytes
+  | Ok _ -> ());
+  result
+
+let of_bytes s =
+  match decode ~mode:`Strict s with
+  | Ok (t, _) -> Ok t
+  | Error e -> Error (decode_error_to_string e)
+
+(* --- crash-safe emission -------------------------------------------- *)
+
+(* Deliberate fault injection for the emission path: [Some n] makes
+   the next save write only the first [n] bytes straight to the final
+   path and stop — the torn file a non-atomic writer leaves when the
+   process dies mid-condense. One-shot, consumed by the next save. *)
+let torn_save_request : int option ref = ref None
+
+let inject_torn_save n = torn_save_request := n
+
+let write_file_atomic ~what path data =
+  match !torn_save_request with
+  | Some n ->
+    torn_save_request := None;
+    let n = max 0 (min n (String.length data)) in
+    (try
+       let oc = open_out_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () -> output_string oc (String.sub data 0 n));
+       Error
+         (Printf.sprintf
+            "%s: fault injected: torn write stopped after %d of %d bytes" path n
+            (String.length data))
+     with Sys_error e -> Error e)
+  | None -> (
+    (* Write to a temp file in the same directory, then rename: a
+       crash leaves either the old file or the new one, never a torn
+       hybrid, and the checksum footer catches whatever a dying
+       filesystem still manages to tear. *)
+    let tmp = path ^ ".tmp" in
+    try
+      let oc = open_out_bin tmp in
+      (try
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () -> output_string oc data)
+       with Sys_error e ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise (Sys_error e));
+      Sys.rename tmp path;
+      Ok ()
+    with Sys_error e -> Error (Printf.sprintf "%s: cannot save %s: %s" path what e))
 
 let save t path =
   Obs.Metrics.incr m_files_saved;
   Obs.Trace.with_span ~cat:"gmon" "gmon-save" (fun () ->
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (to_bytes t)))
+      write_file_atomic ~what:"profile data" path (to_bytes t))
 
-let load path =
+let load_report ?(mode : mode = `Strict) path =
   Obs.Metrics.incr m_files_loaded;
   Obs.Trace.with_span ~cat:"gmon" "gmon-load" ~args:[ ("path", path) ] (fun () ->
       match In_channel.with_open_bin path In_channel.input_all with
-      | s -> of_bytes s
-      | exception Sys_error e -> Error e)
+      | s -> decode ~path ~mode s
+      | exception Sys_error e ->
+        Obs.Metrics.incr m_decode_errors;
+        Error { de_path = Some path; de_offset = 0; de_context = "open"; de_msg = e })
+
+let load ?(mode : mode = `Strict) path =
+  match load_report ~mode path with
+  | Ok (t, _) -> Ok t
+  | Error e -> Error (decode_error_to_string e)
+
+(* --- quarantined summing -------------------------------------------- *)
+
+type quarantined = { q_path : string; q_reason : string }
+
+let merge_all_quarantine inputs =
+  let rev_quarantined = ref [] in
+  let quarantine path reason =
+    rev_quarantined := { q_path = path; q_reason = reason } :: !rev_quarantined;
+    Obs.Metrics.incr m_quarantined
+  in
+  let acc =
+    List.fold_left
+      (fun acc (path, r) ->
+        match r with
+        | Error e ->
+          quarantine path e;
+          acc
+        | Ok g -> (
+          match acc with
+          | None -> Some g
+          | Some a -> (
+            match merge a g with
+            | Ok m -> Some m
+            | Error e ->
+              quarantine path e;
+              Some a)))
+      None inputs
+  in
+  match acc with
+  | Some t -> Ok (t, List.rev !rev_quarantined)
+  | None ->
+    Error
+      (if inputs = [] then "no profiles to merge"
+       else
+         Printf.sprintf "all %d profile(s) quarantined: %s" (List.length inputs)
+           (String.concat "; "
+              (List.map
+                 (fun q -> Printf.sprintf "%s (%s)" q.q_path q.q_reason)
+                 (List.rev !rev_quarantined))))
+
+let load_merge ?(mode : mode = `Strict) paths =
+  let loaded =
+    List.map
+      (fun p ->
+        match load_report ~mode p with
+        | Ok (t, rep) -> (p, Ok t, Some rep)
+        | Error e ->
+          (* the path is carried separately by the quarantine record *)
+          (p, Error (decode_error_to_string { e with de_path = None }), None))
+      paths
+  in
+  match
+    merge_all_quarantine (List.map (fun (p, r, _) -> (p, r)) loaded)
+  with
+  | Error e -> Error e
+  | Ok (t, quarantined) ->
+    let reports =
+      List.filter_map
+        (fun (p, _, rep) -> Option.map (fun r -> (p, r)) rep)
+        loaded
+    in
+    Ok (t, reports, quarantined)
 
 let equal a b =
   a.hist.h_lowpc = b.hist.h_lowpc
@@ -304,47 +723,62 @@ module Icount = struct
           Buffer.add_int64_le buf (Int64.of_int c)
         end)
       t.counts;
+    add_footer buf;
     Buffer.contents buf
 
   let of_bytes s =
     let exception Bad of string in
+    let bad ~offset fmt =
+      Printf.ksprintf (fun m -> raise (Bad (Printf.sprintf "at byte %d: %s" offset m))) fmt
+    in
     try
-      let len = String.length s in
       let mlen = String.length magic in
-      if len < mlen || String.sub s 0 mlen <> magic then raise (Bad "bad magic");
+      if String.length s < mlen || String.sub s 0 mlen <> magic then
+        bad ~offset:0 "bad magic (not an instruction-count file)";
+      let checksum, len = split_footer s in
+      if checksum <> `Ok then
+        bad ~offset:len "checksum footer %s: file is torn or corrupt"
+          (match checksum with `Missing -> "missing" | _ -> "mismatched");
       let pos = ref mlen in
-      let get () =
-        if !pos + 8 > len then raise (Bad "truncated file");
+      let get what =
+        if !pos + 8 > len then
+          bad ~offset:!pos "truncated reading %s: need 8 bytes, have %d" what
+            (len - !pos);
         let v = Int64.to_int (String.get_int64_le s !pos) in
         pos := !pos + 8;
         v
       in
-      let text_size = get () in
-      if text_size < 0 || text_size > 1 lsl 30 then raise (Bad "absurd text size");
-      let nonzero = get () in
-      if nonzero < 0 || nonzero > text_size then raise (Bad "absurd entry count");
+      let text_size = get "text size" in
+      if text_size < 0 || text_size > 1 lsl 30 then
+        bad ~offset:(!pos - 8) "absurd text size %d" text_size;
+      let nonzero = get "entry count" in
+      if nonzero < 0 || nonzero > text_size then
+        bad ~offset:(!pos - 8) "absurd entry count %d for text size %d" nonzero
+          text_size;
       let counts = Array.make text_size 0 in
-      for _ = 1 to nonzero do
-        let addr = get () in
-        let c = get () in
-        if addr < 0 || addr >= text_size then raise (Bad "entry address out of range");
-        if c <= 0 then raise (Bad "nonpositive count");
-        if counts.(addr) <> 0 then raise (Bad "duplicate entry");
+      for i = 1 to nonzero do
+        let addr = get (Printf.sprintf "entry %d address" i) in
+        let c = get (Printf.sprintf "entry %d count" i) in
+        if addr < 0 || addr >= text_size then
+          bad ~offset:(!pos - 16) "entry address %d outside text [0,%d)" addr
+            text_size;
+        if c <= 0 then bad ~offset:(!pos - 8) "nonpositive count %d" c;
+        if counts.(addr) <> 0 then
+          bad ~offset:(!pos - 16) "duplicate entry for address %d" addr;
         counts.(addr) <- c
       done;
-      if !pos <> len then raise (Bad "trailing bytes");
+      if !pos <> len then bad ~offset:!pos "%d trailing bytes" (len - !pos);
       Ok { text_size; counts }
     with Bad msg -> Error msg
 
-  let save t path =
-    let oc = open_out_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (to_bytes t))
+  let save t path = write_file_atomic ~what:"instruction counts" path (to_bytes t)
 
   let load path =
     match In_channel.with_open_bin path In_channel.input_all with
-    | s -> of_bytes s
+    | s -> (
+      match of_bytes s with
+      | Ok t -> Ok t
+      | Error e -> Error (Printf.sprintf "%s: %s" path e))
     | exception Sys_error e -> Error e
 
   let equal a b = a.text_size = b.text_size && a.counts = b.counts

@@ -73,15 +73,106 @@ val merge : t -> t -> (t, string) result
 val merge_all : t list -> (t, string) result
 (** Fold {!merge} over a non-empty list. *)
 
+(** {1 Fault-tolerant serialization}
+
+    The interesting profiles come from the runs that died: a profiled
+    program killed mid-exit leaves a torn [gmon.out]. Files carry a
+    checksum footer (8-byte tag plus 64-bit FNV-1a of the body) so
+    torn or bit-flipped writes are detectable; decoding reports
+    structured errors with byte offsets; and salvage mode recovers the
+    valid prefix of buckets and arcs instead of rejecting the file. *)
+
+type mode = [ `Strict | `Salvage ]
+(** [`Strict] rejects any damage (missing/mismatched checksum,
+    truncation, invalid records) with an offset-bearing error.
+    [`Salvage] recovers what it can: missing buckets are zero-filled
+    (the geometry is kept so the result still passes {!validate}),
+    partial or invalid arc records are dropped, trailing bytes are
+    ignored — salvage never invents data, so a salvaged profile is
+    always a sub-profile of what strict decoding of the intact file
+    would return. A file whose header (magic, geometry, clock rates)
+    is damaged is unrecoverable in either mode. *)
+
+type decode_error = {
+  de_path : string option;  (** set by {!load}/{!load_report} *)
+  de_offset : int;  (** byte position of the failure *)
+  de_context : string;  (** what was being decoded *)
+  de_msg : string;  (** reason, with expected vs. actual sizes *)
+}
+
+val decode_error_to_string : decode_error -> string
+
+val pp_decode_error : Format.formatter -> decode_error -> unit
+
+type checksum_state = [ `Ok | `Missing | `Mismatch ]
+
+type report = {
+  r_checksum : checksum_state;
+  r_dropped_buckets : int;  (** buckets zero-filled or repaired *)
+  r_dropped_arcs : int;  (** arc records dropped *)
+  r_dropped_bytes : int;  (** unparseable bytes skipped *)
+  r_notes : string list;  (** human diagnostics, in file order *)
+}
+(** What a decode left behind. Salvage losses are also published to
+    the default {!Obs.Metrics} registry ([gmon.salvage.*],
+    [gmon.checksum_mismatches], [gmon.decode_errors]). *)
+
+val lossless_report : report
+
+val report_degraded : report -> bool
+(** True when anything was dropped, repaired, or unverifiable. *)
+
+val report_summary : report -> string
+(** One-line rendering of the losses; [""] for a lossless decode. *)
+
+val decode :
+  ?path:string -> mode:mode -> string -> (t * report, decode_error) result
+
 val to_bytes : t -> string
 (** Binary serialization (magic ["GMONOCAML1\n"], little-endian
-    fixed-width fields). *)
+    fixed-width fields, checksum footer). *)
 
 val of_bytes : string -> (t, string) result
+(** Strict {!decode} with the error rendered as a string. *)
 
-val save : t -> string -> unit
+val save : t -> string -> (unit, string) result
+(** Crash-safe write: the encoding goes to [path ^ ".tmp"] and is
+    renamed into place, so a crash leaves the old file or the new one,
+    never a torn hybrid. [Error] (never an exception) on an unwritable
+    path. *)
 
-val load : string -> (t, string) result
+val inject_torn_save : int option -> unit
+(** Fault injection for the emission path: [Some n] makes the {e next}
+    save (of a profile or instruction counts) write only the first [n]
+    bytes directly to the final path and return [Error] — deliberately
+    producing the torn file a non-atomic writer leaves when the
+    process dies mid-condense. One-shot; [None] cancels. *)
+
+val load : ?mode:mode -> string -> (t, string) result
+(** Read and {!decode} a file; the error string carries the path and
+    byte offset. [mode] defaults to [`Strict]. *)
+
+val load_report : ?mode:mode -> string -> (t * report, decode_error) result
+
+(** {1 Quarantined summing} *)
+
+type quarantined = { q_path : string; q_reason : string }
+
+val merge_all_quarantine :
+  (string * (t, string) result) list -> (t * quarantined list, string) result
+(** Quarantine variant of {!merge_all} over per-file decode results:
+    undecodable files — and files that refuse to merge with the
+    accumulated sum (layout or clock mismatch) — are skipped and
+    returned with per-file diagnostics instead of failing the batch.
+    [Error] only when no file is usable at all. *)
+
+val load_merge :
+  ?mode:mode ->
+  string list ->
+  (t * (string * report) list * quarantined list, string) result
+(** {!load_report} every path, then {!merge_all_quarantine}. Returns
+    the merged profile, the per-file decode reports of the files that
+    went into it, and the quarantined rest. *)
 
 val equal : t -> t -> bool
 
@@ -117,12 +208,19 @@ module Icount : sig
   (** Element-wise sum; [Error] on size mismatch (different binaries). *)
 
   val to_bytes : t -> string
+  (** Sparse little-endian encoding with the same checksum footer as
+      the profile format. *)
 
   val of_bytes : string -> (t, string) result
+  (** Strict decode; error messages carry byte offsets and expected
+      vs. actual sizes. *)
 
-  val save : t -> string -> unit
+  val save : t -> string -> (unit, string) result
+  (** Crash-safe temp-and-rename write, like {!Gmon.save}; honours
+      {!Gmon.inject_torn_save}. *)
 
   val load : string -> (t, string) result
+  (** Error messages carry the file path. *)
 
   val equal : t -> t -> bool
 

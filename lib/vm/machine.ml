@@ -16,6 +16,7 @@ type config = {
   seed : int;
   max_cycles : int option;
   max_depth : int;
+  fault_after_instr : int option;
 }
 
 let default_config =
@@ -34,7 +35,10 @@ let default_config =
     seed = 1;
     max_cycles = None;
     max_depth = 100_000;
+    fault_after_instr = None;
   }
+
+let injected_fault_reason = "fault injected: instruction budget exhausted"
 
 type fault = { fault_pc : int; reason : string }
 
@@ -74,6 +78,9 @@ type t = {
   out : Buffer.t;
   mutable status : status;
   mutable result : int option;
+  mutable fault_countdown : int option;
+      (* decremented per instruction independently of the metrics
+         counters, so injection works with metrics off *)
 }
 
 let dummy_frame = { ret_pc = -1; func_entry = 0; base = 0; locals = [||] }
@@ -112,6 +119,7 @@ let create ?(config = default_config) o =
       out = Buffer.create 256;
       status = Running;
       result = None;
+      fault_countdown = config.fault_after_instr;
     }
   in
   (* The startup stub "calls" main: a frame with a sentinel return
@@ -296,6 +304,10 @@ let step m =
       let at_pc = m.pc in
       let ins = text.(m.pc) in
       try
+        (match m.fault_countdown with
+        | Some n when n <= 0 -> raise (Fault injected_fault_reason)
+        | Some n -> m.fault_countdown <- Some (n - 1)
+        | None -> ());
         (match m.icounts with
         | Some counts -> counts.(at_pc) <- counts.(at_pc) + 1
         | None -> ());

@@ -47,6 +47,11 @@ type config = {
   seed : int;  (** PRNG seed for [rand] and jitter *)
   max_cycles : int option;  (** fault when exceeded; None = unlimited *)
   max_depth : int;  (** call-stack depth limit *)
+  fault_after_instr : int option;
+      (** fault injection: abort with {!injected_fault_reason} after
+          executing N instructions, simulating a program killed
+          mid-run — the normal way to produce the partial profiles the
+          salvage decoder must tolerate *)
 }
 
 val default_config : config
@@ -55,6 +60,10 @@ val default_config : config
     sampling, no jitter, seed 1, max_cycles [None], depth 100000. *)
 
 type fault = { fault_pc : int; reason : string }
+
+val injected_fault_reason : string
+(** The [reason] of a fault produced by [fault_after_instr], so
+    drivers can distinguish deliberate crashes from real ones. *)
 
 val pp_fault : Format.formatter -> fault -> unit
 

@@ -125,7 +125,9 @@ let test_icount_roundtrip () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Gmon.Icount.save ic path;
+      (match Gmon.Icount.save ic path with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
       match Gmon.Icount.load path with
       | Ok ic2 -> check_bool "file roundtrip" true (Gmon.Icount.equal ic ic2)
       | Error e -> Alcotest.fail e)

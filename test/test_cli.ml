@@ -177,6 +177,67 @@ let test_obs_flags () =
   check_bool "self-profile table printed" true
     (contains ~needle:"gprofx self-profile" out && contains ~needle:"analyze" out)
 
+let stderr_text () =
+  In_channel.with_open_text (path "stderr.txt") In_channel.input_all
+
+let test_robust_cli () =
+  let src = write_source () in
+  let obj = path "prog.obj" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj ]);
+  let g1 = path "c1.gmon" and g2 = path "c2.gmon" in
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; g1; "-q"; "--seed"; "1" ]);
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; g2; "-q"; "--seed"; "2" ]);
+  (* a torn copy (valid header, truncated data) and an undecodable one *)
+  let torn = path "torn.gmon" and junk = path "junk.gmon" in
+  let bytes = In_channel.with_open_bin g1 In_channel.input_all in
+  Out_channel.with_open_bin torn (fun oc ->
+      Out_channel.output_string oc (String.sub bytes 0 150));
+  Out_channel.with_open_text junk (fun oc ->
+      Out_channel.output_string oc "this is not profile data");
+  (* strict (the default): the torn file fails the whole run, with an
+     offset-bearing diagnostic *)
+  let code, _ = run_cmd [ exe "gprofx"; obj; g1; torn; "--flat" ] in
+  check_int "strict run exits 1" 1 code;
+  check_bool "strict error names the file and offset" true
+    (let err = stderr_text () in
+     contains ~needle:"torn.gmon" err && contains ~needle:"at byte" err);
+  (* lenient: the batch degrades instead of failing — salvage the torn
+     file, quarantine the undecodable one, and say so *)
+  let code, out =
+    run_cmd [ exe "gprofx"; obj; g1; torn; g2; junk; "--lenient"; "--flat" ]
+  in
+  check_int "lenient run exits 2 (degraded)" 2 code;
+  check_bool "listing still produced" true (contains ~needle:"helper" out);
+  let err = stderr_text () in
+  check_bool "quarantine reported per file" true
+    (contains ~needle:"quarantined" err && contains ~needle:"junk.gmon" err);
+  check_bool "salvage reported per file" true
+    (contains ~needle:"salvaged" err && contains ~needle:"torn.gmon" err);
+  (* clean data under --lenient is not degraded *)
+  let code, _ = run_cmd [ exe "gprofx"; obj; g1; g2; "--lenient"; "--flat" ] in
+  check_int "lenient over clean data exits 0" 0 code;
+  (* emission-side injection: a VM fault still flushes a loadable
+     profile; a torn save fails loudly and leaves a rejectable file *)
+  let gf = path "faulted.gmon" in
+  let code, _ =
+    run_cmd [ exe "minirun"; obj; "--gmon"; gf; "-q"; "--fault-after"; "200000" ]
+  in
+  check_int "injected VM fault exits 125" 125 code;
+  check_bool "fault reported" true (contains ~needle:"fault injected" (stderr_text ()));
+  (match Gmon.load gf with
+  | Ok g -> check_bool "flushed profile is nonempty" true (Gmon.total_ticks g > 0)
+  | Error e -> Alcotest.fail e);
+  let gt = path "tornsave.gmon" in
+  let code, _ =
+    run_cmd [ exe "minirun"; obj; "--gmon"; gt; "-q"; "--torn-save"; "50" ]
+  in
+  check_int "torn save exits 1" 1 code;
+  check_bool "torn save reported" true
+    (contains ~needle:"fault injected" (stderr_text ()));
+  match Gmon.load gt with
+  | Error e -> check_bool "torn file rejected with offset" true (contains ~needle:"at byte" e)
+  | Ok _ -> Alcotest.fail "torn file loaded"
+
 let test_bad_inputs_fail_cleanly () =
   let code, _ = run_cmd [ exe "minic"; path "nonexistent.mini" ] in
   check_bool "minic rejects missing file" true (code <> 0);
@@ -202,6 +263,7 @@ let () =
           Alcotest.test_case "profdiff" `Slow test_profdiff_cli;
           Alcotest.test_case "kgmonx" `Slow test_kgmonx_cli;
           Alcotest.test_case "observability flags" `Slow test_obs_flags;
+          Alcotest.test_case "fault tolerance" `Slow test_robust_cli;
           Alcotest.test_case "bad inputs" `Slow test_bad_inputs_fail_cleanly;
         ] );
     ]

@@ -67,6 +67,87 @@ let gmon_reader_bitflips =
       match Gmon.of_bytes (Bytes.to_string bytes) with
       | Ok _ | Error _ -> true)
 
+let salvage_reader_total =
+  QCheck.Test.make ~name:"salvage decoder: random bytes never raise; Ok validates"
+    ~count:500
+    QCheck.(string_gen Gen.(char_range '\000' '\255'))
+    (fun s ->
+      match Gmon.decode ~mode:`Salvage s with
+      | Error _ -> true
+      | Ok (g, _) -> Gmon.validate g = Ok ())
+
+(* A random profile, truncated at a random point and peppered with
+   random byte flips: salvage must never raise, and anything it
+   recovers must validate. Under pure truncation it must additionally
+   be a sub-profile — salvage never invents ticks or arcs. *)
+let random_profile_gen =
+  QCheck.Gen.(
+    let* highpc = int_range 1 24 in
+    let* ticks =
+      list_size (int_range 0 8) (pair (int_range 0 (highpc - 1)) (int_range 0 99))
+    in
+    let* arcs =
+      list_size (int_range 0 8)
+        (triple (int_range (-2) 30) (int_range 0 30) (int_range 0 50))
+    in
+    let hist = Gmon.make_hist ~lowpc:0 ~highpc ~bucket_size:1 in
+    let counts = Array.copy hist.Gmon.h_counts in
+    List.iter (fun (b, c) -> counts.(b) <- c) ticks;
+    let arcs =
+      List.sort_uniq
+        (fun (a : Gmon.arc) b -> compare (a.a_from, a.a_self) (b.a_from, b.a_self))
+        (List.map (fun (f, s, c) -> { Gmon.a_from = f; a_self = s; a_count = c }) arcs)
+    in
+    return
+      { Gmon.hist = { hist with h_counts = counts }; arcs;
+        ticks_per_second = 60; cycles_per_tick = 16_666; runs = 1 })
+
+let salvage_truncation_is_subset =
+  QCheck.Test.make
+    ~name:"salvage decoder: truncated files yield valid sub-profiles"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (g, cut) -> Printf.sprintf "cut=%d of %a" cut
+                  (fun () -> Format.asprintf "%a" Gmon.pp) g)
+       QCheck.Gen.(pair random_profile_gen small_nat))
+    (fun (g, cut_seed) ->
+      let bytes = Gmon.to_bytes g in
+      let cut = cut_seed mod String.length bytes in
+      match Gmon.decode ~mode:`Salvage (String.sub bytes 0 cut) with
+      | Error _ -> true (* header damage is unrecoverable by design *)
+      | Ok (s, report) ->
+        Gmon.validate s = Ok ()
+        && Gmon.report_degraded report
+        && s.hist.h_highpc = g.hist.h_highpc
+        && Array.for_all2 ( >= ) g.hist.h_counts s.hist.h_counts
+        && List.for_all (fun a -> List.mem a g.Gmon.arcs) s.Gmon.arcs)
+
+let salvage_mutations_never_raise =
+  QCheck.Test.make
+    ~name:"salvage decoder: flipped+truncated files never raise; Ok validates"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (_, cut, flips) ->
+         Printf.sprintf "cut=%d flips=%d" cut (List.length flips))
+       QCheck.Gen.(
+         triple random_profile_gen small_nat
+           (list_size (int_range 0 5) (pair small_nat (int_range 0 7)))))
+    (fun (g, cut_seed, flips) ->
+      let bytes = Gmon.to_bytes g in
+      let cut = 1 + (cut_seed mod (String.length bytes - 1)) in
+      let b = Bytes.of_string (String.sub bytes 0 cut) in
+      List.iter
+        (fun (pos_seed, bit) ->
+          let pos = pos_seed mod Bytes.length b in
+          Bytes.set b pos
+            (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit))))
+        flips;
+      let s = Bytes.to_string b in
+      (match Gmon.decode ~mode:`Strict s with Ok _ | Error _ -> ());
+      match Gmon.decode ~mode:`Salvage s with
+      | Error e -> e.Gmon.de_offset >= 0 && e.de_offset <= cut
+      | Ok (g', _) -> Gmon.validate g' = Ok ())
+
 let icount_reader_total =
   QCheck.Test.make ~name:"icount reader: random bytes never raise" ~count:500
     QCheck.(string_gen Gen.(char_range '\000' '\255'))
@@ -313,8 +394,9 @@ let () =
       ( "text inputs",
         [ qt parser_never_crashes; qt lexer_never_crashes ] );
       ( "binary inputs",
-        [ qt gmon_reader_total; qt gmon_reader_bitflips; qt icount_reader_total;
-          qt objfile_reader_total ] );
+        [ qt gmon_reader_total; qt gmon_reader_bitflips; qt salvage_reader_total;
+          qt salvage_truncation_is_subset; qt salvage_mutations_never_raise;
+          qt icount_reader_total; qt objfile_reader_total ] );
       ( "generated programs",
         [ qt pipeline_on_random_programs; qt transformed_random_programs_agree ] );
       ( "corrupted state",

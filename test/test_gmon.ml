@@ -108,7 +108,9 @@ let test_save_load () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Gmon.save g path;
+      (match Gmon.save g path with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
       match Gmon.load path with
       | Ok g2 -> check_bool "file roundtrip" true (Gmon.equal g g2)
       | Error e -> Alcotest.fail e)
