@@ -38,7 +38,32 @@ smoke: build
 	    echo "smoke: lenient run on torn file ($$n bytes) exited $$code, want 2"; exit 1; fi; \
 	  grep -Eq "quarantined|salvaged" $(SMOKE_DIR)/torn_$$n.err; \
 	done
-	@echo "smoke: ok (including fault injection)"
+	# Timeline: re-run with epoch snapshots, check the container sums to
+	# a loadable profile and the digest renders.
+	dune exec bin/minirun.exe -- $(SMOKE_DIR)/smoke.obj -q \
+	  --gmon $(SMOKE_DIR)/smoke2.gmon --epoch-ticks 4 --epochs $(SMOKE_DIR)/smoke.epochs
+	dune exec bin/gprofx.exe -- $(SMOKE_DIR)/smoke.obj $(SMOKE_DIR)/smoke.epochs \
+	  --timeline | grep -q "timeline:"
+	dune exec bin/gprofx.exe -- $(SMOKE_DIR)/smoke.obj $(SMOKE_DIR)/smoke.gmon \
+	  --format flame | grep -q "leaf"
+	# Regression gate: two identical runs must read as steady (exit 0);
+	# adding a run of a build whose leaf loops 8x longer must trip the
+	# watcher (exit 2) and name the slow routine.
+	rm -rf $(SMOKE_DIR)/watch; mkdir -p $(SMOKE_DIR)/watch
+	cp $(SMOKE_DIR)/smoke.gmon $(SMOKE_DIR)/watch/run-001.gmon
+	cp $(SMOKE_DIR)/smoke2.gmon $(SMOKE_DIR)/watch/run-002.gmon
+	dune exec bin/profwatch.exe -- $(SMOKE_DIR)/smoke.obj $(SMOKE_DIR)/watch \
+	  | grep -q "steady"
+	dune exec bin/minic.exe -- test/fixtures/smoke_slow.mini --pg \
+	  -o $(SMOKE_DIR)/watch/run-003.obj
+	dune exec bin/minirun.exe -- $(SMOKE_DIR)/watch/run-003.obj -q \
+	  --gmon $(SMOKE_DIR)/watch/run-003.gmon
+	code=0; dune exec bin/profwatch.exe -- $(SMOKE_DIR)/smoke.obj \
+	  $(SMOKE_DIR)/watch > $(SMOKE_DIR)/watch.out || code=$$?; \
+	  if [ $$code -ne 2 ]; then \
+	    echo "smoke: profwatch on regressed dir exited $$code, want 2"; exit 1; fi
+	grep -q "regression: leaf" $(SMOKE_DIR)/watch.out
+	@echo "smoke: ok (including fault injection and the profwatch gate)"
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,101 @@
+(* The profile timeline: exactness of the epoch engine (summing the
+   per-window deltas must reproduce the whole-run profile bit for
+   bit), the container round-trip, the rendered digest, and the
+   host-time overhead of snapshotting every window (target: below
+   5%). *)
+
+open Harness
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let t_timeline () =
+  section "epoch exactness (matrix workload, one epoch per 8 ticks)";
+  let config = { Vm.Machine.default_config with epoch_ticks = Some 8 } in
+  let r = run_workload ~config Workloads.Programs.matrix in
+  let c =
+    match Vm.Machine.epochs r.machine with
+    | Some c -> c
+    | None ->
+      Printf.eprintf "epoch engine produced no container\n";
+      exit 3
+  in
+  Printf.printf "  %d ticks over %d epoch(s)\n" (Vm.Machine.ticks r.machine)
+    (Gmon.Epoch.n_epochs c);
+  expect "several epochs recorded" (Gmon.Epoch.n_epochs c > 1);
+  expect "container validates" (Gmon.Epoch.validate c = Ok ());
+  (match Gmon.Epoch.sum c with
+  | Error e ->
+    Printf.eprintf "sum failed: %s\n" e;
+    expect "epoch sum computable" false
+  | Ok s ->
+    expect "sum of epochs is bit-identical to the whole-run profile"
+      (Gmon.to_bytes s = Gmon.to_bytes r.gmon));
+  expect "container encoding round-trips"
+    (match Gmon.Epoch.of_bytes (Gmon.Epoch.to_bytes c) with
+    | Ok c' -> Gmon.Epoch.equal c c'
+    | Error _ -> false);
+
+  section "timeline digest";
+  (match Gprof_core.Export.timeline r.objfile c with
+  | Error e ->
+    Printf.eprintf "timeline failed: %s\n" e;
+    expect "timeline renders" false
+  | Ok digest ->
+    print_string digest;
+    expect "timeline renders" (contains ~needle:"timeline:" digest);
+    expect "digest covers every window"
+      (contains
+         ~needle:(Printf.sprintf "epoch %d " (Gmon.Epoch.n_epochs c))
+         digest));
+
+  section "host-time overhead of epoch snapshots (median paired ratio)";
+  let obj =
+    match Workloads.Driver.compile Workloads.Programs.matrix with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  let time epoch_ticks =
+    let config = { Vm.Machine.default_config with epoch_ticks } in
+    let t0 = Unix.gettimeofday () in
+    ignore (Vm.Machine.run (Vm.Machine.create ~config obj));
+    Unix.gettimeofday () -. t0
+  in
+  (* Sequential A-then-B measurement confuses machine drift (thermal,
+     contention) with the configuration under test.  Each iteration
+     times the two configurations back to back, so the per-pair ratio
+     cancels whatever speed the machine happened to be running at; the
+     median over pairs then discards the pairs a scheduler hiccup
+     landed on. *)
+  ignore (time None);
+  ignore (time (Some 8));
+  let pairs =
+    List.init 11 (fun _ ->
+        let off = time None in
+        let on = time (Some 8) in
+        (off, on))
+  in
+  let median l = List.nth (List.sort compare l) (List.length l / 2) in
+  let off = median (List.map fst pairs) and on = median (List.map snd pairs) in
+  Printf.printf "  %-20s %12.0f ns/run\n  %-20s %12.0f ns/run\n"
+    "vm/epochs-off" (off *. 1e9) "vm/epochs-on" (on *. 1e9);
+  let ratio = median (List.map (fun (off, on) -> on /. off) pairs) in
+  let overhead = ratio -. 1.0 in
+  Printf.printf "  overhead: %.2f%% (median of %d paired ratios)\n"
+    (100.0 *. overhead) (List.length pairs);
+  (* Published so `bench/main.exe --obs-json` lets BENCH files track
+     the snapshot cost across PRs. *)
+  Obs.Metrics.set
+    (Obs.Metrics.gauge Obs.Metrics.default "bench.timeline.overhead_ppm"
+       ~help:
+         "relative host-time cost of epoch-snapshotting VM runs, parts \
+          per million")
+    (int_of_float (overhead *. 1e6));
+  expect "epoch-snapshot overhead below 5%" (ratio <= 1.05)
+
+let register () =
+  register "t-timeline"
+    "profile timeline: epoch exactness, container round-trip, snapshot overhead"
+    t_timeline

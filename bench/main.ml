@@ -18,6 +18,7 @@ let () =
   Exp_micro.register ();
   Exp_obs.register ();
   Exp_robust.register ();
+  Exp_timeline.register ();
   let args = Array.to_list Sys.argv |> List.tl in
   let obs_json = ref None in
   let rec parse only = function

@@ -14,8 +14,8 @@ let parse_arc s =
 let arc_conv = Arg.conv (parse_arc, fun ppf (a, b) -> Format.fprintf ppf "%s:%s" a b)
 
 let run obj_path gmon_paths no_static removed break focus exclude min_percent
-    lenient view annotate icount_path verbose dot_out obs_metrics obs_trace
-    self_profile =
+    lenient view format epoch timeline annotate icount_path verbose dot_out
+    obs_metrics obs_trace self_profile =
   if obs_trace <> None || self_profile then
     Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
@@ -41,67 +41,147 @@ let run obj_path gmon_paths no_static removed break focus exclude min_percent
     Printf.eprintf "gprofx: %s: %s\n" obj_path e;
     1
   | Ok o -> (
+    let mode = if lenient then `Salvage else `Strict in
+    let options =
+      {
+        Gprof_core.Report.use_static_arcs = not no_static;
+        removed_arcs = removed;
+        auto_break_cycles = break;
+        focus;
+        exclude;
+        min_percent;
+        lenient;
+      }
+    in
+    if timeline then begin
+      (* The timeline digest analyzes each window of one epoch
+         container; it replaces the listings entirely. *)
+      match gmon_paths with
+      | [ path ] when Gmon.Epoch.sniff_file path -> (
+        match Gmon.Epoch.load_report ~mode path with
+        | Error e ->
+          Printf.eprintf "gprofx: %s\n" (Gmon.decode_error_to_string e);
+          1
+        | Ok (c, rep) -> (
+          if Gmon.report_degraded rep then
+            Printf.eprintf "gprofx: salvaged %s: %s\n" path
+              (Gmon.report_summary rep);
+          match Gprof_core.Export.timeline ~options o c with
+          | Error e ->
+            Printf.eprintf "gprofx: %s\n" e;
+            1
+          | Ok digest ->
+            print_string digest;
+            if Gmon.report_degraded rep then begin
+              Printf.eprintf
+                "gprofx: analysis degraded (salvaged or quarantined data)\n";
+              2
+            end
+            else 0))
+      | _ ->
+        Printf.eprintf
+          "gprofx: --timeline takes exactly one epoch container (from \
+           minirun --epoch-ticks)\n";
+        1
+    end
+    else
     (* Strict mode (the default) fails the whole run on the first
        undecodable file. Lenient mode salvages what it can, quarantines
        what it cannot, reports both on stderr, and turns any data loss
-       into the "degraded" exit code 2 rather than a failure. *)
+       into the "degraded" exit code 2 rather than a failure.
+
+       A positional file may also be an epoch container; it contributes
+       the epoch selected with --epoch, or the sum of all its epochs
+       (identical to the profile of the whole run). *)
+    let load_one path =
+      if Gmon.Epoch.sniff_file path then
+        match Gmon.Epoch.load_report ~mode path with
+        | Error e -> Error (Gmon.decode_error_to_string e)
+        | Ok (c, rep) -> (
+          let selected =
+            match epoch with
+            | Some n ->
+              Result.map (Gmon.Epoch.profile_of c) (Gmon.Epoch.nth c n)
+            | None -> Gmon.Epoch.sum c
+          in
+          match selected with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok g -> Ok (g, rep))
+      else if epoch <> None then
+        Error
+          (Printf.sprintf
+             "%s: --epoch applies to epoch containers, and this is a plain \
+              profile"
+             path)
+      else
+        match Gmon.load_report ~mode path with
+        | Error e -> Error (Gmon.decode_error_to_string e)
+        | Ok gr -> Ok gr
+    in
+    let per_file = List.map (fun p -> (p, load_one p)) gmon_paths in
     let loaded =
-      if lenient then
-        match Gmon.load_merge ~mode:`Salvage gmon_paths with
+      if lenient then begin
+        List.iter
+          (fun (path, r) ->
+            match r with
+            | Ok (_, rep) when Gmon.report_degraded rep ->
+              Printf.eprintf "gprofx: salvaged %s: %s\n" path
+                (Gmon.report_summary rep)
+            | _ -> ())
+          per_file;
+        match
+          Gmon.merge_all_quarantine
+            (List.map (fun (p, r) -> (p, Result.map fst r)) per_file)
+        with
         | Error e -> Error e
-        | Ok (gmon, reports, quarantined) ->
+        | Ok (gmon, quarantined) ->
           List.iter
             (fun (q : Gmon.quarantined) ->
               Printf.eprintf "gprofx: quarantined %s: %s\n" q.q_path q.q_reason)
             quarantined;
-          List.iter
-            (fun (path, rep) ->
-              if Gmon.report_degraded rep then
-                Printf.eprintf "gprofx: salvaged %s: %s\n" path
-                  (Gmon.report_summary rep))
-            reports;
           let degraded =
             quarantined <> []
-            || List.exists (fun (_, rep) -> Gmon.report_degraded rep) reports
+            || List.exists
+                 (fun (_, r) ->
+                   match r with
+                   | Ok (_, rep) -> Gmon.report_degraded rep
+                   | Error _ -> false)
+                 per_file
           in
           Ok (gmon, degraded)
+      end
       else
-        let gmons = List.map Gmon.load gmon_paths in
         let rec collect acc = function
-          | [] -> Ok (List.rev acc)
-          | Ok g :: rest -> collect (g :: acc) rest
-          | Error e :: _ -> Error e
+          | [] -> Result.map (fun g -> (g, false)) (Gmon.merge_all (List.rev acc))
+          | (_, Ok (g, _)) :: rest -> collect (g :: acc) rest
+          | (_, Error e) :: _ -> Error e
         in
-        Result.map
-          (fun gmon -> (gmon, false))
-          (Result.bind (collect [] gmons) Gmon.merge_all)
+        collect [] per_file
     in
     match loaded with
     | Error e ->
       Printf.eprintf "gprofx: %s\n" e;
       1
     | Ok (gmon, ingest_degraded) -> (
-      let options =
-        {
-          Gprof_core.Report.use_static_arcs = not no_static;
-          removed_arcs = removed;
-          auto_break_cycles = break;
-          focus;
-          exclude;
-          min_percent;
-          lenient;
-        }
-      in
       match Gprof_core.Report.analyze ~options o gmon with
       | Error e ->
         Printf.eprintf "gprofx: %s\n" e;
         1
       | Ok r ->
-        (match view with
-        | `Full -> print_string (Gprof_core.Report.full_listing ~verbose r)
-        | `Flat -> print_string (Gprof_core.Report.flat_listing ~verbose r)
-        | `Graph -> print_string (Gprof_core.Report.graph_listing ~verbose r)
-        | `Index -> print_string (Gprof_core.Report.index_listing r));
+        (match format with
+        | `Listing -> (
+          match view with
+          | `Full -> print_string (Gprof_core.Report.full_listing ~verbose r)
+          | `Flat -> print_string (Gprof_core.Report.flat_listing ~verbose r)
+          | `Graph -> print_string (Gprof_core.Report.graph_listing ~verbose r)
+          | `Index -> print_string (Gprof_core.Report.index_listing r))
+        | `Flame ->
+          print_string
+            (Gprof_core.Export.folded_stacks r.Gprof_core.Report.profile)
+        | `Callgrind ->
+          print_string
+            (Gprof_core.Export.callgrind r.Gprof_core.Report.profile)
+        | `Json -> print_string (Gprof_core.Export.json_report r));
         Option.iter
           (fun path ->
             Out_channel.with_open_text path (fun oc ->
@@ -216,6 +296,36 @@ let view =
              (`Index, info [ "index" ] ~doc:"Index only.");
            ])
 
+let format =
+  Arg.(value
+       & opt
+           (enum
+              [
+                ("listing", `Listing); ("flame", `Flame);
+                ("callgrind", `Callgrind); ("json", `Json);
+              ])
+           `Listing
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:
+             "Output format: $(b,listing) (the paper's profile listings, \
+              default), $(b,flame) (folded stacks for flamegraph.pl or \
+              speedscope), $(b,callgrind) (kcachegrind), or $(b,json) \
+              (stable machine-readable report, schema \
+              gprof-repro.report/1).")
+
+let epoch =
+  Arg.(value & opt (some int) None & info [ "epoch" ] ~docv:"N"
+         ~doc:"When a profile data file is an epoch container (minirun \
+               --epoch-ticks), analyze only its $(docv)-th window \
+               (1-based) instead of the sum of all windows.")
+
+let timeline =
+  Arg.(value & flag & info [ "timeline" ]
+         ~doc:"Analyze each window of an epoch container and print a \
+               per-epoch digest — the busiest routines and the biggest \
+               movers between windows — instead of the listings. Takes \
+               exactly one epoch container.")
+
 let obs_metrics =
   Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
          ~doc:"Write gprofx's own metrics registry as JSON to $(docv) \
@@ -235,7 +345,8 @@ let cmd =
   Cmd.v
     (Cmd.info "gprofx" ~doc:"call graph execution profiler")
     Term.(const run $ obj $ gmons $ no_static $ removed $ break $ focus
-          $ exclude $ min_percent $ lenient $ view $ annotate $ icount $ verbose
-          $ dot_out $ obs_metrics $ obs_trace $ self_profile)
+          $ exclude $ min_percent $ lenient $ view $ format $ epoch $ timeline
+          $ annotate $ icount $ verbose $ dot_out $ obs_metrics $ obs_trace
+          $ self_profile)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,8 +6,9 @@
 
 open Cmdliner
 
-let run obj_path gmon_out prof_out icount_out hz cpt bucket callee_primary seed
-    jitter quiet max_cycles fault_after torn_save obs_metrics obs_trace =
+let run obj_path gmon_out prof_out icount_out epoch_ticks epochs_out hz cpt
+    bucket callee_primary seed jitter quiet max_cycles fault_after torn_save
+    obs_metrics obs_trace =
   if obs_trace <> None then Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
     try
@@ -42,6 +43,7 @@ let run obj_path gmon_out prof_out icount_out hz cpt bucket callee_primary seed
         tick_jitter = jitter;
         max_cycles;
         fault_after_instr = fault_after;
+        epoch_ticks;
       }
     in
     let m = Vm.Machine.create ~config o in
@@ -61,10 +63,31 @@ let run obj_path gmon_out prof_out icount_out hz cpt bucket callee_primary seed
         Printf.eprintf "minirun: %s\n" e;
         false
     in
+    (* The timeline is condensed alongside the profile — on crashed
+       runs too, so the epochs gathered before the fault survive. *)
+    let save_epochs () =
+      match Vm.Machine.epochs m with
+      | None -> true
+      | Some c -> (
+        let path =
+          match epochs_out with
+          | Some p -> p
+          | None -> Filename.remove_extension obj_path ^ ".epochs"
+        in
+        match Gmon.Epoch.save c path with
+        | Ok () ->
+          Printf.eprintf "minirun: %d epoch(s) written to %s\n"
+            (Gmon.Epoch.n_epochs c) path;
+          true
+        | Error e ->
+          Printf.eprintf "minirun: %s\n" e;
+          false)
+    in
     match status with
     | Vm.Machine.Halted ->
       if not quiet then print_string (Vm.Machine.output m);
       let saved = ref (save_gmon ()) in
+      if not (save_epochs ()) then saved := false;
       Option.iter
         (fun p -> Profbase.Profcounts.save o (Vm.Machine.pcounts m) p)
         prof_out;
@@ -95,6 +118,7 @@ let run obj_path gmon_out prof_out icount_out hz cpt bucket callee_primary seed
          checksummed or not there at all. *)
       if save_gmon () then
         Printf.eprintf "minirun: partial profile written to %s\n" gmon_out;
+      ignore (save_epochs ());
       125
     | Vm.Machine.Running ->
       Printf.eprintf "minirun: internal error: still running\n";
@@ -115,6 +139,17 @@ let icount_out =
   Arg.(value & opt (some string) None & info [ "icount" ] ~docv:"FILE"
          ~doc:"Gather exact per-instruction execution counts and save them to \
                $(docv) (for annotated-source listings).")
+
+let epoch_ticks =
+  Arg.(value & opt (some int) None & info [ "epoch-ticks" ] ~docv:"N"
+         ~doc:"Snapshot the profile every $(docv) clock ticks and write the \
+               resulting timeline (one delta-encoded epoch per window) to \
+               the --epochs file.")
+
+let epochs_out =
+  Arg.(value & opt (some string) None & info [ "epochs" ] ~docv:"FILE"
+         ~doc:"Epoch container output (default: object with .epochs). \
+               Only written when --epoch-ticks is given.")
 
 let hz =
   Arg.(value & opt int 60 & info [ "hz" ] ~docv:"N" ~doc:"Clock ticks per second.")
@@ -169,8 +204,9 @@ let obs_trace =
 let cmd =
   Cmd.v
     (Cmd.info "minirun" ~doc:"profiling virtual machine")
-    Term.(const run $ obj $ gmon_out $ prof_out $ icount_out $ hz $ cpt $ bucket
-          $ callee_primary $ seed $ jitter $ quiet $ max_cycles $ fault_after
-          $ torn_save $ obs_metrics $ obs_trace)
+    Term.(const run $ obj $ gmon_out $ prof_out $ icount_out $ epoch_ticks
+          $ epochs_out $ hz $ cpt $ bucket $ callee_primary $ seed $ jitter
+          $ quiet $ max_cycles $ fault_after $ torn_save $ obs_metrics
+          $ obs_trace)
 
 let () = exit (Cmd.eval' cmd)

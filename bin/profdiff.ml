@@ -5,28 +5,55 @@
 
 open Cmdliner
 
-let analyze obj_path gmon_path =
+let analyze ~lenient obj_path gmon_path =
   match Objcode.Objfile.load obj_path with
   | Error e -> Error (Printf.sprintf "%s: %s" obj_path e)
   | Ok o -> (
+    let mode = if lenient then `Salvage else `Strict in
     (* the decode error already names the file and byte offset *)
-    match Gmon.load gmon_path with
-    | Error e -> Error e
-    | Ok g -> (
-      match Gprof_core.Report.analyze o g with
+    match Gmon.load_report ~mode gmon_path with
+    | Error e -> Error (Gmon.decode_error_to_string e)
+    | Ok (g, rep) -> (
+      if Gmon.report_degraded rep then
+        Printf.eprintf "profdiff: salvaged %s: %s\n" gmon_path
+          (Gmon.report_summary rep);
+      let options = { Gprof_core.Report.default_options with lenient } in
+      match Gprof_core.Report.analyze ~options o g with
       | Error e -> Error e
-      | Ok r -> Ok r.profile))
+      | Ok r ->
+        Ok (r.profile, Gmon.report_degraded rep || Gprof_core.Report.degraded r)))
 
-let run obj_a gmon_a obj_b gmon_b =
-  match (analyze obj_a gmon_a, analyze obj_b gmon_b) with
+let run obj_a gmon_a obj_b gmon_b lenient =
+  match (analyze ~lenient obj_a gmon_a, analyze ~lenient obj_b gmon_b) with
   | Error e, _ | _, Error e ->
     Printf.eprintf "profdiff: %s\n" e;
     1
-  | Ok a, Ok b ->
+  | Ok (a, deg_a), Ok (b, deg_b) ->
     print_string (Gprof_core.Diffprof.listing (Gprof_core.Diffprof.diff a b));
-    0
+    if deg_a || deg_b then begin
+      Printf.eprintf "profdiff: comparison degraded (salvaged data)\n";
+      2
+    end
+    else 0
 
 let pos_file i docv doc = Arg.(required & pos i (some file) None & info [] ~docv ~doc)
+
+let lenient =
+  Arg.(value
+       & vflag false
+           [
+             ( true,
+               info [ "lenient" ]
+                 ~doc:
+                   "Salvage damaged profile data instead of failing: \
+                    truncated files contribute their valid prefix and \
+                    unresolvable records fold into <unknown>. Exits 2 \
+                    when either side was salvaged, 0 when both were \
+                    clean." );
+             ( false,
+               info [ "strict" ]
+                 ~doc:"Reject damaged profile data outright (default)." );
+           ])
 
 let cmd =
   Cmd.v
@@ -36,6 +63,7 @@ let cmd =
       $ pos_file 0 "OBJ_A" "Executable of the first (before) run."
       $ pos_file 1 "GMON_A" "Profile data of the first run."
       $ pos_file 2 "OBJ_B" "Executable of the second (after) run."
-      $ pos_file 3 "GMON_B" "Profile data of the second run.")
+      $ pos_file 3 "GMON_B" "Profile data of the second run."
+      $ lenient)
 
 let () = exit (Cmd.eval' cmd)

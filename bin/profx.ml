@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run obj_path gmon_path counts_path obs_metrics obs_trace =
+let run obj_path gmon_path counts_path lenient obs_metrics obs_trace =
   if obs_trace <> None then Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
     try
@@ -26,12 +26,16 @@ let run obj_path gmon_path counts_path obs_metrics obs_trace =
     Printf.eprintf "profx: %s: %s\n" obj_path e;
     1
   | Ok o -> (
-    match Gmon.load gmon_path with
+    let mode = if lenient then `Salvage else `Strict in
+    match Gmon.load_report ~mode gmon_path with
     | Error e ->
       (* the decode error already names the file and byte offset *)
-      Printf.eprintf "profx: %s\n" e;
+      Printf.eprintf "profx: %s\n" (Gmon.decode_error_to_string e);
       1
-    | Ok gmon -> (
+    | Ok (gmon, rep) -> (
+      if Gmon.report_degraded rep then
+        Printf.eprintf "profx: salvaged %s: %s\n" gmon_path
+          (Gmon.report_summary rep);
       let counts =
         match counts_path with
         | Some p -> Profbase.Profcounts.load o p
@@ -50,7 +54,11 @@ let run obj_path gmon_path counts_path obs_metrics obs_trace =
         print_string
           (Obs.Trace.with_span ~cat:"prof" "listing" (fun () ->
                Profbase.Prof.listing t));
-        0))
+        if Gmon.report_degraded rep then begin
+          Printf.eprintf "profx: analysis degraded (salvaged data)\n";
+          2
+        end
+        else 0))
 
 let obj =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"OBJ" ~doc:"Executable.")
@@ -61,6 +69,21 @@ let gmon =
 let counts =
   Arg.(value & pos 2 (some file) None & info [] ~docv:"COUNTS"
          ~doc:"Per-function counter file from minirun --prof-out.")
+
+let lenient =
+  Arg.(value
+       & vflag false
+           [
+             ( true,
+               info [ "lenient" ]
+                 ~doc:
+                   "Salvage a damaged profile data file instead of \
+                    failing: a truncated file contributes its valid \
+                    prefix. Exits 2 when anything was salvaged." );
+             ( false,
+               info [ "strict" ]
+                 ~doc:"Reject damaged profile data outright (default)." );
+           ])
 
 let obs_metrics =
   Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
@@ -74,6 +97,6 @@ let obs_trace =
 let cmd =
   Cmd.v
     (Cmd.info "profx" ~doc:"flat execution profiler (the prof(1) baseline)")
-    Term.(const run $ obj $ gmon $ counts $ obs_metrics $ obs_trace)
+    Term.(const run $ obj $ gmon $ counts $ lenient $ obs_metrics $ obs_trace)
 
 let () = exit (Cmd.eval' cmd)

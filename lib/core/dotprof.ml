@@ -36,28 +36,38 @@ let render (p : Profile.t) =
       List.iter (fun id -> Buffer.add_string buf ("  " ^ node id)) c.c_members;
       Buffer.add_string buf "  }\n")
     p.cycles;
-  Hashtbl.iter
-    (fun id () -> if p.entries.(id).e_cycle = 0 then Buffer.add_string buf (node id))
-    listed;
-  (* arcs, from each entry's children *)
-  Array.iter
-    (fun (e : Profile.entry) ->
-      if Hashtbl.mem listed e.e_id then
-        List.iter
+  (* top-level nodes in id order: the renderer must be byte-for-byte
+     deterministic (goldens diff it, CI caches it), so no hash-order
+     iteration reaches the output *)
+  let listed_ids =
+    List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) listed [])
+  in
+  List.iter
+    (fun id -> if p.entries.(id).e_cycle = 0 then Buffer.add_string buf (node id))
+    listed_ids;
+  (* arcs, from each entry's children, sorted by (source, target) *)
+  let arcs =
+    List.concat_map
+      (fun src ->
+        List.filter_map
           (fun (v : Profile.arc_view) ->
             match v.av_other with
             | Profile.Func dst when Hashtbl.mem listed dst ->
-              let style =
-                if v.av_intra then ", style=dotted"
-                else if v.av_count = 0 then ", style=dashed"
-                else ""
-              in
-              Buffer.add_string buf
-                (Printf.sprintf "  f%d -> f%d [label=\"%d\"%s];\n" e.e_id dst
-                   v.av_count style)
-            | _ -> ())
-          e.e_children)
-    p.entries;
+              Some (src, dst, v.av_count, v.av_intra)
+            | _ -> None)
+          p.entries.(src).e_children)
+      listed_ids
+  in
+  List.iter
+    (fun (src, dst, count, intra) ->
+      let style =
+        if intra then ", style=dotted"
+        else if count = 0 then ", style=dashed"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  f%d -> f%d [label=\"%d\"%s];\n" src dst count style))
+    (List.sort compare arcs);
   (* spontaneous roots *)
   let spont = ref false in
   Array.iter

@@ -1,0 +1,50 @@
+(** Machine-readable renderings of a computed profile.
+
+    The listings in {!Flat} and {!Graphprof} reproduce the paper's
+    output; this module exports the same analysis in the formats the
+    rest of the profiling ecosystem grew around it:
+
+    - {!folded_stacks} — one stack per line, suitable for
+      flamegraph.pl or speedscope;
+    - {!callgrind} — the callgrind file format, loadable by
+      kcachegrind/qcachegrind;
+    - {!json_report} — a stable JSON document carrying the flat
+      profile, the call graph, the cycles, and the analysis
+      provenance (schema ["gprof-repro.report/1"], documented in
+      docs/json-report.md);
+    - {!timeline} — a human-readable per-epoch digest of a
+      {!Gmon.Epoch} container: the busiest routines of each window
+      and the biggest movers between consecutive windows. *)
+
+val folded_stacks : Profile.t -> string
+(** One line per routine with sampled time:
+    [root;...;parent;routine ticks]. The stack is reconstructed by
+    walking each routine's heaviest parent upward (the profile stores
+    an arc graph, not full stacks), so it shows the dominant path,
+    with cycles cut at the first repeated node. Routines are emitted
+    in function-id order; ticks are the routine's raw self ticks,
+    rounded. *)
+
+val callgrind : Profile.t -> string
+(** The profile in callgrind format (events: [ticks]); self cost per
+    routine plus one [cfn]/[calls] record per (caller, callee) arc
+    with the arc's propagated inclusive ticks. Positions are entry
+    addresses. *)
+
+val json_report : Report.t -> string
+(** The whole analysis as JSON, schema ["gprof-repro.report/1"]:
+    totals, degradation counters, removed arcs, flat rows, graph
+    entries (with parent/child arc views), cycles, and the
+    never-called list. Keys and their meaning are stable; see
+    docs/json-report.md. *)
+
+val timeline :
+  ?options:Report.options ->
+  Objcode.Objfile.t ->
+  Gmon.Epoch.t ->
+  (string, string) result
+(** Analyze each epoch's interval profile against the executable and
+    render a per-window digest: the top routines by self time, and
+    the routines whose self time moved most versus the previous
+    window. [Error] when the container is empty or an epoch fails to
+    analyze. *)

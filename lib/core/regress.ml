@@ -1,0 +1,88 @@
+type metric = Self | Total
+
+type policy = {
+  p_min_seconds : float;
+  p_min_ratio : float;
+  p_descendants : bool;
+}
+
+let default_policy =
+  { p_min_seconds = 0.05; p_min_ratio = 0.25; p_descendants = true }
+
+type finding = {
+  f_name : string;
+  f_metric : metric;
+  f_before : float;
+  f_after : float;
+  f_from : string;
+  f_to : string;
+}
+
+let regressed policy ~before ~after =
+  after > before (* a permissive policy must still mean *growth* *)
+  && after -. before >= policy.p_min_seconds
+  && after >= before *. (1.0 +. policy.p_min_ratio)
+
+let compare_profiles policy ~from_label ~to_label a b =
+  let d = Diffprof.diff a b in
+  let findings =
+    List.concat_map
+      (fun (r : Diffprof.row) ->
+        let v = Option.value ~default:0.0 in
+        let mk metric before after =
+          {
+            f_name = r.d_name;
+            f_metric = metric;
+            f_before = before;
+            f_after = after;
+            f_from = from_label;
+            f_to = to_label;
+          }
+        in
+        let self_before = v r.d_self_a and self_after = v r.d_self_b in
+        let self_hit = regressed policy ~before:self_before ~after:self_after in
+        let self_findings =
+          if self_hit then [ mk Self self_before self_after ] else []
+        in
+        let total_findings =
+          if not policy.p_descendants then []
+          else
+            let before = v r.d_total_a and after = v r.d_total_b in
+            (* a Self finding already names this routine; the Total one
+               would restate it with the descendants mixed in *)
+            if (not self_hit) && regressed policy ~before ~after then
+              [ mk Total before after ]
+            else []
+        in
+        self_findings @ total_findings)
+      d.rows
+  in
+  List.stable_sort
+    (fun x y ->
+      compare (y.f_after -. y.f_before) (x.f_after -. x.f_before))
+    findings
+
+let scan policy labeled =
+  let rec go acc = function
+    | (la, a) :: ((lb, b) :: _ as rest) ->
+      go (acc @ compare_profiles policy ~from_label:la ~to_label:lb a b) rest
+    | _ -> acc
+  in
+  go [] labeled
+
+let listing findings =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      let metric = match f.f_metric with Self -> "self" | Total -> "total" in
+      let growth = f.f_after -. f.f_before in
+      let pct =
+        if f.f_before > 0.0 then
+          Printf.sprintf ", %+.0f%%" (100.0 *. growth /. f.f_before)
+        else ""
+      in
+      Buffer.add_string b
+        (Printf.sprintf "regression: %s %s %.3fs -> %.3fs (%+.3fs%s) [%s -> %s]\n"
+           f.f_name metric f.f_before f.f_after growth pct f.f_from f.f_to))
+    findings;
+  Buffer.contents b

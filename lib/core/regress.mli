@@ -1,0 +1,54 @@
+(** Regression detection over a sequence of profiles.
+
+    {!Diffprof} quantifies one before/after pair for a human; this
+    layer turns the same comparison into a gate: given a policy (how
+    much growth, in seconds and as a ratio, counts as a regression),
+    it scans consecutive profiles of the same workload and reports
+    every routine whose self time — or, optionally, whose
+    self-plus-descendant time — grew past the threshold. The
+    [profwatch] command drives it over a directory of profile data
+    files. *)
+
+type metric = Self | Total
+
+type policy = {
+  p_min_seconds : float;
+      (** absolute growth floor: deltas below it are clock noise *)
+  p_min_ratio : float;
+      (** relative growth floor: [after >= before * (1 + ratio)] *)
+  p_descendants : bool;
+      (** also check self + descendants ([Total]); a routine whose
+          [Self] already fired is not double-reported *)
+}
+
+val default_policy : policy
+(** 0.05 s, 25%, descendants on. *)
+
+type finding = {
+  f_name : string;  (** the routine that regressed *)
+  f_metric : metric;
+  f_before : float;  (** seconds in the earlier profile (absent = 0) *)
+  f_after : float;
+  f_from : string;  (** label of the earlier profile *)
+  f_to : string;  (** label of the later profile *)
+}
+
+val compare_profiles :
+  policy ->
+  from_label:string ->
+  to_label:string ->
+  Profile.t ->
+  Profile.t ->
+  finding list
+(** Findings sorted by decreasing growth. Routines are matched by
+    name, like {!Diffprof}; a routine absent from a side counts as
+    zero seconds there. *)
+
+val scan : policy -> (string * Profile.t) list -> finding list
+(** Compare each consecutive pair of the (label, profile) sequence,
+    in order. *)
+
+val listing : finding list -> string
+(** One line per finding:
+    [regression: NAME self 0.123s -> 0.456s (+0.333s, +271%) [a -> b]].
+    Empty string when there is nothing to report. *)

@@ -686,6 +686,18 @@ let pp ppf t =
     t.arcs;
   Format.fprintf ppf "@]"
 
+type profile = t
+
+module Wire = struct
+  let fnv1a64 = fnv1a64
+
+  let add_footer = add_footer
+
+  let split_footer = split_footer
+
+  let write_file_atomic = write_file_atomic
+end
+
 module Icount = struct
   type t = { text_size : int; counts : int array }
 
@@ -782,5 +794,420 @@ module Icount = struct
     | exception Sys_error e -> Error e
 
   let equal a b = a.text_size = b.text_size && a.counts = b.counts
+
+end
+
+module Epoch = struct
+  type entry = {
+    ep_end_cycle : int;
+    ep_end_tick : int;
+    ep_counts : int array;
+    ep_arcs : arc list;
+  }
+
+  type t = {
+    e_lowpc : int;
+    e_highpc : int;
+    e_bucket_size : int;
+    e_ticks_per_second : int;
+    e_cycles_per_tick : int;
+    e_epochs : entry list;
+  }
+
+  let n_epochs c = List.length c.e_epochs
+
+  let container_buckets c =
+    n_buckets ~lowpc:c.e_lowpc ~highpc:c.e_highpc ~bucket_size:c.e_bucket_size
+
+  let validate c =
+    let errs = ref [] in
+    let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+    if c.e_bucket_size <= 0 then err "bucket size %d not positive" c.e_bucket_size;
+    if c.e_lowpc < 0 || c.e_highpc <= c.e_lowpc then
+      err "bad pc range [%d,%d)" c.e_lowpc c.e_highpc;
+    if c.e_ticks_per_second <= 0 then
+      err "ticks_per_second %d not positive" c.e_ticks_per_second;
+    if c.e_cycles_per_tick <= 0 then
+      err "cycles_per_tick %d not positive" c.e_cycles_per_tick;
+    if !errs = [] then begin
+      let nb = container_buckets c in
+      let prev_cycle = ref 0 and prev_tick = ref 0 in
+      List.iteri
+        (fun k e ->
+          let k = k + 1 in
+          if Array.length e.ep_counts <> nb then
+            err "epoch %d has %d buckets, expected %d" k
+              (Array.length e.ep_counts) nb;
+          Array.iteri
+            (fun i n -> if n < 0 then err "epoch %d bucket %d negative" k i)
+            e.ep_counts;
+          let rec arcs_ok = function
+            | [] | [ _ ] -> ()
+            | a :: (b :: _ as rest) ->
+              if compare (a.a_from, a.a_self) (b.a_from, b.a_self) >= 0 then
+                err "epoch %d arcs not strictly sorted at (%d,%d)" k b.a_from
+                  b.a_self;
+              arcs_ok rest
+          in
+          arcs_ok e.ep_arcs;
+          List.iter
+            (fun a ->
+              if a.a_count < 0 then
+                err "epoch %d negative arc count on (%d,%d)" k a.a_from a.a_self)
+            e.ep_arcs;
+          if e.ep_end_cycle < !prev_cycle then
+            err "epoch %d cycle boundary %d before %d" k e.ep_end_cycle !prev_cycle;
+          if e.ep_end_tick < !prev_tick then
+            err "epoch %d tick boundary %d before %d" k e.ep_end_tick !prev_tick;
+          prev_cycle := e.ep_end_cycle;
+          prev_tick := e.ep_end_tick)
+        c.e_epochs
+    end;
+    match List.rev !errs with [] -> Ok () | es -> Error es
+
+  let profile_of c e =
+    {
+      hist =
+        { h_lowpc = c.e_lowpc; h_highpc = c.e_highpc;
+          h_bucket_size = c.e_bucket_size; h_counts = Array.copy e.ep_counts };
+      arcs = e.ep_arcs;
+      ticks_per_second = c.e_ticks_per_second;
+      cycles_per_tick = c.e_cycles_per_tick;
+      runs = 1;
+    }
+
+  let nth c k =
+    if k < 1 || k > n_epochs c then
+      Error
+        (Printf.sprintf "epoch %d out of range (container has %d)" k
+           (n_epochs c))
+    else Ok (List.nth c.e_epochs (k - 1))
+
+  (* Merge two sorted unique arc lists, summing counts on collision. *)
+  let add_arcs xs ys =
+    let rec go xs ys acc =
+      match (xs, ys) with
+      | [], rest | rest, [] -> List.rev_append acc rest
+      | x :: xs', y :: ys' ->
+        let c = compare (x.a_from, x.a_self) (y.a_from, y.a_self) in
+        if c = 0 then go xs' ys' ({ x with a_count = x.a_count + y.a_count } :: acc)
+        else if c < 0 then go xs' ys (x :: acc)
+        else go xs ys' (y :: acc)
+    in
+    go xs ys []
+
+  let sum c =
+    match c.e_epochs with
+    | [] -> Error "epoch container is empty"
+    | es -> (
+      match validate c with
+      | Error errs -> Error (String.concat "; " errs)
+      | Ok () ->
+        let counts = Array.make (container_buckets c) 0 in
+        let arcs =
+          List.fold_left
+            (fun acc e ->
+              Array.iteri (fun i n -> counts.(i) <- counts.(i) + n) e.ep_counts;
+              add_arcs acc e.ep_arcs)
+            [] es
+        in
+        Ok
+          {
+            hist =
+              { h_lowpc = c.e_lowpc; h_highpc = c.e_highpc;
+                h_bucket_size = c.e_bucket_size; h_counts = counts };
+            arcs;
+            ticks_per_second = c.e_ticks_per_second;
+            cycles_per_tick = c.e_cycles_per_tick;
+            runs = 1;
+          })
+
+  (* --- serialization ------------------------------------------------ *)
+
+  let magic = "GMONEPOCH1\n"
+
+  let sniff_bytes s =
+    String.length s >= String.length magic
+    && String.sub s 0 (String.length magic) = magic
+
+  let sniff_file path =
+    match
+      In_channel.with_open_bin path (fun ic ->
+          really_input_string ic (String.length magic))
+    with
+    | s -> s = magic
+    | exception (Sys_error _ | End_of_file) -> false
+
+  let to_bytes c =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf magic;
+    put_i64 buf c.e_lowpc;
+    put_i64 buf c.e_highpc;
+    put_i64 buf c.e_bucket_size;
+    put_i64 buf c.e_ticks_per_second;
+    put_i64 buf c.e_cycles_per_tick;
+    put_i64 buf (List.length c.e_epochs);
+    List.iter
+      (fun e ->
+        put_i64 buf e.ep_end_cycle;
+        put_i64 buf e.ep_end_tick;
+        let nonzero =
+          Array.fold_left (fun n x -> if x <> 0 then n + 1 else n) 0 e.ep_counts
+        in
+        put_i64 buf nonzero;
+        Array.iteri
+          (fun i x ->
+            if x <> 0 then begin
+              put_i64 buf i;
+              put_i64 buf x
+            end)
+          e.ep_counts;
+        put_i64 buf (List.length e.ep_arcs);
+        List.iter
+          (fun a ->
+            put_i64 buf a.a_from;
+            put_i64 buf a.a_self;
+            put_i64 buf a.a_count)
+          e.ep_arcs)
+      c.e_epochs;
+    add_footer buf;
+    Obs.Metrics.incr m_bytes_written ~by:(Buffer.length buf);
+    Buffer.contents buf
+
+  let m_salvaged_epochs =
+    Obs.Metrics.counter Obs.Metrics.default "gmon.salvage.dropped_epochs"
+      ~help:"whole epochs dropped from the tail of torn timeline containers"
+
+  let decode ?path ~mode s =
+    let exception Bad of decode_error in
+    let fail ~offset ~context fmt =
+      Printf.ksprintf
+        (fun msg ->
+          raise
+            (Bad { de_path = path; de_offset = offset; de_context = context;
+                   de_msg = msg }))
+        fmt
+    in
+    Obs.Metrics.incr m_bytes_read ~by:(String.length s);
+    let result =
+      try
+        let mlen = String.length magic in
+        if not (sniff_bytes s) then
+          fail ~offset:0 ~context:"magic"
+            "expected %S, found %S (not an epoch container)" magic
+            (String.sub s 0 (min (String.length s) mlen));
+        let checksum, body_len = split_footer s in
+        if mode = `Strict && checksum <> `Ok then
+          fail ~offset:body_len ~context:"checksum footer"
+            "%s: file is torn or corrupt (total %d bytes)"
+            (match checksum with
+            | `Missing -> "missing"
+            | _ -> "stored checksum disagrees with the body")
+            (String.length s);
+        if checksum = `Mismatch then Obs.Metrics.incr m_checksum_mismatches;
+        let dropped_bytes = ref 0 in
+        let notes = ref [] in
+        let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+        let pos = ref mlen in
+        let get_i64 context =
+          if !pos + 8 > body_len then
+            fail ~offset:!pos ~context "need 8 bytes, have %d (file ends at %d)"
+              (body_len - !pos) body_len;
+          let v = Int64.to_int (String.get_int64_le s !pos) in
+          pos := !pos + 8;
+          v
+        in
+        (* Header damage is unrecoverable in either mode: without the
+           geometry and clock rates no epoch can be interpreted. *)
+        let lowpc = get_i64 "header field lowpc" in
+        let hp_off = !pos in
+        let highpc = get_i64 "header field highpc" in
+        let bs_off = !pos in
+        let bucket_size = get_i64 "header field bucket_size" in
+        let tps_off = !pos in
+        let ticks_per_second = get_i64 "header field ticks_per_second" in
+        let cpt_off = !pos in
+        let cycles_per_tick = get_i64 "header field cycles_per_tick" in
+        if bucket_size <= 0 then
+          fail ~offset:bs_off ~context:"header field bucket_size"
+            "%d not positive" bucket_size;
+        if lowpc < 0 || highpc <= lowpc then
+          fail ~offset:hp_off ~context:"header pc range" "bad range [%d,%d)"
+            lowpc highpc;
+        if ticks_per_second <= 0 then
+          fail ~offset:tps_off ~context:"header field ticks_per_second"
+            "%d not positive" ticks_per_second;
+        if cycles_per_tick <= 0 then
+          fail ~offset:cpt_off ~context:"header field cycles_per_tick"
+            "%d not positive" cycles_per_tick;
+        let nb = n_buckets ~lowpc ~highpc ~bucket_size in
+        if nb < 0 || nb > 1 lsl 26 then
+          fail ~offset:hp_off ~context:"header pc range"
+            "range [%d,%d) at bucket size %d implies an absurd bucket count"
+            lowpc highpc bucket_size;
+        let ne_off = !pos in
+        let stored_epochs = get_i64 "epoch count" in
+        if stored_epochs < 0 || stored_epochs > 1 lsl 20 then
+          fail ~offset:ne_off ~context:"epoch count" "absurd value %d"
+            stored_epochs;
+        (* Epochs are recovered whole or not at all: a failure inside
+           epoch k drops k and everything after it — the prefix is
+           intact data, the tail is never guessed at. *)
+        let rev_epochs = ref [] in
+        let k = ref 0 in
+        let prev_cycle = ref 0 and prev_tick = ref 0 in
+        let last_good = ref !pos in
+        (try
+           while !k < stored_epochs do
+             let ctx fmt = Printf.ksprintf (fun c -> c) fmt in
+             let e_ctx = ctx "epoch %d" (!k + 1) in
+             let end_cycle = get_i64 (e_ctx ^ " end_cycle") in
+             let end_tick = get_i64 (e_ctx ^ " end_tick") in
+             if end_cycle < !prev_cycle || end_tick < !prev_tick then
+               fail ~offset:!pos ~context:e_ctx
+                 "boundary (%d cycles, %d ticks) before its predecessor"
+                 end_cycle end_tick;
+             let nz_off = !pos in
+             let nonzero = get_i64 (e_ctx ^ " bucket entry count") in
+             if nonzero < 0 || nonzero > nb then
+               fail ~offset:nz_off ~context:(e_ctx ^ " bucket entry count")
+                 "absurd value %d for %d buckets" nonzero nb;
+             let counts = Array.make nb 0 in
+             let prev_idx = ref (-1) in
+             for _ = 1 to nonzero do
+               let i_off = !pos in
+               let i = get_i64 (e_ctx ^ " bucket index") in
+               let c = get_i64 (e_ctx ^ " bucket delta") in
+               if i <= !prev_idx || i >= nb then
+                 fail ~offset:i_off ~context:(e_ctx ^ " bucket index")
+                   "index %d out of order or outside [0,%d)" i nb;
+               if c < 0 then
+                 fail ~offset:(i_off + 8) ~context:(e_ctx ^ " bucket delta")
+                   "negative count %d" c;
+               counts.(i) <- c;
+               prev_idx := i
+             done;
+             let na_off = !pos in
+             let narcs = get_i64 (e_ctx ^ " arc count") in
+             if narcs < 0 || narcs > 1 lsl 26 then
+               fail ~offset:na_off ~context:(e_ctx ^ " arc count")
+                 "absurd value %d" narcs;
+             let rev_arcs = ref [] in
+             let prev_key = ref None in
+             for _ = 1 to narcs do
+               let a_off = !pos in
+               let a_from = get_i64 (e_ctx ^ " arc from") in
+               let a_self = get_i64 (e_ctx ^ " arc self") in
+               let a_count = get_i64 (e_ctx ^ " arc count field") in
+               (match !prev_key with
+               | Some key when compare key (a_from, a_self) >= 0 ->
+                 fail ~offset:a_off ~context:(e_ctx ^ " arc table")
+                   "records not strictly sorted at (%d,%d)" a_from a_self
+               | _ -> ());
+               if a_count < 0 then
+                 fail ~offset:(a_off + 16) ~context:(e_ctx ^ " arc count field")
+                   "negative traversal count %d" a_count;
+               rev_arcs := { a_from; a_self; a_count } :: !rev_arcs;
+               prev_key := Some (a_from, a_self)
+             done;
+             rev_epochs :=
+               { ep_end_cycle = end_cycle; ep_end_tick = end_tick;
+                 ep_counts = counts; ep_arcs = List.rev !rev_arcs }
+               :: !rev_epochs;
+             prev_cycle := end_cycle;
+             prev_tick := end_tick;
+             incr k;
+             last_good := !pos
+           done
+         with Bad e when mode = `Salvage ->
+           Obs.Metrics.incr m_salvaged_epochs ~by:(stored_epochs - !k);
+           note "epoch stream damaged at byte %d: epoch(s) %d..%d dropped"
+             e.de_offset (!k + 1) stored_epochs;
+           dropped_bytes := !dropped_bytes + (body_len - !last_good);
+           pos := body_len);
+        if !pos <> body_len then begin
+          if mode = `Strict then
+            fail ~offset:!pos ~context:"end of file" "%d trailing bytes"
+              (body_len - !pos)
+          else begin
+            dropped_bytes := !dropped_bytes + (body_len - !pos);
+            note "%d trailing byte(s) ignored" (body_len - !pos)
+          end
+        end;
+        let c =
+          {
+            e_lowpc = lowpc;
+            e_highpc = highpc;
+            e_bucket_size = bucket_size;
+            e_ticks_per_second = ticks_per_second;
+            e_cycles_per_tick = cycles_per_tick;
+            e_epochs = List.rev !rev_epochs;
+          }
+        in
+        (match validate c with
+        | Ok () -> ()
+        | Error es ->
+          fail ~offset:0 ~context:"validation" "%s" (String.concat "; " es));
+        let report =
+          {
+            r_checksum = checksum;
+            r_dropped_buckets = 0;
+            r_dropped_arcs = 0;
+            r_dropped_bytes = !dropped_bytes;
+            r_notes = List.rev !notes;
+          }
+        in
+        Ok (c, report)
+      with Bad e -> Error e
+    in
+    (match result with
+    | Error _ -> Obs.Metrics.incr m_decode_errors
+    | Ok (_, r) when report_degraded r ->
+      Obs.Metrics.incr m_salvaged_files;
+      Obs.Metrics.incr m_salvaged_bytes ~by:r.r_dropped_bytes
+    | Ok _ -> ());
+    result
+
+  let of_bytes s =
+    match decode ~mode:`Strict s with
+    | Ok (c, _) -> Ok c
+    | Error e -> Error (decode_error_to_string e)
+
+  let save c path =
+    Obs.Metrics.incr m_files_saved;
+    Obs.Trace.with_span ~cat:"gmon" "epoch-save" (fun () ->
+        write_file_atomic ~what:"epoch container" path (to_bytes c))
+
+  let load_report ?(mode : mode = `Strict) path =
+    Obs.Metrics.incr m_files_loaded;
+    Obs.Trace.with_span ~cat:"gmon" "epoch-load" ~args:[ ("path", path) ]
+      (fun () ->
+        match In_channel.with_open_bin path In_channel.input_all with
+        | s -> decode ~path ~mode s
+        | exception Sys_error e ->
+          Obs.Metrics.incr m_decode_errors;
+          Error
+            { de_path = Some path; de_offset = 0; de_context = "open";
+              de_msg = e })
+
+  let load ?(mode : mode = `Strict) path =
+    match load_report ~mode path with
+    | Ok (c, _) -> Ok c
+    | Error e -> Error (decode_error_to_string e)
+
+  let equal a b =
+    a.e_lowpc = b.e_lowpc
+    && a.e_highpc = b.e_highpc
+    && a.e_bucket_size = b.e_bucket_size
+    && a.e_ticks_per_second = b.e_ticks_per_second
+    && a.e_cycles_per_tick = b.e_cycles_per_tick
+    && List.length a.e_epochs = List.length b.e_epochs
+    && List.for_all2
+         (fun x y ->
+           x.ep_end_cycle = y.ep_end_cycle
+           && x.ep_end_tick = y.ep_end_tick
+           && x.ep_counts = y.ep_counts
+           && x.ep_arcs = y.ep_arcs)
+         a.e_epochs b.e_epochs
 
 end

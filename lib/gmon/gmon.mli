@@ -179,6 +179,33 @@ val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 (** Debug rendering: header summary plus nonzero buckets and arcs. *)
 
+type profile = t
+(** Alias so submodules ({!Epoch}) can name the profile record while
+    defining their own [t]. *)
+
+(** {1 Wire helpers}
+
+    The framing shared by every data file this module family writes:
+    the FNV-1a checksum footer and the crash-safe temp-and-rename
+    writer. Exposed so sibling codecs (the epoch container) frame
+    their files identically. *)
+module Wire : sig
+  val fnv1a64 : ?len:int -> string -> int64
+
+  val add_footer : Buffer.t -> unit
+  (** Append the footer tag and the checksum of everything currently
+      in the buffer. *)
+
+  val split_footer : string -> checksum_state * int
+  (** Verify the footer; returns its state and the byte length of the
+      body (the whole string when the footer is missing). *)
+
+  val write_file_atomic :
+    what:string -> string -> string -> (unit, string) result
+  (** [write_file_atomic ~what path data]: temp-and-rename write, like
+      {!Gmon.save}; honours {!inject_torn_save}. *)
+end
+
 (** Exact per-address execution counts; see the module comment in the
     interface below. *)
 module Icount : sig
@@ -224,4 +251,91 @@ module Icount : sig
 
   val equal : t -> t -> bool
 
+end
+
+(** Multi-epoch profile containers — the timeline data file.
+
+    A single gmon file condenses a whole run into one histogram and
+    one arc table, erasing {e when} the time was spent — exactly the
+    limitation the 2003 retrospective names (relating profile data
+    back to program phases). The epoch container keeps a sequence of
+    {e interval} profiles, one per wall-clock window of N simulated
+    ticks: each epoch holds the ticks and arc traversals observed
+    {e during} that window (the delta of the live counters between two
+    boundaries), so summing all epochs reproduces the whole-run
+    profile exactly ({!Epoch.sum}, tested bit-identical).
+
+    On disk the histogram deltas are stored sparsely (only nonzero
+    buckets), so K epochs of a mostly-idle histogram cost far less
+    than K full files. The container is framed like every other data
+    file here: versioned magic, little-endian fixed-width fields, and
+    the {!Wire} checksum footer, with [`Salvage] decoding that
+    recovers the valid prefix of whole epochs from a torn file. *)
+module Epoch : sig
+  type entry = {
+    ep_end_cycle : int;  (** simulated cycle count at the boundary *)
+    ep_end_tick : int;  (** clock tick count at the boundary *)
+    ep_counts : int array;
+        (** ticks observed during this epoch, one per bucket (full
+            array in memory; sparse on disk) *)
+    ep_arcs : arc list;
+        (** traversals during this epoch, sorted by (from, self),
+            no duplicates, counts nonnegative *)
+  }
+
+  type t = {
+    e_lowpc : int;
+    e_highpc : int;
+    e_bucket_size : int;
+    e_ticks_per_second : int;
+    e_cycles_per_tick : int;
+    e_epochs : entry list;  (** chronological *)
+  }
+
+  val n_epochs : t -> int
+
+  val validate : t -> (unit, string list) result
+  (** Geometry sane, every epoch's bucket array matches it, arcs
+      sorted/unique/nonnegative, boundaries non-decreasing. *)
+
+  val profile_of : t -> entry -> profile
+  (** The interval profile of one epoch ([runs = 1]). *)
+
+  val nth : t -> int -> (entry, string) result
+  (** 1-based epoch lookup; [Error] names the valid range. *)
+
+  val sum : t -> (profile, string) result
+  (** Add every epoch's deltas back together: bit-identical to the
+      single-run profile the same execution would have condensed
+      ([runs = 1]). [Error] on an empty container. *)
+
+  val to_bytes : t -> string
+
+  val of_bytes : string -> (t, string) result
+  (** Strict decode with the error rendered as a string. *)
+
+  val decode :
+    ?path:string -> mode:mode -> string -> (t * report, decode_error) result
+  (** [`Salvage] recovers whole epochs: a failure inside epoch k drops
+      epochs k.. (never a partial epoch — salvage never invents data);
+      losses land in the report's notes and byte counts and in the
+      [gmon.salvage.*] metrics. A damaged header is unrecoverable in
+      either mode. *)
+
+  val save : t -> string -> (unit, string) result
+  (** Crash-safe temp-and-rename write; honours
+      {!Gmon.inject_torn_save}. *)
+
+  val load : ?mode:mode -> string -> (t, string) result
+
+  val load_report : ?mode:mode -> string -> (t * report, decode_error) result
+
+  val sniff_bytes : string -> bool
+  (** True when the string starts with the epoch-container magic. *)
+
+  val sniff_file : string -> bool
+  (** {!sniff_bytes} on the first bytes of a file; false on any IO
+      error. *)
+
+  val equal : t -> t -> bool
 end

@@ -17,6 +17,7 @@ type config = {
   max_cycles : int option;
   max_depth : int;
   fault_after_instr : int option;
+  epoch_ticks : int option;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     max_cycles = None;
     max_depth = 100_000;
     fault_after_instr = None;
+    epoch_ticks = None;
   }
 
 let injected_fault_reason = "fault injected: instruction budget exhausted"
@@ -51,6 +53,17 @@ type frame = {
   func_entry : int;
   base : int; (* operand stack height when the frame was pushed *)
   mutable locals : int array;
+}
+
+(* The epoch engine: cumulative counter values at the last boundary,
+   against which each window's delta is computed. Baselines and
+   entries live outside simulated time — taking a snapshot costs the
+   running program nothing, like the metrics counters. *)
+type epoch_state = {
+  ep_every : int;
+  mutable ep_base_counts : int array;
+  mutable ep_base_arcs : Gmon.arc list;
+  mutable ep_entries : Gmon.Epoch.entry list; (* newest first *)
 }
 
 type t = {
@@ -81,6 +94,7 @@ type t = {
   mutable fault_countdown : int option;
       (* decremented per instruction independently of the metrics
          counters, so injection works with metrics off *)
+  epochs : epoch_state option;
 }
 
 let dummy_frame = { ret_pc = -1; func_entry = 0; base = 0; locals = [||] }
@@ -120,6 +134,22 @@ let create ?(config = default_config) o =
       status = Running;
       result = None;
       fault_countdown = config.fault_after_instr;
+      epochs =
+        (match config.epoch_ticks with
+        | None -> None
+        | Some n ->
+          if n <= 0 then invalid_arg "Machine.create: epoch_ticks must be positive";
+          Some
+            {
+              ep_every = n;
+              ep_base_counts =
+                Array.make
+                  (Gmon.n_buckets ~lowpc:0 ~highpc:text_size
+                     ~bucket_size:config.hist_bucket_size)
+                  0;
+              ep_base_arcs = [];
+              ep_entries = [];
+            });
     }
   in
   (* The startup stub "calls" main: a frame with a sentinel return
@@ -183,7 +213,15 @@ let reset_profile m =
   Profil.reset m.profil;
   Monitor.reset m.monitor;
   Array.fill m.pcounts 0 (Array.length m.pcounts) 0;
-  Option.iter Stacksamp.reset m.sampler
+  Option.iter Stacksamp.reset m.sampler;
+  (* The cumulative counters just went to zero, so the deltas restart
+     from zero too; epochs already recorded describe real history and
+     are kept. *)
+  Option.iter
+    (fun es ->
+      Array.fill es.ep_base_counts 0 (Array.length es.ep_base_counts) 0;
+      es.ep_base_arcs <- [])
+    m.epochs
 
 let profile m =
   {
@@ -193,6 +231,78 @@ let profile m =
     cycles_per_tick = m.config.cycles_per_tick;
     runs = 1;
   }
+
+(* --- the epoch engine ----------------------------------------------- *)
+
+(* Subtract two sorted cumulative arc lists: [cur] extends [prev]
+   (counters only grow between boundaries), so every key of [prev]
+   appears in [cur]. Arcs whose count did not move are omitted. *)
+let arc_delta ~prev ~cur =
+  let rec go prev cur acc =
+    match (prev, cur) with
+    | _, [] -> List.rev acc
+    | [], c :: cs -> go [] cs (if c.Gmon.a_count <> 0 then c :: acc else acc)
+    | p :: ps, c :: cs ->
+      let k =
+        compare (c.Gmon.a_from, c.Gmon.a_self) (p.Gmon.a_from, p.Gmon.a_self)
+      in
+      if k = 0 then begin
+        let d = c.Gmon.a_count - p.Gmon.a_count in
+        go ps cs (if d <> 0 then { c with Gmon.a_count = d } :: acc else acc)
+      end
+      else if k < 0 then go (p :: ps) cs (c :: acc)
+      else (* a key vanished: counters were reset; start over *) go ps (c :: cs) acc
+  in
+  go prev cur []
+
+(* The window's delta against the baselines, as an epoch entry ending
+   now. Does not advance the baselines. *)
+let epoch_delta_of m es ~cur_counts ~cur_arcs =
+  {
+    Gmon.Epoch.ep_end_cycle = m.cycles;
+    ep_end_tick = m.n_ticks;
+    ep_counts = Array.mapi (fun i c -> c - es.ep_base_counts.(i)) cur_counts;
+    ep_arcs = arc_delta ~prev:es.ep_base_arcs ~cur:cur_arcs;
+  }
+
+let epoch_delta m es =
+  epoch_delta_of m es
+    ~cur_counts:(Profil.hist m.profil).Gmon.h_counts
+    ~cur_arcs:(Monitor.arcs m.monitor)
+
+(* The boundary runs on the tick path, so the monitor walk and the
+   histogram copy happen exactly once: the same snapshot serves as
+   this window's delta input and the next window's baseline. *)
+let epoch_boundary m es =
+  let cur_counts = (Profil.hist m.profil).Gmon.h_counts in
+  let cur_arcs = Monitor.arcs m.monitor in
+  let e = epoch_delta_of m es ~cur_counts ~cur_arcs in
+  es.ep_entries <- e :: es.ep_entries;
+  es.ep_base_counts <- cur_counts;
+  es.ep_base_arcs <- cur_arcs
+
+let epochs m =
+  Option.map
+    (fun es ->
+      let trailing =
+        let e = epoch_delta m es in
+        if
+          es.ep_entries = []
+          || Array.exists (fun c -> c <> 0) e.Gmon.Epoch.ep_counts
+          || e.Gmon.Epoch.ep_arcs <> []
+        then [ e ]
+        else []
+      in
+      let h = Profil.hist m.profil in
+      {
+        Gmon.Epoch.e_lowpc = h.Gmon.h_lowpc;
+        e_highpc = h.Gmon.h_highpc;
+        e_bucket_size = h.Gmon.h_bucket_size;
+        e_ticks_per_second = m.config.ticks_per_second;
+        e_cycles_per_tick = m.config.cycles_per_tick;
+        e_epochs = List.rev_append es.ep_entries trailing;
+      })
+    m.epochs
 
 (* --- execution ------------------------------------------------------ *)
 
@@ -236,6 +346,9 @@ let service_ticks m ~at_pc =
       let cost = Stacksamp.on_tick s ~stack:(call_stack m) in
       m.cycles <- m.cycles + cost
     | None -> ());
+    (match m.epochs with
+    | Some es when m.n_ticks mod es.ep_every = 0 -> epoch_boundary m es
+    | _ -> ());
     m.next_tick <- m.next_tick + next_interval m
   done
 

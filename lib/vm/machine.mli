@@ -52,6 +52,12 @@ type config = {
           executing N instructions, simulating a program killed
           mid-run — the normal way to produce the partial profiles the
           salvage decoder must tolerate *)
+  epoch_ticks : int option;
+      (** snapshot the live profile counters every N clock ticks,
+          recording each window's delta as one epoch of a
+          {!Gmon.Epoch} timeline container ({!epochs}); host-time
+          only, free of simulated-cycle cost (bench [t-timeline]
+          bounds the overhead) *)
 }
 
 val default_config : config
@@ -140,3 +146,10 @@ val reset_profile : t -> unit
 val profile : t -> Gmon.t
 (** Snapshot the current histogram and arc table as a profile data
     record ([runs = 1]); usable mid-run. *)
+
+val epochs : t -> Gmon.Epoch.t option
+(** The timeline gathered so far, when [epoch_ticks] was configured:
+    one epoch per completed window plus, when any data accrued after
+    the last boundary, a trailing partial epoch. Usable mid-run and
+    idempotent (the engine's baselines are not advanced). Summing the
+    epochs reproduces {!profile} exactly. *)

@@ -238,6 +238,196 @@ let test_robust_cli () =
   | Error e -> check_bool "torn file rejected with offset" true (contains ~needle:"at byte" e)
   | Ok _ -> Alcotest.fail "torn file loaded"
 
+let test_epoch_cli () =
+  let src = write_source () in
+  let obj = path "prog.obj" and gmon = path "prog.gmon" in
+  let epochs = path "prog.epochs" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj ]);
+  let code, _ =
+    run_cmd
+      [ exe "minirun"; obj; "--gmon"; gmon; "--epoch-ticks"; "8";
+        "--epochs"; epochs; "-q" ]
+  in
+  check_int "minirun --epoch-ticks exits 0" 0 code;
+  check_bool "epoch container written" true (Sys.file_exists epochs);
+  check_bool "epoch count reported" true
+    (contains ~needle:"epoch(s) written" (stderr_text ()));
+  (* the container's sum is bit-identical to the whole-run profile *)
+  let c = Result.get_ok (Gmon.Epoch.load epochs) in
+  check_bool "several epochs recorded" true (Gmon.Epoch.n_epochs c > 1);
+  let whole = Result.get_ok (Gmon.load gmon) in
+  let summed = Result.get_ok (Gmon.Epoch.sum c) in
+  check_bool "sum of epochs is bit-identical to the run profile" true
+    (Gmon.to_bytes summed = Gmon.to_bytes whole);
+  (* gprofx accepts the container wherever a gmon file goes: the
+     analysis of the summed container matches the plain profile's *)
+  let _, flat_gmon = run_cmd [ exe "gprofx"; obj; gmon; "--flat" ] in
+  let code, flat_epochs = run_cmd [ exe "gprofx"; obj; epochs; "--flat" ] in
+  check_int "gprofx over the container exits 0" 0 code;
+  check_bool "same flat profile from either file" true (flat_gmon = flat_epochs);
+  (* single-window selection *)
+  let code, out = run_cmd [ exe "gprofx"; obj; epochs; "--epoch"; "1"; "--flat" ] in
+  check_int "--epoch 1 exits 0" 0 code;
+  check_bool "window listing mentions a routine" true (contains ~needle:"helper" out);
+  let code, _ = run_cmd [ exe "gprofx"; obj; epochs; "--epoch"; "999"; "--flat" ] in
+  check_int "--epoch out of range exits 1" 1 code;
+  let code, _ = run_cmd [ exe "gprofx"; obj; gmon; "--epoch"; "1"; "--flat" ] in
+  check_int "--epoch on a plain profile exits 1" 1 code;
+  (* the timeline digest *)
+  let code, out = run_cmd [ exe "gprofx"; obj; epochs; "--timeline" ] in
+  check_int "--timeline exits 0" 0 code;
+  check_bool "digest header" true (contains ~needle:"timeline:" out);
+  check_bool "windows listed" true (contains ~needle:"epoch 1 " out);
+  let code, _ = run_cmd [ exe "gprofx"; obj; gmon; "--timeline" ] in
+  check_int "--timeline rejects a plain profile" 1 code
+
+let test_export_formats_cli () =
+  let src = write_source () in
+  let obj = path "prog.obj" and gmon = path "prog.gmon" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj ]);
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; gmon; "-q" ]);
+  let code, out = run_cmd [ exe "gprofx"; obj; gmon; "--format"; "flame" ] in
+  check_int "flame exits 0" 0 code;
+  check_bool "folded stack line" true (contains ~needle:"main;helper;square " out);
+  let code, out = run_cmd [ exe "gprofx"; obj; gmon; "--format"; "callgrind" ] in
+  check_int "callgrind exits 0" 0 code;
+  check_bool "callgrind header" true (contains ~needle:"# callgrind format" out);
+  check_bool "callgrind events" true (contains ~needle:"events: ticks" out);
+  check_bool "callgrind fn record" true (contains ~needle:"fn=helper" out);
+  let code, out = run_cmd [ exe "gprofx"; obj; gmon; "--format"; "json" ] in
+  check_int "json exits 0" 0 code;
+  check_bool "schema tag" true (contains ~needle:"\"gprof-repro.report/1\"" out);
+  check_bool "flat rows" true (contains ~needle:"\"flat\":[{" out);
+  let code, _ = run_cmd [ exe "gprofx"; obj; gmon; "--format"; "nonsense" ] in
+  check_bool "unknown format rejected" true (code <> 0)
+
+let test_lenient_flags_cli () =
+  let src = write_source () in
+  let obj = path "prog.obj" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-p"; "-o"; obj ]);
+  let g = path "l1.gmon" and counts = path "l1.counts" in
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; g; "--prof-out"; counts; "-q" ]);
+  let torn = path "l_torn.gmon" in
+  let bytes = In_channel.with_open_bin g In_channel.input_all in
+  Out_channel.with_open_bin torn (fun oc ->
+      Out_channel.output_string oc (String.sub bytes 0 150));
+  (* profx: strict rejects the torn file, lenient degrades to exit 2 *)
+  let code, _ = run_cmd [ exe "profx"; obj; torn; counts ] in
+  check_int "profx strict exits 1" 1 code;
+  let code, out = run_cmd [ exe "profx"; obj; torn; counts; "--lenient" ] in
+  check_int "profx lenient exits 2" 2 code;
+  check_bool "profx salvage reported" true
+    (contains ~needle:"salvaged" (stderr_text ()));
+  check_bool "profx listing still printed" true (contains ~needle:"name" out);
+  let code, _ = run_cmd [ exe "profx"; obj; g; counts; "--lenient" ] in
+  check_int "profx lenient over clean data exits 0" 0 code;
+  (* profdiff: same ladder *)
+  let code, _ = run_cmd [ exe "profdiff"; obj; g; obj; torn ] in
+  check_int "profdiff strict exits 1" 1 code;
+  let code, out = run_cmd [ exe "profdiff"; obj; g; obj; torn; "--lenient" ] in
+  check_int "profdiff lenient exits 2" 2 code;
+  check_bool "profdiff salvage reported" true
+    (contains ~needle:"salvaged" (stderr_text ()));
+  check_bool "profdiff still diffs" true (contains ~needle:"profile diff" out);
+  let code, _ = run_cmd [ exe "profdiff"; obj; g; obj; g; "--lenient" ] in
+  check_int "profdiff lenient over clean data exits 0" 0 code
+
+(* The same program with a 4x hotter helper loop: the regression
+   profwatch must flag. *)
+let slow_source =
+  {|
+var total;
+
+fun square(x) { return x * x; }
+
+fun helper(x) {
+  var i;
+  var s = 0;
+  for (i = 0; i < 100; i = i + 1) { s = s + square(x + i); }
+  return s;
+}
+
+fun main() {
+  var k;
+  for (k = 0; k < 4000; k = k + 1) { total = total + helper(k); }
+  print(total);
+  return 0;
+}
+|}
+
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+    Sys.rmdir p
+  end
+  else Sys.remove p
+
+let test_profwatch_cli () =
+  let src = write_source () in
+  let slow_src = path "slow.mini" in
+  Out_channel.with_open_text slow_src (fun oc ->
+      Out_channel.output_string oc slow_source);
+  let fast_obj = path "watch_fast.obj" and slow_obj = path "watch_slow.obj" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; fast_obj ]);
+  ignore (run_cmd [ exe "minic"; slow_src; "--pg"; "-o"; slow_obj ]);
+  let steady = path "watch_steady" and hot = path "watch_hot" in
+  List.iter (fun d -> if Sys.file_exists d then rm_rf d) [ steady; hot ];
+  Sys.mkdir steady 0o755;
+  Sys.mkdir hot 0o755;
+  (* steady: two runs of the same build *)
+  ignore
+    (run_cmd
+       [ exe "minirun"; fast_obj; "--gmon";
+         Filename.concat steady "run-001.gmon"; "-q"; "--seed"; "1" ]);
+  ignore
+    (run_cmd
+       [ exe "minirun"; fast_obj; "--gmon";
+         Filename.concat steady "run-002.gmon"; "-q"; "--seed"; "2" ]);
+  let code, out = run_cmd [ exe "profwatch"; fast_obj; steady ] in
+  check_int "steady sequence exits 0" 0 code;
+  check_bool "steady reported" true (contains ~needle:"steady" out);
+  (* regression: the second run is the slower build, found through its
+     sibling .obj file *)
+  ignore
+    (run_cmd
+       [ exe "minirun"; fast_obj; "--gmon";
+         Filename.concat hot "run-001.gmon"; "-q" ]);
+  let hot_obj = Filename.concat hot "run-002.obj" in
+  let copy a b =
+    Out_channel.with_open_bin b (fun oc ->
+        Out_channel.output_string oc (In_channel.with_open_bin a In_channel.input_all))
+  in
+  copy slow_obj hot_obj;
+  ignore
+    (run_cmd
+       [ exe "minirun"; hot_obj; "--gmon";
+         Filename.concat hot "run-002.gmon"; "-q" ]);
+  let code, out = run_cmd [ exe "profwatch"; fast_obj; hot ] in
+  check_int "regression exits 2" 2 code;
+  check_bool "helper flagged" true
+    (contains ~needle:"regression: helper" out);
+  (* a tighter absolute floor can silence it *)
+  let code, _ =
+    run_cmd [ exe "profwatch"; fast_obj; hot; "--min-seconds"; "1000" ]
+  in
+  check_int "policy floor silences the gate" 0 code;
+  (* an epoch container in the watch directory expands into windows *)
+  let epochs_dir = path "watch_epochs" in
+  if Sys.file_exists epochs_dir then rm_rf epochs_dir;
+  Sys.mkdir epochs_dir 0o755;
+  ignore
+    (run_cmd
+       [ exe "minirun"; fast_obj; "--gmon"; Filename.concat epochs_dir "r.gmon";
+         "--epoch-ticks"; "8"; "--epochs";
+         Filename.concat epochs_dir "r.epochs"; "-q" ]);
+  let code, _ =
+    run_cmd
+      [ exe "profwatch"; fast_obj; epochs_dir; "--min-seconds"; "1000" ]
+  in
+  check_int "epoch windows scanned without error" 0 code;
+  check_bool "window points counted" true
+    (contains ~needle:"profile point(s)" (stderr_text ()))
+
 let test_bad_inputs_fail_cleanly () =
   let code, _ = run_cmd [ exe "minic"; path "nonexistent.mini" ] in
   check_bool "minic rejects missing file" true (code <> 0);
@@ -264,6 +454,10 @@ let () =
           Alcotest.test_case "kgmonx" `Slow test_kgmonx_cli;
           Alcotest.test_case "observability flags" `Slow test_obs_flags;
           Alcotest.test_case "fault tolerance" `Slow test_robust_cli;
+          Alcotest.test_case "epoch timeline" `Slow test_epoch_cli;
+          Alcotest.test_case "export formats" `Slow test_export_formats_cli;
+          Alcotest.test_case "lenient flags" `Slow test_lenient_flags_cli;
+          Alcotest.test_case "profwatch" `Slow test_profwatch_cli;
           Alcotest.test_case "bad inputs" `Slow test_bad_inputs_fail_cleanly;
         ] );
     ]

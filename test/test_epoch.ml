@@ -1,0 +1,279 @@
+(* The profile timeline: the VM's epoch engine and the epoch container
+   codec. The load-bearing invariant is exactness — summing the
+   per-epoch deltas must reproduce the whole-run profile bit for bit —
+   plus the usual codec guarantees: strict round-trips are the
+   identity, and salvage recovers a valid prefix of whole epochs. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let run_with_epochs ?(program = Workloads.Programs.matrix) every =
+  let config = { Vm.Machine.default_config with epoch_ticks = Some every } in
+  match Workloads.Driver.run ~config program with
+  | Error e -> Alcotest.fail e
+  | Ok r -> (
+    match Vm.Machine.epochs r.machine with
+    | None -> Alcotest.fail "epoch engine not enabled"
+    | Some c -> (r, c))
+
+(* --- the engine ----------------------------------------------------- *)
+
+let test_sum_identity () =
+  List.iter
+    (fun every ->
+      List.iter
+        (fun program ->
+          let r, c = run_with_epochs ~program every in
+          check_bool
+            (Printf.sprintf "%s every %d: container validates"
+               program.Workloads.Programs.w_name every)
+            true
+            (Gmon.Epoch.validate c = Ok ());
+          match Gmon.Epoch.sum c with
+          | Error e -> Alcotest.fail e
+          | Ok s ->
+            check_bool
+              (Printf.sprintf "%s every %d: sum is bit-identical"
+                 program.Workloads.Programs.w_name every)
+              true
+              (Gmon.to_bytes s = Gmon.to_bytes r.gmon))
+        [ Workloads.Programs.matrix; Workloads.Programs.sort ])
+    [ 1; 4; 7 ]
+
+let test_boundaries () =
+  let every = 5 in
+  let r, c = run_with_epochs every in
+  let ticks = Vm.Machine.ticks r.machine in
+  check_bool "several epochs" true (Gmon.Epoch.n_epochs c > 1);
+  (* every completed window ends on a multiple of the cadence; only
+     the trailing partial epoch may not *)
+  let rec completed = function
+    | [] | [ _ ] -> true
+    | (e : Gmon.Epoch.entry) :: rest ->
+      e.ep_end_tick mod every = 0 && completed rest
+  in
+  check_bool "completed windows end on the cadence" true (completed c.e_epochs);
+  let last = List.nth c.e_epochs (Gmon.Epoch.n_epochs c - 1) in
+  check_int "last epoch ends at the final tick" ticks last.ep_end_tick;
+  check_int "last epoch ends at the final cycle" (Vm.Machine.cycles r.machine)
+    last.ep_end_cycle;
+  (* per-epoch ticks sum to the run's ticks *)
+  let tick_sum =
+    List.fold_left
+      (fun acc (e : Gmon.Epoch.entry) ->
+        acc + Array.fold_left ( + ) 0 e.ep_counts)
+      0 c.e_epochs
+  in
+  check_int "per-epoch ticks sum to the histogram total" (Gmon.total_ticks r.gmon)
+    tick_sum
+
+let test_epochs_idempotent () =
+  let _, c1 = run_with_epochs 6 in
+  let _, _ = run_with_epochs 6 in
+  let r, _ = run_with_epochs 6 in
+  (* calling epochs twice on the same halted machine gives the same
+     container: the baselines are not advanced *)
+  match (Vm.Machine.epochs r.machine, Vm.Machine.epochs r.machine) with
+  | Some a, Some b ->
+    check_bool "epochs is idempotent" true (Gmon.Epoch.equal a b);
+    check_bool "deterministic across runs" true (Gmon.Epoch.equal a c1)
+  | _ -> Alcotest.fail "epoch engine not enabled"
+
+let test_nth_and_profile_of () =
+  let _, c = run_with_epochs 4 in
+  let n = Gmon.Epoch.n_epochs c in
+  check_bool "nth 0 rejected" true (Result.is_error (Gmon.Epoch.nth c 0));
+  check_bool "nth past the end rejected" true
+    (Result.is_error (Gmon.Epoch.nth c (n + 1)));
+  match Gmon.Epoch.nth c 1 with
+  | Error e -> Alcotest.fail e
+  | Ok e ->
+    let p = Gmon.Epoch.profile_of c e in
+    check_bool "interval profile validates" true (Gmon.validate p = Ok ());
+    check_int "interval profile is a single run" 1 p.Gmon.runs
+
+(* --- the codec ------------------------------------------------------ *)
+
+let test_roundtrip () =
+  let _, c = run_with_epochs 3 in
+  let bytes = Gmon.Epoch.to_bytes c in
+  (match Gmon.Epoch.of_bytes bytes with
+  | Error e -> Alcotest.fail e
+  | Ok c' -> check_bool "strict decode round-trips" true (Gmon.Epoch.equal c c'));
+  check_bool "sniffed as an epoch container" true (Gmon.Epoch.sniff_bytes bytes);
+  check_bool "gmon files are not sniffed" false
+    (Gmon.Epoch.sniff_bytes (Gmon.to_bytes (Result.get_ok (Gmon.Epoch.sum c))))
+
+let test_save_load () =
+  let _, c = run_with_epochs 3 in
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "epoch_test.epochs" in
+  (match Gmon.Epoch.save c path with
+  | Error e -> Alcotest.fail e
+  | Ok () -> ());
+  check_bool "file sniffs as epoch container" true (Gmon.Epoch.sniff_file path);
+  (match Gmon.Epoch.load path with
+  | Error e -> Alcotest.fail e
+  | Ok c' -> check_bool "load round-trips" true (Gmon.Epoch.equal c c'));
+  Sys.remove path
+
+let test_salvage_truncation () =
+  let _, c = run_with_epochs 3 in
+  let bytes = Gmon.Epoch.to_bytes c in
+  let n = Gmon.Epoch.n_epochs c in
+  (* cut inside the epoch stream: strict rejects, salvage recovers a
+     strict prefix of whole epochs *)
+  let cut = String.length bytes - (String.length bytes / 3) in
+  let torn = String.sub bytes 0 cut in
+  (match Gmon.Epoch.of_bytes torn with
+  | Ok _ -> Alcotest.fail "strict accepted a torn container"
+  | Error e -> check_bool "strict error carries an offset" true
+      (contains ~needle:"at byte" e));
+  match Gmon.Epoch.decode ~mode:`Salvage torn with
+  | Error e -> Alcotest.fail (Gmon.decode_error_to_string e)
+  | Ok (c', rep) ->
+    check_bool "salvage report degraded" true (Gmon.report_degraded rep);
+    check_bool "fewer epochs survive" true (Gmon.Epoch.n_epochs c' < n);
+    check_bool "salvaged container validates" true
+      (Gmon.Epoch.validate c' = Ok ());
+    (* the survivors are exactly a prefix of the original *)
+    let rec is_prefix xs ys =
+      match (xs, ys) with
+      | [], _ -> true
+      | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+      | _, [] -> false
+    in
+    check_bool "salvaged epochs are a prefix" true
+      (is_prefix
+         (List.map (fun (e : Gmon.Epoch.entry) -> e.ep_end_tick) c'.e_epochs)
+         (List.map (fun (e : Gmon.Epoch.entry) -> e.ep_end_tick) c.e_epochs))
+
+let test_salvage_checksum () =
+  let _, c = run_with_epochs 3 in
+  let bytes = Bytes.of_string (Gmon.Epoch.to_bytes c) in
+  (* flip a bit in the last epoch's arc region, keeping the footer *)
+  let pos = Bytes.length bytes - 30 in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 1));
+  let s = Bytes.to_string bytes in
+  (match Gmon.Epoch.of_bytes s with
+  | Ok _ -> Alcotest.fail "strict accepted a checksum mismatch"
+  | Error _ -> ());
+  match Gmon.Epoch.decode ~mode:`Salvage s with
+  | Error _ -> () (* the flip may corrupt the stream unrecoverably *)
+  | Ok (c', rep) ->
+    check_bool "mismatch recorded" true (rep.Gmon.r_checksum = `Mismatch);
+    check_bool "salvaged container validates" true
+      (Gmon.Epoch.validate c' = Ok ())
+
+(* --- properties ----------------------------------------------------- *)
+
+let container_gen =
+  QCheck.Gen.(
+    let entry_gen ~nb ~prev_cycle ~prev_tick =
+      let* dc = int_range 0 10_000 in
+      let* dt = int_range 0 50 in
+      let* counts = array_size (return nb) (int_range 0 5) in
+      let* arc_keys =
+        list_size (int_range 0 6) (pair (int_range 0 63) (int_range 0 63))
+      in
+      let keys = List.sort_uniq compare arc_keys in
+      let* counts_for_arcs =
+        list_size (return (List.length keys)) (int_range 0 100)
+      in
+      let arcs =
+        List.map2
+          (fun (f, s) c -> { Gmon.a_from = f; a_self = s; a_count = c })
+          keys counts_for_arcs
+      in
+      return
+        ({ Gmon.Epoch.ep_end_cycle = prev_cycle + dc;
+           ep_end_tick = prev_tick + dt; ep_counts = counts; ep_arcs = arcs },
+         (prev_cycle + dc, prev_tick + dt))
+    in
+    let* bucket_size = int_range 1 4 in
+    let* lowpc = int_range 0 8 in
+    let* span = int_range 1 32 in
+    let highpc = lowpc + span in
+    let nb = Gmon.n_buckets ~lowpc ~highpc ~bucket_size in
+    let* n = int_range 0 6 in
+    let rec epochs k prev_cycle prev_tick acc =
+      if k = 0 then return (List.rev acc)
+      else
+        let* e, (pc, pt) = entry_gen ~nb ~prev_cycle ~prev_tick in
+        epochs (k - 1) pc pt (e :: acc)
+    in
+    let* es = epochs n 0 0 [] in
+    return
+      {
+        Gmon.Epoch.e_lowpc = lowpc;
+        e_highpc = highpc;
+        e_bucket_size = bucket_size;
+        e_ticks_per_second = 60;
+        e_cycles_per_tick = 16_666;
+        e_epochs = es;
+      })
+
+let prop_roundtrip_identity =
+  QCheck.Test.make ~name:"epoch codec: decode . encode = identity" ~count:300
+    (QCheck.make container_gen)
+    (fun c ->
+      match Gmon.Epoch.of_bytes (Gmon.Epoch.to_bytes c) with
+      | Ok c' -> Gmon.Epoch.equal c c'
+      | Error _ -> false)
+
+let prop_salvage_total =
+  QCheck.Test.make
+    ~name:"epoch salvage: truncated containers never raise; Ok validates"
+    ~count:300
+    QCheck.(pair (make container_gen) (int_range 0 2000))
+    (fun (c, cut_seed) ->
+      let bytes = Gmon.Epoch.to_bytes c in
+      let cut = cut_seed mod (String.length bytes + 1) in
+      let torn = String.sub bytes 0 cut in
+      match Gmon.Epoch.decode ~mode:`Salvage torn with
+      | Error _ -> true
+      | Ok (c', _) -> Gmon.Epoch.validate c' = Ok ())
+
+let prop_sum_equals_merge_of_intervals =
+  QCheck.Test.make
+    ~name:"epoch sum = merging every interval profile (runs forced to 1)"
+    ~count:100 (QCheck.make container_gen)
+    (fun c ->
+      match c.Gmon.Epoch.e_epochs with
+      | [] -> true
+      | es -> (
+        let profiles = List.map (Gmon.Epoch.profile_of c) es in
+        match (Gmon.Epoch.sum c, Gmon.merge_all profiles) with
+        | Ok s, Ok m -> Gmon.equal s { m with Gmon.runs = 1 }
+        | _ -> false))
+
+let () =
+  Alcotest.run "epoch"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "sum reproduces the whole-run profile" `Slow
+            test_sum_identity;
+          Alcotest.test_case "boundary bookkeeping" `Quick test_boundaries;
+          Alcotest.test_case "idempotent and deterministic" `Quick
+            test_epochs_idempotent;
+          Alcotest.test_case "nth / profile_of" `Quick test_nth_and_profile_of;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "save / load" `Quick test_save_load;
+          Alcotest.test_case "salvage: truncation" `Quick test_salvage_truncation;
+          Alcotest.test_case "salvage: checksum flip" `Quick test_salvage_checksum;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_roundtrip_identity; prop_salvage_total;
+            prop_sum_equals_merge_of_intervals;
+          ] );
+    ]

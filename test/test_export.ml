@@ -1,0 +1,439 @@
+(* Tests for the export layer: golden folded-stack, callgrind, and
+   dot renderings of the Figure 4 scenario, structural validation of
+   the JSON report (via a small real JSON parser, so malformed output
+   cannot sneak through), the timeline digest, and the Regress gate
+   that profwatch is built on. *)
+
+open Gprof_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_time = Alcotest.(check (float 1e-4))
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let figure4 () =
+  match Report.analyze Workloads.Figure4.objfile Workloads.Figure4.gmon with
+  | Error e -> Alcotest.failf "figure4: %s" e
+  | Ok r -> r
+
+(* --- goldens -------------------------------------------------------- *)
+
+(* The dominant-path stacks of Figure 4: EXAMPLE under its heavier
+   caller, the cycle members under OTHER (who contributes more time
+   into the cycle than EXAMPLE does). *)
+let folded_golden =
+  "CALLER1 26\n\
+   CALLER2;EXAMPLE 30\n\
+   OTHER;SUB1 <cycle 1> 120\n\
+   OTHER;SUB1 <cycle 1>;SUB1B <cycle 1> 60\n\
+   OTHER;SUB1 <cycle 1>;DEPTH1 120\n\
+   OTHER;SUB2;DEPTH2 150\n"
+
+let test_folded_golden () =
+  let r = figure4 () in
+  check_string "folded stacks" folded_golden (Export.folded_stacks r.profile)
+
+let test_folded_totals () =
+  (* every sampled tick lands in exactly one stack line *)
+  let r = figure4 () in
+  let total =
+    String.split_on_char '\n' (Export.folded_stacks r.profile)
+    |> List.filter (fun l -> l <> "")
+    |> List.fold_left
+         (fun acc line ->
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "unparseable folded line: %s" line
+           | Some i ->
+             acc
+             + int_of_string
+                 (String.sub line (i + 1) (String.length line - i - 1)))
+         0
+  in
+  check_int "folded ticks sum to the histogram" 506 total
+
+let callgrind_golden_head =
+  "# callgrind format\n\
+   version: 1\n\
+   creator: gprof-repro\n\
+   positions: line\n\
+   events: ticks\n\
+   summary: 506\n\n\
+   fn=CALLER1\n\
+   0 26\n\
+   cfn=EXAMPLE\n\
+   calls=4 8\n\
+   0 84\n"
+
+let test_callgrind_golden () =
+  let r = figure4 () in
+  let s = Export.callgrind r.profile in
+  check_bool "header and first record" true
+    (String.length s >= String.length callgrind_golden_head
+    && String.sub s 0 (String.length callgrind_golden_head)
+       = callgrind_golden_head);
+  (* every routine of the dynamic graph has a cost record *)
+  List.iter
+    (fun fn -> check_bool (fn ^ " present") true (contains ~needle:fn s))
+    [
+      "fn=CALLER1"; "fn=CALLER2"; "fn=EXAMPLE"; "fn=SUB1"; "fn=SUB1B";
+      "fn=SUB2"; "fn=SUB3"; "fn=DEPTH1"; "fn=DEPTH2"; "fn=OTHER";
+    ];
+  (* the static-only EXAMPLE -> SUB3 arc appears with zero calls *)
+  check_bool "static arc exported" true (contains ~needle:"calls=0 24" s)
+
+let test_dot_deterministic_golden () =
+  let a = Report.dot_graph (figure4 ()) in
+  let b = Report.dot_graph (figure4 ()) in
+  check_string "two analyses render identically" a b;
+  (* nodes in id order, arcs in (src, dst) order — pin the shape *)
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle a))
+    [
+      "subgraph cluster_cycle1";
+      "f0 [label=\"CALLER1";
+      "f9 [label=\"OTHER";
+      "f0 -> f2 [label=\"4\"];";
+      "f2 -> f6 [label=\"0\", style=dashed];";
+      "f3 -> f4 [label=\"3\", style=dotted];";
+      "spontaneous -> f9;";
+    ];
+  let index_of needle =
+    let rec go i =
+      if i + String.length needle > String.length a then
+        Alcotest.failf "missing %s" needle
+      else if String.sub a i (String.length needle) = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  check_bool "node order f0 < f1" true
+    (index_of "f0 [label=" < index_of "f1 [label=");
+  check_bool "arc order (0,2) < (1,2)" true
+    (index_of "f0 -> f2" < index_of "f1 -> f2");
+  check_bool "arc order (2,3) < (9,3)" true
+    (index_of "f2 -> f3" < index_of "f9 -> f3")
+
+(* --- JSON ----------------------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+(* A small but real JSON parser: enough to reject anything malformed
+   the emitter could produce. *)
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n && (peek () = ' ' || peek () = '\n' || peek () = '\t') then begin
+      advance (); skip_ws ()
+    end
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
+  let parse_lit lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin pos := !pos + String.length lit; v end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' | '\\' | '/' -> Buffer.add_char b (peek ()); advance ()
+          | 'n' -> Buffer.add_char b '\n'; advance ()
+          | 't' -> Buffer.add_char b '\t'; advance ()
+          | 'r' -> Buffer.add_char b '\r'; advance ()
+          | 'b' -> Buffer.add_char b '\b'; advance ()
+          | 'f' -> Buffer.add_char b '\012'; advance ()
+          | 'u' ->
+            advance ();
+            if !pos + 4 > n then fail "bad \\u escape";
+            pos := !pos + 4;
+            Buffer.add_char b '?'
+          | _ -> fail "bad escape");
+          go ()
+        | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && numchar (peek ()) do advance () done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance (); skip_ws ();
+      if peek () = '}' then begin advance (); Obj [] end
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws (); expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((k, v) :: acc)
+          | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+    | '[' ->
+      advance (); skip_ws ();
+      if peek () = ']' then begin advance (); Arr [] end
+      else
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elements (v :: acc)
+          | ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+    | '"' -> Str (parse_string ())
+    | 't' -> parse_lit "true" (Bool true)
+    | 'f' -> parse_lit "false" (Bool false)
+    | 'n' -> parse_lit "null" Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes";
+  v
+
+let field name = function
+  | Obj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> v
+    | None -> Alcotest.failf "missing field %s" name)
+  | _ -> Alcotest.failf "not an object (looking for %s)" name
+
+let as_num = function Num f -> f | _ -> Alcotest.fail "expected number"
+let as_str = function Str s -> s | _ -> Alcotest.fail "expected string"
+let as_arr = function Arr l -> l | _ -> Alcotest.fail "expected array"
+
+let test_json_roundtrip () =
+  let r = figure4 () in
+  let p = r.profile in
+  let j = parse_json (Export.json_report r) in
+  check_string "schema" "gprof-repro.report/1" (as_str (field "schema" j));
+  check_time "total_seconds" Workloads.Figure4.expected_total_seconds
+    (as_num (field "total_seconds" j));
+  check_bool "not degraded" false (field "degraded" j = Bool true);
+  let flat = as_arr (field "flat" j) in
+  check_int "flat row count" (List.length (Flat.rows p)) (List.length flat);
+  let flat_self =
+    List.fold_left (fun acc row -> acc +. as_num (field "self_seconds" row)) 0.0 flat
+  in
+  check_time "flat self seconds sum to the total"
+    (p.total_time -. p.unattributed) flat_self;
+  let graph = as_arr (field "graph" j) in
+  check_int "graph entry count" (Array.length p.order) (List.length graph);
+  let example =
+    match
+      List.find_opt
+        (fun g -> field "kind" g = Str "routine" && field "name" g = Str "EXAMPLE")
+        graph
+    with
+    | Some g -> g
+    | None -> Alcotest.fail "EXAMPLE not in graph"
+  in
+  check_time "EXAMPLE self" 0.5 (as_num (field "self_seconds" example));
+  check_time "EXAMPLE descendants" 3.0
+    (as_num (field "descendant_seconds" example));
+  check_int "EXAMPLE has two parents" 2
+    (List.length (as_arr (field "parents" example)));
+  let cycles = as_arr (field "cycles" j) in
+  check_int "one cycle" 1 (List.length cycles);
+  (match cycles with
+  | [ c ] ->
+    check_bool "cycle members" true
+      (List.map as_str (as_arr (field "members" c)) = [ "SUB1"; "SUB1B" ])
+  | _ -> Alcotest.fail "expected one cycle")
+
+(* --- timeline ------------------------------------------------------- *)
+
+let run_with_epochs every =
+  let config = { Vm.Machine.default_config with epoch_ticks = Some every } in
+  match Workloads.Driver.run ~config Workloads.Programs.matrix with
+  | Error e -> Alcotest.fail e
+  | Ok r -> (
+    match Vm.Machine.epochs r.machine with
+    | None -> Alcotest.fail "epoch engine not enabled"
+    | Some c -> (r, c))
+
+let test_timeline () =
+  let r, c = run_with_epochs 5 in
+  match Export.timeline r.objfile c with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    check_bool "header names the epoch count" true
+      (contains ~needle:(Printf.sprintf "timeline: %d epoch(s)" (Gmon.Epoch.n_epochs c)) s);
+    check_bool "first window present" true (contains ~needle:"epoch 1 " s);
+    check_bool "busiest routines listed" true (contains ~needle:"busiest:" s)
+
+let test_timeline_empty () =
+  let r, c = run_with_epochs 5 in
+  match Export.timeline r.objfile { c with Gmon.Epoch.e_epochs = [] } with
+  | Ok _ -> Alcotest.fail "empty container should not render"
+  | Error e -> check_bool "explains" true (contains ~needle:"empty" e)
+
+(* --- the regression gate -------------------------------------------- *)
+
+let scaled_figure4 factor =
+  (* merging a profile with itself k-1 times multiplies every count
+     and tick by k: a synthetic "everything got k times slower" run *)
+  let g = Workloads.Figure4.gmon in
+  match Gmon.merge_all (List.init factor (fun _ -> g)) with
+  | Error e -> Alcotest.fail e
+  | Ok merged -> (
+    match
+      Report.analyze Workloads.Figure4.objfile { merged with Gmon.runs = 1 }
+    with
+    | Error e -> Alcotest.fail e
+    | Ok r -> r.profile)
+
+let test_regress_steady () =
+  let p = (figure4 ()).profile in
+  let findings =
+    Regress.compare_profiles Regress.default_policy ~from_label:"a"
+      ~to_label:"b" p p
+  in
+  check_int "identical profiles are steady" 0 (List.length findings);
+  check_string "empty listing" "" (Regress.listing findings)
+
+let test_regress_flags_growth () =
+  let before = (figure4 ()).profile in
+  let after = scaled_figure4 2 in
+  let findings =
+    Regress.compare_profiles Regress.default_policy ~from_label:"a"
+      ~to_label:"b" before after
+  in
+  check_bool "something flagged" true (findings <> []);
+  (* the biggest absolute growth comes first *)
+  (match findings with
+  | f :: _ ->
+    check_bool "sorted by growth" true
+      (List.for_all
+         (fun g -> g.Regress.f_after -. g.f_before <= f.Regress.f_after -. f.f_before)
+         findings)
+  | [] -> ());
+  (* DEPTH2: 2.5s -> 5.0s of self time must be flagged on Self *)
+  check_bool "DEPTH2 self flagged" true
+    (List.exists
+       (fun f -> f.Regress.f_name = "DEPTH2" && f.f_metric = Regress.Self)
+       findings);
+  (* a routine whose Self already fired is not double-reported *)
+  List.iter
+    (fun (f : Regress.finding) ->
+      if f.f_metric = Regress.Total then
+        check_bool (f.f_name ^ " not double-reported") false
+          (List.exists
+             (fun (g : Regress.finding) ->
+               g.f_name = f.f_name && g.f_metric = Regress.Self)
+             findings))
+    findings;
+  let listing = Regress.listing findings in
+  check_bool "listing names the labels" true (contains ~needle:"[a -> b]" listing);
+  check_bool "listing says regression" true
+    (contains ~needle:"regression: " listing)
+
+let test_regress_thresholds () =
+  let before = (figure4 ()).profile in
+  let after = scaled_figure4 2 in
+  let lax =
+    { Regress.p_min_seconds = 1000.0; p_min_ratio = 0.25; p_descendants = true }
+  in
+  check_int "absolute floor suppresses" 0
+    (List.length (Regress.compare_profiles lax ~from_label:"a" ~to_label:"b" before after));
+  let ratio_only =
+    { Regress.p_min_seconds = 0.0; p_min_ratio = 10.0; p_descendants = true }
+  in
+  check_int "ratio floor suppresses a 2x" 0
+    (List.length
+       (Regress.compare_profiles ratio_only ~from_label:"a" ~to_label:"b" before
+          after));
+  let self_only =
+    { Regress.default_policy with p_descendants = false }
+  in
+  List.iter
+    (fun (f : Regress.finding) ->
+      check_bool "self-only policy yields Self findings" true
+        (f.f_metric = Regress.Self))
+    (Regress.compare_profiles self_only ~from_label:"a" ~to_label:"b" before
+       after)
+
+let test_regress_scan_sequence () =
+  let p1 = (figure4 ()).profile in
+  let p2 = scaled_figure4 2 in
+  let p3 = scaled_figure4 4 in
+  let findings =
+    Regress.scan Regress.default_policy [ ("r1", p1); ("r2", p2); ("r3", p3) ]
+  in
+  (* both consecutive steps regress; labels map pairwise *)
+  check_bool "first step flagged" true
+    (List.exists (fun f -> f.Regress.f_from = "r1" && f.f_to = "r2") findings);
+  check_bool "second step flagged" true
+    (List.exists (fun f -> f.Regress.f_from = "r2" && f.f_to = "r3") findings);
+  check_bool "no cross-step pair" true
+    (List.for_all (fun f -> not (f.Regress.f_from = "r1" && f.f_to = "r3")) findings)
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "goldens",
+        [
+          Alcotest.test_case "folded stacks (Figure 4)" `Quick test_folded_golden;
+          Alcotest.test_case "folded ticks are conserved" `Quick test_folded_totals;
+          Alcotest.test_case "callgrind (Figure 4)" `Quick test_callgrind_golden;
+          Alcotest.test_case "dot is deterministic and sorted" `Quick
+            test_dot_deterministic_golden;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "schema round-trip" `Quick test_json_roundtrip ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "digest renders" `Quick test_timeline;
+          Alcotest.test_case "empty container is an error" `Quick
+            test_timeline_empty;
+        ] );
+      ( "regress",
+        [
+          Alcotest.test_case "steady" `Quick test_regress_steady;
+          Alcotest.test_case "flags growth" `Quick test_regress_flags_growth;
+          Alcotest.test_case "thresholds" `Quick test_regress_thresholds;
+          Alcotest.test_case "scan over a sequence" `Quick
+            test_regress_scan_sequence;
+        ] );
+    ]
