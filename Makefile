@@ -1,6 +1,6 @@
 SMOKE_DIR := _build/smoke
 
-.PHONY: all check build test smoke bench clean
+.PHONY: all check build test smoke lint bench clean
 
 all: build
 
@@ -13,7 +13,29 @@ test:
 # Build, run the full test suite, then drive the real binaries through
 # the whole pipeline once: compile with profiling, execute, and check
 # that the analyzer produces a report and a metrics dump.
-check: build test smoke
+check: build test lint smoke
+
+# Static consistency gate: proflint must pass the intact fixture
+# profiles (whole-run gmon, epoch container, and the paper's Figure 4)
+# and must refuse a profile paired with the wrong build.
+lint: build
+	mkdir -p $(SMOKE_DIR)
+	dune exec bin/minic.exe -- test/fixtures/smoke.mini --pg -o $(SMOKE_DIR)/lint.obj
+	dune exec bin/minirun.exe -- $(SMOKE_DIR)/lint.obj -q \
+	  --gmon $(SMOKE_DIR)/lint.gmon --epoch-ticks 4 --epochs $(SMOKE_DIR)/lint.epochs
+	dune exec bin/proflint.exe -- $(SMOKE_DIR)/lint.obj \
+	  $(SMOKE_DIR)/lint.gmon $(SMOKE_DIR)/lint.epochs
+	dune exec bin/proflint.exe -- --figure4
+	# smoke_mismatched.mini declares the same routines in a different
+	# order, so smoke's call sites land mid-function there. Linting
+	# the pairing must find errors (exit 2), not pass silently.
+	dune exec bin/minic.exe -- test/fixtures/smoke_mismatched.mini --pg \
+	  -o $(SMOKE_DIR)/lint_mismatched.obj
+	code=0; dune exec bin/proflint.exe -- $(SMOKE_DIR)/lint_mismatched.obj \
+	  $(SMOKE_DIR)/lint.gmon > /dev/null || code=$$?; \
+	  if [ $$code -ne 2 ]; then \
+	    echo "lint: mismatched pairing exited $$code, want 2"; exit 1; fi
+	@echo "lint: ok (intact fixtures clean, mismatched pairing refused)"
 
 smoke: build
 	mkdir -p $(SMOKE_DIR)

@@ -1,0 +1,182 @@
+(* The static-analysis subsystem: how the cost of the CFG build, the
+   indirect-call fixpoint, and the full lint scale with text size, and
+   whether the functional-parameter resolution actually recovers the
+   arcs the paper's crawl concedes it misses ("calls to routines
+   passed as parameters", §2). *)
+
+open Harness
+
+let time_of f =
+  (* Median of repeated runs; these passes are microseconds to
+     milliseconds, so a handful of repetitions is enough to shrug off
+     a scheduler hiccup. *)
+  let reps = 9 in
+  let samples =
+    List.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        Unix.gettimeofday () -. t0)
+  in
+  List.nth (List.sort compare samples) (reps / 2)
+
+let t_analysis () =
+  section "analysis cost vs text size (every workload)";
+  Printf.printf "  %-16s %6s %6s %6s %10s %10s %10s\n" "workload" "text"
+    "blocks" "edges" "cfg us" "indir us" "lint us";
+  let rows =
+    List.map
+      (fun (w : Workloads.Programs.t) ->
+        let r = run_workload w in
+        let o = r.objfile in
+        let cfg = Analysis.Cfg.build o in
+        let ind = Analysis.Indirect.analyze o in
+        let t_cfg = time_of (fun () -> Analysis.Cfg.build o) in
+        let t_ind = time_of (fun () -> Analysis.Indirect.analyze o) in
+        let t_lint =
+          time_of (fun () -> Analysis.Proflint.lint ~cfg ~indirect:ind o r.gmon)
+        in
+        let result = Analysis.Proflint.lint ~cfg ~indirect:ind o r.gmon in
+        Printf.printf "  %-16s %6d %6d %6d %10.1f %10.1f %10.1f\n" w.w_name
+          (Array.length o.Objcode.Objfile.text)
+          (Analysis.Cfg.n_blocks cfg) (Analysis.Cfg.n_edges cfg) (t_cfg *. 1e6)
+          (t_ind *. 1e6) (t_lint *. 1e6);
+        (w.w_name, Array.length o.Objcode.Objfile.text, t_cfg +. t_ind +. t_lint,
+         result))
+      Workloads.Programs.all
+  in
+  expect "every intact workload lints clean (no errors)"
+    (List.for_all
+       (fun (_, _, _, result) ->
+         match Analysis.Proflint.worst result with
+         | Some Analysis.Proflint.Error -> false
+         | _ -> true)
+       rows);
+  (* The passes are a linear scan plus a small fixpoint; on these
+     workloads (tens to hundreds of instructions) the whole stack
+     should stay comfortably in the sub-10ms regime. *)
+  expect "full analysis of every workload under 10 ms"
+    (List.for_all (fun (_, _, t, _) -> t < 0.010) rows);
+  let cost_per_instr (_, n, t, _) = t /. float_of_int (max 1 n) in
+  let costs = List.map cost_per_instr rows in
+  let lo = List.fold_left min infinity costs
+  and hi = List.fold_left max 0.0 costs in
+  Printf.printf "  per-instruction cost: %.0f..%.0f ns\n" (lo *. 1e9)
+    (hi *. 1e9);
+  (* A loose super-linearity guard: if the per-instruction cost of the
+     dearest workload dwarfs the cheapest by orders of magnitude, a
+     pass has gone quadratic. *)
+  expect "per-instruction cost spread within 100x" (hi <= 100.0 *. lo);
+
+  section "indirect-arc recall (the 'functional parameter' blind spot)";
+  let r = run_workload Workloads.Programs.indirect in
+  let o = r.objfile in
+  let ind = Analysis.Indirect.analyze o in
+  let name_of addr =
+    match Objcode.Objfile.find_symbol o addr with
+    | Some s -> s.Objcode.Objfile.name
+    | None -> "?"
+  in
+  (* Dynamic arcs whose call site holds a Calli are exactly the arcs
+     the paper's crawl cannot see. Sound resolution must predict every
+     one of them. *)
+  let dynamic_indirect =
+    List.filter_map
+      (fun (a : Gmon.arc) ->
+        if
+          a.Gmon.a_from >= 0
+          && a.Gmon.a_from < Array.length o.Objcode.Objfile.text
+        then
+          match o.Objcode.Objfile.text.(a.Gmon.a_from) with
+          | Objcode.Instr.Calli _ ->
+            Some (name_of a.Gmon.a_from, name_of a.Gmon.a_self)
+          | _ -> None
+        else None)
+      r.gmon.Gmon.arcs
+    |> List.sort_uniq compare
+  in
+  let predicted = ind.Analysis.Indirect.i_arcs in
+  let recalled =
+    List.filter (fun arc -> List.mem arc predicted) dynamic_indirect
+  in
+  Printf.printf
+    "  dynamic indirect arcs: %d   predicted static arcs: %d   recalled: %d\n"
+    (List.length dynamic_indirect) (List.length predicted)
+    (List.length recalled);
+  List.iter
+    (fun (src, dst) ->
+      Printf.printf "    %s -> %s%s\n" src dst
+        (if List.mem (src, dst) predicted then "" else "   [MISSED]"))
+    dynamic_indirect;
+  expect "workload exercises indirect calls" (dynamic_indirect <> []);
+  expect "recall = 1.0: every dynamic indirect arc is predicted"
+    (List.length recalled = List.length dynamic_indirect);
+  (* Over-approximation is allowed, silence is not: the resolved set
+     may exceed what one run exercised, but a pass that predicted
+     nothing would trivially "never miss". *)
+  expect "prediction is an over-approximation (>= dynamic set)"
+    (List.length predicted >= List.length dynamic_indirect);
+  Obs.Metrics.set
+    (Obs.Metrics.gauge Obs.Metrics.default "bench.analysis.indirect_recall_ppm"
+       ~help:
+         "share of dynamically observed indirect arcs predicted by the \
+          static resolution, parts per million")
+    (if dynamic_indirect = [] then 0
+     else 1_000_000 * List.length recalled / List.length dynamic_indirect);
+
+  section "count-0 arcs reach the report (use_static_arcs)";
+  (* A dispatch table with an entry this run never picks: the arc to
+     the unpicked handler exists only statically, so it can enter the
+     listing only through the augmentation, and only at count 0. *)
+  let unpicked : Workloads.Programs.t =
+    {
+      w_name = "unpicked";
+      w_about = "dispatch table with a handler this run never selects";
+      w_source =
+        {|
+array tab[2];
+var sink;
+
+fun used(x) { return x + 1; }
+fun unpicked(x) { return x - 1; }
+
+fun main() {
+  var i;
+  var f;
+  tab[0] = used;
+  tab[1] = unpicked;
+  for (i = 0; i < 4000; i = i + 1) { f = tab[0]; sink = sink + f(i); }
+  print(sink);
+  return 0;
+}
+|};
+    }
+  in
+  let r = run_workload unpicked in
+  let options =
+    { Gprof_core.Report.default_options with use_static_arcs = true }
+  in
+  let rep = analyze_run ~report:options r in
+  let p = rep.Gprof_core.Report.profile in
+  let statically_only =
+    (* Child lines with zero traversals: the paper's "never
+       responsible for any time propagation" arcs, visible in the
+       call-graph listing only because the static augmentation added
+       them. *)
+    Array.fold_left
+      (fun acc (e : Gprof_core.Profile.entry) ->
+        acc
+        + List.length
+            (List.filter
+               (fun (av : Gprof_core.Profile.arc_view) ->
+                 av.Gprof_core.Profile.av_count = 0)
+               e.Gprof_core.Profile.e_children))
+      0 p.Gprof_core.Profile.entries
+  in
+  Printf.printf "  count-0 arcs in the augmented call graph: %d\n"
+    statically_only;
+  expect "static augmentation contributes count-0 arcs" (statically_only > 0)
+
+let register () =
+  register "t-analysis"
+    "static analysis: pass cost vs text size, indirect-arc recall, count-0 arcs"
+    t_analysis

@@ -19,6 +19,7 @@ let () =
   Exp_obs.register ();
   Exp_robust.register ();
   Exp_timeline.register ();
+  Exp_analysis.register ();
   let args = Array.to_list Sys.argv |> List.tl in
   let obs_json = ref None in
   let rec parse only = function

@@ -14,8 +14,8 @@ let parse_arc s =
 let arc_conv = Arg.conv (parse_arc, fun ppf (a, b) -> Format.fprintf ppf "%s:%s" a b)
 
 let run obj_path gmon_paths no_static removed break focus exclude min_percent
-    lenient view format epoch timeline annotate icount_path verbose dot_out
-    obs_metrics obs_trace self_profile =
+    lenient view format epoch timeline lint annotate icount_path verbose
+    dot_out obs_metrics obs_trace self_profile =
   if obs_trace <> None || self_profile then
     Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
@@ -163,6 +163,14 @@ let run obj_path gmon_paths no_static removed break focus exclude min_percent
       Printf.eprintf "gprofx: %s\n" e;
       1
     | Ok (gmon, ingest_degraded) -> (
+      if lint then begin
+        (* the consistency linter replaces the listings entirely *)
+        let result = Analysis.Proflint.lint o gmon in
+        print_string (Analysis.Proflint.render result);
+        let code = Analysis.Proflint.exit_code ~strict:(not lenient) result in
+        if code = 0 && ingest_degraded then 2 else code
+      end
+      else
       match Gprof_core.Report.analyze ~options o gmon with
       | Error e ->
         Printf.eprintf "gprofx: %s\n" e;
@@ -326,6 +334,15 @@ let timeline =
                movers between windows — instead of the listings. Takes \
                exactly one epoch container.")
 
+let lint =
+  Arg.(value & flag & info [ "lint" ]
+         ~doc:"Lint the profile data against the executable instead of \
+               printing listings: verify call sites hold calls, arc \
+               endpoints are function entries, histogram buckets map into \
+               the text segment, and every arc is feasible in the static \
+               call graph. Exits 0 when clean, 2 on findings (warnings \
+               count unless --lenient).")
+
 let obs_metrics =
   Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
          ~doc:"Write gprofx's own metrics registry as JSON to $(docv) \
@@ -346,7 +363,7 @@ let cmd =
     (Cmd.info "gprofx" ~doc:"call graph execution profiler")
     Term.(const run $ obj $ gmons $ no_static $ removed $ break $ focus
           $ exclude $ min_percent $ lenient $ view $ format $ epoch $ timeline
-          $ annotate $ icount $ verbose $ dot_out $ obs_metrics $ obs_trace
-          $ self_profile)
+          $ lint $ annotate $ icount $ verbose $ dot_out $ obs_metrics
+          $ obs_trace $ self_profile)
 
 let () = exit (Cmd.eval' cmd)

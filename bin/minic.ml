@@ -9,7 +9,8 @@ let read_file path =
   try Ok (In_channel.with_open_text path In_channel.input_all)
   with Sys_error e -> Error e
 
-let run src_path out profile count skip inline fold listing dump_static =
+let run src_path out profile count skip inline fold listing dump_static werror
+    =
   let options =
     {
       Compile.Codegen.profile;
@@ -24,11 +25,30 @@ let run src_path out profile count skip inline fold listing dump_static =
     Printf.eprintf "minic: %s\n" e;
     1
   | Ok src -> (
-    match Compile.Codegen.compile_source ~options ~source_name:src_path src with
+    match Mini.Parser.parse_program src with
+    | exception Mini.Parser.Error (msg, loc) ->
+      Printf.eprintf "minic: %s: %s: %s\n" src_path
+        (Format.asprintf "%a" Mini.Ast.pp_loc loc)
+        msg;
+      1
+    | p -> (
+    match Compile.Codegen.compile_program ~options ~source_name:src_path p with
     | Error e ->
       Printf.eprintf "minic: %s: %s\n" src_path e;
       1
     | Ok o ->
+      let warns = Mini.Check.warnings ~builtins:Compile.Builtins.arities p in
+      List.iter
+        (fun w ->
+          Printf.eprintf "minic: %s: warning: %s\n" src_path
+            (Format.asprintf "%a" Mini.Check.pp_error w))
+        warns;
+      if werror && warns <> [] then begin
+        Printf.eprintf "minic: %s: %d warning(s) promoted to errors (--werror)\n"
+          src_path (List.length warns);
+        1
+      end
+      else
       let out =
         match out with
         | Some p -> p
@@ -47,7 +67,7 @@ let run src_path out profile count skip inline fold listing dump_static =
           print_endline "functions whose address is taken (indirect-call targets):";
           List.iter (fun f -> Printf.printf "    %s\n" f) fs
       end;
-      0)
+      0))
 
 let src =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE" ~doc:"Mini source file.")
@@ -82,10 +102,16 @@ let dump_static =
   Arg.(value & flag & info [ "static" ]
          ~doc:"Print the statically-discovered call graph.")
 
+let werror =
+  Arg.(value & flag & info [ "werror" ]
+         ~doc:"Promote warnings (the known-callee checks on indirect call \
+               sites) to errors: report them and fail without writing the \
+               object file.")
+
 let cmd =
   Cmd.v
     (Cmd.info "minic" ~doc:"Mini compiler targeting the profiling VM")
     Term.(const run $ src $ out $ profile $ count $ skip $ inline $ fold
-          $ listing $ dump_static)
+          $ listing $ dump_static $ werror)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,117 @@
+(* proflint — the profile-vs-binary consistency linter.
+
+   Verifies every claim a gmon file makes against the executable it
+   supposedly profiles (call sites hold calls, arc endpoints are
+   entries, buckets map into text, arcs are feasible in the static
+   graph) plus the binary-only checks (validation, call anomalies,
+   reachability). With no profile arguments only the binary is
+   linted. *)
+
+open Cmdliner
+
+let lint_one ~strict ~header obj cfg indirect name gmon =
+  let result =
+    match gmon with
+    | None -> Analysis.Proflint.lint_binary ~cfg ~indirect obj
+    | Some g -> Analysis.Proflint.lint ~cfg ~indirect obj g
+  in
+  if header then Printf.printf "==> %s\n" name;
+  print_string (Analysis.Proflint.render result);
+  if header then print_newline ();
+  Analysis.Proflint.exit_code ~strict result
+
+let load_profile path =
+  if Gmon.Epoch.sniff_file path then
+    Result.bind (Gmon.Epoch.load path) Gmon.Epoch.sum
+  else Gmon.load path
+
+let run figure4 obj_path gmon_paths strict obs_metrics =
+  let finish code =
+    try
+      Option.iter (Obs.Metrics.save Obs.Metrics.default) obs_metrics;
+      code
+    with Sys_error e ->
+      Printf.eprintf "proflint: %s\n" e;
+      1
+  in
+  finish
+  @@
+  let inputs =
+    if figure4 then
+      Ok (Workloads.Figure4.objfile, [ ("figure4", Workloads.Figure4.gmon) ])
+    else
+      match obj_path with
+      | None -> Error "an executable is required (or use --figure4)"
+      | Some p -> (
+        match Objcode.Objfile.load p with
+        | Error e -> Error (Printf.sprintf "%s: %s" p e)
+        | Ok o -> (
+          let rec load acc = function
+            | [] -> Ok (List.rev acc)
+            | path :: rest -> (
+              match load_profile path with
+              | Error e -> Error (Printf.sprintf "%s: %s" path e)
+              | Ok g -> load ((path, g) :: acc) rest)
+          in
+          match load [] gmon_paths with
+          | Error e -> Error e
+          | Ok gs -> Ok (o, gs)))
+  in
+  match inputs with
+  | Error e ->
+    Printf.eprintf "proflint: %s\n" e;
+    1
+  | Ok (obj, profiles) ->
+    (* amortize the static analyses over every profile *)
+    let cfg = Analysis.Cfg.build obj in
+    let indirect = Analysis.Indirect.analyze obj in
+    let header = List.length profiles > 1 in
+    let codes =
+      match profiles with
+      | [] -> [ lint_one ~strict ~header:false obj cfg indirect "binary" None ]
+      | ps ->
+        List.map
+          (fun (name, g) ->
+            lint_one ~strict ~header obj cfg indirect name (Some g))
+          ps
+    in
+    List.fold_left max 0 codes
+
+let figure4 =
+  Arg.(value & flag & info [ "figure4" ]
+         ~doc:"Lint the built-in Figure 4 fixture (executable and profile) \
+               instead of the positional arguments.")
+
+let obj =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"OBJ" ~doc:"Executable.")
+
+let gmons =
+  Arg.(value & pos_right 0 file [] & info [] ~docv:"GMON"
+         ~doc:"Profile data files; each is linted against OBJ separately. \
+               Epoch containers contribute the sum of their windows. With \
+               none, only the binary-side rules run.")
+
+let strict =
+  Arg.(value
+       & vflag true
+           [
+             ( true,
+               info [ "strict" ]
+                 ~doc:"Fail (exit 2) on warnings as well as errors (default)." );
+             ( false,
+               info [ "lenient" ]
+                 ~doc:"Fail (exit 2) only on errors; warnings and notes are \
+                       reported but do not affect the exit code." );
+           ])
+
+let obs_metrics =
+  Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
+         ~doc:"Write proflint's own metrics registry as JSON to $(docv) \
+               ('-' for stdout).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "proflint" ~doc:"profile-vs-binary consistency linter")
+    Term.(const run $ figure4 $ obj $ gmons $ strict $ obs_metrics)
+
+let () = exit (Cmd.eval' cmd)

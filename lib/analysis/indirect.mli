@@ -1,0 +1,57 @@
+(** Indirect-call resolution: flow-insensitive function-value
+    propagation.
+
+    The paper concedes that its static crawl misses "calls to routines
+    passed as parameters" — functional variables (§2). This pass
+    shrinks that blind spot: it propagates [Funref] values through
+    local slots, globals, arrays, call arguments, and return values
+    with a flow-insensitive fixpoint over the whole program, and
+    attributes to every [Calli] site the set of function entries that
+    can reach it.
+
+    {b Soundness contract}: the resolution is a sound
+    {e over-approximation} under one documented assumption — function
+    values originate from [Funref] instructions and flow only through
+    moves (loads, stores, argument passing, returns). Arithmetic that
+    manufactures a function address from constants is invisible to the
+    pass (and to the paper's crawl); a site whose abstract operand is
+    unknown falls back to {e every} address-taken function, never to a
+    smaller set. Resolved arcs therefore enter the call graph with
+    count 0, exactly like the paper's statically discovered arcs:
+    "they are never responsible for any time propagation". *)
+
+type resolution =
+  | Resolved of int list
+      (** possible target entry addresses, ascending; may be empty
+          (the site can only receive non-function values) *)
+  | Unresolved
+      (** the operand's origin is unknown; the sound fallback is the
+          whole address-taken set *)
+
+type t = {
+  i_sites : (int * resolution) list;
+      (** every [Calli] site, ascending by address *)
+  i_address_taken : int list;
+      (** entry addresses of functions whose address is taken with
+          [Funref], ascending *)
+  i_arcs : (string * string) list;
+      (** the over-approximate (caller, callee) pairs contributed by
+          the resolved sites, deduplicated, in site order — the
+          count-0 arcs {!Gprof_core.Report} merges when
+          [use_static_arcs] is on *)
+}
+
+val analyze : Objcode.Objfile.t -> t
+(** Run the fixpoint. Publishes [analysis.indirect.*] counters
+    (sites, resolved, unresolved, arcs) to {!Obs.Metrics.default}. *)
+
+val targets : t -> site:int -> int list
+(** The feasible callee entries of a [Calli] site, with the
+    [Unresolved] fallback expanded to the address-taken set. Empty for
+    addresses that are not known [Calli] sites. *)
+
+val resolution : t -> site:int -> resolution option
+
+val static_arcs : Objcode.Objfile.t -> (string * string) list
+(** [analyze] then [i_arcs] — the shape {!Objcode.Scan.static_arcs}
+    has, for callers that want only the arcs. *)

@@ -1,0 +1,311 @@
+module Objfile = Objcode.Objfile
+module Instr = Objcode.Instr
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type finding = {
+  f_rule : string;
+  f_severity : severity;
+  f_addr : int option;
+  f_msg : string;
+}
+
+type t = {
+  l_findings : finding list;
+  l_arcs_checked : int;
+  l_buckets_checked : int;
+}
+
+let rules =
+  [
+    ("binary-invalid", Error, "the executable fails structural validation");
+    ("hist-geometry", Error, "histogram bounds or a bucket outside the text segment");
+    ("hist-gap-ticks", Warning, "a nonzero bucket covered by no routine");
+    ("arc-from-non-call", Error, "an arc's call site holds no call instruction");
+    ("arc-into-non-entry", Error, "an arc's callee is not a function entry");
+    ("arc-into-unprofiled", Warning, "an arc lands on an uninstrumented routine");
+    ("arc-infeasible", Error, "a dynamic arc the static call graph cannot admit");
+    ("arc-spontaneous", Info, "an arc from outside the text segment (a root)");
+    ("call-anomaly", Warning, "the binary has calls or funrefs to no function entry");
+    ("dead-code-ticks", Warning, "a statically-unreachable function observed executing");
+    ("profiled-unreachable", Info, "an instrumented function the entry cannot reach");
+    ("dead-blocks", Info, "intra-procedurally unreachable basic blocks");
+  ]
+
+let severity_of_rule rule =
+  match List.find_opt (fun (r, _, _) -> r = rule) rules with
+  | Some (_, s, _) -> s
+  | None -> invalid_arg ("Proflint: unknown rule " ^ rule)
+
+let finding ?addr rule fmt =
+  Format.kasprintf
+    (fun msg ->
+      { f_rule = rule; f_severity = severity_of_rule rule; f_addr = addr;
+        f_msg = msg })
+    fmt
+
+let sort_findings fs =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank a.f_severity) (severity_rank b.f_severity) with
+      | 0 -> (
+        match compare a.f_rule b.f_rule with
+        | 0 -> compare a.f_addr b.f_addr
+        | c -> c)
+      | c -> c)
+    fs
+
+let publish fs =
+  let reg = Obs.Metrics.default in
+  let count sev =
+    List.length (List.filter (fun f -> f.f_severity = sev) fs)
+  in
+  Obs.Metrics.incr ~by:(List.length fs)
+    (Obs.Metrics.counter reg "analysis.lint.findings");
+  Obs.Metrics.incr ~by:(count Error)
+    (Obs.Metrics.counter reg "analysis.lint.errors");
+  Obs.Metrics.incr ~by:(count Warning)
+    (Obs.Metrics.counter reg "analysis.lint.warnings");
+  Obs.Metrics.incr ~by:(count Info)
+    (Obs.Metrics.counter reg "analysis.lint.infos")
+
+(* ------------------------------------------------------------------ *)
+(* Binary-only rules *)
+
+let binary_findings ?cfg ?indirect (o : Objfile.t) =
+  let cfg = match cfg with Some c -> c | None -> Cfg.build o in
+  let indirect =
+    match indirect with Some i -> i | None -> Indirect.analyze o
+  in
+  let acc = ref [] in
+  (match Objfile.validate o with
+  | Ok () -> ()
+  | Error es ->
+    List.iter (fun e -> acc := finding "binary-invalid" "%s" e :: !acc) es);
+  List.iter
+    (fun a ->
+      acc :=
+        finding ~addr:a.Objcode.Scan.an_addr "call-anomaly" "%s"
+          (Objcode.Scan.anomaly_to_string a)
+        :: !acc)
+    (Objcode.Scan.anomalies o);
+  let reach = Reach.analyze ~indirect cfg in
+  List.iter
+    (fun name ->
+      acc :=
+        finding "profiled-unreachable"
+          "%s is instrumented but unreachable from the entry point" name
+        :: !acc)
+    reach.Reach.r_dead_profiled;
+  List.iter
+    (fun (fn, start, len) ->
+      acc :=
+        finding ~addr:start "dead-blocks"
+          "%s: block [%d..%d) is unreachable within the function" fn start
+          (start + len)
+        :: !acc)
+    reach.Reach.r_dead_blocks;
+  (reach, List.rev !acc)
+
+let lint_binary ?cfg ?indirect o =
+  Obs.Trace.with_span ~cat:"analysis" "lint-binary" @@ fun () ->
+  let _, fs = binary_findings ?cfg ?indirect o in
+  let fs = sort_findings fs in
+  publish fs;
+  { l_findings = fs; l_arcs_checked = 0; l_buckets_checked = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Profile rules *)
+
+let hist_findings (o : Objfile.t) (g : Gmon.t) =
+  let len = Array.length o.Objfile.text in
+  let h = g.Gmon.hist in
+  let acc = ref [] in
+  if h.h_lowpc < 0 || h.h_highpc > len then
+    acc :=
+      finding "hist-geometry"
+        "histogram covers pc [%d,%d) but the text segment is [0,%d)" h.h_lowpc
+        h.h_highpc len
+      :: !acc;
+  let covered_by_symbol lo hi =
+    Array.exists
+      (fun (s : Objfile.symbol) -> lo < s.addr + s.size && hi > s.addr)
+      o.Objfile.symbols
+  in
+  Array.iteri
+    (fun i count ->
+      if count > 0 then begin
+        let lo, hi = Gmon.bucket_range h i in
+        if lo < 0 || hi > len then
+          acc :=
+            finding ~addr:lo "hist-geometry"
+              "bucket %d ([%d,%d), %d tick%s) falls outside the text segment \
+               [0,%d)"
+              i lo hi count
+              (if count = 1 then "" else "s")
+              len
+            :: !acc
+        else if not (covered_by_symbol lo hi) then
+          acc :=
+            finding ~addr:lo "hist-gap-ticks"
+              "bucket %d ([%d,%d)) has %d tick%s but no routine covers it" i lo
+              hi count
+              (if count = 1 then "" else "s")
+            :: !acc
+      end)
+    h.h_counts;
+  List.rev !acc
+
+let arc_findings (o : Objfile.t) (indirect : Indirect.t) (g : Gmon.t) =
+  let len = Array.length o.Objfile.text in
+  let acc = ref [] in
+  let emit f = acc := f :: !acc in
+  List.iter
+    (fun (a : Gmon.arc) ->
+      let callee_entry = Objfile.func_id_of_addr o a.a_self <> None in
+      (* the callee end *)
+      (if not callee_entry then
+         emit
+           (finding ~addr:a.a_self "arc-into-non-entry"
+              "arc (%d -> %d, count %d) lands %s" a.a_from a.a_self a.a_count
+              (match Objfile.find_symbol o a.a_self with
+              | Some s -> Printf.sprintf "mid-%s, not at a function entry" s.name
+              | None -> "outside the symbol table"))
+       else
+         match Objfile.find_symbol o a.a_self with
+         | Some s when not s.profiled ->
+           emit
+             (finding ~addr:a.a_self "arc-into-unprofiled"
+                "arc (%d -> %s, count %d) lands on an uninstrumented routine: \
+                 the monitor cannot have recorded it"
+                a.a_from s.name a.a_count)
+         | _ -> ());
+      (* the call-site end *)
+      if a.a_from < 0 || a.a_from >= len then
+        emit
+          (finding "arc-spontaneous"
+             "arc from pseudo-site %d into %s: a spontaneous root" a.a_from
+             (match Objfile.find_symbol o a.a_self with
+             | Some s -> s.name
+             | None -> string_of_int a.a_self))
+      else
+        match o.Objfile.text.(a.a_from) with
+        | Instr.Call (target, _) ->
+          if callee_entry && target <> a.a_self then
+            emit
+              (finding ~addr:a.a_from "arc-infeasible"
+                 "site %d holds a call to %s but the arc (count %d) claims %s"
+                 a.a_from
+                 (match Objfile.find_symbol o target with
+                 | Some s when s.addr = target -> s.name
+                 | _ -> string_of_int target)
+                 a.a_count
+                 (match Objfile.find_symbol o a.a_self with
+                 | Some s -> s.name
+                 | None -> string_of_int a.a_self))
+        | Instr.Calli _ -> (
+          match Indirect.resolution indirect ~site:a.a_from with
+          | Some (Resolved ts) when callee_entry && not (List.mem a.a_self ts) ->
+            emit
+              (finding ~addr:a.a_from "arc-infeasible"
+                 "indirect site %d can reach {%s} but the arc (count %d) \
+                  claims %s"
+                 a.a_from
+                 (String.concat ", "
+                    (List.map
+                       (fun t ->
+                         match Objfile.find_symbol o t with
+                         | Some s -> s.name
+                         | None -> string_of_int t)
+                       ts))
+                 a.a_count
+                 (match Objfile.find_symbol o a.a_self with
+                 | Some s -> s.name
+                 | None -> string_of_int a.a_self))
+          | _ -> () (* Unresolved: anything is feasible; sound, silent *))
+        | ins ->
+          emit
+            (finding ~addr:a.a_from "arc-from-non-call"
+               "arc (%d -> %d, count %d): site holds %s, not a call" a.a_from
+               a.a_self a.a_count (Instr.to_string ins)))
+    g.Gmon.arcs;
+  List.rev !acc
+
+let lint ?cfg ?indirect (o : Objfile.t) (g : Gmon.t) =
+  Obs.Trace.with_span ~cat:"analysis" "lint" @@ fun () ->
+  let cfg = match cfg with Some c -> c | None -> Cfg.build o in
+  let indirect =
+    match indirect with Some i -> i | None -> Indirect.analyze o
+  in
+  let reach, binary = binary_findings ~cfg ~indirect o in
+  let hist = hist_findings o g in
+  let arcs = arc_findings o indirect g in
+  let contradictions =
+    List.map
+      (fun (c : Reach.contradiction) ->
+        finding "dead-code-ticks"
+          "%s is unreachable in the static graph yet shows %d tick%s and %d \
+           incoming call%s"
+          c.c_func c.c_ticks
+          (if c.c_ticks = 1 then "" else "s")
+          c.c_calls
+          (if c.c_calls = 1 then "" else "s"))
+      (Reach.crosscheck reach o g)
+  in
+  let fs = sort_findings (binary @ hist @ arcs @ contradictions) in
+  publish fs;
+  {
+    l_findings = fs;
+    l_arcs_checked = List.length g.Gmon.arcs;
+    l_buckets_checked = Array.length g.Gmon.hist.h_counts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts and rendering *)
+
+let worst t =
+  List.fold_left
+    (fun acc f ->
+      match acc with
+      | None -> Some f.f_severity
+      | Some s ->
+        Some (if severity_rank f.f_severity < severity_rank s then f.f_severity else s))
+    None t.l_findings
+
+let failed ~strict t =
+  match worst t with
+  | Some Error -> true
+  | Some Warning -> strict
+  | Some Info | None -> false
+
+let exit_code ~strict t = if failed ~strict t then 2 else 0
+
+let render t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s [%s] %s%s\n"
+           (severity_to_string f.f_severity)
+           f.f_rule f.f_msg
+           (match f.f_addr with
+           | Some a -> Printf.sprintf " (addr %d)" a
+           | None -> "")))
+    t.l_findings;
+  let count sev =
+    List.length (List.filter (fun f -> f.f_severity = sev) t.l_findings)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "proflint: %d error(s), %d warning(s), %d note(s); %d arc(s) and %d \
+        bucket(s) checked\n"
+       (count Error) (count Warning) (count Info) t.l_arcs_checked
+       t.l_buckets_checked);
+  Buffer.contents buf

@@ -1,0 +1,95 @@
+(** The profile-vs-binary consistency linter.
+
+    A gmon file is a bag of raw addresses; nothing in the paper's
+    pipeline checks that those addresses make sense for the binary
+    being analyzed — feed gprof the wrong [gmon.out] and it happily
+    garbles. This pass verifies every claim the profile makes against
+    the executable: call sites must hold call instructions, arc
+    endpoints must be function entries, histogram buckets must map
+    into the text segment, and every non-spontaneous dynamic arc must
+    be {e feasible} in the static graph (direct calls to that callee,
+    or an indirect site whose resolved target set admits it).
+
+    {b Rule catalogue} (ids are stable; see docs/static-analysis.md):
+    - [binary-invalid] (error): the executable fails
+      {!Objcode.Objfile.validate}.
+    - [hist-geometry] (error): histogram bounds or a bucket fall
+      outside the text segment [0, len).
+    - [hist-gap-ticks] (warning): a nonzero bucket covered by no
+      routine.
+    - [arc-from-non-call] (error): an arc's call site holds no
+      [Call]/[Calli] instruction.
+    - [arc-into-non-entry] (error): an arc's callee is mid-function or
+      outside the symbol table.
+    - [arc-into-unprofiled] (warning): an arc lands on a routine built
+      without the monitoring prologue — the monitor cannot have
+      produced it.
+    - [arc-infeasible] (error): a non-spontaneous arc contradicts the
+      static graph: a direct-call site targeting a different routine,
+      or an indirect site whose resolved target set excludes the
+      callee.
+    - [arc-spontaneous] (info): an arc from outside the text segment —
+      the monitor's pseudo-site for roots; the paper "declares them
+      spontaneous".
+    - [call-anomaly] (warning): the {e binary} has direct calls or
+      funrefs whose target is no function entry
+      ({!Objcode.Scan.anomalies}).
+    - [dead-code-ticks] (warning): a statically-unreachable function
+      observed with ticks or incoming calls ({!Reach.crosscheck}).
+    - [profiled-unreachable] (info): an instrumented function the
+      entry point can never reach.
+    - [dead-blocks] (info): intra-procedurally unreachable blocks.
+
+    Severities follow the PR 2 exit-code convention: 0 clean, 2 when
+    findings at or above the failing threshold exist, 1 for
+    operational failures (unreadable inputs). [--strict] fails on
+    warnings and errors (default); [--lenient] fails only on
+    errors. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+type finding = {
+  f_rule : string;
+  f_severity : severity;
+  f_addr : int option;  (** the offending address, when one exists *)
+  f_msg : string;
+}
+
+type t = {
+  l_findings : finding list;  (** errors first, then by rule/address *)
+  l_arcs_checked : int;
+  l_buckets_checked : int;
+}
+
+val rules : (string * severity * string) list
+(** The catalogue: (id, severity, one-line description). *)
+
+val lint :
+  ?cfg:Cfg.t -> ?indirect:Indirect.t -> Objcode.Objfile.t -> Gmon.t -> t
+(** Lint one profile against one executable. [cfg]/[indirect] default
+    to fresh analyses of the executable; pass them to amortize over
+    many profiles. Publishes [analysis.lint.*] counters to
+    {!Obs.Metrics.default}. *)
+
+val lint_binary : ?cfg:Cfg.t -> ?indirect:Indirect.t -> Objcode.Objfile.t -> t
+(** The binary-only rules ([binary-invalid], [call-anomaly],
+    [profiled-unreachable], [dead-blocks]) — what can be checked with
+    no profile at hand. *)
+
+val worst : t -> severity option
+(** The highest severity present, [None] for a clean result. *)
+
+val failed : strict:bool -> t -> bool
+(** Whether the findings cross the failing threshold: errors always;
+    warnings only when [strict]. *)
+
+val exit_code : strict:bool -> t -> int
+(** [0] clean (below threshold), [2] findings at or above it —
+    matching the degraded-data convention of the ingestion layer. *)
+
+val render : t -> string
+(** Human listing: one line per finding
+    ([severity \[rule\] message (addr N)]) and a summary count line.
+    Stable order. *)

@@ -1,0 +1,130 @@
+module Objfile = Objcode.Objfile
+
+type t = {
+  r_reachable : bool array;
+  r_unreachable : string list;
+  r_dead_profiled : string list;
+  r_dead_blocks : (string * int * int) list;
+  r_graph : Graphlib.Digraph.t;
+}
+
+let dead_blocks_of_func (f : Cfg.func) =
+  let n = Array.length f.Cfg.fn_blocks in
+  if n = 0 then []
+  else begin
+    let index_of_start =
+      let tbl = Hashtbl.create n in
+      Array.iteri (fun i b -> Hashtbl.replace tbl b.Cfg.bb_start i) f.fn_blocks;
+      fun start -> Hashtbl.find_opt tbl start
+    in
+    let seen = Array.make n false in
+    let rec visit i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        List.iter
+          (fun s -> Option.iter visit (index_of_start s))
+          f.fn_blocks.(i).Cfg.bb_succs
+      end
+    in
+    visit 0;
+    let acc = ref [] in
+    Array.iteri
+      (fun i b ->
+        if not seen.(i) then
+          acc :=
+            (f.fn_symbol.Objfile.name, b.Cfg.bb_start, b.Cfg.bb_len) :: !acc)
+      f.fn_blocks;
+    List.rev !acc
+  end
+
+let analyze ?indirect (cfg : Cfg.t) =
+  Obs.Trace.with_span ~cat:"analysis" "reach" @@ fun () ->
+  let o = cfg.Cfg.cfg_obj in
+  let ind =
+    match indirect with Some i -> i | None -> Indirect.analyze o
+  in
+  let resolved =
+    List.map (fun (site, _) -> (site, Indirect.targets ind ~site)) ind.i_sites
+  in
+  let g = Cfg.call_graph ~indirect:resolved cfg in
+  let roots =
+    match Objfile.func_id_of_addr o o.Objfile.entry with
+    | Some id -> [ id ]
+    | None -> []
+  in
+  let reachable = Graphlib.Reach.forward g roots in
+  let unreachable = ref [] and dead_profiled = ref [] in
+  Array.iteri
+    (fun id (s : Objfile.symbol) ->
+      if not reachable.(id) then begin
+        unreachable := s.name :: !unreachable;
+        if s.profiled then dead_profiled := s.name :: !dead_profiled
+      end)
+    o.Objfile.symbols;
+  let dead_blocks =
+    List.concat_map dead_blocks_of_func (Array.to_list cfg.Cfg.cfg_funcs)
+  in
+  let reg = Obs.Metrics.default in
+  Obs.Metrics.incr
+    ~by:(List.length !unreachable)
+    (Obs.Metrics.counter reg "analysis.reach.unreachable_funcs");
+  Obs.Metrics.incr
+    ~by:(List.length dead_blocks)
+    (Obs.Metrics.counter reg "analysis.reach.dead_blocks");
+  {
+    r_reachable = reachable;
+    r_unreachable = List.rev !unreachable;
+    r_dead_profiled = List.rev !dead_profiled;
+    r_dead_blocks = dead_blocks;
+    r_graph = g;
+  }
+
+type contradiction = { c_func : string; c_ticks : int; c_calls : int }
+
+let crosscheck t (o : Objfile.t) (g : Gmon.t) =
+  (* A profile explains its own activity through spontaneous roots and
+     recorded arcs, so the contradiction is activity NEITHER view can
+     explain: a function with ticks or incoming calls that is
+     unreachable from entry ∪ spontaneous-arc targets over
+     static ∪ dynamic arcs. *)
+  let len = Array.length o.Objfile.text in
+  let union = Graphlib.Digraph.copy t.r_graph in
+  let roots = ref [] in
+  (match Objfile.func_id_of_addr o o.Objfile.entry with
+  | Some id -> roots := [ id ]
+  | None -> ());
+  List.iter
+    (fun (a : Gmon.arc) ->
+      match Objfile.func_id_of_addr o a.a_self with
+      | None -> ()
+      | Some dst ->
+        if a.a_from < 0 || a.a_from >= len then roots := dst :: !roots
+        else (
+          match Objfile.symbol_index o a.a_from with
+          | Some src -> Graphlib.Digraph.add_arc union ~src ~dst ~count:0
+          | None -> ()))
+    g.Gmon.arcs;
+  let explained = Graphlib.Reach.forward union !roots in
+  let ticks_in (s : Objfile.symbol) =
+    (* sum the buckets whose address range intersects the function *)
+    let total = ref 0 in
+    Array.iteri
+      (fun i count ->
+        if count > 0 then begin
+          let lo, hi = Gmon.bucket_range g.Gmon.hist i in
+          if lo < s.addr + s.size && hi > s.addr then total := !total + count
+        end)
+      g.Gmon.hist.h_counts;
+    !total
+  in
+  let acc = ref [] in
+  Array.iteri
+    (fun id (s : Objfile.symbol) ->
+      if id < Array.length explained && not explained.(id) then begin
+        let ticks = ticks_in s in
+        let calls = Gmon.arc_count_into g s.addr in
+        if ticks > 0 || calls > 0 then
+          acc := { c_func = s.name; c_ticks = ticks; c_calls = calls } :: !acc
+      end)
+    o.Objfile.symbols;
+  List.rev !acc

@@ -116,12 +116,18 @@ let analyze ?(options = default_options) o (gmon : Gmon.t) =
     let static =
       if options.use_static_arcs then
         Obs.Trace.with_span ~cat:"core" "static-scan" (fun () ->
+            (* Direct arcs from the text crawl, plus the sound
+               over-approximation of functional-parameter calls the
+               crawl alone cannot see (paper §2). *)
+            let named =
+              Objcode.Scan.static_arcs o @ Analysis.Indirect.static_arcs o
+            in
             List.filter_map
               (fun (a, b) ->
                 match (Symtab.id_of_name st a, Symtab.id_of_name st b) with
                 | Some ia, Some ib -> Some (ia, ib)
                 | _ -> None)
-              (Objcode.Scan.static_arcs o))
+              named)
       else []
     in
     let ag = Arcgraph.build ~static ?unknown st gmon.arcs in

@@ -22,3 +22,15 @@ val check : ?builtins:(string * int) list -> Ast.program -> error list
 val check_entry : Ast.program -> error list
 (** Errors about the program entry point: [main] must exist and take
     no parameters. *)
+
+val warnings : ?builtins:(string * int) list -> Ast.program -> error list
+(** The known-callee pass over indirect call sites, in source order.
+    A flow-insensitive fixpoint tracks which function names each
+    variable, array, parameter, and return value may hold (function
+    values originate only from a function name used as a value), then
+    every indirect call is checked against its candidate set: a
+    callee that is never assigned a function value cannot succeed,
+    and a call whose argument count matches no candidate's arity
+    will fail at run time. These are warnings, not errors — the set
+    is an over-approximation and a given site may be dynamically
+    dead — but [minic --werror] promotes them. *)

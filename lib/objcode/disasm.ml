@@ -1,18 +1,27 @@
 let annot o pc =
-  let name_of addr =
+  let target_note addr =
+    (* Anomalous targets are flagged rather than left bare: a listing
+       that silently drops the annotation hides exactly the targets the
+       static scanner cannot resolve. *)
     match Objfile.find_symbol o addr with
-    | Some s when s.addr = addr -> Some s.name
-    | _ -> None
+    | Some s when s.addr = addr -> Printf.sprintf "  ; %s" s.name
+    | Some s -> Printf.sprintf "  ; ! mid-%s target" s.name
+    | None -> "  ; ! target outside the symbol table"
   in
   match o.Objfile.text.(pc) with
-  | Instr.Call (a, _) | Instr.Funref a -> (
-    match name_of a with Some n -> Printf.sprintf "  ; %s" n | None -> "")
-  | Instr.Gload g | Instr.Gstore g when g < Array.length o.globals ->
-    Printf.sprintf "  ; %s" o.globals.(g)
-  | Instr.Aload a | Instr.Astore a when a < Array.length o.arrays ->
-    Printf.sprintf "  ; %s" (fst o.arrays.(a))
-  | Instr.Pcount f when f < Array.length o.symbols ->
-    Printf.sprintf "  ; %s" o.symbols.(f).name
+  | Instr.Call (a, _) | Instr.Funref a -> target_note a
+  | Instr.Gload g | Instr.Gstore g ->
+    if g >= 0 && g < Array.length o.globals then
+      Printf.sprintf "  ; %s" o.globals.(g)
+    else Printf.sprintf "  ; ! global %d out of range" g
+  | Instr.Aload a | Instr.Astore a ->
+    if a >= 0 && a < Array.length o.arrays then
+      Printf.sprintf "  ; %s" (fst o.arrays.(a))
+    else Printf.sprintf "  ; ! array %d out of range" a
+  | Instr.Pcount f ->
+    if f >= 0 && f < Array.length o.symbols then
+      Printf.sprintf "  ; %s" o.symbols.(f).name
+    else Printf.sprintf "  ; ! function id %d out of range" f
   | _ -> ""
 
 let instruction o pc =
@@ -45,4 +54,13 @@ let program_listing o =
       Buffer.add_char buf '\n';
       Buffer.add_string buf (function_listing o s))
     o.Objfile.symbols;
+  (match Scan.anomalies o with
+  | [] -> ()
+  | anomalies ->
+    Buffer.add_string buf "\n; anomalous targets:\n";
+    List.iter
+      (fun a ->
+        Buffer.add_string buf ("; ! " ^ Scan.anomaly_to_string a);
+        Buffer.add_char buf '\n')
+      anomalies);
   Buffer.contents buf

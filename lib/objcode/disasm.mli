@@ -3,11 +3,15 @@
 val instruction : Objfile.t -> int -> string
 (** [instruction o pc] renders the instruction at [pc] with symbolic
     annotations: call and funref targets get the callee name appended,
-    global/array operands their data names. *)
+    global/array operands their data names. Anomalous operands — call
+    or funref targets that are not a function entry, out-of-range
+    global/array/function ids — are annotated with a [; !] warning
+    instead of being left bare. *)
 
 val function_listing : Objfile.t -> Objfile.symbol -> string
 (** Multi-line listing of one function: a header line, then
     [addr: instruction] lines. *)
 
 val program_listing : Objfile.t -> string
-(** Full listing of the text segment in symbol order. *)
+(** Full listing of the text segment in symbol order, followed by a
+    summary of {!Scan.anomalies} when the image has any. *)

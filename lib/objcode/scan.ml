@@ -1,7 +1,30 @@
 type site = { site_addr : int; caller : string; callee : string }
 
-let call_sites o =
+type anomaly_kind = Mid_function of string | Outside_table
+
+type anomaly = {
+  an_addr : int;
+  an_caller : string option;
+  an_target : int;
+  an_kind : anomaly_kind;
+  an_instr : [ `Call | `Funref ];
+}
+
+let scan o =
   let sites = ref [] in
+  let anomalies = ref [] in
+  let anomaly pc target instr =
+    let kind =
+      match Objfile.find_symbol o target with
+      | Some s -> Mid_function s.name
+      | None -> Outside_table
+    in
+    let caller = Option.map (fun (s : Objfile.symbol) -> s.name) (Objfile.find_symbol o pc) in
+    anomalies :=
+      { an_addr = pc; an_caller = caller; an_target = target; an_kind = kind;
+        an_instr = instr }
+      :: !anomalies
+  in
   Array.iteri
     (fun pc ins ->
       match (ins : Instr.t) with
@@ -9,10 +32,32 @@ let call_sites o =
         match (Objfile.find_symbol o pc, Objfile.find_symbol o target) with
         | Some caller, Some callee when callee.addr = target ->
           sites := { site_addr = pc; caller = caller.name; callee = callee.name } :: !sites
-        | _ -> ())
+        | None, Some callee when callee.addr = target ->
+          (* The call itself sits in a symbol-table gap: the target is
+             fine but the arc has no caller to attach to. *)
+          anomaly pc target `Call
+        | _ -> anomaly pc target `Call)
+      | Funref target -> (
+        match Objfile.find_symbol o target with
+        | Some s when s.addr = target -> ()
+        | _ -> anomaly pc target `Funref)
       | _ -> ())
     o.Objfile.text;
-  List.rev !sites
+  (List.rev !sites, List.rev !anomalies)
+
+let call_sites o = fst (scan o)
+
+let anomalies o = snd (scan o)
+
+let anomaly_to_string a =
+  Printf.sprintf "%s at %d%s targets %d, %s"
+    (match a.an_instr with `Call -> "call" | `Funref -> "funref")
+    a.an_addr
+    (match a.an_caller with Some c -> " (in " ^ c ^ ")" | None -> " (no containing routine)")
+    a.an_target
+    (match a.an_kind with
+    | Mid_function f -> "mid-" ^ f
+    | Outside_table -> "outside the symbol table")
 
 let static_arcs o =
   let seen = Hashtbl.create 64 in

@@ -6,7 +6,8 @@
     the dynamic call graph are added to the graph with a traversal
     count of zero." Only direct calls are statically visible —
     indirect calls through functional variables are exactly the arcs
-    the static graph may omit (§2 of the paper). *)
+    the static graph may omit (§2 of the paper); {!Analysis.Indirect}
+    narrows that blind spot. *)
 
 type site = {
   site_addr : int;  (** address of the call instruction *)
@@ -14,10 +15,37 @@ type site = {
   callee : string;
 }
 
+type anomaly_kind =
+  | Mid_function of string
+      (** the target lands inside the named routine, not at its entry *)
+  | Outside_table  (** the target is covered by no symbol at all *)
+
+type anomaly = {
+  an_addr : int;  (** address of the offending instruction *)
+  an_caller : string option;
+      (** routine containing the instruction, if any covers it *)
+  an_target : int;  (** the bad target address *)
+  an_kind : anomaly_kind;
+  an_instr : [ `Call | `Funref ];
+}
+
+val scan : Objfile.t -> site list * anomaly list
+(** Every direct call instruction, in text order. Calls (and funrefs)
+    whose target is not a symbol entry address are {e not} silently
+    dropped: they come back as anomalies — mid-function targets,
+    targets outside the symbol table, and call instructions sitting in
+    a symbol-table gap. Well-formed assembler output produces no
+    anomalies; hand-built or corrupted images may. *)
+
 val call_sites : Objfile.t -> site list
-(** Every direct call instruction, in text order. Call instructions
-    that fall outside any symbol are skipped (there are none in
-    assembler output, but hand-built images may have gaps). *)
+(** The sites of {!scan} alone. *)
+
+val anomalies : Objfile.t -> anomaly list
+(** The anomalies of {!scan} alone. *)
+
+val anomaly_to_string : anomaly -> string
+(** One-line rendering, e.g.
+    ["call at 12 (in main) targets 7, mid-leaf"]. *)
 
 val static_arcs : Objfile.t -> (string * string) list
 (** Deduplicated (caller, callee) pairs, in first-occurrence order. *)
@@ -29,6 +57,7 @@ val function_graph : Objfile.t -> Graphlib.Digraph.t
 
 val referenced_functions : Objfile.t -> string list
 (** Functions whose entry address is taken with [Funref] — potential
-    targets of indirect calls. These are NOT added as arcs (the
-    static scanner cannot know the call site), but the listing tools
-    report them. *)
+    targets of indirect calls. These are NOT added as arcs by this
+    scanner (it cannot know the call site); {!Analysis.Indirect}
+    propagates them to the [Calli] sites they can reach, and the
+    listing tools report them. *)

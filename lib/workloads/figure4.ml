@@ -1,10 +1,13 @@
 module I = Objcode.Instr
 
-(* Ten routines, four instructions each, laid out consecutively. The
+(* Ten routines, five instructions each, laid out consecutively. The
    bodies never execute; only the address ranges, the histogram, and
-   the arc records matter to the post-processor. The single Call
-   instruction placed in EXAMPLE's body is the one the static scanner
-   must discover (EXAMPLE -> SUB3). *)
+   the arc records matter to the post-processor. Every arc record's
+   call site (entry + 2) holds a genuine indirect call so the profile
+   survives linting: a Calli with no known operand is unresolvable,
+   which the linter soundly treats as able to reach anything. The
+   single direct Call placed in EXAMPLE's body is the one the static
+   scanner must discover (EXAMPLE -> SUB3). *)
 
 let names =
   [|
@@ -12,7 +15,7 @@ let names =
     "DEPTH2"; "OTHER";
   |]
 
-let fsize = 4
+let fsize = 5
 
 let entry name =
   let rec find i = if names.(i) = name then i * fsize else find (i + 1) in
@@ -27,10 +30,13 @@ let objfile =
       (Array.to_list
          (Array.map
             (fun name ->
-              if name = "EXAMPLE" then
-                (* the statically visible, dynamically untraversed call *)
-                [| I.Mcount; I.Enter 0; I.Call (entry "SUB3", 0); I.Ret |]
-              else [| I.Mcount; I.Enter 0; I.Const 0; I.Ret |])
+              let filler =
+                if name = "EXAMPLE" then
+                  (* the statically visible, dynamically untraversed call *)
+                  I.Call (entry "SUB3", 0)
+                else I.Const 0
+              in
+              [| I.Mcount; I.Enter 0; I.Calli 0; filler; I.Ret |])
             names))
   in
   {

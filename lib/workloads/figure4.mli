@@ -9,7 +9,7 @@
     of 0.50 self + 3.00 descendants, and 41.5% of total run time. *)
 
 val objfile : Objcode.Objfile.t
-(** Ten four-instruction routines: CALLER1, CALLER2, EXAMPLE, SUB1,
+(** Ten five-instruction routines: CALLER1, CALLER2, EXAMPLE, SUB1,
     SUB1B (the cycle partner), SUB2, SUB3, DEPTH1 (the cycle's
     external child), DEPTH2 (SUB2's child), OTHER (the second caller
     of the cycle and of SUB2/SUB3). *)

@@ -1,0 +1,504 @@
+(* Tests for the static-analysis subsystem: control-flow graphs,
+   indirect-call resolution, reachability with the dynamic
+   cross-check, and the profile linter — including one seeded
+   corruption per lint rule class. *)
+
+open Objcode
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  nl = 0 || go 0
+
+let run_workload w =
+  match Workloads.Driver.run w with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "run %s: %s" w.Workloads.Programs.w_name e
+
+let workload name src =
+  { Workloads.Programs.w_name = name; w_source = src; w_about = name }
+
+(* ------------------------------------------------------------------ *)
+(* Cfg *)
+
+let test_cfg_blocks_partition () =
+  List.iter
+    (fun w ->
+      let o = (run_workload w).objfile in
+      let cfg = Analysis.Cfg.build o in
+      Array.iter
+        (fun (f : Analysis.Cfg.func) ->
+          let s = f.fn_symbol in
+          let covered = Array.make s.size 0 in
+          Array.iter
+            (fun (b : Analysis.Cfg.block) ->
+              check_bool "block inside function" true
+                (b.bb_start >= s.addr && b.bb_start + b.bb_len <= s.addr + s.size);
+              for a = b.bb_start to b.bb_start + b.bb_len - 1 do
+                covered.(a - s.addr) <- covered.(a - s.addr) + 1
+              done;
+              List.iter
+                (fun succ ->
+                  check_bool "successor is a block start in the function" true
+                    (Option.is_some (Analysis.Cfg.block_of_addr f succ)
+                    && (match Analysis.Cfg.block_of_addr f succ with
+                       | Some sb -> sb.bb_start = succ
+                       | None -> false)))
+                b.bb_succs)
+            f.fn_blocks;
+          Array.iteri
+            (fun off n ->
+              check_int (Printf.sprintf "%s+%d covered once" s.name off) 1 n)
+            covered)
+        cfg.cfg_funcs)
+    [ Workloads.Programs.sort; Workloads.Programs.codegen;
+      Workloads.Programs.indirect ]
+
+let test_cfg_subsumes_scan () =
+  (* every arc the per-site scanner finds is in the CFG's direct call
+     graph, and vice versa: the interprocedural view subsumes
+     Scan.function_graph *)
+  List.iter
+    (fun w ->
+      let o = (run_workload w).objfile in
+      let cfg_g = Analysis.Cfg.call_graph (Analysis.Cfg.build o) in
+      let scan_g = Scan.function_graph o in
+      check_bool w.Workloads.Programs.w_name true
+        (Graphlib.Digraph.equal cfg_g scan_g))
+    [ Workloads.Programs.sort; Workloads.Programs.recursive;
+      Workloads.Programs.kernel; Workloads.Programs.indirect ]
+
+(* ------------------------------------------------------------------ *)
+(* Indirect *)
+
+let entry o name =
+  match Objfile.symbol_by_name o name with
+  | Some s -> s.Objfile.addr
+  | None -> Alcotest.failf "no symbol %s" name
+
+let test_indirect_resolves_dispatch_table () =
+  let o = (run_workload Workloads.Programs.indirect).objfile in
+  let ind = Analysis.Indirect.analyze o in
+  let handlers =
+    List.sort compare
+      [ entry o "on_add"; entry o "on_mul"; entry o "on_neg"; entry o "on_mix" ]
+  in
+  check_bool "address-taken set is the handler table" true
+    (ind.i_address_taken = handlers);
+  (* both Calli sites read the handlers array: each resolves to the
+     full table, never Unresolved *)
+  check_bool "has indirect sites" true (ind.i_sites <> []);
+  List.iter
+    (fun (site, r) ->
+      match r with
+      | Analysis.Indirect.Resolved ts ->
+        check_bool
+          (Printf.sprintf "site %d resolves to the table" site)
+          true
+          (List.sort compare ts = handlers)
+      | Analysis.Indirect.Unresolved ->
+        Alcotest.failf "site %d unexpectedly unresolved" site)
+    ind.i_sites;
+  (* the named arcs cover dispatch -> every handler *)
+  List.iter
+    (fun callee ->
+      check_bool ("dispatch -> " ^ callee) true
+        (List.mem ("dispatch", callee) ind.i_arcs))
+    [ "on_add"; "on_mul"; "on_neg"; "on_mix" ]
+
+let test_indirect_recall_of_dynamic_arcs () =
+  (* every dynamically-observed indirect arc is predicted statically:
+     recall 1.0 on the dispatch workload *)
+  let r = run_workload Workloads.Programs.indirect in
+  let o = r.objfile in
+  let ind = Analysis.Indirect.analyze o in
+  let dynamic_indirect =
+    List.filter_map
+      (fun (a : Gmon.arc) ->
+        if a.a_from >= 0 && a.a_from < Array.length o.Objfile.text then
+          match o.Objfile.text.(a.a_from) with
+          | Instr.Calli _ -> (
+            match (Objfile.find_symbol o a.a_from, Objfile.find_symbol o a.a_self) with
+            | Some caller, Some callee -> Some (caller.name, callee.name)
+            | _ -> None)
+          | _ -> None
+        else None)
+      r.gmon.Gmon.arcs
+  in
+  check_bool "saw dynamic indirect arcs" true (dynamic_indirect <> []);
+  List.iter
+    (fun arc ->
+      check_bool (fst arc ^ " -> " ^ snd arc) true (List.mem arc ind.i_arcs))
+    dynamic_indirect
+
+let test_indirect_static_arc_count0_in_report () =
+  (* A handler that sits in the table but is never dynamically picked
+     must still appear as a child of its caller, with count 0 — the
+     functional-parameter analogue of Figure 4's EXAMPLE -> SUB3. *)
+  let w =
+    workload "unpicked"
+      {|
+array tab[2];
+var sink;
+
+fun used(x) { return x + 1; }
+fun unpicked(x) { return x + 2; }
+
+fun main() {
+  var i;
+  var f;
+  tab[0] = used;
+  tab[1] = unpicked;
+  for (i = 0; i < 20000; i = i + 1) { f = tab[0]; sink = sink + f(i); }
+  print(sink);
+  return 0;
+}
+|}
+  in
+  let r = run_workload w in
+  (match Gprof_core.Report.analyze r.objfile r.gmon with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    let listing = Gprof_core.Report.graph_listing rep in
+    check_bool "unpicked appears in the call graph listing" true
+      (contains ~needle:"unpicked" listing);
+    let p = rep.Gprof_core.Report.profile in
+    let id name =
+      Option.get (Gprof_core.Symtab.id_of_name p.Gprof_core.Profile.symtab name)
+    in
+    let e = p.Gprof_core.Profile.entries.(id "unpicked") in
+    check_int "unpicked called 0 times" 0 e.Gprof_core.Profile.e_calls);
+  (* without the indirect augmentation the arc is invisible *)
+  check_bool "scan alone misses the arc" true
+    (not (List.mem ("main", "unpicked") (Scan.static_arcs r.objfile)));
+  check_bool "indirect analysis finds it" true
+    (List.mem ("main", "unpicked") (Analysis.Indirect.static_arcs r.objfile))
+
+(* ------------------------------------------------------------------ *)
+(* Reach *)
+
+let dead_src =
+  {|
+var sink;
+
+fun live(x) { return x + 1; }
+fun dead(x) { return x * 2; }
+
+fun main() {
+  var i;
+  for (i = 0; i < 30000; i = i + 1) { sink = sink + live(i); }
+  print(sink);
+  return 0;
+}
+|}
+
+let test_reach_dead_function () =
+  let r = run_workload (workload "deadfn" dead_src) in
+  let cfg = Analysis.Cfg.build r.objfile in
+  let reach = Analysis.Reach.analyze cfg in
+  check_bool "dead is unreachable" true
+    (List.mem "dead" reach.r_unreachable);
+  check_bool "dead is profiled-but-dead" true
+    (List.mem "dead" reach.r_dead_profiled);
+  check_bool "live is reachable" true
+    (not (List.mem "live" reach.r_unreachable));
+  (* the real run never contradicts the static verdict *)
+  check_int "clean crosscheck" 0
+    (List.length (Analysis.Reach.crosscheck reach r.objfile r.gmon))
+
+let test_reach_crosscheck_contradiction () =
+  let r = run_workload (workload "deadfn" dead_src) in
+  let o = r.objfile in
+  let cfg = Analysis.Cfg.build o in
+  let reach = Analysis.Reach.analyze cfg in
+  (* seed ticks inside the dead function: the profile now claims
+     statically-impossible execution, with no arc to explain it *)
+  let g = r.gmon in
+  let counts = Array.copy g.Gmon.hist.h_counts in
+  let daddr = entry o "dead" in
+  counts.(daddr + 1) <- counts.(daddr + 1) + 25;
+  let g' = { g with Gmon.hist = { g.Gmon.hist with h_counts = counts } } in
+  match Analysis.Reach.crosscheck reach o g' with
+  | [ c ] ->
+    check_bool "names the function" true (c.c_func = "dead");
+    check_int "sees the ticks" 25 c.c_ticks
+  | cs -> Alcotest.failf "expected one contradiction, got %d" (List.length cs)
+
+(* ------------------------------------------------------------------ *)
+(* Proflint *)
+
+let rules_of (l : Analysis.Proflint.t) =
+  List.map (fun f -> f.Analysis.Proflint.f_rule) l.l_findings
+
+let errors_of (l : Analysis.Proflint.t) =
+  List.filter
+    (fun f -> f.Analysis.Proflint.f_severity = Analysis.Proflint.Error)
+    l.l_findings
+
+let test_proflint_intact_runs_pass () =
+  List.iter
+    (fun w ->
+      let r = run_workload w in
+      let l = Analysis.Proflint.lint r.objfile r.gmon in
+      (match errors_of l with
+      | [] -> ()
+      | f :: _ ->
+        Alcotest.failf "%s: unexpected %s: %s" w.Workloads.Programs.w_name
+          f.f_rule f.f_msg);
+      check_int
+        (w.Workloads.Programs.w_name ^ " exits 0")
+        0
+        (Analysis.Proflint.exit_code ~strict:true l))
+    [ Workloads.Programs.quick; Workloads.Programs.sort;
+      Workloads.Programs.indirect; Workloads.Programs.recursive ]
+
+let test_proflint_figure4_intact () =
+  let l =
+    Analysis.Proflint.lint Workloads.Figure4.objfile Workloads.Figure4.gmon
+  in
+  (match Analysis.Proflint.worst l with
+  | None | Some Analysis.Proflint.Info -> ()
+  | Some s ->
+    Alcotest.failf "figure4 worst severity %s"
+      (Analysis.Proflint.severity_to_string s));
+  check_int "figure4 exits 0 even under --strict" 0
+    (Analysis.Proflint.exit_code ~strict:true l);
+  (* the three pseudo-site roots are declared spontaneous *)
+  check_int "spontaneous notes" 3
+    (List.length
+       (List.filter (fun r -> r = "arc-spontaneous") (rules_of l)))
+
+(* One seeded corruption per rule class, each on a genuine run. *)
+
+let sort_run = lazy (run_workload Workloads.Programs.sort)
+
+let expect_rule gmon rule =
+  let r = Lazy.force sort_run in
+  let l = Analysis.Proflint.lint r.objfile gmon in
+  check_bool (rule ^ " flagged") true (List.mem rule (rules_of l));
+  check_int (rule ^ " fails strict") 2 (Analysis.Proflint.exit_code ~strict:true l)
+
+let direct_call_arc o (g : Gmon.t) =
+  (* an arc whose recorded site holds a direct Call instruction *)
+  match
+    List.find_opt
+      (fun (a : Gmon.arc) ->
+        a.a_from >= 0
+        && a.a_from < Array.length o.Objfile.text
+        &&
+        match o.Objfile.text.(a.a_from) with
+        | Instr.Call _ -> true
+        | _ -> false)
+      g.arcs
+  with
+  | Some a -> a
+  | None -> Alcotest.fail "no direct-call arc in the profile"
+
+let replace_arc (g : Gmon.t) old arc =
+  { g with Gmon.arcs = arc :: List.filter (fun a -> a <> old) g.Gmon.arcs }
+
+let test_proflint_arc_from_non_call () =
+  let r = Lazy.force sort_run in
+  let a = direct_call_arc r.objfile r.gmon in
+  (* entry + 1 holds the Enter, never a call *)
+  let bad = { a with Gmon.a_from = entry r.objfile "main" + 1 } in
+  expect_rule (replace_arc r.gmon a bad) "arc-from-non-call"
+
+let test_proflint_arc_into_non_entry () =
+  let r = Lazy.force sort_run in
+  let a = direct_call_arc r.objfile r.gmon in
+  let bad = { a with Gmon.a_self = a.a_self + 1 } in
+  expect_rule (replace_arc r.gmon a bad) "arc-into-non-entry"
+
+let test_proflint_arc_infeasible () =
+  let r = Lazy.force sort_run in
+  let a = direct_call_arc r.objfile r.gmon in
+  (* retarget the callee to a different (real) entry: the site's Call
+     instruction contradicts the claim *)
+  let other =
+    let victim =
+      Array.to_list r.objfile.Objfile.symbols
+      |> List.find (fun (s : Objfile.symbol) -> s.addr <> a.Gmon.a_self)
+    in
+    victim.addr
+  in
+  let bad = { a with Gmon.a_self = other } in
+  expect_rule (replace_arc r.gmon a bad) "arc-infeasible"
+
+let test_proflint_bucket_outside_text () =
+  let r = Lazy.force sort_run in
+  let g = r.gmon in
+  let h = g.Gmon.hist in
+  (* stretch the histogram past the text segment and claim ticks there *)
+  let h' =
+    {
+      h with
+      Gmon.h_highpc = h.h_highpc + (4 * h.h_bucket_size);
+      h_counts = Array.append h.h_counts [| 0; 0; 0; 9 |];
+    }
+  in
+  expect_rule { g with Gmon.hist = h' } "hist-geometry"
+
+let test_proflint_dead_code_ticks () =
+  let r = run_workload (workload "deadfn" dead_src) in
+  let g = r.gmon in
+  let counts = Array.copy g.Gmon.hist.h_counts in
+  counts.(entry r.objfile "dead" + 1) <- 31;
+  let g' = { g with Gmon.hist = { g.Gmon.hist with h_counts = counts } } in
+  let l = Analysis.Proflint.lint r.objfile g' in
+  check_bool "dead-code-ticks flagged" true
+    (List.mem "dead-code-ticks" (rules_of l));
+  check_int "warning fails strict" 2 (Analysis.Proflint.exit_code ~strict:true l);
+  check_int "warning passes lenient" 0
+    (Analysis.Proflint.exit_code ~strict:false l)
+
+let test_proflint_render () =
+  let r = Lazy.force sort_run in
+  let a = direct_call_arc r.objfile r.gmon in
+  let bad = { a with Gmon.a_from = entry r.objfile "main" + 1 } in
+  let l = Analysis.Proflint.lint r.objfile (replace_arc r.gmon a bad) in
+  let s = Analysis.Proflint.render l in
+  check_bool "renders the rule id" true (contains ~needle:"[arc-from-non-call]" s);
+  check_bool "renders the summary" true (contains ~needle:"proflint:" s);
+  (* errors sort before notes *)
+  match l.l_findings with
+  | f :: _ -> check_bool "errors first" true (f.f_severity = Analysis.Proflint.Error)
+  | [] -> Alcotest.fail "expected findings"
+
+(* ------------------------------------------------------------------ *)
+(* Scan anomalies and Disasm annotations *)
+
+let anomalous_obj () =
+  let text =
+    [|
+      (* f: a call into g's middle and a funref off the table *)
+      Instr.Mcount; Instr.Call (5, 0); Instr.Funref 99; Instr.Ret;
+      (* g *)
+      Instr.Mcount; Instr.Nop; Instr.Ret;
+    |]
+  in
+  {
+    Objfile.text;
+    symbols =
+      [|
+        { Objfile.name = "f"; addr = 0; size = 4; profiled = true };
+        { Objfile.name = "g"; addr = 4; size = 3; profiled = true };
+      |];
+    entry = 0;
+    globals = [||];
+    global_init = [||];
+    arrays = [||];
+    lines = [||];
+    source_name = "anomalous";
+  }
+
+let test_scan_anomalies_surfaced () =
+  let o = anomalous_obj () in
+  let sites, anomalies = Scan.scan o in
+  check_int "no clean sites" 0 (List.length sites);
+  check_int "two anomalies" 2 (List.length anomalies);
+  (match anomalies with
+  | [ a1; a2 ] ->
+    check_int "call anomaly at 1" 1 a1.an_addr;
+    check_bool "call kind" true (a1.an_instr = `Call);
+    check_bool "mid-function kind" true (a1.an_kind = Scan.Mid_function "g");
+    check_bool "caller recorded" true (a1.an_caller = Some "f");
+    check_bool "funref kind" true (a2.an_instr = `Funref);
+    check_bool "outside table" true (a2.an_kind = Scan.Outside_table)
+  | _ -> Alcotest.fail "expected exactly two anomalies");
+  (* the static graph stays silent, the listing does not *)
+  check_int "no static arcs" 0 (List.length (Scan.static_arcs o));
+  let listing = Disasm.program_listing o in
+  check_bool "listing flags the mid-function target" true
+    (contains ~needle:"! mid-g target" listing);
+  check_bool "listing flags the wild funref" true
+    (contains ~needle:"! target outside the symbol table" listing);
+  check_bool "listing has the anomaly section" true
+    (contains ~needle:"anomalous targets:" listing);
+  (* and proflint reports them as call-anomaly warnings *)
+  let l = Analysis.Proflint.lint_binary o in
+  check_int "two call-anomaly findings" 2
+    (List.length (List.filter (fun r -> r = "call-anomaly") (rules_of l)))
+
+let test_scan_referenced_functions () =
+  let o = (run_workload Workloads.Programs.indirect).objfile in
+  let refs = Scan.referenced_functions o in
+  List.iter
+    (fun name -> check_bool ("referenced " ^ name) true (List.mem name refs))
+    [ "on_add"; "on_mul"; "on_neg"; "on_mix" ];
+  check_bool "dispatch itself is not address-taken" true
+    (not (List.mem "dispatch" refs));
+  (* deduplicated even when a funref appears repeatedly *)
+  check_int "no duplicates" (List.length refs)
+    (List.length (List.sort_uniq compare refs))
+
+let test_disasm_out_of_range_guards () =
+  let o =
+    {
+      Objfile.text = [| Instr.Gload 7; Instr.Aload 3; Instr.Ret |];
+      symbols = [| { Objfile.name = "f"; addr = 0; size = 3; profiled = false } |];
+      entry = 0;
+      globals = [||];
+      global_init = [||];
+      arrays = [||];
+      lines = [||];
+      source_name = "oob";
+    }
+  in
+  let listing = Disasm.program_listing o in
+  check_bool "global guard" true (contains ~needle:"! global 7 out of range" listing);
+  check_bool "array guard" true (contains ~needle:"! array 3 out of range" listing)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "blocks partition functions" `Quick
+            test_cfg_blocks_partition;
+          Alcotest.test_case "call graph subsumes scan" `Quick
+            test_cfg_subsumes_scan;
+        ] );
+      ( "indirect",
+        [
+          Alcotest.test_case "resolves the dispatch table" `Quick
+            test_indirect_resolves_dispatch_table;
+          Alcotest.test_case "full recall of dynamic arcs" `Quick
+            test_indirect_recall_of_dynamic_arcs;
+          Alcotest.test_case "count-0 arc reaches the report" `Quick
+            test_indirect_static_arc_count0_in_report;
+        ] );
+      ( "reach",
+        [
+          Alcotest.test_case "dead function found" `Quick test_reach_dead_function;
+          Alcotest.test_case "crosscheck contradiction" `Quick
+            test_reach_crosscheck_contradiction;
+        ] );
+      ( "proflint",
+        [
+          Alcotest.test_case "intact runs pass" `Quick test_proflint_intact_runs_pass;
+          Alcotest.test_case "figure4 intact" `Quick test_proflint_figure4_intact;
+          Alcotest.test_case "arc from non-call" `Quick
+            test_proflint_arc_from_non_call;
+          Alcotest.test_case "arc into non-entry" `Quick
+            test_proflint_arc_into_non_entry;
+          Alcotest.test_case "infeasible arc" `Quick test_proflint_arc_infeasible;
+          Alcotest.test_case "bucket outside text" `Quick
+            test_proflint_bucket_outside_text;
+          Alcotest.test_case "dead code ticks" `Quick test_proflint_dead_code_ticks;
+          Alcotest.test_case "render" `Quick test_proflint_render;
+        ] );
+      ( "scan",
+        [
+          Alcotest.test_case "anomalies surfaced" `Quick test_scan_anomalies_surfaced;
+          Alcotest.test_case "referenced functions" `Quick
+            test_scan_referenced_functions;
+          Alcotest.test_case "disasm out-of-range guards" `Quick
+            test_disasm_out_of_range_guards;
+        ] );
+    ]

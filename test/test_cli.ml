@@ -428,6 +428,80 @@ let test_profwatch_cli () =
   check_bool "window points counted" true
     (contains ~needle:"profile point(s)" (stderr_text ()))
 
+(* An indirect call whose candidate set has no arity match: legal to
+   run, but the known-callee pass should warn and --werror should
+   refuse to ship it. *)
+let warn_source =
+  {|
+var h;
+
+fun one(a) { return a; }
+
+fun main() {
+  h = one;
+  print(h(1, 2));
+  return 0;
+}
+|}
+
+let test_lint_cli () =
+  let src = write_source () in
+  let obj = path "prog.obj" and gmon = path "prog.gmon" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj ]);
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; gmon; "-q" ]);
+  (* an intact profile lints clean, strict or not *)
+  let code, out = run_cmd [ exe "proflint"; obj; gmon ] in
+  check_int "proflint over a clean run exits 0" 0 code;
+  check_bool "summary line" true (contains ~needle:"proflint: 0 error(s)" out);
+  (* the binary alone can be linted *)
+  let code, _ = run_cmd [ exe "proflint"; obj ] in
+  check_int "binary-only lint exits 0" 0 code;
+  (* the built-in Figure 4 fixture is clean by construction *)
+  let code, out = run_cmd [ exe "proflint"; "--figure4" ] in
+  check_int "figure4 lints clean" 0 code;
+  check_bool "figure4 roots are spontaneous" true
+    (contains ~needle:"arc-spontaneous" out);
+  (* a profile from a different binary is full of lies *)
+  let slow_src = path "lintslow.mini" in
+  Out_channel.with_open_text slow_src (fun oc ->
+      Out_channel.output_string oc slow_source);
+  let other_obj = path "lintother.obj" in
+  ignore (run_cmd [ exe "minic"; slow_src; "-o"; other_obj ]);
+  let code, _ = run_cmd [ exe "proflint"; other_obj; gmon ] in
+  check_int "mismatched binary/profile exits 2" 2 code;
+  (* an undecodable profile is an operational failure, not a finding *)
+  let junk = path "lintjunk.gmon" in
+  Out_channel.with_open_text junk (fun oc ->
+      Out_channel.output_string oc "not a profile");
+  let code, _ = run_cmd [ exe "proflint"; obj; junk ] in
+  check_int "undecodable profile exits 1" 1 code;
+  (* gprofx --lint replaces the listings with the lint report *)
+  let code, out = run_cmd [ exe "gprofx"; obj; gmon; "--lint" ] in
+  check_int "gprofx --lint exits 0" 0 code;
+  check_bool "gprofx --lint prints the lint summary" true
+    (contains ~needle:"proflint:" out);
+  check_bool "no listings in lint mode" true
+    (not (contains ~needle:"call graph profile" out))
+
+let test_werror_cli () =
+  let src = path "warny.mini" in
+  Out_channel.with_open_text src (fun oc ->
+      Out_channel.output_string oc warn_source);
+  let obj = path "warny.obj" in
+  let code, _ = run_cmd [ exe "minic"; src; "-o"; obj ] in
+  check_int "warnings alone do not fail the build" 0 code;
+  check_bool "warning printed to stderr" true
+    (contains ~needle:"no possible callee of h takes 2 arguments"
+       (stderr_text ()));
+  let code, _ = run_cmd [ exe "minic"; src; "-o"; obj; "--werror" ] in
+  check_int "--werror promotes to failure" 1 code;
+  check_bool "promotion reported" true
+    (contains ~needle:"promoted to errors" (stderr_text ()));
+  (* a warning-free program is unaffected *)
+  let clean = write_source () in
+  let code, _ = run_cmd [ exe "minic"; clean; "-o"; obj; "--werror" ] in
+  check_int "clean program passes --werror" 0 code
+
 let test_bad_inputs_fail_cleanly () =
   let code, _ = run_cmd [ exe "minic"; path "nonexistent.mini" ] in
   check_bool "minic rejects missing file" true (code <> 0);
@@ -458,6 +532,8 @@ let () =
           Alcotest.test_case "export formats" `Slow test_export_formats_cli;
           Alcotest.test_case "lenient flags" `Slow test_lenient_flags_cli;
           Alcotest.test_case "profwatch" `Slow test_profwatch_cli;
+          Alcotest.test_case "proflint" `Slow test_lint_cli;
+          Alcotest.test_case "minic --werror" `Slow test_werror_cli;
           Alcotest.test_case "bad inputs" `Slow test_bad_inputs_fail_cleanly;
         ] );
     ]

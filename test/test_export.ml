@@ -66,7 +66,7 @@ let callgrind_golden_head =
    fn=CALLER1\n\
    0 26\n\
    cfn=EXAMPLE\n\
-   calls=4 8\n\
+   calls=4 10\n\
    0 84\n"
 
 let test_callgrind_golden () =
@@ -84,7 +84,7 @@ let test_callgrind_golden () =
       "fn=SUB2"; "fn=SUB3"; "fn=DEPTH1"; "fn=DEPTH2"; "fn=OTHER";
     ];
   (* the static-only EXAMPLE -> SUB3 arc appears with zero calls *)
-  check_bool "static arc exported" true (contains ~needle:"calls=0 24" s)
+  check_bool "static arc exported" true (contains ~needle:"calls=0 30" s)
 
 let test_dot_deterministic_golden () =
   let a = Report.dot_graph (figure4 ()) in

@@ -380,6 +380,69 @@ let test_check_function_values_ok () =
        (errors_of
           "fun f(x) { return x; } fun g() { var h = f; return h(1); }"))
 
+(* The known-callee warning pass over indirect call sites. *)
+
+let warnings_of ?(builtins = Compile.Builtins.arities) src =
+  Check.warnings ~builtins (parse_ok src)
+
+let expect_warning src fragment =
+  let warns = warnings_of src in
+  let found =
+    List.exists
+      (fun (w : Check.error) ->
+        let n = String.length fragment and h = String.length w.msg in
+        let rec go i =
+          i + n <= h && (String.sub w.msg i n = fragment || go (i + 1))
+        in
+        go 0)
+      warns
+  in
+  if not found then
+    Alcotest.failf "expected warning containing %S; got: %s" fragment
+      (String.concat " | "
+         (List.map (fun (w : Check.error) -> w.msg) warns))
+
+let test_warnings_clean_workloads () =
+  List.iter
+    (fun (w : Workloads.Programs.t) ->
+      match Check.warnings ~builtins:Compile.Builtins.arities (parse_ok w.w_source) with
+      | [] -> ()
+      | warns ->
+        Alcotest.failf "workload %s: %s" w.w_name
+          (String.concat "; " (List.map (fun (e : Check.error) -> e.msg) warns)))
+    Workloads.Programs.all
+
+let test_warnings_never_a_function () =
+  expect_warning "var v; fun f() { return v(1); }"
+    "never assigned a function value";
+  expect_warning "fun f() { var x = 3; return x(1); }"
+    "never assigned a function value"
+
+let test_warnings_arity_mismatch () =
+  expect_warning
+    "fun one(a) { return a; } fun g() { var h = one; return h(1, 2); }"
+    "no possible callee of h takes 2 arguments (candidates: one/1)";
+  (* a matching candidate anywhere in the set silences the site *)
+  Alcotest.(check int) "mixed arities with a match are fine" 0
+    (List.length
+       (warnings_of
+          "fun one(a) { return a; } fun two(a, b) { return a + b; } \
+           fun g(k) { var h; if (k) { h = one; } else { h = two; } \
+           return h(1, 2); }"))
+
+let test_warnings_flow_through_calls () =
+  (* the function value flows through an argument into a parameter *)
+  expect_warning
+    "fun one(a) { return a; } fun apply(h) { return h(1, 2); } \
+     fun g() { return apply(one); }"
+    "no possible callee of h takes 2 arguments";
+  (* ... and through an array and a return value *)
+  expect_warning
+    "array tab[2]; fun one(a) { return a; } \
+     fun pick() { return tab[0]; } \
+     fun g() { tab[0] = one; var h = pick(); return h(1, 2); }"
+    "no possible callee of h takes 2 arguments"
+
 let test_check_entry () =
   (match Check.check_entry (parse_ok "fun main() { return 0; }") with
   | [] -> ()
@@ -429,5 +492,15 @@ let () =
           Alcotest.test_case "shape misuse" `Quick test_check_shapes;
           Alcotest.test_case "function values" `Quick test_check_function_values_ok;
           Alcotest.test_case "entry point" `Quick test_check_entry;
+        ] );
+      ( "warnings",
+        [
+          Alcotest.test_case "workloads are warning-free" `Quick
+            test_warnings_clean_workloads;
+          Alcotest.test_case "never a function" `Quick
+            test_warnings_never_a_function;
+          Alcotest.test_case "arity mismatch" `Quick test_warnings_arity_mismatch;
+          Alcotest.test_case "flow through calls" `Quick
+            test_warnings_flow_through_calls;
         ] );
     ]
