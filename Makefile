@@ -1,6 +1,7 @@
 SMOKE_DIR := _build/smoke
+BIN := _build/default/bin
 
-.PHONY: all check build test smoke lint bench clean
+.PHONY: all check build test smoke serve-smoke lint bench clean
 
 all: build
 
@@ -13,7 +14,7 @@ test:
 # Build, run the full test suite, then drive the real binaries through
 # the whole pipeline once: compile with profiling, execute, and check
 # that the analyzer produces a report and a metrics dump.
-check: build test lint smoke
+check: build test lint smoke serve-smoke
 
 # Static consistency gate: proflint must pass the intact fixture
 # profiles (whole-run gmon, epoch container, and the paper's Figure 4)
@@ -86,6 +87,63 @@ smoke: build
 	    echo "smoke: profwatch on regressed dir exited $$code, want 2"; exit 1; fi
 	grep -q "regression: leaf" $(SMOKE_DIR)/watch.out
 	@echo "smoke: ok (including fault injection and the profwatch gate)"
+
+# Fleet aggregation gate: a real profd daemon on a temp socket. Runs
+# are submitted live (file batches and minirun --submit), the daemon
+# is kill -9'd mid-service and restarted over the same store, a corrupt
+# submission must be quarantined (client exit 2), and the recovered,
+# compacted store's merged report must be byte-identical to an offline
+# Gmon.merge_all of the same runs. Direct binary paths (not dune exec)
+# so $$! is the daemon's real pid.
+serve-smoke: build
+	rm -rf $(SMOKE_DIR)/serve; mkdir -p $(SMOKE_DIR)/serve
+	$(BIN)/minic.exe test/fixtures/smoke.mini --pg -o $(SMOKE_DIR)/serve/smoke.obj
+	set -e; for s in 1 2 3 4; do \
+	  $(BIN)/minirun.exe $(SMOKE_DIR)/serve/smoke.obj -q --seed $$s \
+	    --gmon $(SMOKE_DIR)/serve/run-$$s.gmon; \
+	done
+	head -c 90 $(SMOKE_DIR)/serve/run-1.gmon > $(SMOKE_DIR)/serve/corrupt.gmon
+	$(BIN)/profd.exe --serve --socket $(SMOKE_DIR)/serve/profd.sock \
+	  --store $(SMOKE_DIR)/serve/store --batch 2 \
+	  2> $(SMOKE_DIR)/serve/profd.log & echo $$! > $(SMOKE_DIR)/serve/profd.pid
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock --wait --timeout 30
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock \
+	  --submit $(SMOKE_DIR)/serve/run-1.gmon $(SMOKE_DIR)/serve/run-2.gmon
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock --flush
+	# kill -9 mid-service: recovery on restart must replay the store
+	kill -9 $$(cat $(SMOKE_DIR)/serve/profd.pid)
+	$(BIN)/profd.exe --serve --socket $(SMOKE_DIR)/serve/profd.sock \
+	  --store $(SMOKE_DIR)/serve/store --batch 2 \
+	  2>> $(SMOKE_DIR)/serve/profd.log & echo $$! > $(SMOKE_DIR)/serve/profd.pid
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock --wait --timeout 30
+	grep -q "recovered" $(SMOKE_DIR)/serve/profd.log
+	# a fleet member submits straight from the VM
+	$(BIN)/minirun.exe $(SMOKE_DIR)/serve/smoke.obj -q --seed 3 \
+	  --submit $(SMOKE_DIR)/serve/profd.sock --submit-label smoke
+	# a corrupt submission is quarantined: client exits 2, daemon lives
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock \
+	  --submit $(SMOKE_DIR)/serve/run-4.gmon > /dev/null
+	code=0; $(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock \
+	  --submit $(SMOKE_DIR)/serve/corrupt.gmon > /dev/null || code=$$?; \
+	  if [ $$code -ne 2 ]; then \
+	    echo "serve-smoke: corrupt submission exited $$code, want 2"; exit 1; fi
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock --flush --compact
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock \
+	  --query top --top-n 5 | grep -Eq "^[0-9]+ [0-9]+ [0-9]+"
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock --query stats \
+	  | grep -q '"quarantined":1'
+	# equivalence: daemon report == offline merge of the same four runs
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock \
+	  --query report --out $(SMOKE_DIR)/serve/daemon.gmon
+	$(BIN)/profd.exe --merge-offline $(SMOKE_DIR)/serve/offline.gmon \
+	  $(SMOKE_DIR)/serve/run-1.gmon $(SMOKE_DIR)/serve/run-2.gmon \
+	  $(SMOKE_DIR)/serve/run-3.gmon $(SMOKE_DIR)/serve/run-4.gmon
+	cmp $(SMOKE_DIR)/serve/daemon.gmon $(SMOKE_DIR)/serve/offline.gmon
+	# the analyzer reads the store directly once the daemon is gone
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/serve/profd.sock --shutdown
+	$(BIN)/gprofx.exe $(SMOKE_DIR)/serve/smoke.obj \
+	  --store $(SMOKE_DIR)/serve/store --flat | grep -q "leaf"
+	@echo "serve-smoke: ok (ingest, kill -9 recovery, quarantine, daemon == offline merge)"
 
 bench:
 	dune exec bench/main.exe

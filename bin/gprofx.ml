@@ -13,9 +13,9 @@ let parse_arc s =
 
 let arc_conv = Arg.conv (parse_arc, fun ppf (a, b) -> Format.fprintf ppf "%s:%s" a b)
 
-let run obj_path gmon_paths no_static removed break focus exclude min_percent
-    lenient view format epoch timeline lint annotate icount_path verbose
-    dot_out obs_metrics obs_trace self_profile =
+let run obj_path gmon_paths store_dir no_static removed break focus exclude
+    min_percent lenient view format epoch timeline lint annotate icount_path
+    verbose dot_out obs_metrics obs_trace self_profile =
   if obs_trace <> None || self_profile then
     Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
@@ -53,7 +53,15 @@ let run obj_path gmon_paths no_static removed break focus exclude min_percent
         lenient;
       }
     in
-    if timeline then begin
+    if timeline && store_dir <> None then begin
+      Printf.eprintf "gprofx: --timeline analyzes an epoch container, not a store\n";
+      1
+    end
+    else if gmon_paths = [] && store_dir = None then begin
+      Printf.eprintf "gprofx: no profile data (give GMON files, or --store DIR)\n";
+      1
+    end
+    else if timeline then begin
       (* The timeline digest analyzes each window of one epoch
          container; it replaces the listings entirely. *)
       match gmon_paths with
@@ -158,6 +166,34 @@ let run obj_path gmon_paths no_static removed break focus exclude min_percent
         in
         collect [] per_file
     in
+    (* --store contributes the store's merged view, summed with any
+       positional files. A store that needed salvage or quarantine on
+       open degrades the analysis exactly like a salvaged file. *)
+    let store_view =
+      match store_dir with
+      | None -> Ok None
+      | Some dir -> (
+        match Store.open_ dir with
+        | Error e -> Error (Printf.sprintf "store %s: %s" dir e)
+        | Ok (st, rep) -> (
+          let deg = Store.open_report_degraded rep in
+          if deg then
+            Printf.eprintf "gprofx: store %s recovered with losses: %s\n" dir
+              (Store.open_report_summary rep);
+          match Store.merged st with
+          | Error e -> Error (Printf.sprintf "store %s: %s" dir e)
+          | Ok None -> Error (Printf.sprintf "store %s is empty" dir)
+          | Ok (Some g) -> Ok (Some (g, deg))))
+    in
+    let loaded =
+      match (store_view, gmon_paths) with
+      | Error e, _ -> Error e
+      | Ok None, _ -> loaded
+      | Ok (Some sv), [] -> Ok sv
+      | Ok (Some (sg, sdeg)), _ :: _ ->
+        Result.bind loaded (fun (g, deg) ->
+            Result.map (fun m -> (m, deg || sdeg)) (Gmon.merge sg g))
+    in
     match loaded with
     | Error e ->
       Printf.eprintf "gprofx: %s\n" e;
@@ -231,8 +267,15 @@ let obj =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"OBJ" ~doc:"Executable.")
 
 let gmons =
-  Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"GMON"
-         ~doc:"Profile data files; several are summed.")
+  Arg.(value & pos_right 0 file [] & info [] ~docv:"GMON"
+         ~doc:"Profile data files; several are summed. May be omitted when \
+               --store supplies the data.")
+
+let store_dir =
+  Arg.(value & opt (some dir) None & info [ "store" ] ~docv:"DIR"
+         ~doc:"Analyze the merged view of the profile store at $(docv) \
+               (built by profd), summed with any positional $(i,GMON) \
+               files.")
 
 let no_static =
   Arg.(value & flag & info [ "no-static" ]
@@ -361,9 +404,9 @@ let self_profile =
 let cmd =
   Cmd.v
     (Cmd.info "gprofx" ~doc:"call graph execution profiler")
-    Term.(const run $ obj $ gmons $ no_static $ removed $ break $ focus
-          $ exclude $ min_percent $ lenient $ view $ format $ epoch $ timeline
-          $ lint $ annotate $ icount $ verbose $ dot_out $ obs_metrics
-          $ obs_trace $ self_profile)
+    Term.(const run $ obj $ gmons $ store_dir $ no_static $ removed $ break
+          $ focus $ exclude $ min_percent $ lenient $ view $ format $ epoch
+          $ timeline $ lint $ annotate $ icount $ verbose $ dot_out
+          $ obs_metrics $ obs_trace $ self_profile)
 
 let () = exit (Cmd.eval' cmd)

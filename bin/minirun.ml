@@ -6,9 +6,9 @@
 
 open Cmdliner
 
-let run obj_path gmon_out prof_out icount_out epoch_ticks epochs_out hz cpt
-    bucket callee_primary seed jitter quiet max_cycles fault_after torn_save
-    obs_metrics obs_trace =
+let run obj_path gmon_out submit_sock submit_label prof_out icount_out
+    epoch_ticks epochs_out hz cpt bucket callee_primary seed jitter quiet
+    max_cycles fault_after torn_save obs_metrics obs_trace =
   if obs_trace <> None then Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
     try
@@ -49,6 +49,7 @@ let run obj_path gmon_out prof_out icount_out epoch_ticks epochs_out hz cpt
     let m = Vm.Machine.create ~config o in
     let status = Obs.Trace.with_span ~cat:"minirun" "vm-run" (fun () -> Vm.Machine.run m) in
     Vm.Machine.observe m Obs.Metrics.default;
+    let explicit_gmon = gmon_out <> None in
     let gmon_out =
       match gmon_out with
       | Some p -> p
@@ -62,6 +63,29 @@ let run obj_path gmon_out prof_out icount_out epoch_ticks epochs_out hz cpt
         (* the save error already names the path *)
         Printf.eprintf "minirun: %s\n" e;
         false
+    in
+    (* A fleet member ships its profile to profd instead of leaving a
+       gmon file behind — unless --gmon asked for one explicitly. *)
+    let submit_profile () =
+      match submit_sock with
+      | None -> true
+      | Some socket -> (
+        let label =
+          match submit_label with
+          | Some l -> l
+          | None -> Filename.remove_extension (Filename.basename obj_path)
+        in
+        let payload = Gmon.to_bytes (Vm.Machine.profile m) in
+        match Proto.rpc ~socket (Submit { label; payload }) with
+        | Ok (Proto.Resp_ok reply) ->
+          Printf.eprintf "minirun: profile submitted to %s: %s" socket reply;
+          true
+        | Ok (Proto.Resp_err e) ->
+          Printf.eprintf "minirun: submit: daemon: %s\n" e;
+          false
+        | Error e ->
+          Printf.eprintf "minirun: submit: %s\n" e;
+          false)
     in
     (* The timeline is condensed alongside the profile — on crashed
        runs too, so the epochs gathered before the fault survive. *)
@@ -86,7 +110,12 @@ let run obj_path gmon_out prof_out icount_out epoch_ticks epochs_out hz cpt
     match status with
     | Vm.Machine.Halted ->
       if not quiet then print_string (Vm.Machine.output m);
-      let saved = ref (save_gmon ()) in
+      let saved =
+        ref
+          (if submit_sock <> None && not explicit_gmon then true
+           else save_gmon ())
+      in
+      if not (submit_profile ()) then saved := false;
       if not (save_epochs ()) then saved := false;
       Option.iter
         (fun p -> Profbase.Profcounts.save o (Vm.Machine.pcounts m) p)
@@ -104,11 +133,16 @@ let run obj_path gmon_out prof_out icount_out epoch_ticks epochs_out hz cpt
         icount_out;
       if not !saved then 1
       else begin
+        let dest =
+          if submit_sock <> None && not explicit_gmon then
+            "submitted to " ^ Option.get submit_sock
+          else "written to " ^ gmon_out
+        in
         Printf.eprintf
-          "minirun: %d cycles, %d ticks (%.2f simulated seconds); profile written to %s\n"
+          "minirun: %d cycles, %d ticks (%.2f simulated seconds); profile %s\n"
           (Vm.Machine.cycles m) (Vm.Machine.ticks m)
           (float_of_int (Vm.Machine.ticks m) /. float_of_int hz)
-          gmon_out;
+          dest;
         Option.value ~default:0 (Vm.Machine.result m) land 255
       end
     | Vm.Machine.Faulted f ->
@@ -130,6 +164,17 @@ let obj =
 let gmon_out =
   Arg.(value & opt (some string) None & info [ "gmon" ] ~docv:"FILE"
          ~doc:"Profile data output (default: object with .gmon).")
+
+let submit_sock =
+  Arg.(value & opt (some string) None & info [ "submit" ] ~docv:"SOCK"
+         ~doc:"Submit the profile to the profd daemon listening on the \
+               Unix-domain socket $(docv) instead of writing a local gmon \
+               file (give --gmon as well to do both).")
+
+let submit_label =
+  Arg.(value & opt (some string) None & info [ "submit-label" ] ~docv:"LABEL"
+         ~doc:"Label for --submit (the store's shard key); defaults to the \
+               object file's basename.")
 
 let prof_out =
   Arg.(value & opt (some string) None & info [ "prof-out" ] ~docv:"FILE"
@@ -204,9 +249,9 @@ let obs_trace =
 let cmd =
   Cmd.v
     (Cmd.info "minirun" ~doc:"profiling virtual machine")
-    Term.(const run $ obj $ gmon_out $ prof_out $ icount_out $ epoch_ticks
-          $ epochs_out $ hz $ cpt $ bucket $ callee_primary $ seed $ jitter
-          $ quiet $ max_cycles $ fault_after $ torn_save $ obs_metrics
-          $ obs_trace)
+    Term.(const run $ obj $ gmon_out $ submit_sock $ submit_label $ prof_out
+          $ icount_out $ epoch_ticks $ epochs_out $ hz $ cpt $ bucket
+          $ callee_primary $ seed $ jitter $ quiet $ max_cycles $ fault_after
+          $ torn_save $ obs_metrics $ obs_trace)
 
 let () = exit (Cmd.eval' cmd)

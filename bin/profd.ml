@@ -1,0 +1,437 @@
+(* profd — the profile aggregation daemon.
+
+   Serves the sharded profile store over a Unix-domain socket with the
+   length-prefixed protocol in Ingest.Proto: fleet clients SUBMIT gmon
+   payloads (minirun --submit does), operators FLUSH, COMPACT, and
+   QUERY the merged view. The same binary is its own client: --submit,
+   --query, --flush, --compact, --shutdown, and --wait talk to a
+   running daemon, and --merge-offline performs the equivalence
+   baseline (a plain Gmon.merge_all of files) that tests and the
+   serve-smoke gate compare a daemon-ingested store against. *)
+
+open Cmdliner
+
+(* --- the daemon ------------------------------------------------------- *)
+
+let stop_requested = ref false
+
+let handle_request ingest req =
+  let store = Ingest.store ingest in
+  (* queries observe their own writes: anything still buffered in the
+     ingest queue is flushed before the store answers *)
+  let flush_for_query () =
+    match Ingest.flush ingest with
+    | Ok _ -> Ok ()
+    | Error e -> Error e
+  in
+  match (req : Proto.request) with
+  | Submit { label; payload } -> (
+    match Ingest.submit ingest ~label payload with
+    | Error e -> Proto.Resp_err e
+    | Ok (Ingest.Queued n) -> Resp_ok (Printf.sprintf "queued %d\n" n)
+    | Ok (Ingest.Flushed n) -> Resp_ok (Printf.sprintf "flushed %d\n" n)
+    | Ok (Ingest.Quarantined reason) ->
+      Resp_ok (Printf.sprintf "quarantined %s\n" reason))
+  | Query_top n -> (
+    match
+      Result.bind (flush_for_query ()) (fun () -> Store.top_buckets store ~n)
+    with
+    | Error e -> Resp_err e
+    | Ok rows ->
+      Resp_ok
+        (String.concat ""
+           (List.map
+              (fun (lo, hi, ticks) -> Printf.sprintf "%d %d %d\n" lo hi ticks)
+              rows)))
+  | Query_report -> (
+    match Result.bind (flush_for_query ()) (fun () -> Store.merged store) with
+    | Error e -> Resp_err e
+    | Ok None -> Resp_err "store is empty"
+    | Ok (Some g) -> Resp_ok (Gmon.to_bytes g))
+  | Query_stats -> (
+    match flush_for_query () with
+    | Error e -> Resp_err e
+    | Ok () ->
+      let s = Store.stats store in
+      Resp_ok
+        (Printf.sprintf "{\"store\":%s,\"queue\":{\"pending\":%d}}\n"
+           (Store.stats_to_json s) (Ingest.pending ingest)))
+  | Flush -> (
+    match Ingest.flush ingest with
+    | Error e -> Resp_err e
+    | Ok n -> Resp_ok (Printf.sprintf "flushed %d\n" n))
+  | Compact -> (
+    match
+      Result.bind (flush_for_query ()) (fun () -> Store.compact store)
+    with
+    | Error e -> Resp_err e
+    | Ok n -> Resp_ok (Printf.sprintf "folded %d\n" n))
+  | Shutdown ->
+    stop_requested := true;
+    (match Ingest.flush ingest with
+    | Ok _ -> Resp_ok "bye\n"
+    | Error e -> Resp_err e)
+
+let serve_connection ingest fd =
+  (* a client may pipeline several requests on one connection; serve
+     until it closes its end *)
+  let rec loop () =
+    match Proto.read_frame fd with
+    | Error _ -> () (* EOF or a torn frame: drop the connection *)
+    | Ok body ->
+      let resp =
+        match Proto.decode_request body with
+        | Error e -> Proto.Resp_err e
+        | Ok req -> handle_request ingest req
+      in
+      (match Proto.write_frame fd (Proto.encode_response resp) with
+      | Ok () -> if not !stop_requested then loop ()
+      | Error _ -> ())
+  in
+  loop ()
+
+let m_connections =
+  Obs.Metrics.counter Obs.Metrics.default "profd.connections"
+    ~help:"client connections accepted"
+
+let serve ~socket ~store_dir ~shards ~batch ~max_age =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let request_stop _ = stop_requested := true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  match Store.open_ ~shards store_dir with
+  | Error e ->
+    Printf.eprintf "profd: %s\n" e;
+    1
+  | Ok (store, report) -> (
+    if Store.open_report_degraded report then
+      Printf.eprintf "profd: store recovered with losses: %s\n%!"
+        (Store.open_report_summary report)
+    else if not report.or_created then
+      Printf.eprintf
+        "profd: store recovered: %d segment(s), %d compacted shard(s)\n%!"
+        report.or_segments report.or_compacted;
+    let ingest = Ingest.create ~max_batch:batch ~max_age store in
+    (* a stale socket file from a killed daemon would make bind fail;
+       it is dead by construction (we are the only server) *)
+    (match Unix.stat socket with
+    | { st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink socket with _ -> ())
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ());
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "profd: socket: %s\n" (Unix.error_message e);
+      1
+    | lsock -> (
+      match Unix.bind lsock (Unix.ADDR_UNIX socket) with
+      | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "profd: %s: %s\n" socket (Unix.error_message e);
+        1
+      | () ->
+        Unix.listen lsock 16;
+        Printf.eprintf "profd: serving %s on %s (%d shard(s), batch %d)\n%!"
+          store_dir socket (Store.n_shards store) batch;
+        let rec loop () =
+          if !stop_requested then ()
+          else begin
+            (match Unix.select [ lsock ] [] [] 0.25 with
+            | [], _, _ -> ()
+            | _ :: _, _, _ -> (
+              match Unix.accept lsock with
+              | exception Unix.Unix_error _ -> ()
+              | fd, _ ->
+                Obs.Metrics.incr m_connections;
+                Fun.protect
+                  ~finally:(fun () ->
+                    try Unix.close fd with Unix.Unix_error _ -> ())
+                  (fun () -> serve_connection ingest fd))
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            (* the age trigger only fires from this idle loop: the
+               daemon is single-threaded by design *)
+            (match Ingest.tick ingest with
+            | Ok _ -> ()
+            | Error e -> Printf.eprintf "profd: flush: %s\n" e);
+            loop ()
+          end
+        in
+        loop ();
+        (match Ingest.flush ingest with
+        | Ok _ -> ()
+        | Error e -> Printf.eprintf "profd: final flush: %s\n" e);
+        (try Unix.close lsock with Unix.Unix_error _ -> ());
+        (try Unix.unlink socket with Unix.Unix_error _ -> ());
+        Printf.eprintf "profd: stopped\n";
+        0))
+
+(* --- client actions --------------------------------------------------- *)
+
+let rpc_or_fail ~socket req =
+  match Proto.rpc ~socket req with
+  | Error e ->
+    Printf.eprintf "profd: %s\n" e;
+    Error 1
+  | Ok (Resp_err e) ->
+    Printf.eprintf "profd: daemon: %s\n" e;
+    Error 1
+  | Ok (Resp_ok payload) -> Ok payload
+
+let submit_files ~socket ~label files =
+  let quarantined = ref 0 in
+  let rec go = function
+    | [] -> if !quarantined > 0 then Error 2 else Ok ()
+    | file :: rest -> (
+      match In_channel.with_open_bin file In_channel.input_all with
+      | exception Sys_error e ->
+        Printf.eprintf "profd: %s\n" e;
+        Error 1
+      | payload -> (
+        let label =
+          match label with
+          | Some l -> l
+          | None -> Filename.remove_extension (Filename.basename file)
+        in
+        match rpc_or_fail ~socket (Submit { label; payload }) with
+        | Error c -> Error c
+        | Ok reply ->
+          Printf.printf "%s: %s" file reply;
+          if String.length reply >= 11 && String.sub reply 0 11 = "quarantined"
+          then incr quarantined;
+          go rest))
+  in
+  go files
+
+let write_out out payload =
+  match out with
+  | None | Some "-" ->
+    print_string payload;
+    Ok ()
+  | Some path -> (
+    match
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc payload)
+    with
+    | () -> Ok ()
+    | exception Sys_error e ->
+      Printf.eprintf "profd: %s\n" e;
+      Error 1)
+
+let merge_offline ~out files =
+  let loaded = List.map (fun p -> (p, Gmon.load p)) files in
+  match List.find_opt (fun (_, r) -> Result.is_error r) loaded with
+  | Some (p, Error e) ->
+    Printf.eprintf "profd: %s: %s\n" p e;
+    1
+  | _ -> (
+    match Gmon.merge_all (List.map (fun (_, r) -> Result.get_ok r) loaded) with
+    | Error e ->
+      Printf.eprintf "profd: %s\n" e;
+      1
+    | Ok m -> (
+      match Gmon.save m out with
+      | Ok () ->
+        Printf.eprintf "profd: %d file(s) merged offline into %s\n"
+          (List.length files) out;
+        0
+      | Error e ->
+        Printf.eprintf "profd: %s\n" e;
+        1))
+
+(* --- command line ----------------------------------------------------- *)
+
+let run serve_flag socket store_dir shards batch max_age wait timeout files
+    label query top_n out do_flush do_compact do_shutdown offline_out
+    obs_metrics =
+  let finish code =
+    try
+      Option.iter (Obs.Metrics.save Obs.Metrics.default) obs_metrics;
+      code
+    with Sys_error e ->
+      Printf.eprintf "profd: %s\n" e;
+      1
+  in
+  finish
+  @@
+  match offline_out with
+  | Some out ->
+    if files = [] then begin
+      Printf.eprintf "profd: --merge-offline needs at least one gmon file\n";
+      1
+    end
+    else merge_offline ~out files
+  | None -> (
+    if serve_flag then
+      match store_dir with
+      | None ->
+        Printf.eprintf "profd: --serve needs --store DIR\n";
+        1
+      | Some dir -> serve ~socket ~store_dir:dir ~shards ~batch ~max_age
+    else
+      (* client mode: run the requested actions in a fixed, sensible
+         order — wait, submit, flush, compact, query, shutdown *)
+      let some_action =
+        wait || files <> [] || do_flush || do_compact || do_shutdown
+        || query <> None
+      in
+      if not some_action then begin
+        Printf.eprintf
+          "profd: nothing to do (try --serve, --submit, --query, --flush, \
+           --compact, --shutdown, or --wait)\n";
+        1
+      end
+      else
+        let ( >>> ) prev next = match prev with Ok () -> next () | e -> e in
+        let simple req () = Result.map ignore (rpc_or_fail ~socket req) in
+        let degraded = ref false in
+        let result =
+          (if wait then
+             match Proto.wait_ready ~socket ~timeout with
+             | Ok () -> Ok ()
+             | Error e ->
+               Printf.eprintf "profd: %s\n" e;
+               Error 1
+           else Ok ())
+          >>> (fun () ->
+                if files = [] then Ok ()
+                else
+                  match submit_files ~socket ~label files with
+                  | Ok () -> Ok ()
+                  | Error 2 ->
+                    degraded := true;
+                    Ok ()
+                  | Error c -> Error c)
+          >>> (fun () -> if do_flush then simple Flush () else Ok ())
+          >>> (fun () -> if do_compact then simple Compact () else Ok ())
+          >>> (fun () ->
+                match query with
+                | None -> Ok ()
+                | Some `Top ->
+                  Result.bind (rpc_or_fail ~socket (Query_top top_n))
+                    (write_out out)
+                | Some `Report ->
+                  Result.bind (rpc_or_fail ~socket Query_report) (write_out out)
+                | Some `Stats ->
+                  Result.bind (rpc_or_fail ~socket Query_stats) (write_out out))
+          >>> fun () -> if do_shutdown then simple Shutdown () else Ok ()
+        in
+        match result with
+        | Ok () -> if !degraded then 2 else 0
+        | Error c -> c)
+
+let serve_flag =
+  Arg.(value & flag & info [ "serve" ]
+         ~doc:"Run as the aggregation daemon (requires --store).")
+
+let socket =
+  Arg.(value & opt string "profd.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path to serve on or connect to.")
+
+let store_dir =
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+         ~doc:"Profile store directory (created on first --serve).")
+
+let shards =
+  Arg.(value & opt int Store.default_shards & info [ "shards" ] ~docv:"N"
+         ~doc:"Shard count when creating a new store (an existing store \
+               keeps the count in its manifest).")
+
+let batch =
+  Arg.(value & opt int 64 & info [ "batch" ] ~docv:"N"
+         ~doc:"Ingest queue size trigger: flush after $(docv) buffered \
+               profiles (1 = every submission is durable immediately).")
+
+let max_age =
+  Arg.(value & opt float 5.0 & info [ "max-age" ] ~docv:"SECONDS"
+         ~doc:"Ingest queue age trigger: flush when the oldest buffered \
+               profile has waited $(docv) seconds.")
+
+let wait =
+  Arg.(value & flag & info [ "wait" ]
+         ~doc:"Client: poll until the daemon answers (readiness gate for \
+               scripts).")
+
+let timeout =
+  Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"How long --wait polls before giving up.")
+
+let files =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"Profile data files (for --submit batches and \
+               --merge-offline).")
+
+let submit =
+  Arg.(value & flag & info [ "submit" ]
+         ~doc:"Client: send each positional $(i,FILE) to the daemon as one \
+               submission. Exits 2 when any was quarantined.")
+
+let label =
+  Arg.(value & opt (some string) None & info [ "label" ] ~docv:"LABEL"
+         ~doc:"Submission label (the shard key); defaults to each file's \
+               basename.")
+
+let query =
+  Arg.(value
+       & opt (some (enum [ ("top", `Top); ("report", `Report); ("stats", `Stats) ]))
+           None
+       & info [ "query" ] ~docv:"WHAT"
+           ~doc:"Client: query the daemon — $(b,top) (heaviest histogram \
+                 buckets), $(b,report) (the merged profile as gmon bytes; \
+                 use --out), or $(b,stats) (JSON).")
+
+let top_n =
+  Arg.(value & opt int 10 & info [ "top-n" ] ~docv:"N"
+         ~doc:"Bucket count for --query top.")
+
+let out =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Write the query response to $(docv) ('-' = stdout).")
+
+let do_flush =
+  Arg.(value & flag & info [ "flush" ]
+         ~doc:"Client: force the daemon's ingest queue to the store.")
+
+let do_compact =
+  Arg.(value & flag & info [ "compact" ]
+         ~doc:"Client: fold every shard's segment tail into its compacted \
+               profile.")
+
+let do_shutdown =
+  Arg.(value & flag & info [ "shutdown" ]
+         ~doc:"Client: flush, then stop the daemon.")
+
+let offline_out =
+  Arg.(value & opt (some string) None & info [ "merge-offline" ] ~docv:"OUT"
+         ~doc:"No daemon: merge the positional $(i,FILE)s with \
+               Gmon.merge_all and save the sum to $(docv) — the baseline \
+               the store's merged view must equal.")
+
+let obs_metrics =
+  Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
+         ~doc:"Write the metrics registry (store.*, ingest.*, profd.*) as \
+               JSON to $(docv) ('-' for stdout) on exit.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "profd" ~doc:"profile aggregation daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "profd ingests gmon profile payloads from many runs into a \
+              sharded on-disk store, compacts them with balanced pairwise \
+              merging, and serves merged views — the paper's 'data from \
+              several runs can be summed', run as a service. One binary is \
+              both the daemon (--serve) and its client (--submit, --query, \
+              --flush, --compact, --shutdown, --wait).";
+         ])
+    Term.(
+      const run $ serve_flag $ socket $ store_dir $ shards $ batch $ max_age
+      $ wait $ timeout
+      $ (const (fun submit files ->
+             ignore submit;
+             files)
+         $ submit $ files)
+      $ label $ query $ top_n $ out $ do_flush $ do_compact $ do_shutdown
+      $ offline_out $ obs_metrics)
+
+let () = exit (Cmd.eval' cmd)

@@ -143,12 +143,30 @@ let merge a b =
       }
   end
 
+(* Balanced k-way summing: merge adjacent pairs until one profile
+   remains. The tree shape is invisible in the result — histogram and
+   arc addition are exact integer sums, so any association yields the
+   same profile (tested) — but a balanced tree keeps every intermediate
+   arc list near its final merged size instead of replaying the
+   accumulated union against each new input, as the old left fold did.
+   The store's compaction funnels through this same code path. *)
 let merge_all = function
   | [] -> Error "no profiles to merge"
-  | x :: rest ->
-    List.fold_left
-      (fun acc y -> Result.bind acc (fun a -> merge a y))
-      (Ok x) rest
+  | [ g ] -> Ok g
+  | gs ->
+    let rec round acc = function
+      | [] -> Ok (List.rev acc)
+      | [ x ] -> Ok (List.rev (x :: acc))
+      | x :: y :: rest -> (
+        match merge x y with
+        | Error e -> Error e
+        | Ok m -> round (m :: acc) rest)
+    in
+    let rec loop = function
+      | [ g ] -> Ok g
+      | gs -> ( match round [] gs with Error e -> Error e | Ok gs' -> loop gs')
+    in
+    loop gs
 
 (* --- fault-tolerant binary serialization ---------------------------- *)
 

@@ -71,7 +71,12 @@ val merge : t -> t -> (t, string) result
     [runs] add. Commutative and associative (tested). *)
 
 val merge_all : t list -> (t, string) result
-(** Fold {!merge} over a non-empty list. *)
+(** Sum a non-empty list by balanced pairwise merging: adjacent pairs
+    are merged until one profile remains. Because {!merge} is an exact
+    integer sum, the tree shape cannot change the result — the outcome
+    is [Gmon.equal] to any left fold of {!merge} (tested) — but the
+    balanced tree avoids replaying the accumulated arc union against
+    every input. The profile store's compaction uses this same path. *)
 
 (** {1 Fault-tolerant serialization}
 

@@ -1,0 +1,100 @@
+(* The batching ingestion queue. Decode strictly at the door,
+   quarantine failures immediately, buffer the rest, and flush whole
+   batches to the store on a size or age trigger. *)
+
+type entry = { e_label : string; e_profile : Gmon.t }
+
+type t = {
+  ing_store : Store.t;
+  max_batch : int;
+  max_age : float;
+  mutable buffer : entry list;  (* newest first *)
+  mutable oldest : float;  (* arrival time of the oldest buffered entry *)
+}
+
+let m_submitted =
+  Obs.Metrics.counter Obs.Metrics.default "ingest.submitted"
+    ~help:"submissions accepted into the queue"
+
+let m_quarantined =
+  Obs.Metrics.counter Obs.Metrics.default "ingest.quarantined"
+    ~help:"submissions rejected at decode and quarantined"
+
+let m_batches =
+  Obs.Metrics.counter Obs.Metrics.default "ingest.batches"
+    ~help:"batch flushes performed"
+
+let m_flushed =
+  Obs.Metrics.counter Obs.Metrics.default "ingest.flushed_profiles"
+    ~help:"profiles appended to the store by batch flushes"
+
+let m_batch_size =
+  Obs.Metrics.histogram Obs.Metrics.default "ingest.batch_size"
+    ~help:"profiles per flushed batch"
+
+let m_bytes =
+  Obs.Metrics.counter Obs.Metrics.default "ingest.bytes_received"
+    ~help:"submission bytes presented to the queue"
+
+let create ?(max_batch = 64) ?(max_age = 5.0) store =
+  {
+    ing_store = store;
+    max_batch = max 1 max_batch;
+    max_age = Float.max 0.0 max_age;
+    buffer = [];
+    oldest = 0.0;
+  }
+
+let store t = t.ing_store
+
+let pending t = List.length t.buffer
+
+type outcome = Queued of int | Flushed of int | Quarantined of string
+
+let flush t =
+  match t.buffer with
+  | [] -> Ok 0
+  | entries ->
+    let batch = List.rev entries in
+    t.buffer <- [];
+    Obs.Trace.with_span ~cat:"ingest" "ingest-flush"
+      ~args:[ ("batch", string_of_int (List.length batch)) ]
+    @@ fun () ->
+    let rec go n = function
+      | [] ->
+        Obs.Metrics.incr m_batches;
+        Obs.Metrics.incr m_flushed ~by:n;
+        Obs.Metrics.observe m_batch_size n;
+        Ok n
+      | e :: rest -> (
+        match Store.append t.ing_store ~label:e.e_label e.e_profile with
+        | Ok () -> go (n + 1) rest
+        | Error err ->
+          (* keep what did not reach the store: the next flush (or the
+             caller's retry) sees it again *)
+          t.buffer <- List.rev (e :: rest) @ t.buffer;
+          Error err)
+    in
+    go 0 batch
+
+let submit t ~label bytes =
+  Obs.Metrics.incr m_bytes ~by:(String.length bytes);
+  match Gmon.decode ~mode:`Strict bytes with
+  | Error e ->
+    Obs.Metrics.incr m_quarantined;
+    let reason = Gmon.decode_error_to_string e in
+    Result.map
+      (fun _ -> Quarantined reason)
+      (Store.append_bytes t.ing_store ~label bytes)
+  | Ok (g, _) ->
+    Obs.Metrics.incr m_submitted;
+    if t.buffer = [] then t.oldest <- Unix.gettimeofday ();
+    t.buffer <- { e_label = label; e_profile = g } :: t.buffer;
+    let n = List.length t.buffer in
+    if n >= t.max_batch then Result.map (fun k -> Flushed k) (flush t)
+    else Ok (Queued n)
+
+let tick t =
+  if t.buffer <> [] && Unix.gettimeofday () -. t.oldest >= t.max_age then
+    flush t
+  else Ok 0

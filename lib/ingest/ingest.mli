@@ -1,0 +1,46 @@
+(** The batching ingestion queue in front of the profile store.
+
+    Continuous profiling means submissions arrive one at a time, but
+    appending every one of them to disk individually wastes the
+    store's sequential write path. The queue buffers decoded
+    submissions and flushes a whole batch when either trigger fires:
+
+    - {b size}: the buffer reached [max_batch] profiles;
+    - {b age}: the oldest buffered profile has waited [max_age]
+      seconds ({!tick} checks this — a daemon calls it from its idle
+      loop).
+
+    Submissions are decoded {e strictly} on arrival: an undecodable
+    payload goes to the store's quarantine with its per-file
+    diagnostics immediately ([`Quarantined]) and can never poison a
+    batch. Every flush publishes batch metrics ([ingest.*]) and a
+    span to {!Obs}. *)
+
+type t
+
+val create : ?max_batch:int -> ?max_age:float -> Store.t -> t
+(** Defaults: [max_batch = 64], [max_age = 5.0] seconds. A
+    [max_batch] of 1 makes every submission durable immediately. *)
+
+val store : t -> Store.t
+
+val pending : t -> int
+(** Profiles buffered and not yet flushed. *)
+
+type outcome =
+  | Queued of int  (** buffered; the batch now holds this many *)
+  | Flushed of int  (** buffered, and a size-triggered flush wrote this many *)
+  | Quarantined of string  (** undecodable; the per-file diagnostics *)
+
+val submit : t -> label:string -> string -> (outcome, string) result
+(** Decode one submission and buffer it (or quarantine it). [Error]
+    only on IO failures — a daemon treats those as fatal for the
+    request, never for the process. *)
+
+val flush : t -> (int, string) result
+(** Append every buffered profile to the store now; returns how many
+    were written. A failed append re-buffers the remaining tail so no
+    accepted submission is silently dropped. *)
+
+val tick : t -> (int, string) result
+(** Flush if the age trigger fired; [Ok 0] otherwise. *)

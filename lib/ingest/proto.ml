@@ -1,0 +1,149 @@
+(* The profd wire protocol: u32-LE length-prefixed frames carrying a
+   verb line plus an optional binary payload. See proto.mli for the
+   grammar. *)
+
+type request =
+  | Submit of { label : string; payload : string }
+  | Query_top of int
+  | Query_report
+  | Query_stats
+  | Flush
+  | Compact
+  | Shutdown
+
+type response = Resp_ok of string | Resp_err of string
+
+let max_frame = 64 * 1024 * 1024
+
+let valid_label s =
+  s <> "" && String.length s <= 256
+  && not (String.exists (fun c -> c = '\n' || c = '\r') s)
+
+(* --- frame transport -------------------------------------------------- *)
+
+let rec write_all fd bytes off len =
+  if len = 0 then Ok ()
+  else
+    match Unix.write fd bytes off len with
+    | n -> write_all fd bytes (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let rec read_all fd bytes off len =
+  if len = 0 then Ok ()
+  else
+    match Unix.read fd bytes off len with
+    | 0 -> Error (Printf.sprintf "connection closed with %d byte(s) missing" len)
+    | n -> read_all fd bytes (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all fd bytes off len
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let write_frame fd body =
+  let len = String.length body in
+  if len > max_frame then
+    Error (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" len max_frame)
+  else begin
+    let b = Bytes.create (4 + len) in
+    Bytes.set_int32_le b 0 (Int32.of_int len);
+    Bytes.blit_string body 0 b 4 len;
+    write_all fd b 0 (4 + len)
+  end
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_all fd hdr 0 4 with
+  | Error e -> Error e
+  | Ok () -> (
+    let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    if len < 0 || len > max_frame then
+      Error
+        (Printf.sprintf "frame length %d outside [0,%d] (corrupt stream?)" len
+           max_frame)
+    else
+      let body = Bytes.create len in
+      match read_all fd body 0 len with
+      | Error e -> Error e
+      | Ok () -> Ok (Bytes.unsafe_to_string body))
+
+(* --- body codecs ------------------------------------------------------ *)
+
+let encode_request = function
+  | Submit { label; payload } -> Printf.sprintf "SUBMIT %s\n%s" label payload
+  | Query_top n -> Printf.sprintf "QUERY top %d\n" n
+  | Query_report -> "QUERY report\n"
+  | Query_stats -> "QUERY stats\n"
+  | Flush -> "FLUSH\n"
+  | Compact -> "COMPACT\n"
+  | Shutdown -> "SHUTDOWN\n"
+
+let split_verb_line body =
+  match String.index_opt body '\n' with
+  | None -> (body, "")
+  | Some i ->
+    (String.sub body 0 i, String.sub body (i + 1) (String.length body - i - 1))
+
+let decode_request body =
+  let line, payload = split_verb_line body in
+  match String.split_on_char ' ' line with
+  | [ "SUBMIT"; label ] ->
+    if valid_label label then Ok (Submit { label; payload })
+    else Error (Printf.sprintf "invalid label %S" label)
+  | [ "QUERY"; "top"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 1 && n <= 1_000_000 -> Ok (Query_top n)
+    | _ -> Error (Printf.sprintf "invalid top count %S" n))
+  | [ "QUERY"; "report" ] -> Ok Query_report
+  | [ "QUERY"; "stats" ] -> Ok Query_stats
+  | [ "FLUSH" ] -> Ok Flush
+  | [ "COMPACT" ] -> Ok Compact
+  | [ "SHUTDOWN" ] -> Ok Shutdown
+  | _ -> Error (Printf.sprintf "unknown request %S" line)
+
+let encode_response = function
+  | Resp_ok payload -> "OK\n" ^ payload
+  | Resp_err msg -> Printf.sprintf "ERR %s\n" (String.map (function '\n' -> ' ' | c -> c) msg)
+
+let decode_response body =
+  let line, payload = split_verb_line body in
+  if line = "OK" then Ok (Resp_ok payload)
+  else
+    match String.index_opt line ' ' with
+    | Some 3 when String.sub line 0 3 = "ERR" ->
+      Ok (Resp_err (String.sub line 4 (String.length line - 4)))
+    | _ -> Error (Printf.sprintf "malformed response line %S" line)
+
+(* --- client side ------------------------------------------------------ *)
+
+let rpc ~socket req =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "%s: %s" socket (Unix.error_message e))
+        | () -> (
+          match write_frame fd (encode_request req) with
+          | Error e -> Error e
+          | Ok () -> (
+            match read_frame fd with
+            | Error e -> Error e
+            | Ok body -> decode_response body)))
+
+let wait_ready ~socket ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec poll () =
+    match rpc ~socket Query_stats with
+    | Ok (Resp_ok _) -> Ok ()
+    | Ok (Resp_err e) -> Error (Printf.sprintf "daemon answered with: %s" e)
+    | Error e ->
+      if Unix.gettimeofday () >= deadline then
+        Error (Printf.sprintf "daemon not ready after %.1fs: %s" timeout e)
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        poll ()
+      end
+  in
+  poll ()

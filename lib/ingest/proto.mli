@@ -1,0 +1,78 @@
+(** The profd wire protocol: length-prefixed frames over a
+    Unix-domain stream socket.
+
+    Every message — request or response — is one frame:
+
+    {v
+      +----------------+---------------------+
+      | u32 LE length  |  body (length bytes)|
+      +----------------+---------------------+
+    v}
+
+    A request body is a verb line terminated by ['\n'], optionally
+    followed by a binary payload (the rest of the frame):
+
+    {v
+      SUBMIT <label>\n<gmon bytes>     ingest one profile
+      QUERY top <n>\n                  top-N buckets by self ticks
+      QUERY report\n                   the merged profile, as gmon bytes
+      QUERY stats\n                    store + queue statistics, JSON
+      FLUSH\n                          force the ingest queue to the store
+      COMPACT\n                        fold every shard's tail
+      SHUTDOWN\n                       flush, then stop serving
+    v}
+
+    A response body is a status line, then a payload:
+
+    {v
+      OK\n<payload>
+      ERR <message>\n
+    v}
+
+    Labels must be non-empty and newline-free. Frames are capped at
+    {!max_frame} bytes so a corrupt or hostile length prefix cannot
+    make either side allocate unboundedly. *)
+
+type request =
+  | Submit of { label : string; payload : string }
+  | Query_top of int
+  | Query_report
+  | Query_stats
+  | Flush
+  | Compact
+  | Shutdown
+
+type response = Resp_ok of string | Resp_err of string
+
+val max_frame : int
+(** 64 MiB. *)
+
+val valid_label : string -> bool
+
+(** {1 Frame transport} *)
+
+val write_frame : Unix.file_descr -> string -> (unit, string) result
+
+val read_frame : Unix.file_descr -> (string, string) result
+(** [Error] on EOF, a short read, or an oversized length prefix. *)
+
+(** {1 Body codecs} *)
+
+val encode_request : request -> string
+
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+
+val decode_response : string -> (response, string) result
+
+(** {1 Client side} *)
+
+val rpc : socket:string -> request -> (response, string) result
+(** Connect to a daemon, send one request, read one response, close.
+    [Error] carries connect/transport failures (e.g. no daemon
+    listening); a daemon-side failure arrives as [Resp_err]. *)
+
+val wait_ready : socket:string -> timeout:float -> (unit, string) result
+(** Poll {!rpc}[ Query_stats] until the daemon answers or [timeout]
+    seconds elapse. *)

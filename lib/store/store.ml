@@ -1,0 +1,669 @@
+(* The sharded, append-only profile store. See store.mli for the
+   design contract; the layout on disk is
+
+     DIR/MANIFEST                versioned header naming the shard count
+     DIR/shard-NNN/seg-S.gmon    uncompacted tail segments (whole gmon
+                                 payloads, checksum-framed, atomic)
+     DIR/shard-NNN/compact-S.gmon  the shard's folded profile; S is the
+                                 highest segment sequence folded into it
+     DIR/quarantine/q-*.bin      rejected submissions + .reason sidecars
+
+   Everything durable goes through Gmon's crash-safe writer, so every
+   file is either complete and checksummed or absent — recovery is a
+   directory scan, not a log replay. The folded-through sequence number
+   in the compact file's own name is what makes the scan unambiguous: a
+   crash between "rename compact-N into place" and "delete the folded
+   segments" leaves segments with seq <= N on disk, and recovery knows
+   they are already counted and removes them instead of double-merging
+   them. *)
+
+type shard = {
+  sh_index : int;
+  sh_dir : string;
+  (* tail segments: (sequence, path, runs), oldest first *)
+  mutable sh_segments : (int * string * int) list;
+  mutable sh_next_seq : int;
+  mutable sh_compact : Gmon.t option;
+  mutable sh_compact_seq : int;  (* 0 = no compact file *)
+  (* memoized merged view; [None] = invalid, [Some v] = computed
+     (where [v = None] means the shard is empty) *)
+  mutable sh_cache : Gmon.t option option;
+}
+
+type t = {
+  dir : string;
+  n_shards : int;
+  shards : shard array;
+  mutable next_quarantine : int;
+}
+
+type open_report = {
+  or_created : bool;
+  or_segments : int;
+  or_compacted : int;
+  or_salvaged : int;
+  or_quarantined : Gmon.quarantined list;
+  or_notes : string list;
+}
+
+let open_report_degraded r =
+  r.or_salvaged > 0 || r.or_quarantined <> [] || r.or_notes <> []
+
+let open_report_summary r =
+  let part cond s = if cond then [ s ] else [] in
+  String.concat "; "
+    (part (r.or_salvaged > 0)
+       (Printf.sprintf "%d torn file(s) salvaged" r.or_salvaged)
+    @ part
+        (r.or_quarantined <> [])
+        (Printf.sprintf "%d file(s) quarantined" (List.length r.or_quarantined))
+    @ r.or_notes)
+
+let default_shards = 8
+
+(* --- observability --------------------------------------------------- *)
+
+let m_appends =
+  Obs.Metrics.counter Obs.Metrics.default "store.appends"
+    ~help:"profiles durably appended as segments"
+
+let m_quarantined =
+  Obs.Metrics.counter Obs.Metrics.default "store.quarantined"
+    ~help:"submissions and torn files moved to quarantine"
+
+let m_compactions = Obs.Metrics.counter Obs.Metrics.default "store.compactions"
+
+let m_segments_folded =
+  Obs.Metrics.counter Obs.Metrics.default "store.segments_folded"
+    ~help:"tail segments folded into compact profiles"
+
+let m_cache_hits =
+  Obs.Metrics.counter Obs.Metrics.default "store.cache.hits"
+    ~help:"shard queries served from the cached merged view"
+
+let m_cache_misses =
+  Obs.Metrics.counter Obs.Metrics.default "store.cache.misses"
+    ~help:"shard queries that re-read and re-merged segments"
+
+let m_recovered =
+  Obs.Metrics.counter Obs.Metrics.default "store.recovered_segments"
+    ~help:"intact segments found when opening a store"
+
+let m_salvaged =
+  Obs.Metrics.counter Obs.Metrics.default "store.salvaged_segments"
+    ~help:"torn files recovered with data loss when opening a store"
+
+(* --- paths and small helpers ----------------------------------------- *)
+
+let manifest_magic = "PROFSTORE1\n"
+
+let manifest_path dir = Filename.concat dir "MANIFEST"
+
+let shard_dir dir i = Filename.concat dir (Printf.sprintf "shard-%03d" i)
+
+let quarantine_dir_of dir = Filename.concat dir "quarantine"
+
+let segment_path sh seq =
+  Filename.concat sh.sh_dir (Printf.sprintf "seg-%08d.gmon" seq)
+
+let compact_path sh seq =
+  Filename.concat sh.sh_dir (Printf.sprintf "compact-%08d.gmon" seq)
+
+let scan_seq fmt name =
+  try Scanf.sscanf name fmt (fun n -> Some n)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let segment_seq name = scan_seq "seg-%d.gmon%!" name
+
+let compact_seq name = scan_seq "compact-%d.gmon%!" name
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  try
+    go path;
+    if Sys.is_directory path then Ok ()
+    else Error (Printf.sprintf "%s: exists and is not a directory" path)
+  with Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: cannot create: %s" path (Unix.error_message e))
+
+let list_dir path =
+  match Sys.readdir path with
+  | entries -> List.sort compare (Array.to_list entries)
+  | exception Sys_error _ -> []
+
+let file_size path = match (Unix.stat path).st_size with n -> n | exception _ -> 0
+
+let read_file path =
+  try Some (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error _ -> None
+
+(* --- manifest --------------------------------------------------------- *)
+
+let write_manifest dir ~shards =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf manifest_magic;
+  Buffer.add_string buf (Printf.sprintf "shards %d\n" shards);
+  Gmon.Wire.add_footer buf;
+  Gmon.Wire.write_file_atomic ~what:"store manifest" (manifest_path dir)
+    (Buffer.contents buf)
+
+let read_manifest dir =
+  match read_file (manifest_path dir) with
+  | None -> `Missing
+  | Some s -> (
+    let state, body_len = Gmon.Wire.split_footer s in
+    let mlen = String.length manifest_magic in
+    if state <> `Ok then `Corrupt "checksum failure (torn write?)"
+    else if body_len < mlen || String.sub s 0 mlen <> manifest_magic then
+      `Corrupt "bad magic"
+    else
+      match
+        Scanf.sscanf
+          (String.sub s mlen (body_len - mlen))
+          "shards %d\n%!"
+          (fun n -> n)
+      with
+      | n when n >= 1 && n <= 4096 -> `Shards n
+      | n -> `Corrupt (Printf.sprintf "absurd shard count %d" n)
+      | exception _ -> `Corrupt "unparseable body")
+
+(* --- quarantine ------------------------------------------------------- *)
+
+let quarantine_bytes t ~origin ~reason bytes =
+  let seq = t.next_quarantine in
+  t.next_quarantine <- seq + 1;
+  let base =
+    Filename.concat (quarantine_dir_of t.dir) (Printf.sprintf "q-%06d" seq)
+  in
+  Obs.Metrics.incr m_quarantined;
+  match
+    Gmon.Wire.write_file_atomic ~what:"quarantined submission" (base ^ ".bin")
+      bytes
+  with
+  | Error e -> Error e
+  | Ok () ->
+    (* the sidecar is advisory: losing it to a crash costs diagnostics,
+       never data *)
+    Gmon.Wire.write_file_atomic ~what:"quarantine reason" (base ^ ".reason")
+      (Printf.sprintf "origin: %s\nreason: %s\n" origin reason)
+
+(* --- opening and recovery -------------------------------------------- *)
+
+type recovery = {
+  mutable rv_segments : int;
+  mutable rv_compacted : int;
+  mutable rv_salvaged : int;
+  mutable rv_quarantined : Gmon.quarantined list;
+  mutable rv_notes : string list;
+}
+
+let quarantine_file t rv path reason =
+  let bytes = Option.value ~default:"" (read_file path) in
+  (match quarantine_bytes t ~origin:path ~reason bytes with
+  | Ok () | Error _ -> ());
+  (try Sys.remove path with Sys_error _ -> ());
+  rv.rv_quarantined <- { Gmon.q_path = path; q_reason = reason } :: rv.rv_quarantined
+
+(* Choose the shard's compacted state. Compact files are examined from
+   the highest folded-through sequence down; the first that decodes
+   strictly wins. A higher compact file that does not decode can only
+   be the remains of an interrupted (or fault-injected) compaction
+   whose segments were therefore never deleted, so its content is still
+   covered by the lower compact plus the surviving segments — it is
+   quarantined, not salvaged. Only when no compact file decodes at all
+   is the newest one salvaged, since then its valid prefix is the best
+   remaining evidence. Lower intact compact files are subsumed by the
+   chosen one and removed. *)
+let recover_compacts t rv sh compacts =
+  let ordered = List.sort (fun (a, _) (b, _) -> compare b a) compacts in
+  let rec choose damaged = function
+    | [] -> (
+      (* nothing strict-clean; salvage the newest damaged one, if any *)
+      match List.rev damaged with
+      | [] -> ()
+      | (seq, path) :: rest -> (
+        List.iter
+          (fun (_, p) ->
+            quarantine_file t rv p "superseded torn compact profile")
+          rest;
+        match Gmon.load_report ~mode:`Salvage path with
+        | Ok (g, rep) ->
+          (match Gmon.save g path with Ok () | Error _ -> ());
+          sh.sh_compact <- Some g;
+          sh.sh_compact_seq <- seq;
+          Obs.Metrics.incr m_salvaged;
+          rv.rv_compacted <- rv.rv_compacted + 1;
+          rv.rv_salvaged <- rv.rv_salvaged + 1;
+          rv.rv_notes <-
+            Printf.sprintf "%s: salvaged (%s)" path (Gmon.report_summary rep)
+            :: rv.rv_notes
+        | Error e ->
+          quarantine_file t rv path
+            (Gmon.decode_error_to_string { e with de_path = None })))
+    | (seq, path) :: rest -> (
+      match Gmon.load path with
+      | Ok g ->
+        sh.sh_compact <- Some g;
+        sh.sh_compact_seq <- seq;
+        rv.rv_compacted <- rv.rv_compacted + 1;
+        (* everything below is strictly subsumed; everything damaged
+           above is covered by us + surviving segments *)
+        List.iter
+          (fun (_, p) ->
+            quarantine_file t rv p "torn compact profile (interrupted \
+                                    compaction; its segments survive)")
+          (List.rev damaged);
+        List.iter
+          (fun (_, p) ->
+            rv.rv_notes <-
+              Printf.sprintf "%s: removed (subsumed by newer compaction)" p
+              :: rv.rv_notes;
+            try Sys.remove p with Sys_error _ -> ())
+          rest
+      | Error _ -> choose ((seq, path) :: damaged) rest)
+  in
+  choose [] ordered
+
+let recover_shard t rv sh =
+  let entries = list_dir sh.sh_dir in
+  let compacts =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun seq -> (seq, Filename.concat sh.sh_dir name))
+          (compact_seq name))
+      entries
+  in
+  recover_compacts t rv sh compacts;
+  List.iter
+    (fun name ->
+      match segment_seq name with
+      | None -> () (* stray or temp file; leave it alone *)
+      | Some seq -> (
+        let path = Filename.concat sh.sh_dir name in
+        sh.sh_next_seq <- max sh.sh_next_seq (seq + 1);
+        if seq <= sh.sh_compact_seq then begin
+          (* already folded into the compact profile: the remains of an
+             interrupted post-compaction delete *)
+          rv.rv_notes <-
+            Printf.sprintf "%s: removed (already folded into compaction %d)"
+              path sh.sh_compact_seq
+            :: rv.rv_notes;
+          try Sys.remove path with Sys_error _ -> ()
+        end
+        else
+          match Gmon.load path with
+          | Ok g ->
+            sh.sh_segments <- (seq, path, g.Gmon.runs) :: sh.sh_segments;
+            Obs.Metrics.incr m_recovered;
+            rv.rv_segments <- rv.rv_segments + 1
+          | Error _ -> (
+            match Gmon.load_report ~mode:`Salvage path with
+            | Ok (g, rep) ->
+              (* rewrite the salvaged prefix so the segment is intact
+                 from here on; a failed rewrite keeps the torn file for
+                 the next recovery *)
+              (match Gmon.save g path with Ok () | Error _ -> ());
+              sh.sh_segments <- (seq, path, g.Gmon.runs) :: sh.sh_segments;
+              Obs.Metrics.incr m_salvaged;
+              rv.rv_segments <- rv.rv_segments + 1;
+              rv.rv_salvaged <- rv.rv_salvaged + 1;
+              rv.rv_notes <-
+                Printf.sprintf "%s: salvaged (%s)" path
+                  (Gmon.report_summary rep)
+                :: rv.rv_notes
+            | Error e ->
+              quarantine_file t rv path
+                (Gmon.decode_error_to_string { e with de_path = None }))))
+    entries;
+  sh.sh_next_seq <- max sh.sh_next_seq (sh.sh_compact_seq + 1);
+  sh.sh_segments <- List.sort compare sh.sh_segments
+
+let open_ ?(shards = default_shards) dir =
+  if shards < 1 || shards > 4096 then
+    Error (Printf.sprintf "store: absurd shard count %d" shards)
+  else
+    Obs.Trace.with_span ~cat:"store" "store-open" ~args:[ ("dir", dir) ]
+    @@ fun () ->
+    Result.bind (mkdir_p dir) @@ fun () ->
+    let existing_shard_dirs =
+      List.filter
+        (fun name ->
+          String.length name > 6
+          && String.sub name 0 6 = "shard-"
+          && Sys.is_directory (Filename.concat dir name))
+        (list_dir dir)
+    in
+    let notes = ref [] in
+    let created = ref false in
+    let shard_count =
+      match read_manifest dir with
+      | `Shards n ->
+        if List.length existing_shard_dirs <= n then Ok n
+        else
+          Error
+            (Printf.sprintf
+               "store %s: manifest says %d shard(s) but %d shard directories \
+                exist"
+               dir n
+               (List.length existing_shard_dirs))
+      | `Missing when existing_shard_dirs = [] ->
+        (* a fresh store *)
+        created := true;
+        Result.map (fun () -> shards) (write_manifest dir ~shards)
+      | `Missing ->
+        (* segments exist but the manifest is gone: the shard count is
+           load-bearing (it is the label-to-shard map), so rebuild it
+           from the directories and say so *)
+        let n = List.length existing_shard_dirs in
+        notes :=
+          Printf.sprintf "manifest missing; rebuilt for %d shard(s)" n :: !notes;
+        Result.map (fun () -> n) (write_manifest dir ~shards:n)
+      | `Corrupt why ->
+        if existing_shard_dirs = [] then begin
+          created := true;
+          notes := Printf.sprintf "manifest corrupt (%s); recreated" why :: !notes;
+          Result.map (fun () -> shards) (write_manifest dir ~shards)
+        end
+        else begin
+          let n = List.length existing_shard_dirs in
+          notes :=
+            Printf.sprintf "manifest corrupt (%s); rebuilt for %d shard(s)" why n
+            :: !notes;
+          Result.map (fun () -> n) (write_manifest dir ~shards:n)
+        end
+    in
+    Result.bind shard_count @@ fun n_shards ->
+    Result.bind (mkdir_p (quarantine_dir_of dir)) @@ fun () ->
+    let mk i =
+      {
+        sh_index = i;
+        sh_dir = shard_dir dir i;
+        sh_segments = [];
+        sh_next_seq = 1;
+        sh_compact = None;
+        sh_compact_seq = 0;
+        sh_cache = None;
+      }
+    in
+    let shards_arr = Array.init n_shards mk in
+    let rec make_dirs i =
+      if i >= n_shards then Ok ()
+      else
+        match mkdir_p shards_arr.(i).sh_dir with
+        | Error e -> Error e
+        | Ok () -> make_dirs (i + 1)
+    in
+    Result.bind (make_dirs 0) @@ fun () ->
+    let next_q =
+      List.fold_left
+        (fun acc name ->
+          match scan_seq "q-%d.bin%!" name with
+          | Some n -> max acc (n + 1)
+          | None -> acc)
+        1
+        (list_dir (quarantine_dir_of dir))
+    in
+    let t = { dir; n_shards; shards = shards_arr; next_quarantine = next_q } in
+    let rv =
+      {
+        rv_segments = 0;
+        rv_compacted = 0;
+        rv_salvaged = 0;
+        rv_quarantined = [];
+        rv_notes = [];
+      }
+    in
+    Array.iter (recover_shard t rv) shards_arr;
+    Ok
+      ( t,
+        {
+          or_created = !created;
+          or_segments = rv.rv_segments;
+          or_compacted = rv.rv_compacted;
+          or_salvaged = rv.rv_salvaged;
+          or_quarantined = List.rev rv.rv_quarantined;
+          or_notes = List.rev !notes @ List.rev rv.rv_notes;
+        } )
+
+let dir t = t.dir
+
+let n_shards t = t.n_shards
+
+let quarantine_dir t = quarantine_dir_of t.dir
+
+let shard_of_label t label =
+  Int64.to_int
+    (Int64.rem
+       (Int64.logand (Gmon.Wire.fnv1a64 label) Int64.max_int)
+       (Int64.of_int t.n_shards))
+
+(* --- appending -------------------------------------------------------- *)
+
+let append t ~label g =
+  let sh = t.shards.(shard_of_label t label) in
+  let seq = sh.sh_next_seq in
+  let path = segment_path sh seq in
+  (* bump first: even a failed (torn) write may leave a file at this
+     path, and a retry must not collide with it *)
+  sh.sh_next_seq <- seq + 1;
+  match Gmon.save g path with
+  | Error e -> Error e
+  | Ok () ->
+    sh.sh_segments <- sh.sh_segments @ [ (seq, path, g.Gmon.runs) ];
+    sh.sh_cache <- None;
+    Obs.Metrics.incr m_appends;
+    Ok ()
+
+let append_bytes t ~label bytes =
+  match Gmon.decode ~mode:`Strict bytes with
+  | Ok (g, _) -> Result.map (fun () -> `Stored) (append t ~label g)
+  | Error e ->
+    let reason = Gmon.decode_error_to_string e in
+    Result.map
+      (fun () -> `Quarantined reason)
+      (quarantine_bytes t ~origin:("submission " ^ label) ~reason bytes)
+
+(* --- queries ---------------------------------------------------------- *)
+
+let load_segments sh =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (_, path, _) :: rest -> (
+      match Gmon.load path with
+      | Ok g -> go (g :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] sh.sh_segments
+
+let shard_view t i =
+  if i < 0 || i >= t.n_shards then
+    Error (Printf.sprintf "store: shard %d out of range [0,%d)" i t.n_shards)
+  else
+    let sh = t.shards.(i) in
+    match sh.sh_cache with
+    | Some v ->
+      Obs.Metrics.incr m_cache_hits;
+      Ok v
+    | None -> (
+      Obs.Metrics.incr m_cache_misses;
+      Obs.Trace.with_span ~cat:"store" "store-shard-view"
+        ~args:[ ("shard", string_of_int i) ]
+      @@ fun () ->
+      match load_segments sh with
+      | Error e -> Error e
+      | Ok tail -> (
+        let parts =
+          match sh.sh_compact with Some c -> c :: tail | None -> tail
+        in
+        match parts with
+        | [] ->
+          sh.sh_cache <- Some None;
+          Ok None
+        | parts -> (
+          match Gmon.merge_all parts with
+          | Error e -> Error e
+          | Ok m ->
+            sh.sh_cache <- Some (Some m);
+            Ok (Some m))))
+
+let merged t =
+  let rec go acc i =
+    if i >= t.n_shards then Ok (List.rev acc)
+    else
+      match shard_view t i with
+      | Error e -> Error e
+      | Ok None -> go acc (i + 1)
+      | Ok (Some g) -> go (g :: acc) (i + 1)
+  in
+  match go [] 0 with
+  | Error e -> Error e
+  | Ok [] -> Ok None
+  | Ok parts -> Result.map Option.some (Gmon.merge_all parts)
+
+(* --- compaction ------------------------------------------------------- *)
+
+let compact_shard sh =
+  match sh.sh_segments with
+  | [] -> Ok 0
+  | segs -> (
+    match load_segments sh with
+    | Error e -> Error e
+    | Ok tail -> (
+      let parts = match sh.sh_compact with Some c -> c :: tail | None -> tail in
+      match Gmon.merge_all parts with
+      | Error e -> Error e
+      | Ok m -> (
+        let folded_seq =
+          List.fold_left (fun acc (s, _, _) -> max acc s) sh.sh_compact_seq segs
+        in
+        (* commit point: the rename of compact-<folded_seq> into place.
+           A crash before it loses nothing (the old compact and every
+           segment survive); a crash after it leaves stale segments
+           with seq <= folded_seq and possibly the old compact file,
+           all of which recovery identifies by sequence number and
+           removes without double-counting. *)
+        match Gmon.save m (compact_path sh folded_seq) with
+        | Error e -> Error e
+        | Ok () ->
+          List.iter
+            (fun (_, path, _) -> try Sys.remove path with Sys_error _ -> ())
+            segs;
+          if sh.sh_compact_seq > 0 then begin
+            try Sys.remove (compact_path sh sh.sh_compact_seq)
+            with Sys_error _ -> ()
+          end;
+          let n = List.length segs in
+          sh.sh_segments <- [];
+          sh.sh_compact <- Some m;
+          sh.sh_compact_seq <- folded_seq;
+          sh.sh_cache <- Some (Some m);
+          Obs.Metrics.incr m_segments_folded ~by:n;
+          Ok n)))
+
+let compact t =
+  Obs.Trace.with_span ~cat:"store" "store-compact" @@ fun () ->
+  Obs.Metrics.incr m_compactions;
+  let rec go acc i =
+    if i >= t.n_shards then Ok acc
+    else
+      match compact_shard t.shards.(i) with
+      | Error e -> Error e
+      | Ok n -> go (acc + n) (i + 1)
+  in
+  go 0 0
+
+(* --- stats ------------------------------------------------------------ *)
+
+type stats = {
+  st_shards : int;
+  st_segments : int;
+  st_compacted_runs : int;
+  st_total_runs : int;
+  st_quarantined : int;
+  st_cache_hits : int;
+  st_cache_misses : int;
+  st_disk_bytes : int;
+}
+
+let stats t =
+  let segments = ref 0 and compacted = ref 0 and tail_runs = ref 0 in
+  let bytes = ref 0 in
+  Array.iter
+    (fun sh ->
+      segments := !segments + List.length sh.sh_segments;
+      List.iter
+        (fun (_, path, runs) ->
+          tail_runs := !tail_runs + runs;
+          bytes := !bytes + file_size path)
+        sh.sh_segments;
+      match sh.sh_compact with
+      | Some c ->
+        compacted := !compacted + c.Gmon.runs;
+        bytes := !bytes + file_size (compact_path sh sh.sh_compact_seq)
+      | None -> ())
+    t.shards;
+  let quarantined =
+    List.length
+      (List.filter
+         (fun n -> Filename.check_suffix n ".bin")
+         (list_dir (quarantine_dir t)))
+  in
+  {
+    st_shards = t.n_shards;
+    st_segments = !segments;
+    st_compacted_runs = !compacted;
+    st_total_runs = !compacted + !tail_runs;
+    st_quarantined = quarantined;
+    st_cache_hits = Obs.Metrics.counter_value m_cache_hits;
+    st_cache_misses = Obs.Metrics.counter_value m_cache_misses;
+    st_disk_bytes = !bytes;
+  }
+
+let stats_to_json s =
+  Printf.sprintf
+    "{\"shards\":%d,\"segments\":%d,\"compacted_runs\":%d,\"total_runs\":%d,\
+     \"quarantined\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"disk_bytes\":%d}"
+    s.st_shards s.st_segments s.st_compacted_runs s.st_total_runs
+    s.st_quarantined s.st_cache_hits s.st_cache_misses s.st_disk_bytes
+
+(* --- merged-view queries ---------------------------------------------- *)
+
+let top_buckets t ~n =
+  match merged t with
+  | Error e -> Error e
+  | Ok None -> Ok []
+  | Ok (Some g) ->
+    let nonzero = ref [] in
+    Array.iteri
+      (fun i c -> if c > 0 then nonzero := (i, c) :: !nonzero)
+      g.Gmon.hist.h_counts;
+    let sorted =
+      List.sort (fun (i1, c1) (i2, c2) -> compare (-c1, i1) (-c2, i2)) !nonzero
+    in
+    let rec take k = function
+      | [] -> []
+      | _ when k <= 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    Ok
+      (List.map
+         (fun (i, c) ->
+           let lo, hi = Gmon.bucket_range g.Gmon.hist i in
+           (lo, hi, c))
+         (take n sorted))
+
+let arc_totals t =
+  match merged t with
+  | Error e -> Error e
+  | Ok None -> Ok []
+  | Ok (Some g) ->
+    Ok
+      (List.map
+         (fun (a : Gmon.arc) -> (a.a_from, a.a_self, a.a_count))
+         g.Gmon.arcs)

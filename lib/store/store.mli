@@ -1,0 +1,126 @@
+(** The sharded, append-only profile store.
+
+    The paper's observation that "data from several runs can be
+    summed" scales badly when the runs arrive continuously from a
+    fleet: a one-shot [merge_all] over files re-reads and re-merges
+    everything on every question. The store gives ingested profiles a
+    durable home with incremental summing:
+
+    - {b Segments}: every accepted profile lands as its own segment
+      file in one of [n] shard directories (shard = FNV-1a hash of the
+      submission label). Segments are ordinary gmon payloads — framed
+      and checksummed by {!Gmon.Wire}, written with the crash-safe
+      temp-and-rename writer — so a kill at any instant leaves either
+      a complete, verifiable segment or nothing.
+    - {b Compaction}: a balanced k-way merge ({!Gmon.merge_all}'s
+      pairwise tree) folds a shard's compacted profile plus its tail
+      of segments into one [compact-<seq>.gmon] — named by the highest
+      segment sequence folded into it — then deletes the folded
+      segments. The fold is an exact integer sum, so compaction never
+      changes the merged view, and the sequence number in the file
+      name lets recovery drop stale leftovers without double-counting.
+    - {b Queries} serve from the compacted profile plus the
+      uncompacted tail. The merged view of each shard is cached and
+      invalidated only when a new segment lands; hits and misses are
+      published as [store.cache.hits]/[store.cache.misses].
+    - {b Quarantine}: undecodable submissions and unrecoverable torn
+      segments are moved aside with their diagnostics instead of
+      poisoning the shard.
+
+    Invariant (tested end to end): for any set of runs, the store's
+    merged view is {!Gmon.equal} to the offline {!Gmon.merge_all} of
+    the same files, whatever the interleaving of appends, compactions,
+    restarts, and crashes between them. *)
+
+type t
+
+type open_report = {
+  or_created : bool;  (** fresh store (no prior manifest or segments) *)
+  or_segments : int;  (** intact tail segments recovered *)
+  or_compacted : int;  (** shards holding a compacted profile *)
+  or_salvaged : int;  (** torn segments recovered with data loss *)
+  or_quarantined : Gmon.quarantined list;
+      (** segments that decoded to nothing and were moved aside *)
+  or_notes : string list;  (** human diagnostics, e.g. a rebuilt manifest *)
+}
+(** What opening found on disk. A store that was killed mid-ingest
+    reports its losses here: fully-written segments always survive
+    (atomic writes), a torn tail is salvaged when its valid prefix
+    decodes and quarantined when it does not. *)
+
+val open_report_degraded : open_report -> bool
+
+val open_report_summary : open_report -> string
+(** One line; [""] when recovery was clean. *)
+
+val default_shards : int
+
+val open_ : ?shards:int -> string -> (t * open_report, string) result
+(** Open a store directory, creating it (and its manifest) when
+    empty. [shards] applies only to creation — an existing store keeps
+    the shard count in its manifest, because the label-to-shard map
+    depends on it. *)
+
+val dir : t -> string
+
+val n_shards : t -> int
+
+val shard_of_label : t -> string -> int
+
+val append : t -> label:string -> Gmon.t -> (unit, string) result
+(** Durably add one profile to [label]'s shard as a new segment.
+    The write is atomic; the shard's cached merged view is
+    invalidated. *)
+
+val append_bytes :
+  t ->
+  label:string ->
+  string ->
+  ([ `Stored | `Quarantined of string ], string) result
+(** Decode an untrusted submission strictly and {!append} it.
+    Undecodable bytes are written to the quarantine directory with
+    their per-file diagnostics — [`Quarantined reason] — and never
+    fail the store. [Error] is reserved for IO failures. *)
+
+val shard_view : t -> int -> (Gmon.t option, string) result
+(** Merged profile of one shard: compacted state plus the uncompacted
+    tail, [None] when the shard is empty. Served from the cache when
+    no segment landed since the last call. *)
+
+val merged : t -> (Gmon.t option, string) result
+(** Merged profile of the whole store ({!shard_view} over every
+    shard, summed). *)
+
+val compact : t -> (int, string) result
+(** Fold every shard's tail into its compacted profile; returns the
+    number of segments folded. The atomic rename of the new
+    [compact-<seq>.gmon] is the commit point: a crash before it loses
+    nothing (old compact and segments survive), and a crash after it
+    leaves only stale files whose sequence numbers identify them as
+    already folded, which recovery removes instead of double-merging. *)
+
+type stats = {
+  st_shards : int;
+  st_segments : int;  (** uncompacted tail segments on disk *)
+  st_compacted_runs : int;  (** runs folded into compact profiles *)
+  st_total_runs : int;  (** compacted + tail *)
+  st_quarantined : int;  (** files in quarantine/ *)
+  st_cache_hits : int;
+  st_cache_misses : int;
+  st_disk_bytes : int;  (** segment + compact bytes on disk *)
+}
+
+val stats : t -> stats
+
+val stats_to_json : stats -> string
+
+val top_buckets : t -> n:int -> ((int * int * int) list, string) result
+(** Top-N histogram buckets of the merged view by self ticks, as
+    [(addr_lo, addr_hi, ticks)], heaviest first. The store is
+    symbol-free; callers with an executable resolve names
+    (gprofx [--store]). *)
+
+val arc_totals : t -> ((int * int * int) list, string) result
+(** Every arc of the merged view as [(from, self, count)], sorted. *)
+
+val quarantine_dir : t -> string

@@ -502,6 +502,98 @@ let test_werror_cli () =
   let code, _ = run_cmd [ exe "minic"; clean; "-o"; obj; "--werror" ] in
   check_int "clean program passes --werror" 0 code
 
+(* The aggregation daemon, driven over its real socket: submit (good
+   and corrupt), survive kill -9, recover on restart, and end up
+   byte-equivalent to an offline merge of the same runs. *)
+let test_profd_cli () =
+  let src = write_source () in
+  let obj = path "prog.obj" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj ]);
+  let g1 = path "d1.gmon" and g2 = path "d2.gmon" and g3 = path "d3.gmon" in
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; g1; "-q"; "--seed"; "1" ]);
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; g2; "-q"; "--seed"; "2" ]);
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; g3; "-q"; "--seed"; "3" ]);
+  let junk = path "djunk.gmon" in
+  Out_channel.with_open_text junk (fun oc ->
+      Out_channel.output_string oc "not profile data");
+  let sock = path "profd.sock" and store = path "profd_store" in
+  if Sys.file_exists store then rm_rf store;
+  let pidfile = path "profd.pid" and serve_log = path "profd_serve.log" in
+  let start () =
+    let cmd =
+      Printf.sprintf "%s --serve --socket %s --store %s --batch 2 2>> %s & echo $! > %s"
+        (Filename.quote (exe "profd")) (Filename.quote sock)
+        (Filename.quote store) (Filename.quote serve_log)
+        (Filename.quote pidfile)
+    in
+    check_int "daemon starts" 0 (Sys.command cmd);
+    let code, _ =
+      run_cmd [ exe "profd"; "--socket"; sock; "--wait"; "--timeout"; "30" ]
+    in
+    check_int "daemon ready" 0 code
+  in
+  Out_channel.with_open_text serve_log (fun _ -> ());
+  start ();
+  (* two good submissions fill the batch and flush; a corrupt one is
+     quarantined, acknowledged, and turns the client's exit into 2 *)
+  let code, _ = run_cmd [ exe "profd"; "--socket"; sock; "--submit"; g1; g2 ] in
+  check_int "good submissions exit 0" 0 code;
+  let code, out = run_cmd [ exe "profd"; "--socket"; sock; "--submit"; junk ] in
+  check_int "corrupt submission exits 2" 2 code;
+  check_bool "quarantine acknowledged with a reason" true
+    (contains ~needle:"quarantined" out);
+  (* kill -9: no shutdown handler runs; the store must come back *)
+  check_int "kill -9" 0
+    (Sys.command (Printf.sprintf "kill -9 $(cat %s)" (Filename.quote pidfile)));
+  start ();
+  check_bool "restart reports recovery" true
+    (contains ~needle:"recovered"
+       (In_channel.with_open_text serve_log In_channel.input_all));
+  (* a fleet member ships its run straight from minirun *)
+  let code, _ =
+    run_cmd
+      [ exe "minirun"; obj; "--submit"; sock; "--submit-label"; "prog";
+        "--gmon"; g3; "-q"; "--seed"; "3" ]
+  in
+  check_int "minirun --submit exits 0" 0 code;
+  let code, _ =
+    run_cmd [ exe "profd"; "--socket"; sock; "--flush"; "--compact" ]
+  in
+  check_int "flush + compact exit 0" 0 code;
+  let code, out =
+    run_cmd [ exe "profd"; "--socket"; sock; "--query"; "top"; "--top-n"; "3" ]
+  in
+  check_int "query top exits 0" 0 code;
+  check_bool "top rows printed" true (String.length (String.trim out) > 0);
+  let code, out = run_cmd [ exe "profd"; "--socket"; sock; "--query"; "stats" ] in
+  check_int "query stats exits 0" 0 code;
+  check_bool "stats counts the quarantine" true
+    (contains ~needle:"\"quarantined\":1" out);
+  check_bool "stats counts every run" true
+    (contains ~needle:"\"total_runs\":3" out);
+  (* the equivalence gate: the daemon-built, compacted, recovered store
+     serves exactly what an offline merge of the same runs produces *)
+  let daemon_gmon = path "daemon.gmon" and offline_gmon = path "offline.gmon" in
+  let code, _ =
+    run_cmd
+      [ exe "profd"; "--socket"; sock; "--query"; "report"; "--out"; daemon_gmon ]
+  in
+  check_int "query report exits 0" 0 code;
+  let code, _ =
+    run_cmd [ exe "profd"; "--merge-offline"; offline_gmon; g1; g2; g3 ]
+  in
+  check_int "offline merge exits 0" 0 code;
+  let d = Result.get_ok (Gmon.load daemon_gmon) in
+  let o = Result.get_ok (Gmon.load offline_gmon) in
+  check_bool "daemon report = offline merge_all" true (Gmon.equal d o);
+  (* gprofx can read the store directly, without the daemon *)
+  let code, _ = run_cmd [ exe "profd"; "--socket"; sock; "--shutdown" ] in
+  check_int "shutdown exits 0" 0 code;
+  Unix.sleepf 0.3;
+  let code, out = run_cmd [ exe "gprofx"; obj; "--store"; store; "--flat" ] in
+  check_int "gprofx --store exits 0" 0 code;
+  check_bool "store-backed listing" true (contains ~needle:"helper" out)
+
 let test_bad_inputs_fail_cleanly () =
   let code, _ = run_cmd [ exe "minic"; path "nonexistent.mini" ] in
   check_bool "minic rejects missing file" true (code <> 0);
@@ -534,6 +626,7 @@ let () =
           Alcotest.test_case "profwatch" `Slow test_profwatch_cli;
           Alcotest.test_case "proflint" `Slow test_lint_cli;
           Alcotest.test_case "minic --werror" `Slow test_werror_cli;
+          Alcotest.test_case "profd daemon" `Slow test_profd_cli;
           Alcotest.test_case "bad inputs" `Slow test_bad_inputs_fail_cleanly;
         ] );
     ]

@@ -203,23 +203,61 @@ let generated_valid =
   QCheck.Test.make ~name:"generated profiles validate" ~count:200 arb_gmon (fun g ->
       Gmon.validate g = Ok ())
 
+(* Force compatible layouts by reusing [a]'s geometry with the other
+   profile's data truncated/padded. *)
+let fit_to (a : Gmon.t) (g : Gmon.t) =
+  let n = Array.length a.Gmon.hist.h_counts in
+  let counts =
+    Array.init n (fun i ->
+        if i < Array.length g.Gmon.hist.h_counts then g.Gmon.hist.h_counts.(i)
+        else 0)
+  in
+  { g with Gmon.hist = { a.Gmon.hist with h_counts = counts } }
+
 let merge_commutative =
   QCheck.Test.make ~name:"merge is commutative" ~count:200
     (QCheck.pair arb_gmon arb_gmon) (fun (a, b) ->
-      let b = { b with hist = { b.hist with h_lowpc = a.hist.h_lowpc } } in
-      (* Force compatible layouts by reusing a's geometry with b's data
-         truncated/padded. *)
-      let fit g =
-        let n = Array.length a.Gmon.hist.h_counts in
-        let counts =
-          Array.init n (fun i ->
-              if i < Array.length g.Gmon.hist.h_counts then g.Gmon.hist.h_counts.(i)
-              else 0)
-        in
-        { g with Gmon.hist = { a.Gmon.hist with h_counts = counts } }
-      in
-      let a = fit a and b = fit b in
+      let a = fit_to a a and b = fit_to a b in
       match (Gmon.merge a b, Gmon.merge b a) with
+      | Ok x, Ok y -> Gmon.equal x y
+      | _ -> false)
+
+let merge_associative =
+  QCheck.Test.make ~name:"merge is associative" ~count:200
+    (QCheck.triple arb_gmon arb_gmon arb_gmon) (fun (a, b, c) ->
+      let b = fit_to a b and c = fit_to a c in
+      let ( >>= ) = Result.bind in
+      let left = Gmon.merge a b >>= fun ab -> Gmon.merge ab c in
+      let right = Gmon.merge b c >>= fun bc -> Gmon.merge a bc in
+      match (left, right) with
+      | Ok x, Ok y -> Gmon.equal x y
+      | _ -> false)
+
+(* The pairwise merge tree must be invisible: merge_all has to equal a
+   plain left fold of merge, on any list length (the store's compaction
+   and the daemon's merged view rely on this to agree with offline
+   summing bit for bit). *)
+let merge_all_equals_fold =
+  QCheck.Test.make ~name:"merge_all = left fold of merge" ~count:200
+    (QCheck.pair arb_gmon (QCheck.list_of_size (QCheck.Gen.int_range 0 12) arb_gmon))
+    (fun (a, rest) ->
+      let gs = fit_to a a :: List.map (fit_to a) rest in
+      let fold =
+        List.fold_left
+          (fun acc g -> Result.bind acc (fun x -> Gmon.merge x g))
+          (Ok (List.hd gs))
+          (List.tl gs)
+      in
+      match (Gmon.merge_all gs, fold) with
+      | Ok x, Ok y -> Gmon.equal x y
+      | _ -> false)
+
+let merge_all_order_blind =
+  QCheck.Test.make ~name:"merge_all ignores input order" ~count:200
+    (QCheck.pair arb_gmon (QCheck.list_of_size (QCheck.Gen.int_range 0 12) arb_gmon))
+    (fun (a, rest) ->
+      let gs = fit_to a a :: List.map (fit_to a) rest in
+      match (Gmon.merge_all gs, Gmon.merge_all (List.rev gs)) with
       | Ok x, Ok y -> Gmon.equal x y
       | _ -> false)
 
@@ -266,6 +304,9 @@ let () =
           Alcotest.test_case "mismatch" `Quick test_merge_mismatch;
           Alcotest.test_case "merge_all" `Quick test_merge_all;
           qt merge_commutative;
+          qt merge_associative;
+          qt merge_all_equals_fold;
+          qt merge_all_order_blind;
           qt merge_ticks_additive;
         ] );
     ]

@@ -1,0 +1,392 @@
+(* Tests for the fleet-aggregation layer: Gmon.Wire edge cases, the
+   sharded profile store (equivalence with offline merging, compaction,
+   caching, crash recovery), and the batching ingestion queue. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk ?(lowpc = 0) ?(highpc = 20) ?(bucket = 1) ?(ticks = []) ?(arcs = [])
+    ?(runs = 1) () =
+  let hist = Gmon.make_hist ~lowpc ~highpc ~bucket_size:bucket in
+  let counts = Array.copy hist.h_counts in
+  List.iter (fun (b, c) -> counts.(b) <- c) ticks;
+  {
+    Gmon.hist = { hist with h_counts = counts };
+    arcs =
+      List.map (fun (f, s, c) -> { Gmon.a_from = f; a_self = s; a_count = c }) arcs
+      |> List.sort (fun (a : Gmon.arc) b ->
+             compare (a.a_from, a.a_self) (b.a_from, b.a_self));
+    ticks_per_second = 60;
+    cycles_per_tick = 16_666;
+    runs;
+  }
+
+(* a small family of distinct, mergeable profiles *)
+let sample i =
+  mk
+    ~ticks:[ (i mod 20, i + 1); ((i * 7) mod 20, 2 * i + 3) ]
+    ~arcs:[ (1, 10, i + 1); ((i mod 5) + 2, 11, i + 2) ]
+    ()
+
+let offline gs =
+  match Gmon.merge_all gs with Ok g -> g | Error e -> Alcotest.fail e
+
+(* fresh store directory per test, cleaned up afterwards *)
+let with_dir f =
+  let dir = Filename.temp_file "store_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let open_ok ?shards dir =
+  match Store.open_ ?shards dir with
+  | Ok (st, rep) -> (st, rep)
+  | Error e -> Alcotest.fail e
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let merged_exn st =
+  match Store.merged st with
+  | Ok (Some g) -> g
+  | Ok None -> Alcotest.fail "store unexpectedly empty"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Wire edge cases: damaged inputs produce structured errors or a
+   salvage report — never exceptions. *)
+
+let test_wire_empty () =
+  (match Gmon.Wire.split_footer "" with
+  | `Missing, 0 -> ()
+  | _ -> Alcotest.fail "empty string should have no footer");
+  (match Gmon.decode ~mode:`Strict "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty payload accepted (strict)");
+  match Gmon.decode ~mode:`Salvage "" with
+  | Error _ -> () (* nothing to salvage: the header itself is gone *)
+  | Ok _ -> Alcotest.fail "empty payload accepted (salvage)"
+
+let test_wire_footer_only () =
+  (* a file holding nothing but a checksum footer: too short to even
+     hold a profile header, so the framing layer classifies the footer
+     as missing rather than pretending an empty body was verified *)
+  let buf = Buffer.create 16 in
+  Gmon.Wire.add_footer buf;
+  let bytes = Buffer.contents buf in
+  (match Gmon.Wire.split_footer bytes with
+  | `Missing, n -> check_int "whole file is the body" (String.length bytes) n
+  | _ -> Alcotest.fail "footer-only: expected a missing-footer verdict");
+  (match Gmon.decode ~mode:`Strict bytes with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "footer-only file accepted (strict)");
+  match Gmon.decode ~mode:`Salvage bytes with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "footer-only file accepted (salvage)"
+
+let test_wire_truncated_mid_frame () =
+  (* every possible truncation point: strict must reject, salvage must
+     either reject or report losses, and neither may raise *)
+  let bytes = Gmon.to_bytes (sample 3) in
+  for len = 0 to String.length bytes - 1 do
+    let cut = String.sub bytes 0 len in
+    (match Gmon.decode ~mode:`Strict cut with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "strict accepted a %d-byte prefix" len
+    | exception e ->
+      Alcotest.failf "strict raised on a %d-byte prefix: %s" len
+        (Printexc.to_string e));
+    match Gmon.decode ~mode:`Salvage cut with
+    | Error _ -> ()
+    | Ok (_, rep) ->
+      check_bool
+        (Printf.sprintf "salvage of a %d-byte prefix reports losses" len)
+        true
+        (Gmon.report_degraded rep)
+    | exception e ->
+      Alcotest.failf "salvage raised on a %d-byte prefix: %s" len
+        (Printexc.to_string e)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The store. *)
+
+let test_store_merged_equals_offline () =
+  with_dir @@ fun dir ->
+  let st, rep = open_ok ~shards:4 dir in
+  check_bool "fresh store created" true rep.Store.or_created;
+  let gs = List.init 9 sample in
+  List.iteri
+    (fun i g -> ok (Store.append st ~label:(Printf.sprintf "host-%d" i) g))
+    gs;
+  check_bool "merged = offline merge_all" true
+    (Gmon.equal (offline gs) (merged_exn st));
+  let s = Store.stats st in
+  check_int "segments" 9 s.Store.st_segments;
+  check_int "total runs" 9 s.Store.st_total_runs;
+  check_int "nothing compacted yet" 0 s.Store.st_compacted_runs
+
+let test_store_compaction_preserves_merge () =
+  with_dir @@ fun dir ->
+  let st, _ = open_ok ~shards:3 dir in
+  let first = List.init 6 sample in
+  List.iteri
+    (fun i g -> ok (Store.append st ~label:(Printf.sprintf "h%d" i) g))
+    first;
+  let folded = ok (Store.compact st) in
+  check_int "all segments folded" 6 folded;
+  check_bool "compacted merged view unchanged" true
+    (Gmon.equal (offline first) (merged_exn st));
+  (* appends after compaction land in the tail and still sum in *)
+  let more = [ sample 10; sample 11 ] in
+  List.iteri
+    (fun i g -> ok (Store.append st ~label:(Printf.sprintf "h%d" i) g))
+    more;
+  check_bool "compacted + tail" true
+    (Gmon.equal (offline (first @ more)) (merged_exn st));
+  ignore (ok (Store.compact st));
+  check_bool "second compaction" true
+    (Gmon.equal (offline (first @ more)) (merged_exn st));
+  let s = Store.stats st in
+  check_int "tail empty after compaction" 0 s.Store.st_segments;
+  check_int "every run in compacted state" 8 s.Store.st_compacted_runs
+
+let cache_counters () =
+  let hits =
+    Obs.Metrics.counter Obs.Metrics.default "store.cache.hits"
+  and misses =
+    Obs.Metrics.counter Obs.Metrics.default "store.cache.misses"
+  in
+  (Obs.Metrics.counter_value hits, Obs.Metrics.counter_value misses)
+
+let test_store_cache_counters () =
+  with_dir @@ fun dir ->
+  let st, _ = open_ok ~shards:1 dir in
+  ok (Store.append st ~label:"a" (sample 1));
+  ignore (ok (Store.compact st));
+  (* compaction leaves the merged result cached *)
+  let h0, m0 = cache_counters () in
+  let g1 = merged_exn st in
+  let h1, m1 = cache_counters () in
+  check_int "hit served from cache" (h0 + 1) h1;
+  check_int "no miss on a warm cache" m0 m1;
+  (* a new segment invalidates the shard's cache *)
+  ok (Store.append st ~label:"a" (sample 2));
+  let g2 = merged_exn st in
+  let h2, m2 = cache_counters () in
+  check_int "append invalidated the cache" (m1 + 1) m2;
+  check_int "no phantom hit" h1 h2;
+  check_bool "views still correct" true
+    (Gmon.equal (offline [ sample 1; sample 2 ]) g2);
+  check_bool "pre-append view was correct too" true
+    (Gmon.equal (sample 1) g1);
+  (* and the recomputed view is cached again *)
+  ignore (merged_exn st);
+  let h3, m3 = cache_counters () in
+  check_int "second read hits" (h2 + 1) h3;
+  check_int "second read does not miss" m2 m3
+
+let test_store_reopen_equivalence () =
+  with_dir @@ fun dir ->
+  let gs = List.init 7 sample in
+  let st, _ = open_ok ~shards:4 dir in
+  List.iteri
+    (fun i g -> ok (Store.append st ~label:(Printf.sprintf "n%d" i) g))
+    (List.filteri (fun i _ -> i < 4) gs);
+  ignore (ok (Store.compact st));
+  List.iteri
+    (fun i g -> ok (Store.append st ~label:(Printf.sprintf "n%d" (4 + i)) g))
+    (List.filteri (fun i _ -> i >= 4) gs);
+  (* a second handle on the same directory reconstructs everything:
+     manifest, compacted state, and the uncompacted tail *)
+  let st2, rep = open_ok dir in
+  check_bool "reopen is not a creation" false rep.Store.or_created;
+  check_bool "reopen is clean" false (Store.open_report_degraded rep);
+  check_int "shard count from the manifest" 4 (Store.n_shards st2);
+  check_bool "reopened merged view" true
+    (Gmon.equal (offline gs) (merged_exn st2))
+
+let test_store_quarantine_bytes () =
+  with_dir @@ fun dir ->
+  let st, _ = open_ok dir in
+  ok (Store.append st ~label:"good" (sample 1));
+  (match Store.append_bytes st ~label:"bad" "not a profile at all" with
+  | Ok (`Quarantined _) -> ()
+  | Ok `Stored -> Alcotest.fail "garbage stored as a profile"
+  | Error e -> Alcotest.fail e);
+  (* a truncated-but-valid-prefix payload is still quarantined whole:
+     the store never silently keeps half a submission *)
+  let torn = String.sub (Gmon.to_bytes (sample 2)) 0 40 in
+  (match Store.append_bytes st ~label:"torn" torn with
+  | Ok (`Quarantined _) -> ()
+  | Ok `Stored -> Alcotest.fail "torn payload stored"
+  | Error e -> Alcotest.fail e);
+  let s = Store.stats st in
+  check_int "both quarantined" 2 s.Store.st_quarantined;
+  check_bool "quarantine does not poison the merge" true
+    (Gmon.equal (sample 1) (merged_exn st));
+  (* quarantined payloads are kept byte-for-byte for post-mortems *)
+  let files = Sys.readdir (Store.quarantine_dir st) in
+  check_int "payload + reason sidecar per case" 4 (Array.length files)
+
+let test_store_torn_append_recovery () =
+  with_dir @@ fun dir ->
+  let st, _ = open_ok ~shards:2 dir in
+  let baseline = [ sample 1; sample 2; sample 3 ] in
+  List.iteri
+    (fun i g -> ok (Store.append st ~label:(Printf.sprintf "k%d" i) g))
+    baseline;
+  (* fault injection: the next segment write dies mid-file, leaving a
+     4-byte fragment at the final path — an unrecoverable header *)
+  Gmon.inject_torn_save (Some 4);
+  (match Store.append st ~label:"k1" (sample 9) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "torn append reported success");
+  let st2, rep = open_ok dir in
+  check_bool "restart reports the loss" true (Store.open_report_degraded rep);
+  check_int "torn segment quarantined" 1 (List.length rep.Store.or_quarantined);
+  check_bool "survivors intact after recovery" true
+    (Gmon.equal (offline baseline) (merged_exn st2));
+  (* the handle that hit the fault also retries cleanly: the torn
+     sequence number is not reused *)
+  ok (Store.append st ~label:"k1" (sample 9));
+  check_bool "retry lands" true
+    (Gmon.equal (offline (sample 9 :: baseline)) (merged_exn st))
+
+let test_store_torn_append_salvage () =
+  with_dir @@ fun dir ->
+  let st, _ = open_ok ~shards:1 dir in
+  ok (Store.append st ~label:"a" (sample 1));
+  (* tear the write late: header and buckets survive, so recovery
+     salvages a sub-profile instead of quarantining *)
+  let full = String.length (Gmon.to_bytes (sample 6)) in
+  Gmon.inject_torn_save (Some (full - 5));
+  (match Store.append st ~label:"a" (sample 6) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "torn append reported success");
+  let st2, rep = open_ok dir in
+  check_bool "restart reports the salvage" true
+    (Store.open_report_degraded rep);
+  check_int "segment salvaged, not quarantined" 1 rep.Store.or_salvaged;
+  check_int "nothing quarantined" 0 (List.length rep.Store.or_quarantined);
+  (* the salvaged sub-profile plus the intact segment still merge; the
+     salvaged part never invents data, so total ticks are bounded by
+     the offline sum *)
+  let m = merged_exn st2 in
+  check_bool "salvaged view within offline bounds" true
+    (Gmon.total_ticks m <= Gmon.total_ticks (offline [ sample 1; sample 6 ]));
+  check_bool "salvaged view keeps the intact segment" true
+    (Gmon.total_ticks m >= Gmon.total_ticks (sample 1))
+
+let test_store_shard_routing () =
+  with_dir @@ fun dir ->
+  let st, _ = open_ok ~shards:4 dir in
+  let labels = List.init 32 (Printf.sprintf "service-%d") in
+  List.iter
+    (fun l ->
+      let s = Store.shard_of_label st l in
+      check_bool "shard in range" true (s >= 0 && s < 4);
+      check_int "routing is stable" s (Store.shard_of_label st l))
+    labels;
+  let distinct =
+    List.sort_uniq compare (List.map (Store.shard_of_label st) labels)
+  in
+  check_bool "labels spread over shards" true (List.length distinct > 1)
+
+(* ------------------------------------------------------------------ *)
+(* The ingestion queue. *)
+
+let test_ingest_size_trigger () =
+  with_dir @@ fun dir ->
+  let st, _ = open_ok dir in
+  let q = Ingest.create ~max_batch:3 ~max_age:3600.0 st in
+  let submit i =
+    ok (Ingest.submit q ~label:"lbl" (Gmon.to_bytes (sample i)))
+  in
+  (match submit 1 with
+  | Ingest.Queued 1 -> ()
+  | _ -> Alcotest.fail "first submission should queue");
+  (match submit 2 with
+  | Ingest.Queued 2 -> ()
+  | _ -> Alcotest.fail "second submission should queue");
+  check_int "nothing on disk yet" 0 (Store.stats st).Store.st_segments;
+  (match submit 3 with
+  | Ingest.Flushed 3 -> ()
+  | _ -> Alcotest.fail "third submission should trip the size trigger");
+  check_int "batch landed" 3 (Store.stats st).Store.st_segments;
+  check_int "queue drained" 0 (Ingest.pending q);
+  check_bool "batched view = offline" true
+    (Gmon.equal (offline [ sample 1; sample 2; sample 3 ]) (merged_exn st))
+
+let test_ingest_age_trigger () =
+  with_dir @@ fun dir ->
+  let st, _ = open_ok dir in
+  let q = Ingest.create ~max_batch:100 ~max_age:0.0 st in
+  (match ok (Ingest.submit q ~label:"x" (Gmon.to_bytes (sample 4))) with
+  | Ingest.Queued 1 -> ()
+  | _ -> Alcotest.fail "should buffer below the size trigger");
+  (* max_age 0: the oldest entry is already over age on the next tick *)
+  check_int "tick flushes by age" 1 (ok (Ingest.tick q));
+  check_int "tick with an empty queue is a no-op" 0 (ok (Ingest.tick q));
+  check_bool "flushed by age" true
+    (Gmon.equal (sample 4) (merged_exn st))
+
+let test_ingest_quarantine () =
+  with_dir @@ fun dir ->
+  let st, _ = open_ok dir in
+  let q = Ingest.create st in
+  (match ok (Ingest.submit q ~label:"evil" "GMONOCAML1\nbut then junk") with
+  | Ingest.Quarantined _ -> ()
+  | _ -> Alcotest.fail "undecodable submission not quarantined");
+  check_int "never buffered" 0 (Ingest.pending q);
+  check_int "recorded in quarantine" 1 (Store.stats st).Store.st_quarantined;
+  (* good submissions around it are unaffected *)
+  ignore (ok (Ingest.submit q ~label:"fine" (Gmon.to_bytes (sample 2))));
+  check_int "flush writes only the good one" 1 (ok (Ingest.flush q));
+  check_bool "merge unaffected by quarantine" true
+    (Gmon.equal (sample 2) (merged_exn st))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "empty payload" `Quick test_wire_empty;
+          Alcotest.test_case "footer-only file" `Quick test_wire_footer_only;
+          Alcotest.test_case "truncated mid-frame" `Quick
+            test_wire_truncated_mid_frame;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "merged = offline merge_all" `Quick
+            test_store_merged_equals_offline;
+          Alcotest.test_case "compaction preserves the merge" `Quick
+            test_store_compaction_preserves_merge;
+          Alcotest.test_case "cache hit/miss counters" `Quick
+            test_store_cache_counters;
+          Alcotest.test_case "reopen reconstructs the view" `Quick
+            test_store_reopen_equivalence;
+          Alcotest.test_case "undecodable bytes quarantined" `Quick
+            test_store_quarantine_bytes;
+          Alcotest.test_case "torn append quarantined on restart" `Quick
+            test_store_torn_append_recovery;
+          Alcotest.test_case "torn append salvaged on restart" `Quick
+            test_store_torn_append_salvage;
+          Alcotest.test_case "shard routing" `Quick test_store_shard_routing;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "size trigger" `Quick test_ingest_size_trigger;
+          Alcotest.test_case "age trigger" `Quick test_ingest_age_trigger;
+          Alcotest.test_case "quarantine at the door" `Quick
+            test_ingest_quarantine;
+        ] );
+    ]
