@@ -1,7 +1,7 @@
 SMOKE_DIR := _build/smoke
 BIN := _build/default/bin
 
-.PHONY: all check build test smoke serve-smoke lint bench clean
+.PHONY: all check build test smoke serve-smoke sample-smoke lint bench clean
 
 all: build
 
@@ -14,7 +14,7 @@ test:
 # Build, run the full test suite, then drive the real binaries through
 # the whole pipeline once: compile with profiling, execute, and check
 # that the analyzer produces a report and a metrics dump.
-check: build test lint smoke serve-smoke
+check: build test lint smoke serve-smoke sample-smoke
 
 # Static consistency gate: proflint must pass the intact fixture
 # profiles (whole-run gmon, epoch container, and the paper's Figure 4)
@@ -144,6 +144,59 @@ serve-smoke: build
 	$(BIN)/gprofx.exe $(SMOKE_DIR)/serve/smoke.obj \
 	  --store $(SMOKE_DIR)/serve/store --flat | grep -q "leaf"
 	@echo "serve-smoke: ok (ingest, kill -9 recovery, quarantine, daemon == offline merge)"
+
+# Sampled-pipeline gate: complete-call-stack sampling end to end from
+# the CLI alone. Two runs record sprof containers; gprofx renders the
+# sampled flat profile, flame output, and the gprof-vs-sampled
+# divergence report; a torn sprof is refused strictly and salvaged
+# under --lenient; then a daemon ingests one sprof straight from the
+# VM (--submit rides along with --sample-ticks) and one from a file,
+# and its merged sreport must be byte-identical to profd's offline
+# merge of the same two containers.
+sample-smoke: build
+	rm -rf $(SMOKE_DIR)/sample; mkdir -p $(SMOKE_DIR)/sample
+	$(BIN)/minic.exe test/fixtures/smoke.mini --pg -o $(SMOKE_DIR)/sample/smoke.obj
+	set -e; for s in 1 2; do \
+	  $(BIN)/minirun.exe $(SMOKE_DIR)/sample/smoke.obj -q --seed $$s \
+	    --gmon $(SMOKE_DIR)/sample/run-$$s.gmon --sample-ticks 1 \
+	    --sample-out $(SMOKE_DIR)/sample/run-$$s.sprof; \
+	done
+	# sampled renderings: flat profile and folded stacks, no arc data
+	$(BIN)/gprofx.exe $(SMOKE_DIR)/sample/smoke.obj \
+	  $(SMOKE_DIR)/sample/run-1.sprof | grep -q "call-stack samples:"
+	$(BIN)/gprofx.exe $(SMOKE_DIR)/sample/smoke.obj \
+	  $(SMOKE_DIR)/sample/run-1.sprof --format flame | grep -q "leaf"
+	# the divergence report pairs the arc and sampled views of one run
+	$(BIN)/gprofx.exe --divergence $(SMOKE_DIR)/sample/smoke.obj \
+	  $(SMOKE_DIR)/sample/run-1.gmon $(SMOKE_DIR)/sample/run-1.sprof \
+	  > $(SMOKE_DIR)/sample/div.out
+	grep -q "divergence: gprof propagated vs stack samples" $(SMOKE_DIR)/sample/div.out
+	# torn sprof: strict read refused, --lenient salvages and exits 2
+	head -c 80 $(SMOKE_DIR)/sample/run-1.sprof > $(SMOKE_DIR)/sample/torn.sprof
+	if $(BIN)/gprofx.exe $(SMOKE_DIR)/sample/smoke.obj \
+	  $(SMOKE_DIR)/sample/torn.sprof > /dev/null 2>&1; \
+	  then echo "sample-smoke: strict accepted a torn sprof"; exit 1; fi
+	code=0; $(BIN)/gprofx.exe $(SMOKE_DIR)/sample/smoke.obj \
+	  $(SMOKE_DIR)/sample/torn.sprof --lenient > /dev/null 2>&1 || code=$$?; \
+	  if [ $$code -ne 2 ]; then \
+	    echo "sample-smoke: lenient torn sprof exited $$code, want 2"; exit 1; fi
+	# fleet: daemon sreport == offline merge, byte for byte
+	$(BIN)/profd.exe --serve --socket $(SMOKE_DIR)/sample/profd.sock \
+	  --store $(SMOKE_DIR)/sample/store \
+	  2> $(SMOKE_DIR)/sample/profd.log & echo $$! > $(SMOKE_DIR)/sample/profd.pid
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/sample/profd.sock --wait --timeout 30
+	$(BIN)/minirun.exe $(SMOKE_DIR)/sample/smoke.obj -q --seed 1 --sample-ticks 1 \
+	  --submit $(SMOKE_DIR)/sample/profd.sock --submit-label smoke
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/sample/profd.sock \
+	  --submit $(SMOKE_DIR)/sample/run-2.sprof > /dev/null
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/sample/profd.sock --flush --compact
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/sample/profd.sock \
+	  --query sreport --out $(SMOKE_DIR)/sample/daemon.sprof
+	$(BIN)/profd.exe --socket $(SMOKE_DIR)/sample/profd.sock --shutdown
+	$(BIN)/profd.exe --merge-offline $(SMOKE_DIR)/sample/offline.sprof \
+	  $(SMOKE_DIR)/sample/run-1.sprof $(SMOKE_DIR)/sample/run-2.sprof
+	cmp $(SMOKE_DIR)/sample/daemon.sprof $(SMOKE_DIR)/sample/offline.sprof
+	@echo "sample-smoke: ok (sampled renderings, divergence, torn-sprof salvage, daemon == offline merge)"
 
 bench:
 	dune exec bench/main.exe

@@ -19,7 +19,7 @@ let t_avgtime () =
   let orc = Option.get (Vm.Machine.the_oracle r.machine) in
   let stacks =
     Stacksample.Stackprof.analyze r.objfile
-      ~samples:(Vm.Machine.stack_samples r.machine)
+      ~folded:(Vm.Machine.stack_folded r.machine)
       ~ticks_per_second:60 ~sample_interval:1
   in
   let addr name = (Option.get (Objcode.Objfile.symbol_by_name r.objfile name)).addr in
@@ -219,7 +219,7 @@ let t_stackcost () =
         let cost = Vm.Machine.cycles r.machine - base in
         let prof =
           Stacksample.Stackprof.analyze r.objfile
-            ~samples:(Vm.Machine.stack_samples r.machine)
+            ~folded:(Vm.Machine.stack_folded r.machine)
             ~ticks_per_second:60 ~sample_interval:interval
         in
         let fib_id =
@@ -232,7 +232,10 @@ let t_stackcost () =
         in
         Util.Table.add_row t
           [ Printf.sprintf "%d ticks" interval;
-            string_of_int (List.length (Vm.Machine.stack_samples r.machine));
+            string_of_int
+              (match Vm.Machine.sampler r.machine with
+              | Some s -> Vm.Stacksamp.n_samples s
+              | None -> 0);
             string_of_int cost;
             Util.Table.cell_pct (100.0 *. float_of_int cost /. float_of_int base);
             Printf.sprintf "%.3f" err ];
@@ -251,8 +254,69 @@ let t_stackcost () =
   expect "even 16x backed-off sampling remains usable on second-scale routines"
     (match err 16 with Some e -> e < 0.25 | None -> false)
 
+(* §6: "the profiled program p is assumed to call each of its children
+   the same average amount of time per call" — the divergence report
+   measures exactly what that assumption costs, per function, as the
+   gap between propagated and stack-sampled inclusive time. This is
+   the same report `gprofx --divergence` prints; the whole experiment
+   reproduces from the CLI alone:
+     minirun --sample-ticks 1 skewed.obj
+     gprofx --divergence skewed.obj gmon.out skewed.obj.sprof *)
+let t_divergence () =
+  let w = Workloads.Programs.skewed in
+  let base = Vm.Machine.cycles (run_workload w).machine in
+  let paired =
+    Vm.Machine.cycles
+      (run_workload
+         ~config:{ Vm.Machine.default_config with stack_interval = Some 1 }
+         w)
+        .machine
+  in
+  let r =
+    run_workload
+      ~config:{ Vm.Machine.default_config with oracle = true; stack_interval = Some 1 }
+      w
+  in
+  let p = (analyze_run r).profile in
+  let stp =
+    Stacksample.Stackprof.analyze r.objfile
+      ~folded:(Vm.Machine.stack_folded r.machine)
+      ~ticks_per_second:60 ~sample_interval:1
+  in
+  let d = Stacksample.Divergence.compute p stp in
+  section "gprof-vs-sampled divergence report (skewed workload, as `gprofx --divergence`)";
+  print_string (Stacksample.Divergence.listing d);
+  print_newline ();
+  let overhead = float_of_int (paired - base) /. float_of_int base in
+  Printf.printf "  stack walk every tick: %d cycles over %d (paired ratio %.4f)\n"
+    (paired - base) base (1.0 +. overhead);
+  let site name =
+    match Stacksample.Divergence.of_function d name with
+    | Some row -> row
+    | None -> failwith ("no divergence row for " ^ name)
+  in
+  let cheap = site "cheap_site" and exp_ = site "expensive_site" in
+  let orc = Option.get (Vm.Machine.the_oracle r.machine) in
+  let oracle_incl name =
+    let addr = (Option.get (Objcode.Objfile.symbol_by_name r.objfile name)).addr in
+    float_of_int (Vm.Oracle.total_cycles orc addr) /. cycles_per_second
+  in
+  expect "gprof ranks the cheap site above the expensive one; sampling inverts"
+    (cheap.dv_gprof > exp_.dv_gprof && exp_.dv_sampled > cheap.dv_sampled);
+  expect "the inversion shows up as rank displacement on both sites"
+    (cheap.dv_displacement >= 1 && exp_.dv_displacement >= 1
+    && d.max_displacement >= 1 && d.n_displaced >= 2);
+  expect "sampled inclusive times are within 10% of the oracle"
+    (Util.Stats.rel_error ~actual:cheap.dv_sampled ~expected:(oracle_incl "cheap_site") < 0.10
+    && Util.Stats.rel_error ~actual:exp_.dv_sampled ~expected:(oracle_incl "expensive_site") < 0.10);
+  expect "walking the whole stack every tick costs < 5% (paired ratio)"
+    (overhead < 0.05)
+
 let register () =
   register "t-avgtime" "§RETRO pitfall: average time per call misattributes skewed call sites" t_avgtime;
+  register "t-divergence"
+    "§6 assumption quantified: the per-function gprof-vs-sampled divergence report"
+    t_divergence;
   register "t-sample" "§3.2: sampling-rate sweep against the exact oracle" t_sample;
   register "t-gran" "§RETRO: histogram granularity vs space trade-off" t_gran;
   register "t-stackcost"

@@ -14,8 +14,8 @@ let parse_arc s =
 let arc_conv = Arg.conv (parse_arc, fun ppf (a, b) -> Format.fprintf ppf "%s:%s" a b)
 
 let run obj_path gmon_paths store_dir no_static removed break focus exclude
-    min_percent lenient view format epoch timeline lint annotate icount_path
-    verbose dot_out obs_metrics obs_trace self_profile =
+    min_percent lenient view format epoch timeline lint divergence annotate
+    icount_path verbose dot_out obs_metrics obs_trace self_profile =
   if obs_trace <> None || self_profile then
     Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
@@ -53,11 +53,16 @@ let run obj_path gmon_paths store_dir no_static removed break focus exclude
         lenient;
       }
     in
+    (* A positional file may be a plain profile, an epoch container, or
+       a sampled-profile (sprof) container; the magic decides. *)
+    let sprof_paths, gmon_paths =
+      List.partition Gmon.Sprof.sniff_file gmon_paths
+    in
     if timeline && store_dir <> None then begin
       Printf.eprintf "gprofx: --timeline analyzes an epoch container, not a store\n";
       1
     end
-    else if gmon_paths = [] && store_dir = None then begin
+    else if gmon_paths = [] && sprof_paths = [] && store_dir = None then begin
       Printf.eprintf "gprofx: no profile data (give GMON files, or --store DIR)\n";
       1
     end
@@ -169,21 +174,28 @@ let run obj_path gmon_paths store_dir no_static removed break focus exclude
     (* --store contributes the store's merged view, summed with any
        positional files. A store that needed salvage or quarantine on
        open degrades the analysis exactly like a salvaged file. *)
-    let store_view =
+    let store_handle =
       match store_dir with
       | None -> Ok None
       | Some dir -> (
         match Store.open_ dir with
         | Error e -> Error (Printf.sprintf "store %s: %s" dir e)
-        | Ok (st, rep) -> (
+        | Ok (st, rep) ->
           let deg = Store.open_report_degraded rep in
           if deg then
             Printf.eprintf "gprofx: store %s recovered with losses: %s\n" dir
               (Store.open_report_summary rep);
-          match Store.merged st with
-          | Error e -> Error (Printf.sprintf "store %s: %s" dir e)
-          | Ok None -> Error (Printf.sprintf "store %s is empty" dir)
-          | Ok (Some g) -> Ok (Some (g, deg))))
+          Ok (Some (dir, st, deg)))
+    in
+    let store_view =
+      match store_handle with
+      | Error e -> Error e
+      | Ok None -> Ok None
+      | Ok (Some (dir, st, deg)) -> (
+        match Store.merged st with
+        | Error e -> Error (Printf.sprintf "store %s: %s" dir e)
+        | Ok None -> Error (Printf.sprintf "store %s is empty" dir)
+        | Ok (Some g) -> Ok (Some (g, deg)))
     in
     let loaded =
       match (store_view, gmon_paths) with
@@ -194,6 +206,122 @@ let run obj_path gmon_paths store_dir no_static removed break focus exclude
         Result.bind loaded (fun (g, deg) ->
             Result.map (fun m -> (m, deg || sdeg)) (Gmon.merge sg g))
     in
+    (* The sampled side: positional sprof files summed, or — when none
+       were given — the store's merged sampled view. *)
+    let sampled =
+      let rec collect acc deg = function
+        | [] -> (
+          match Gmon.Sprof.merge_all (List.rev acc) with
+          | Error e -> Error e
+          | Ok sp -> Ok (Some (sp, deg)))
+        | path :: rest -> (
+          match Gmon.Sprof.load_report ~mode path with
+          | Error e ->
+            Error (Printf.sprintf "%s: %s" path (Gmon.decode_error_to_string e))
+          | Ok (sp, rep) ->
+            let d = Gmon.report_degraded rep in
+            if d then
+              Printf.eprintf "gprofx: salvaged %s: %s\n" path
+                (Gmon.report_summary rep);
+            collect (sp :: acc) (deg || d) rest)
+      in
+      match (sprof_paths, store_handle) with
+      | _ :: _, _ -> collect [] false sprof_paths
+      | [], Ok (Some (dir, st, deg)) -> (
+        match Store.merged_sprof st with
+        | Error e -> Error (Printf.sprintf "store %s: %s" dir e)
+        | Ok None -> Ok None
+        | Ok (Some sp) -> Ok (Some (sp, deg)))
+      | [], _ -> Ok None
+    in
+    let symtab = lazy (Gprof_core.Symtab.of_objfile o) in
+    let degraded_exit () =
+      Printf.eprintf "gprofx: analysis degraded (salvaged or quarantined data)\n";
+      2
+    in
+    if divergence then begin
+      (* the divergence report replaces the listings entirely *)
+      if gmon_paths = [] && store_dir = None then begin
+        Printf.eprintf
+          "gprofx: --divergence needs arc profile data (GMON files or \
+           --store) next to the sampled data\n";
+        1
+      end
+      else
+        match sampled with
+        | Error e ->
+          Printf.eprintf "gprofx: %s\n" e;
+          1
+        | Ok None ->
+          Printf.eprintf
+            "gprofx: --divergence needs sampled profile data (an sprof file \
+             from minirun --sample-ticks, or a --store holding one)\n";
+          1
+        | Ok (Some (sp, sdeg)) -> (
+          match loaded with
+          | Error e ->
+            Printf.eprintf "gprofx: %s\n" e;
+            1
+          | Ok (gmon, deg) -> (
+            match Gprof_core.Report.analyze ~options o gmon with
+            | Error e ->
+              Printf.eprintf "gprofx: %s\n" e;
+              1
+            | Ok r ->
+              let stp =
+                Stacksample.Stackprof.of_sprof ~symtab:(Lazy.force symtab) o sp
+              in
+              let d =
+                Stacksample.Divergence.compute r.Gprof_core.Report.profile stp
+              in
+              print_string (Stacksample.Divergence.listing d);
+              if deg || sdeg || Gprof_core.Report.degraded r then
+                degraded_exit ()
+              else 0))
+    end
+    else if sprof_paths <> [] && (gmon_paths <> [] || store_dir <> None) then begin
+      Printf.eprintf
+        "gprofx: arc and sampled profile data mixed; give --divergence to \
+         compare them\n";
+      1
+    end
+    else if sprof_paths <> [] then begin
+      (* sampled-only: the direct estimator's flat listing, or folded
+         stacks straight from the container *)
+      match sampled with
+      | Error e ->
+        Printf.eprintf "gprofx: %s\n" e;
+        1
+      | Ok None -> assert false (* sprof_paths <> [] *)
+      | Ok (Some (sp, sdeg)) -> (
+        let rendered =
+          match format with
+          | `Listing -> (
+            match view with
+            | `Full | `Flat ->
+              let stp =
+                Stacksample.Stackprof.of_sprof ~symtab:(Lazy.force symtab) o sp
+              in
+              Ok (Stacksample.Stackprof.listing stp)
+            | `Graph | `Index ->
+              Error
+                "sampled profiles have no propagated call graph (inclusive \
+                 time is measured directly); use the flat listing, --format \
+                 flame, or --divergence")
+          | `Flame -> Ok (Gprof_core.Export.folded_sampled (Lazy.force symtab) sp)
+          | `Callgrind | `Json ->
+            Error
+              "sampled profiles render as the flat listing or --format flame"
+        in
+        match rendered with
+        | Error e ->
+          Printf.eprintf "gprofx: %s\n" e;
+          1
+        | Ok s ->
+          print_string s;
+          if sdeg then degraded_exit () else 0)
+    end
+    else
     match loaded with
     | Error e ->
       Printf.eprintf "gprofx: %s\n" e;
@@ -386,6 +514,15 @@ let lint =
                call graph. Exits 0 when clean, 2 on findings (warnings \
                count unless --lenient).")
 
+let divergence =
+  Arg.(value & flag & info [ "divergence" ]
+         ~doc:"Compare gprof's propagated inclusive times against \
+               stack-sampled inclusive times for the same run and print a \
+               per-routine divergence report — absolute gap and rank \
+               displacement — instead of the listings. Needs both arc data \
+               (GMON files or --store) and sampled data (an sprof file from \
+               minirun --sample-ticks, or the store's sampled view).")
+
 let obs_metrics =
   Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
          ~doc:"Write gprofx's own metrics registry as JSON to $(docv) \
@@ -406,7 +543,7 @@ let cmd =
     (Cmd.info "gprofx" ~doc:"call graph execution profiler")
     Term.(const run $ obj $ gmons $ store_dir $ no_static $ removed $ break
           $ focus $ exclude $ min_percent $ lenient $ view $ format $ epoch
-          $ timeline $ lint $ annotate $ icount $ verbose $ dot_out
-          $ obs_metrics $ obs_trace $ self_profile)
+          $ timeline $ lint $ divergence $ annotate $ icount $ verbose
+          $ dot_out $ obs_metrics $ obs_trace $ self_profile)
 
 let () = exit (Cmd.eval' cmd)

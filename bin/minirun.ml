@@ -7,8 +7,9 @@
 open Cmdliner
 
 let run obj_path gmon_out submit_sock submit_label prof_out icount_out
-    epoch_ticks epochs_out hz cpt bucket callee_primary seed jitter quiet
-    max_cycles fault_after torn_save obs_metrics obs_trace =
+    epoch_ticks epochs_out sample_ticks sample_out sample_capacity hz cpt
+    bucket callee_primary seed jitter quiet max_cycles fault_after torn_save
+    obs_metrics obs_trace =
   if obs_trace <> None then Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
     try
@@ -44,6 +45,8 @@ let run obj_path gmon_out submit_sock submit_label prof_out icount_out
         max_cycles;
         fault_after_instr = fault_after;
         epoch_ticks;
+        stack_interval = sample_ticks;
+        stack_capacity = sample_capacity;
       }
     in
     let m = Vm.Machine.create ~config o in
@@ -64,8 +67,31 @@ let run obj_path gmon_out submit_sock submit_label prof_out icount_out
         Printf.eprintf "minirun: %s\n" e;
         false
     in
+    let explicit_sample = sample_out <> None in
+    let sample_out =
+      match sample_out with
+      | Some p -> p
+      | None -> Filename.remove_extension obj_path ^ ".sprof"
+    in
+    let save_sprof () =
+      match Vm.Machine.sprof m with
+      | None -> true
+      | Some sp -> (
+        Option.iter (fun n -> Gmon.inject_torn_save (Some n)) torn_save;
+        match Gmon.Sprof.save sp sample_out with
+        | Ok () ->
+          Printf.eprintf
+            "minirun: %d sample(s) over %d stack(s) written to %s\n"
+            (Gmon.Sprof.n_samples sp) (Gmon.Sprof.n_stacks sp) sample_out;
+          true
+        | Error e ->
+          Printf.eprintf "minirun: %s\n" e;
+          false)
+    in
     (* A fleet member ships its profile to profd instead of leaving a
-       gmon file behind — unless --gmon asked for one explicitly. *)
+       gmon file behind — unless --gmon asked for one explicitly. The
+       sampled profile rides along under the same label; the daemon
+       routes the two container families by magic. *)
     let submit_profile () =
       match submit_sock with
       | None -> true
@@ -75,17 +101,22 @@ let run obj_path gmon_out submit_sock submit_label prof_out icount_out
           | Some l -> l
           | None -> Filename.remove_extension (Filename.basename obj_path)
         in
-        let payload = Gmon.to_bytes (Vm.Machine.profile m) in
-        match Proto.rpc ~socket (Submit { label; payload }) with
-        | Ok (Proto.Resp_ok reply) ->
-          Printf.eprintf "minirun: profile submitted to %s: %s" socket reply;
-          true
-        | Ok (Proto.Resp_err e) ->
-          Printf.eprintf "minirun: submit: daemon: %s\n" e;
-          false
-        | Error e ->
-          Printf.eprintf "minirun: submit: %s\n" e;
-          false)
+        let send what payload =
+          match Proto.rpc ~socket (Submit { label; payload }) with
+          | Ok (Proto.Resp_ok reply) ->
+            Printf.eprintf "minirun: %s submitted to %s: %s" what socket reply;
+            true
+          | Ok (Proto.Resp_err e) ->
+            Printf.eprintf "minirun: submit: daemon: %s\n" e;
+            false
+          | Error e ->
+            Printf.eprintf "minirun: submit: %s\n" e;
+            false
+        in
+        let ok = send "profile" (Gmon.to_bytes (Vm.Machine.profile m)) in
+        match Vm.Machine.sprof m with
+        | None -> ok
+        | Some sp -> send "sampled profile" (Gmon.Sprof.to_bytes sp) && ok)
     in
     (* The timeline is condensed alongside the profile — on crashed
        runs too, so the epochs gathered before the fault survive. *)
@@ -115,6 +146,11 @@ let run obj_path gmon_out submit_sock submit_label prof_out icount_out
           (if submit_sock <> None && not explicit_gmon then true
            else save_gmon ())
       in
+      if
+        not
+          (if submit_sock <> None && not explicit_sample then true
+           else save_sprof ())
+      then saved := false;
       if not (submit_profile ()) then saved := false;
       if not (save_epochs ()) then saved := false;
       Option.iter
@@ -152,6 +188,7 @@ let run obj_path gmon_out submit_sock submit_label prof_out icount_out
          checksummed or not there at all. *)
       if save_gmon () then
         Printf.eprintf "minirun: partial profile written to %s\n" gmon_out;
+      ignore (save_sprof ());
       ignore (save_epochs ());
       125
     | Vm.Machine.Running ->
@@ -195,6 +232,23 @@ let epochs_out =
   Arg.(value & opt (some string) None & info [ "epochs" ] ~docv:"FILE"
          ~doc:"Epoch container output (default: object with .epochs). \
                Only written when --epoch-ticks is given.")
+
+let sample_ticks =
+  Arg.(value & opt (some int) None & info [ "sample-ticks" ] ~docv:"N"
+         ~doc:"Walk and record the whole call stack every $(docv) clock \
+               ticks (1 = every tick). Distinct stacks are interned in a \
+               bounded buffer; the result is saved as an sprof container \
+               (see --sample-out) and rides along with --submit.")
+
+let sample_out =
+  Arg.(value & opt (some string) None & info [ "sample-out" ] ~docv:"FILE"
+         ~doc:"Sampled-profile output (default: object with .sprof). Only \
+               written when --sample-ticks is given.")
+
+let sample_capacity =
+  Arg.(value & opt (some int) None & info [ "sample-capacity" ] ~docv:"N"
+         ~doc:"Cap on distinct interned stacks; once full, new stacks are \
+               dropped and counted as skipped (vm.sample.skipped).")
 
 let hz =
   Arg.(value & opt int 60 & info [ "hz" ] ~docv:"N" ~doc:"Clock ticks per second.")
@@ -250,8 +304,9 @@ let cmd =
   Cmd.v
     (Cmd.info "minirun" ~doc:"profiling virtual machine")
     Term.(const run $ obj $ gmon_out $ submit_sock $ submit_label $ prof_out
-          $ icount_out $ epoch_ticks $ epochs_out $ hz $ cpt $ bucket
-          $ callee_primary $ seed $ jitter $ quiet $ max_cycles $ fault_after
-          $ torn_save $ obs_metrics $ obs_trace)
+          $ icount_out $ epoch_ticks $ epochs_out $ sample_ticks $ sample_out
+          $ sample_capacity $ hz $ cpt $ bucket $ callee_primary $ seed
+          $ jitter $ quiet $ max_cycles $ fault_after $ torn_save
+          $ obs_metrics $ obs_trace)
 
 let () = exit (Cmd.eval' cmd)

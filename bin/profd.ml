@@ -48,6 +48,13 @@ let handle_request ingest req =
     | Error e -> Resp_err e
     | Ok None -> Resp_err "store is empty"
     | Ok (Some g) -> Resp_ok (Gmon.to_bytes g))
+  | Query_sreport -> (
+    match
+      Result.bind (flush_for_query ()) (fun () -> Store.merged_sprof store)
+    with
+    | Error e -> Resp_err e
+    | Ok None -> Resp_err "store holds no sampled profiles"
+    | Ok (Some sp) -> Resp_ok (Gmon.Sprof.to_bytes sp))
   | Query_stats -> (
     match flush_for_query () with
     | Error e -> Resp_err e
@@ -216,25 +223,50 @@ let write_out out payload =
       Error 1)
 
 let merge_offline ~out files =
-  let loaded = List.map (fun p -> (p, Gmon.load p)) files in
-  match List.find_opt (fun (_, r) -> Result.is_error r) loaded with
-  | Some (p, Error e) ->
-    Printf.eprintf "profd: %s: %s\n" p e;
-    1
-  | _ -> (
-    match Gmon.merge_all (List.map (fun (_, r) -> Result.get_ok r) loaded) with
+  (* the baseline merges whatever the daemon would have stored: sniff
+     the container family and merge within it *)
+  let sampled, arcs = List.partition Gmon.Sprof.sniff_file files in
+  let finish kind merged save =
+    match merged with
     | Error e ->
       Printf.eprintf "profd: %s\n" e;
       1
     | Ok m -> (
-      match Gmon.save m out with
+      match save m out with
       | Ok () ->
-        Printf.eprintf "profd: %d file(s) merged offline into %s\n"
-          (List.length files) out;
+        Printf.eprintf "profd: %d %s file(s) merged offline into %s\n"
+          (List.length files) kind out;
         0
       | Error e ->
         Printf.eprintf "profd: %s\n" e;
-        1))
+        1)
+  in
+  match (sampled, arcs) with
+  | _ :: _, _ :: _ ->
+    Printf.eprintf
+      "profd: --merge-offline cannot mix sprof and gmon inputs (the two \
+       families do not sum)\n";
+    1
+  | _ :: _, [] -> (
+    let loaded = List.map (fun p -> (p, Gmon.Sprof.load p)) files in
+    match List.find_opt (fun (_, r) -> Result.is_error r) loaded with
+    | Some (p, Error e) ->
+      Printf.eprintf "profd: %s: %s\n" p e;
+      1
+    | _ ->
+      finish "sprof"
+        (Gmon.Sprof.merge_all (List.map (fun (_, r) -> Result.get_ok r) loaded))
+        Gmon.Sprof.save)
+  | [], _ -> (
+    let loaded = List.map (fun p -> (p, Gmon.load p)) files in
+    match List.find_opt (fun (_, r) -> Result.is_error r) loaded with
+    | Some (p, Error e) ->
+      Printf.eprintf "profd: %s: %s\n" p e;
+      1
+    | _ ->
+      finish "gmon"
+        (Gmon.merge_all (List.map (fun (_, r) -> Result.get_ok r) loaded))
+        Gmon.save)
 
 (* --- command line ----------------------------------------------------- *)
 
@@ -309,6 +341,9 @@ let run serve_flag socket store_dir shards batch max_age wait timeout files
                     (write_out out)
                 | Some `Report ->
                   Result.bind (rpc_or_fail ~socket Query_report) (write_out out)
+                | Some `Sreport ->
+                  Result.bind (rpc_or_fail ~socket Query_sreport)
+                    (write_out out)
                 | Some `Stats ->
                   Result.bind (rpc_or_fail ~socket Query_stats) (write_out out))
           >>> fun () -> if do_shutdown then simple Shutdown () else Ok ()
@@ -371,12 +406,21 @@ let label =
 
 let query =
   Arg.(value
-       & opt (some (enum [ ("top", `Top); ("report", `Report); ("stats", `Stats) ]))
+       & opt
+           (some
+              (enum
+                 [
+                   ("top", `Top);
+                   ("report", `Report);
+                   ("sreport", `Sreport);
+                   ("stats", `Stats);
+                 ]))
            None
        & info [ "query" ] ~docv:"WHAT"
            ~doc:"Client: query the daemon — $(b,top) (heaviest histogram \
                  buckets), $(b,report) (the merged profile as gmon bytes; \
-                 use --out), or $(b,stats) (JSON).")
+                 use --out), $(b,sreport) (the merged sampled profile as \
+                 sprof bytes), or $(b,stats) (JSON).")
 
 let top_n =
   Arg.(value & opt int 10 & info [ "top-n" ] ~docv:"N"

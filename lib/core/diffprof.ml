@@ -14,23 +14,25 @@ type t = {
   total_b : float;
 }
 
-(* A routine participates on a side when it was called or sampled. *)
-let side (p : Profile.t) =
-  let tbl = Hashtbl.create 64 in
-  Array.iter
-    (fun (e : Profile.entry) ->
-      if e.e_calls > 0 || e.e_self_calls > 0 || e.e_self > 0.0 then
-        Hashtbl.replace tbl
-          (Symtab.name p.symtab e.e_id)
-          (e.e_self, e.e_self +. e.e_child, e.e_calls + e.e_self_calls))
-    p.entries;
-  tbl
+type side_row = {
+  s_name : string;
+  s_self : float;
+  s_total : float;
+  s_calls : int option;
+}
 
 let self_delta r =
   Option.value ~default:0.0 r.d_self_b -. Option.value ~default:0.0 r.d_self_a
 
-let diff (a : Profile.t) (b : Profile.t) =
-  let ta = side a and tb = side b in
+let diff_sides ~total_a sa ~total_b sb =
+  let tbl_of rows =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun r -> Hashtbl.replace tbl r.s_name (r.s_self, r.s_total, r.s_calls))
+      rows;
+    tbl
+  in
+  let ta = tbl_of sa and tb = tbl_of sb in
   let names = Hashtbl.create 64 in
   Hashtbl.iter (fun n _ -> Hashtbl.replace names n ()) ta;
   Hashtbl.iter (fun n _ -> Hashtbl.replace names n ()) tb;
@@ -39,7 +41,7 @@ let diff (a : Profile.t) (b : Profile.t) =
       (fun name () acc ->
         let pick tbl =
           match Hashtbl.find_opt tbl name with
-          | Some (self, total, calls) -> (Some self, Some total, Some calls)
+          | Some (self, total, calls) -> (Some self, Some total, calls)
           | None -> (None, None, None)
         in
         let d_self_a, d_total_a, d_calls_a = pick ta in
@@ -52,7 +54,25 @@ let diff (a : Profile.t) (b : Profile.t) =
            let c = compare (abs_float (self_delta y)) (abs_float (self_delta x)) in
            if c <> 0 then c else compare x.d_name y.d_name)
   in
-  { rows; total_a = a.total_time; total_b = b.total_time }
+  { rows; total_a; total_b }
+
+(* A routine participates on a side when it was called or sampled. *)
+let side_rows (p : Profile.t) =
+  Array.to_list p.entries
+  |> List.filter_map (fun (e : Profile.entry) ->
+         if e.e_calls > 0 || e.e_self_calls > 0 || e.e_self > 0.0 then
+           Some
+             {
+               s_name = Symtab.name p.symtab e.e_id;
+               s_self = e.e_self;
+               s_total = e.e_self +. e.e_child;
+               s_calls = Some (e.e_calls + e.e_self_calls);
+             }
+         else None)
+
+let diff (a : Profile.t) (b : Profile.t) =
+  diff_sides ~total_a:a.total_time (side_rows a) ~total_b:b.total_time
+    (side_rows b)
 
 let cell = function
   | Some v -> Printf.sprintf "%8.2f" v

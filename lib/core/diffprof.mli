@@ -29,6 +29,23 @@ val diff : Profile.t -> Profile.t -> t
 (** Routines that were never called and got no time on a side are
     reported as absent ([None]) on that side. *)
 
+type side_row = {
+  s_name : string;
+  s_self : float;  (** self seconds *)
+  s_total : float;  (** self + descendants, seconds *)
+  s_calls : int option;  (** [None] when the side does not count calls *)
+}
+
+val diff_sides :
+  total_a:float -> side_row list -> total_b:float -> side_row list -> t
+(** The generic diff {!diff} is built on: each side is any per-routine
+    accounting of self and total seconds — an analyzed arc profile, a
+    stack-sample estimate (which counts no calls), or a mix of the
+    two. *)
+
+val side_rows : Profile.t -> side_row list
+(** An analyzed profile as a diffable side. *)
+
 val listing : t -> string
 
 val self_delta : row -> float

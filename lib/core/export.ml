@@ -62,6 +62,24 @@ let folded_stacks (p : Profile.t) =
     p.entries;
   Buffer.contents b
 
+(* Sampled profiles carry complete stacks, so no dominant-path
+   reconstruction is needed: each interned stack renders as exactly
+   the path that was live, weighted by its sample count. *)
+let folded_sampled st (sp : Gmon.Sprof.t) =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (stack, count) ->
+      let names =
+        Array.to_list stack
+        |> List.filter_map (fun addr ->
+               Option.map (Symtab.name st) (Symtab.id_of_entry st addr))
+      in
+      if names <> [] then
+        Buffer.add_string b
+          (Printf.sprintf "%s %d\n" (String.concat ";" names) count))
+    sp.Gmon.Sprof.sp_stacks;
+  Buffer.contents b
+
 (* ------------------------------------------------------------------ *)
 (* Callgrind                                                           *)
 

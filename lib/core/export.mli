@@ -25,6 +25,14 @@ val folded_stacks : Profile.t -> string
     in function-id order; ticks are the routine's raw self ticks,
     rounded. *)
 
+val folded_sampled : Symtab.t -> Gmon.Sprof.t -> string
+(** Folded stacks straight from a sampled-profile container:
+    [root;...;leaf count], one line per interned stack in canonical
+    order. Unlike {!folded_stacks} there is no reconstruction — each
+    line is a complete stack that was actually observed, weighted by
+    its sample count. Frame addresses that match no function entry
+    are skipped; stacks with no resolvable frame are omitted. *)
+
 val callgrind : Profile.t -> string
 (** The profile in callgrind format (events: [ticks]); self cost per
     routine plus one [cfn]/[calls] record per (caller, callee) arc

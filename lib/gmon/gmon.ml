@@ -1229,3 +1229,456 @@ module Epoch = struct
          a.e_epochs b.e_epochs
 
 end
+
+module Sprof = struct
+  type t = {
+    sp_sample_interval : int;
+    sp_ticks_per_second : int;
+    sp_cycles_per_tick : int;
+    sp_runs : int;
+    sp_stacks : (int array * int) list;
+  }
+
+  (* Explicit lexicographic order over frame addresses (shorter stack
+     first on a shared prefix): the canonical order every container
+     stores its table in, so that equal merges are byte-identical
+     regardless of the order inputs arrived in. Deliberately not the
+     polymorphic compare, whose array ordering puts length first. *)
+  let compare_stack a b =
+    let la = Array.length a and lb = Array.length b in
+    let rec go i =
+      if i >= la || i >= lb then compare la lb
+      else
+        let c = compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+  (* Sort into canonical order and sum counts of duplicate stacks;
+     zero- or negative-count entries are dropped (they carry no
+     samples). *)
+  let normalize stacks =
+    let sorted =
+      List.filter (fun (_, c) -> c > 0) stacks
+      |> List.stable_sort (fun (a, _) (b, _) -> compare_stack a b)
+    in
+    let rec fuse = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | (s1, c1) :: ((s2, c2) :: rest as tl) ->
+        if compare_stack s1 s2 = 0 then fuse ((s1, c1 + c2) :: rest)
+        else (s1, c1) :: fuse tl
+    in
+    fuse sorted
+
+  let of_folded ~sample_interval ~ticks_per_second ~cycles_per_tick folded =
+    if sample_interval < 1 then
+      invalid_arg "Sprof.of_folded: sample_interval must be >= 1";
+    if ticks_per_second < 1 then
+      invalid_arg "Sprof.of_folded: ticks_per_second must be >= 1";
+    if cycles_per_tick < 1 then
+      invalid_arg "Sprof.of_folded: cycles_per_tick must be >= 1";
+    {
+      sp_sample_interval = sample_interval;
+      sp_ticks_per_second = ticks_per_second;
+      sp_cycles_per_tick = cycles_per_tick;
+      sp_runs = 1;
+      sp_stacks = normalize (List.map (fun (s, c) -> (Array.copy s, c)) folded);
+    }
+
+  let n_stacks t = List.length t.sp_stacks
+
+  let n_samples t = List.fold_left (fun a (_, c) -> a + c) 0 t.sp_stacks
+
+  let seconds_per_sample t =
+    float_of_int t.sp_sample_interval /. float_of_int t.sp_ticks_per_second
+
+  let total_seconds t = float_of_int (n_samples t) *. seconds_per_sample t
+
+  let validate t =
+    let errs = ref [] in
+    let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+    if t.sp_sample_interval < 1 then
+      err "sample_interval %d < 1" t.sp_sample_interval;
+    if t.sp_ticks_per_second <= 0 then
+      err "ticks_per_second %d not positive" t.sp_ticks_per_second;
+    if t.sp_cycles_per_tick <= 0 then
+      err "cycles_per_tick %d not positive" t.sp_cycles_per_tick;
+    if t.sp_runs < 1 then err "runs %d < 1" t.sp_runs;
+    List.iteri
+      (fun i (s, c) ->
+        if c < 1 then err "stack %d has nonpositive count %d" i c;
+        Array.iter (fun a -> if a < 0 then err "stack %d has negative frame" i) s)
+      t.sp_stacks;
+    let rec sorted_ok i = function
+      | [] | [ _ ] -> ()
+      | (a, _) :: (((b, _) :: _) as rest) ->
+        if compare_stack a b >= 0 then err "stacks not strictly sorted at %d" (i + 1);
+        sorted_ok (i + 1) rest
+    in
+    sorted_ok 0 t.sp_stacks;
+    match List.rev !errs with [] -> Ok () | es -> Error es
+
+  (* --- self-observability ------------------------------------------- *)
+
+  let m_bytes_written =
+    Obs.Metrics.counter Obs.Metrics.default "sprof.codec.bytes_written"
+      ~help:"sampled-profile bytes encoded"
+
+  let m_bytes_read =
+    Obs.Metrics.counter Obs.Metrics.default "sprof.codec.bytes_read"
+      ~help:"sampled-profile bytes presented for decoding"
+
+  let m_files_loaded =
+    Obs.Metrics.counter Obs.Metrics.default "sprof.codec.files_loaded"
+
+  let m_files_saved =
+    Obs.Metrics.counter Obs.Metrics.default "sprof.codec.files_saved"
+
+  let m_merges = Obs.Metrics.counter Obs.Metrics.default "sprof.codec.merges"
+
+  let m_stacks_merged =
+    Obs.Metrics.counter Obs.Metrics.default "sprof.codec.stacks_merged"
+      ~help:"stack records combined on key collision during summing"
+
+  let m_decode_errors =
+    Obs.Metrics.counter Obs.Metrics.default "sprof.codec.decode_errors"
+      ~help:"sampled-profile decodes rejected outright"
+
+  let m_checksum_mismatches =
+    Obs.Metrics.counter Obs.Metrics.default "sprof.codec.checksum_mismatches"
+
+  let m_salvaged_files =
+    Obs.Metrics.counter Obs.Metrics.default "sprof.codec.salvage.files"
+      ~help:"sampled profiles recovered with data loss by salvage decoding"
+
+  let m_salvaged_stacks =
+    Obs.Metrics.counter Obs.Metrics.default "sprof.codec.salvage.dropped_stacks"
+
+  let m_salvaged_bytes =
+    Obs.Metrics.counter Obs.Metrics.default "sprof.codec.salvage.dropped_bytes"
+
+  (* --- merge algebra ------------------------------------------------ *)
+
+  let merge a b =
+    if a.sp_sample_interval <> b.sp_sample_interval then
+      Error "cannot merge sampled profiles with different sample intervals"
+    else if a.sp_ticks_per_second <> b.sp_ticks_per_second then
+      Error "cannot merge sampled profiles with different clock rates"
+    else if a.sp_cycles_per_tick <> b.sp_cycles_per_tick then
+      Error "cannot merge sampled profiles with different cycle rates"
+    else begin
+      (* Merge two canonically sorted unique stack tables, summing
+         counts on collision: an exact integer sum, so the result is
+         independent of merge order and association. *)
+      let rec go xs ys acc =
+        match (xs, ys) with
+        | [], rest | rest, [] -> List.rev_append acc rest
+        | ((sx, cx) as x) :: xs', ((sy, cy) as y) :: ys' ->
+          let c = compare_stack sx sy in
+          if c = 0 then go xs' ys' ((sx, cx + cy) :: acc)
+          else if c < 0 then go xs' ys (x :: acc)
+          else go xs ys' (y :: acc)
+      in
+      let stacks = go a.sp_stacks b.sp_stacks [] in
+      Obs.Metrics.incr m_merges;
+      Obs.Metrics.incr m_stacks_merged
+        ~by:
+          (List.length a.sp_stacks + List.length b.sp_stacks
+          - List.length stacks);
+      Ok
+        {
+          sp_sample_interval = a.sp_sample_interval;
+          sp_ticks_per_second = a.sp_ticks_per_second;
+          sp_cycles_per_tick = a.sp_cycles_per_tick;
+          sp_runs = a.sp_runs + b.sp_runs;
+          sp_stacks = stacks;
+        }
+    end
+
+  let merge_all = function
+    | [] -> Error "no sampled profiles to merge"
+    | [ s ] -> Ok s
+    | ss ->
+      let rec round acc = function
+        | [] -> Ok (List.rev acc)
+        | [ x ] -> Ok (List.rev (x :: acc))
+        | x :: y :: rest -> (
+          match merge x y with
+          | Error e -> Error e
+          | Ok m -> round (m :: acc) rest)
+      in
+      let rec loop = function
+        | [ s ] -> Ok s
+        | ss -> ( match round [] ss with Error e -> Error e | Ok ss' -> loop ss')
+      in
+      loop ss
+
+  (* --- serialization ------------------------------------------------ *)
+
+  let magic = "SPROFOCAML1\n"
+
+  let sniff_bytes s =
+    String.length s >= String.length magic
+    && String.sub s 0 (String.length magic) = magic
+
+  let sniff_file path =
+    match
+      In_channel.with_open_bin path (fun ic ->
+          really_input_string ic (String.length magic))
+    with
+    | s -> s = magic
+    | exception (Sys_error _ | End_of_file) -> false
+
+  let to_bytes t =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf magic;
+    put_i64 buf t.sp_sample_interval;
+    put_i64 buf t.sp_ticks_per_second;
+    put_i64 buf t.sp_cycles_per_tick;
+    put_i64 buf t.sp_runs;
+    put_i64 buf (List.length t.sp_stacks);
+    List.iter
+      (fun (s, c) ->
+        put_i64 buf c;
+        put_i64 buf (Array.length s);
+        Array.iter (put_i64 buf) s)
+      t.sp_stacks;
+    add_footer buf;
+    Obs.Metrics.incr m_bytes_written ~by:(Buffer.length buf);
+    Buffer.contents buf
+
+  let max_depth_wire = 1 lsl 20
+
+  let decode ?path ~mode s =
+    let exception Bad of decode_error in
+    let fail ~offset ~context fmt =
+      Printf.ksprintf
+        (fun msg ->
+          raise
+            (Bad { de_path = path; de_offset = offset; de_context = context;
+                   de_msg = msg }))
+        fmt
+    in
+    Obs.Metrics.incr m_bytes_read ~by:(String.length s);
+    let result =
+      try
+        let mlen = String.length magic in
+        if not (sniff_bytes s) then
+          fail ~offset:0 ~context:"magic"
+            "expected %S, found %S (not a sampled-profile file)" magic
+            (String.sub s 0 (min (String.length s) mlen));
+        let checksum, body_len = split_footer s in
+        if mode = `Strict && checksum <> `Ok then
+          fail ~offset:body_len ~context:"checksum footer"
+            "%s: file is torn or corrupt (total %d bytes)"
+            (match checksum with
+            | `Missing -> "missing"
+            | _ -> "stored checksum disagrees with the body")
+            (String.length s);
+        if checksum = `Mismatch then Obs.Metrics.incr m_checksum_mismatches;
+        let dropped_stacks = ref 0 in
+        let dropped_bytes = ref 0 in
+        let notes = ref [] in
+        let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+        let pos = ref mlen in
+        let get_i64 context =
+          if !pos + 8 > body_len then
+            fail ~offset:!pos ~context "need 8 bytes, have %d (file ends at %d)"
+              (body_len - !pos) body_len;
+          let v = Int64.to_int (String.get_int64_le s !pos) in
+          pos := !pos + 8;
+          v
+        in
+        (* Header damage is unrecoverable in either mode: without the
+           interval and clock rates no count can be interpreted. *)
+        let si_off = !pos in
+        let sample_interval = get_i64 "header field sample_interval" in
+        let tps_off = !pos in
+        let ticks_per_second = get_i64 "header field ticks_per_second" in
+        let cpt_off = !pos in
+        let cycles_per_tick = get_i64 "header field cycles_per_tick" in
+        let runs_off = !pos in
+        let runs = get_i64 "header field runs" in
+        if sample_interval < 1 then
+          fail ~offset:si_off ~context:"header field sample_interval" "%d < 1"
+            sample_interval;
+        if ticks_per_second <= 0 then
+          fail ~offset:tps_off ~context:"header field ticks_per_second"
+            "%d not positive" ticks_per_second;
+        if cycles_per_tick <= 0 then
+          fail ~offset:cpt_off ~context:"header field cycles_per_tick"
+            "%d not positive" cycles_per_tick;
+        if runs < 1 then
+          fail ~offset:runs_off ~context:"header field runs" "%d < 1" runs;
+        let ns_off = !pos in
+        let stored_stacks = get_i64 "stack count" in
+        if stored_stacks < 0 || stored_stacks > 1 lsl 26 then
+          fail ~offset:ns_off ~context:"stack count" "absurd value %d"
+            stored_stacks;
+        (* Stack records are recovered whole or not at all: a failure
+           inside record k drops k and everything after it — the record
+           length depends on the stored depth, so nothing after a
+           damaged record can be trusted. *)
+        let rev_stacks = ref [] in
+        let k = ref 0 in
+        let last_good = ref !pos in
+        (try
+           while !k < stored_stacks do
+             let r_ctx = Printf.sprintf "stack record %d" (!k + 1) in
+             let c_off = !pos in
+             let count = get_i64 (r_ctx ^ " count") in
+             if count < 1 then
+               fail ~offset:c_off ~context:(r_ctx ^ " count")
+                 "nonpositive sample count %d" count;
+             let d_off = !pos in
+             let depth = get_i64 (r_ctx ^ " depth") in
+             if depth < 0 || depth > max_depth_wire then
+               fail ~offset:d_off ~context:(r_ctx ^ " depth")
+                 "absurd value %d" depth;
+             let stack = Array.make depth 0 in
+             for i = 0 to depth - 1 do
+               let a_off = !pos in
+               let a = get_i64 (r_ctx ^ " frame") in
+               if a < 0 then
+                 fail ~offset:a_off ~context:(r_ctx ^ " frame")
+                   "negative address %d" a;
+               stack.(i) <- a
+             done;
+             rev_stacks := (stack, count) :: !rev_stacks;
+             incr k;
+             last_good := !pos
+           done
+         with Bad e when mode = `Salvage ->
+           Obs.Metrics.incr m_salvaged_stacks ~by:(stored_stacks - !k);
+           dropped_stacks := !dropped_stacks + (stored_stacks - !k);
+           note "stack table damaged at byte %d: record(s) %d..%d dropped"
+             e.de_offset (!k + 1) stored_stacks;
+           dropped_bytes := !dropped_bytes + (body_len - !last_good);
+           pos := body_len);
+        if !pos <> body_len then begin
+          if mode = `Strict then
+            fail ~offset:!pos ~context:"end of file" "%d trailing bytes"
+              (body_len - !pos)
+          else begin
+            dropped_bytes := !dropped_bytes + (body_len - !pos);
+            note "%d trailing byte(s) ignored" (body_len - !pos)
+          end
+        end;
+        let stacks = List.rev !rev_stacks in
+        (* Strict files are written in canonical order; a salvaged
+           bit-flip may break it, so restore the order and drop
+           duplicate keys (first record wins — reordering invents
+           nothing, summing would). *)
+        let stacks =
+          let rec sorted = function
+            | [] | [ _ ] -> true
+            | (a, _) :: (((b, _) :: _) as rest) ->
+              compare_stack a b < 0 && sorted rest
+          in
+          if sorted stacks then stacks
+          else if mode = `Strict then
+            fail ~offset:!pos ~context:"stack table"
+              "records not in canonical order"
+          else begin
+            note "stack table out of order; reordered";
+            let sorted_stacks =
+              List.stable_sort (fun (a, _) (b, _) -> compare_stack a b) stacks
+            in
+            let rec dedup = function
+              | [] -> []
+              | [ x ] -> [ x ]
+              | ((s1, _) as a) :: (((s2, _) :: _) as rest) ->
+                if compare_stack s1 s2 = 0 then begin
+                  incr dropped_stacks;
+                  Obs.Metrics.incr m_salvaged_stacks;
+                  dedup (a :: List.tl rest)
+                end
+                else a :: dedup rest
+            in
+            dedup sorted_stacks
+          end
+        in
+        let t =
+          {
+            sp_sample_interval = sample_interval;
+            sp_ticks_per_second = ticks_per_second;
+            sp_cycles_per_tick = cycles_per_tick;
+            sp_runs = runs;
+            sp_stacks = stacks;
+          }
+        in
+        (match validate t with
+        | Ok () -> ()
+        | Error es ->
+          fail ~offset:0 ~context:"validation" "%s" (String.concat "; " es));
+        let report =
+          {
+            r_checksum = checksum;
+            r_dropped_buckets = 0;
+            r_dropped_arcs = !dropped_stacks;
+            r_dropped_bytes = !dropped_bytes;
+            r_notes = List.rev !notes;
+          }
+        in
+        Ok (t, report)
+      with Bad e -> Error e
+    in
+    (match result with
+    | Error _ -> Obs.Metrics.incr m_decode_errors
+    | Ok (_, r) when report_degraded r ->
+      Obs.Metrics.incr m_salvaged_files;
+      Obs.Metrics.incr m_salvaged_bytes ~by:r.r_dropped_bytes
+    | Ok _ -> ());
+    result
+
+  let of_bytes s =
+    match decode ~mode:`Strict s with
+    | Ok (t, _) -> Ok t
+    | Error e -> Error (decode_error_to_string e)
+
+  let save t path =
+    Obs.Metrics.incr m_files_saved;
+    Obs.Trace.with_span ~cat:"gmon" "sprof-save" (fun () ->
+        write_file_atomic ~what:"sampled profile" path (to_bytes t))
+
+  let load_report ?(mode : mode = `Strict) path =
+    Obs.Metrics.incr m_files_loaded;
+    Obs.Trace.with_span ~cat:"gmon" "sprof-load" ~args:[ ("path", path) ]
+      (fun () ->
+        match In_channel.with_open_bin path In_channel.input_all with
+        | s -> decode ~path ~mode s
+        | exception Sys_error e ->
+          Obs.Metrics.incr m_decode_errors;
+          Error
+            { de_path = Some path; de_offset = 0; de_context = "open";
+              de_msg = e })
+
+  let load ?(mode : mode = `Strict) path =
+    match load_report ~mode path with
+    | Ok (t, _) -> Ok t
+    | Error e -> Error (decode_error_to_string e)
+
+  let equal a b =
+    a.sp_sample_interval = b.sp_sample_interval
+    && a.sp_ticks_per_second = b.sp_ticks_per_second
+    && a.sp_cycles_per_tick = b.sp_cycles_per_tick
+    && a.sp_runs = b.sp_runs
+    && List.length a.sp_stacks = List.length b.sp_stacks
+    && List.for_all2
+         (fun (sa, ca) (sb, cb) -> ca = cb && compare_stack sa sb = 0)
+         a.sp_stacks b.sp_stacks
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "@[<v>sampled profile: %d sample(s) over %d stack(s), interval %d @@ %d Hz, %d run(s)"
+      (n_samples t) (n_stacks t) t.sp_sample_interval t.sp_ticks_per_second
+      t.sp_runs;
+    List.iter
+      (fun (s, c) ->
+        Format.fprintf ppf "@,  [%s] x %d"
+          (String.concat ";" (Array.to_list (Array.map string_of_int s)))
+          c)
+      t.sp_stacks;
+    Format.fprintf ppf "@]"
+end

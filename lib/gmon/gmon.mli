@@ -344,3 +344,108 @@ module Epoch : sig
 
   val equal : t -> t -> bool
 end
+
+(** Sampled call-stack profiles — the sprof data file.
+
+    The second observability pipeline: where the gmon file condenses a
+    run into a PC histogram plus isolated call-graph arcs (and the
+    analyzer must {e propagate} time under the average-cost
+    assumption, PAPER.md §6), the sprof file stores what the
+    retrospective's "modern profiler" gathers — complete call stacks,
+    interned: each distinct stack once, with the number of samples
+    that hit it, plus the sampling interval and clock rates needed to
+    convert counts back to seconds. Inclusive/exclusive times fall out
+    by direct counting, with no propagation step at all.
+
+    The table is kept in a canonical order (lexicographic by frame
+    addresses, {!Sprof.compare_stack}) so that summing is not just
+    commutative and associative but {e canonical}: any merge order of
+    the same inputs serializes to byte-identical files — the property
+    the fleet gate checks with [cmp] between a live daemon's answer
+    and an offline merge. Framing is the family standard: versioned
+    magic, little-endian fixed-width fields, {!Wire} checksum footer,
+    structured decode errors, and a [`Salvage] mode that recovers the
+    valid prefix of whole stack records from a torn file. *)
+module Sprof : sig
+  type t = {
+    sp_sample_interval : int;  (** clock ticks between samples, >= 1 *)
+    sp_ticks_per_second : int;
+    sp_cycles_per_tick : int;
+    sp_runs : int;  (** executions summed into this profile *)
+    sp_stacks : (int array * int) list;
+        (** (stack root-first, sample count): canonical order, unique
+            stacks, counts >= 1 *)
+  }
+
+  val compare_stack : int array -> int array -> int
+  (** Lexicographic by frame address; the shorter stack orders first
+      on a shared prefix. The canonical table order. *)
+
+  val of_folded :
+    sample_interval:int ->
+    ticks_per_second:int ->
+    cycles_per_tick:int ->
+    (int array * int) list ->
+    t
+  (** Build a single-run container from a folded sample list (e.g.
+      {!Vm.Stacksamp.folded}): stacks are copied, sorted canonically,
+      duplicates summed, empty counts dropped.
+      @raise Invalid_argument on nonpositive rates. *)
+
+  val n_stacks : t -> int
+
+  val n_samples : t -> int
+  (** Sum of all stack counts. *)
+
+  val seconds_per_sample : t -> float
+
+  val total_seconds : t -> float
+
+  val validate : t -> (unit, string list) result
+  (** Rates positive, [runs >= 1], stacks canonically sorted and
+      unique with positive counts and nonnegative frame addresses. *)
+
+  val merge : t -> t -> (t, string) result
+  (** Sum two sampled profiles: sample interval and clock rates must
+      match exactly, otherwise [Error]. Stack tables union with counts
+      added; [runs] add. Commutative, associative, and canonical:
+      equal merges serialize byte-identically (tested). *)
+
+  val merge_all : t list -> (t, string) result
+  (** Balanced pairwise {!merge} of a non-empty list. *)
+
+  val to_bytes : t -> string
+  (** Binary serialization (magic ["SPROFOCAML1\n"], little-endian
+      fields, checksum footer). Byte counts land in the
+      [sprof.codec.*] metrics. *)
+
+  val of_bytes : string -> (t, string) result
+
+  val decode :
+    ?path:string -> mode:mode -> string -> (t * report, decode_error) result
+  (** [`Salvage] recovers whole stack records: a failure inside record
+      k drops records k.. (record length depends on the stored depth,
+      so nothing after a damaged record can be trusted — salvage never
+      invents data). Dropped records are counted in the report's
+      [r_dropped_arcs] slot and the [sprof.codec.salvage.*] metrics. A
+      damaged header is unrecoverable in either mode. *)
+
+  val save : t -> string -> (unit, string) result
+  (** Crash-safe temp-and-rename write; honours
+      {!Gmon.inject_torn_save}. *)
+
+  val load : ?mode:mode -> string -> (t, string) result
+
+  val load_report : ?mode:mode -> string -> (t * report, decode_error) result
+
+  val sniff_bytes : string -> bool
+  (** True when the string starts with the sprof magic. *)
+
+  val sniff_file : string -> bool
+  (** {!sniff_bytes} on the first bytes of a file; false on any IO
+      error. *)
+
+  val equal : t -> t -> bool
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -2,7 +2,9 @@
    quarantine failures immediately, buffer the rest, and flush whole
    batches to the store on a size or age trigger. *)
 
-type entry = { e_label : string; e_profile : Gmon.t }
+type payload = Arc of Gmon.t | Sampled of Gmon.Sprof.t
+
+type entry = { e_label : string; e_payload : payload }
 
 type t = {
   ing_store : Store.t;
@@ -67,7 +69,12 @@ let flush t =
         Obs.Metrics.observe m_batch_size n;
         Ok n
       | e :: rest -> (
-        match Store.append t.ing_store ~label:e.e_label e.e_profile with
+        let appended =
+          match e.e_payload with
+          | Arc g -> Store.append t.ing_store ~label:e.e_label g
+          | Sampled sp -> Store.append_sprof t.ing_store ~label:e.e_label sp
+        in
+        match appended with
         | Ok () -> go (n + 1) rest
         | Error err ->
           (* keep what did not reach the store: the next flush (or the
@@ -79,17 +86,24 @@ let flush t =
 
 let submit t ~label bytes =
   Obs.Metrics.incr m_bytes ~by:(String.length bytes);
-  match Gmon.decode ~mode:`Strict bytes with
+  let decoded =
+    if Gmon.Sprof.sniff_bytes bytes then
+      Result.map
+        (fun (sp, _) -> Sampled sp)
+        (Gmon.Sprof.decode ~mode:`Strict bytes)
+    else Result.map (fun (g, _) -> Arc g) (Gmon.decode ~mode:`Strict bytes)
+  in
+  match decoded with
   | Error e ->
     Obs.Metrics.incr m_quarantined;
     let reason = Gmon.decode_error_to_string e in
     Result.map
       (fun _ -> Quarantined reason)
       (Store.append_bytes t.ing_store ~label bytes)
-  | Ok (g, _) ->
+  | Ok payload ->
     Obs.Metrics.incr m_submitted;
     if t.buffer = [] then t.oldest <- Unix.gettimeofday ();
-    t.buffer <- { e_label = label; e_profile = g } :: t.buffer;
+    t.buffer <- { e_label = label; e_payload = payload } :: t.buffer;
     let n = List.length t.buffer in
     if n >= t.max_batch then Result.map (fun k -> Flushed k) (flush t)
     else Ok (Queued n)

@@ -10,11 +10,12 @@
       seconds ({!tick} checks this — a daemon calls it from its idle
       loop).
 
-    Submissions are decoded {e strictly} on arrival: an undecodable
-    payload goes to the store's quarantine with its per-file
-    diagnostics immediately ([`Quarantined]) and can never poison a
-    batch. Every flush publishes batch metrics ([ingest.*]) and a
-    span to {!Obs}. *)
+    Submissions are decoded {e strictly} on arrival, routed by magic
+    (arc profiles and {!Gmon.Sprof} sampled profiles share the queue):
+    an undecodable payload goes to the store's quarantine with its
+    per-file diagnostics immediately ([`Quarantined]) and can never
+    poison a batch. Every flush publishes batch metrics ([ingest.*])
+    and a span to {!Obs}. *)
 
 type t
 

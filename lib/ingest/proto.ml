@@ -6,6 +6,7 @@ type request =
   | Submit of { label : string; payload : string }
   | Query_top of int
   | Query_report
+  | Query_sreport
   | Query_stats
   | Flush
   | Compact
@@ -71,6 +72,7 @@ let encode_request = function
   | Submit { label; payload } -> Printf.sprintf "SUBMIT %s\n%s" label payload
   | Query_top n -> Printf.sprintf "QUERY top %d\n" n
   | Query_report -> "QUERY report\n"
+  | Query_sreport -> "QUERY sreport\n"
   | Query_stats -> "QUERY stats\n"
   | Flush -> "FLUSH\n"
   | Compact -> "COMPACT\n"
@@ -93,6 +95,7 @@ let decode_request body =
     | Some n when n >= 1 && n <= 1_000_000 -> Ok (Query_top n)
     | _ -> Error (Printf.sprintf "invalid top count %S" n))
   | [ "QUERY"; "report" ] -> Ok Query_report
+  | [ "QUERY"; "sreport" ] -> Ok Query_sreport
   | [ "QUERY"; "stats" ] -> Ok Query_stats
   | [ "FLUSH" ] -> Ok Flush
   | [ "COMPACT" ] -> Ok Compact

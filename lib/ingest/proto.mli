@@ -13,9 +13,10 @@
     followed by a binary payload (the rest of the frame):
 
     {v
-      SUBMIT <label>\n<gmon bytes>     ingest one profile
+      SUBMIT <label>\n<gmon bytes>     ingest one profile (gmon or sprof)
       QUERY top <n>\n                  top-N buckets by self ticks
       QUERY report\n                   the merged profile, as gmon bytes
+      QUERY sreport\n                  the merged sampled profile, as sprof bytes
       QUERY stats\n                    store + queue statistics, JSON
       FLUSH\n                          force the ingest queue to the store
       COMPACT\n                        fold every shard's tail
@@ -37,6 +38,7 @@ type request =
   | Submit of { label : string; payload : string }
   | Query_top of int
   | Query_report
+  | Query_sreport
   | Query_stats
   | Flush
   | Compact

@@ -1,0 +1,123 @@
+(* The payoff report: put gprof's propagated inclusive times and the
+   stack-sampled inclusive times for the same run side by side, per
+   function. The gprof column rests on the average-cost assumption
+   (PAPER.md §6: every call charged at the routine's average); the
+   sampled column needs no assumption at all, so the gap between them
+   is exactly the price of that assumption — on workloads where a
+   routine's cost depends on its caller, it inverts rankings. *)
+
+type row = {
+  dv_id : int;
+  dv_name : string;
+  dv_gprof : float;
+  dv_sampled : float;
+  dv_abs : float;
+  dv_gprof_rank : int;
+  dv_sampled_rank : int;
+  dv_displacement : int;
+}
+
+type t = {
+  rows : row list;
+  total_abs : float;
+  mean_abs : float;
+  max_displacement : int;
+  n_displaced : int;
+  gprof_total : float;
+  sampled_total : float;
+}
+
+(* 1-based dense ranks by decreasing value; ties broken by id so the
+   ranking is deterministic. *)
+let ranks_of values =
+  let order =
+    List.sort
+      (fun (ia, va) (ib, vb) ->
+        let c = compare vb va in
+        if c <> 0 then c else compare ia ib)
+      values
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun i (id, _) -> Hashtbl.replace tbl id (i + 1)) order;
+  tbl
+
+let compute (p : Gprof_core.Profile.t) (s : Stackprof.t) =
+  let gprof_incl = Hashtbl.create 64 in
+  Array.iter
+    (fun (e : Gprof_core.Profile.entry) ->
+      if e.e_calls > 0 || e.e_self_calls > 0 || e.e_self > 0.0 then
+        Hashtbl.replace gprof_incl e.e_id (e.e_self +. e.e_child))
+    p.entries;
+  let sampled_incl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Stackprof.row) -> Hashtbl.replace sampled_incl r.s_id r.s_inclusive)
+    s.rows;
+  let ids = Hashtbl.create 64 in
+  Hashtbl.iter (fun id _ -> Hashtbl.replace ids id ()) gprof_incl;
+  Hashtbl.iter (fun id _ -> Hashtbl.replace ids id ()) sampled_incl;
+  let value tbl id = Option.value ~default:0.0 (Hashtbl.find_opt tbl id) in
+  let id_list = Hashtbl.fold (fun id () acc -> id :: acc) ids [] in
+  let grank = ranks_of (List.map (fun id -> (id, value gprof_incl id)) id_list) in
+  let srank =
+    ranks_of (List.map (fun id -> (id, value sampled_incl id)) id_list)
+  in
+  let rows =
+    List.map
+      (fun id ->
+        let g = value gprof_incl id and sm = value sampled_incl id in
+        let gr = Hashtbl.find grank id and sr = Hashtbl.find srank id in
+        {
+          dv_id = id;
+          dv_name = Gprof_core.Symtab.name p.symtab id;
+          dv_gprof = g;
+          dv_sampled = sm;
+          dv_abs = abs_float (g -. sm);
+          dv_gprof_rank = gr;
+          dv_sampled_rank = sr;
+          dv_displacement = abs (gr - sr);
+        })
+      id_list
+    |> List.sort (fun a b ->
+           let c = compare b.dv_abs a.dv_abs in
+           if c <> 0 then c else compare a.dv_id b.dv_id)
+  in
+  let total_abs = List.fold_left (fun a r -> a +. r.dv_abs) 0.0 rows in
+  {
+    rows;
+    total_abs;
+    mean_abs =
+      (if rows = [] then 0.0 else total_abs /. float_of_int (List.length rows));
+    max_displacement =
+      List.fold_left (fun a r -> max a r.dv_displacement) 0 rows;
+    n_displaced =
+      List.fold_left
+        (fun a r -> if r.dv_displacement > 0 then a + 1 else a)
+        0 rows;
+    gprof_total = p.total_time;
+    sampled_total = s.total_seconds;
+  }
+
+let of_function t name =
+  List.find_opt (fun r -> r.dv_name = name) t.rows
+
+let listing t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "divergence: gprof propagated vs stack samples (%d routine(s))\n"
+       (List.length t.rows));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "totals: gprof %.2fs, sampled %.2fs; mean |delta| %.3fs; %d routine(s) displaced, worst by %d rank(s)\n\n"
+       t.gprof_total t.sampled_total t.mean_abs t.n_displaced
+       t.max_displacement);
+  Buffer.add_string buf
+    "   gprof(s)  sampled(s)   |delta|   rank(gprof)  rank(sampled)  moved  name\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "   %8.2f  %10.2f  %8.2f   %11d  %13d  %5d  %s\n"
+           r.dv_gprof r.dv_sampled r.dv_abs r.dv_gprof_rank r.dv_sampled_rank
+           r.dv_displacement r.dv_name))
+    t.rows;
+  Buffer.contents buf

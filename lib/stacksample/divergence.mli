@@ -1,0 +1,42 @@
+(** The gprof-divergence report.
+
+    Given an arc-profile analysis and a stack-sample analysis of the
+    {e same} run, compare per-function inclusive times: gprof's column
+    is propagated under the average-cost assumption (every call to a
+    routine charged at the routine's average cost, PAPER.md §6); the
+    sampled column counts samples whose stack contains the routine —
+    no assumption. The per-function absolute gap and the rank
+    displacement between the two orderings quantify exactly what the
+    assumption costs; on the adversarial cheap-caller/expensive-caller
+    workload it inverts the ranking (bench [t-divergence]). *)
+
+type row = {
+  dv_id : int;  (** function id in the arc profile's symtab *)
+  dv_name : string;
+  dv_gprof : float;  (** propagated inclusive seconds (self + children) *)
+  dv_sampled : float;  (** stack-sampled inclusive seconds *)
+  dv_abs : float;  (** |gprof - sampled| *)
+  dv_gprof_rank : int;  (** 1-based, by decreasing propagated inclusive *)
+  dv_sampled_rank : int;
+  dv_displacement : int;  (** |gprof rank - sampled rank| *)
+}
+
+type t = {
+  rows : row list;  (** decreasing |delta|, ties by id *)
+  total_abs : float;
+  mean_abs : float;
+  max_displacement : int;
+  n_displaced : int;  (** routines whose rank moved at all *)
+  gprof_total : float;
+  sampled_total : float;
+}
+
+val compute : Gprof_core.Profile.t -> Stackprof.t -> t
+(** Routines participate when they were called or sampled on either
+    side; a routine absent from one side scores 0.0 there. Ranks are
+    computed over the union, ties broken by function id. *)
+
+val of_function : t -> string -> row option
+
+val listing : t -> string
+(** Summary header plus one line per routine. *)

@@ -14,49 +14,57 @@ type t = {
   arc_inclusive : ((int * int) * float) list;
 }
 
-let analyze o ~samples ~ticks_per_second ~sample_interval =
+let analyze ?symtab o ~folded ~ticks_per_second ~sample_interval =
   if sample_interval < 1 then
     invalid_arg "Stackprof.analyze: sample_interval must be >= 1";
-  let st = Gprof_core.Symtab.of_objfile o in
+  let st =
+    match symtab with
+    | Some st -> st
+    | None -> Gprof_core.Symtab.of_objfile o
+  in
   let n = Gprof_core.Symtab.n_funcs st in
   let incl = Array.make n 0 in
   let excl = Array.make n 0 in
   let arcs = Hashtbl.create 64 in
   let n_samples = ref 0 in
   List.iter
-    (fun stack ->
-      incr n_samples;
-      let ids =
-        Array.to_list stack
-        |> List.filter_map (fun addr -> Gprof_core.Symtab.id_of_entry st addr)
-      in
-      (match List.rev ids with
-      | leaf :: _ -> excl.(leaf) <- excl.(leaf) + 1
-      | [] -> ());
-      (* Inclusive: each function once per sample, no matter how many
-         frames it holds. *)
-      let seen = Hashtbl.create 8 in
-      List.iter
-        (fun id ->
-          if not (Hashtbl.mem seen id) then begin
-            Hashtbl.replace seen id ();
-            incl.(id) <- incl.(id) + 1
-          end)
-        ids;
-      (* Arc attribution: adjacent frames, deduplicated per sample. *)
-      let arcs_seen = Hashtbl.create 8 in
-      let rec pairs = function
-        | a :: (b :: _ as rest) ->
-          if not (Hashtbl.mem arcs_seen (a, b)) then begin
-            Hashtbl.replace arcs_seen (a, b) ();
-            let prev = Option.value ~default:0 (Hashtbl.find_opt arcs (a, b)) in
-            Hashtbl.replace arcs (a, b) (prev + 1)
-          end;
-          pairs rest
-        | _ -> ()
-      in
-      pairs ids)
-    samples;
+    (fun (stack, count) ->
+      if count > 0 then begin
+        n_samples := !n_samples + count;
+        let ids =
+          Array.to_list stack
+          |> List.filter_map (fun addr -> Gprof_core.Symtab.id_of_entry st addr)
+        in
+        (match List.rev ids with
+        | leaf :: _ -> excl.(leaf) <- excl.(leaf) + count
+        | [] -> ());
+        (* Inclusive: each function once per sample, no matter how many
+           frames it holds. *)
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun id ->
+            if not (Hashtbl.mem seen id) then begin
+              Hashtbl.replace seen id ();
+              incl.(id) <- incl.(id) + count
+            end)
+          ids;
+        (* Arc attribution: adjacent frames, deduplicated per sample. *)
+        let arcs_seen = Hashtbl.create 8 in
+        let rec pairs = function
+          | a :: (b :: _ as rest) ->
+            if not (Hashtbl.mem arcs_seen (a, b)) then begin
+              Hashtbl.replace arcs_seen (a, b) ();
+              let prev =
+                Option.value ~default:0 (Hashtbl.find_opt arcs (a, b))
+              in
+              Hashtbl.replace arcs (a, b) (prev + count)
+            end;
+            pairs rest
+          | _ -> ()
+        in
+        pairs ids
+      end)
+    folded;
   let seconds_per_sample =
     float_of_int sample_interval /. float_of_int ticks_per_second
   in
@@ -84,6 +92,11 @@ let analyze o ~samples ~ticks_per_second ~sample_interval =
       Hashtbl.fold (fun k v acc -> (k, sec v) :: acc) arcs []
       |> List.sort compare;
   }
+
+let of_sprof ?symtab o (sp : Gmon.Sprof.t) =
+  analyze ?symtab o ~folded:sp.sp_stacks
+    ~ticks_per_second:sp.sp_ticks_per_second
+    ~sample_interval:sp.sp_sample_interval
 
 let find t id = List.find_opt (fun r -> r.s_id = id) t.rows
 

@@ -30,15 +30,23 @@ type t = {
 }
 
 val analyze :
+  ?symtab:Gprof_core.Symtab.t ->
   Objcode.Objfile.t ->
-  samples:int array list ->
+  folded:(int array * int) list ->
   ticks_per_second:int ->
   sample_interval:int ->
   t
-(** [samples] are stacks of function entry addresses, root first (from
-    {!Vm.Machine.stack_samples}); [sample_interval] the tick stride
-    they were taken at. Addresses that match no function entry are
-    skipped. *)
+(** [folded] is the interned sample table — stacks of function entry
+    addresses, root first, each with its sample count (from
+    {!Vm.Stacksamp.folded} or a {!Gmon.Sprof.t}); [sample_interval]
+    the tick stride they were taken at. Addresses that match no
+    function entry are skipped. Pass [?symtab] to reuse a prebuilt
+    symbol table instead of rebuilding it from the object file on
+    every call. *)
+
+val of_sprof : ?symtab:Gprof_core.Symtab.t -> Objcode.Objfile.t -> Gmon.Sprof.t -> t
+(** {!analyze} over a sampled-profile container's stack table, at the
+    interval and clock rate recorded in its header. *)
 
 val inclusive_of : t -> int -> float
 (** By function id (the symbol's index, as in {!Gprof_core.Symtab});

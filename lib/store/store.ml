@@ -28,6 +28,14 @@ type shard = {
   (* memoized merged view; [None] = invalid, [Some v] = computed
      (where [v = None] means the shard is empty) *)
   mutable sh_cache : Gmon.t option option;
+  (* the sampled-profile track: same lifecycle as the arc track, in
+     sseg-/scompact- files, so one shard can hold both kinds of
+     submissions for a label without either poisoning the other *)
+  mutable sh_ssegments : (int * string * int) list;
+  mutable sh_snext_seq : int;
+  mutable sh_scompact : Gmon.Sprof.t option;
+  mutable sh_scompact_seq : int;
+  mutable sh_scache : Gmon.Sprof.t option option;
 }
 
 type t = {
@@ -109,6 +117,12 @@ let segment_path sh seq =
 let compact_path sh seq =
   Filename.concat sh.sh_dir (Printf.sprintf "compact-%08d.gmon" seq)
 
+let ssegment_path sh seq =
+  Filename.concat sh.sh_dir (Printf.sprintf "sseg-%08d.sprof" seq)
+
+let scompact_path sh seq =
+  Filename.concat sh.sh_dir (Printf.sprintf "scompact-%08d.sprof" seq)
+
 let scan_seq fmt name =
   try Scanf.sscanf name fmt (fun n -> Some n)
   with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
@@ -116,6 +130,10 @@ let scan_seq fmt name =
 let segment_seq name = scan_seq "seg-%d.gmon%!" name
 
 let compact_seq name = scan_seq "compact-%d.gmon%!" name
+
+let ssegment_seq name = scan_seq "sseg-%d.sprof%!" name
+
+let scompact_seq name = scan_seq "scompact-%d.sprof%!" name
 
 let mkdir_p path =
   let rec go p =
@@ -219,7 +237,33 @@ let quarantine_file t rv path reason =
    is the newest one salvaged, since then its valid prefix is the best
    remaining evidence. Lower intact compact files are subsumed by the
    chosen one and removed. *)
-let recover_compacts t rv sh compacts =
+(* Recovery is the same story for both tracks (arc profiles and
+   sampled profiles), so it is written once against a codec record and
+   instantiated per track. *)
+type 'p codec = {
+  c_load : string -> ('p, string) result;
+  c_load_salvage : string -> ('p * Gmon.report, Gmon.decode_error) result;
+  c_save : 'p -> string -> (unit, string) result;
+  c_runs : 'p -> int;
+}
+
+let gmon_codec =
+  {
+    c_load = Gmon.load ~mode:`Strict;
+    c_load_salvage = Gmon.load_report ~mode:`Salvage;
+    c_save = Gmon.save;
+    c_runs = (fun g -> g.Gmon.runs);
+  }
+
+let sprof_codec =
+  {
+    c_load = Gmon.Sprof.load ~mode:`Strict;
+    c_load_salvage = Gmon.Sprof.load_report ~mode:`Salvage;
+    c_save = Gmon.Sprof.save;
+    c_runs = (fun (s : Gmon.Sprof.t) -> s.sp_runs);
+  }
+
+let recover_compacts c t rv ~set compacts =
   let ordered = List.sort (fun (a, _) (b, _) -> compare b a) compacts in
   let rec choose damaged = function
     | [] -> (
@@ -231,11 +275,10 @@ let recover_compacts t rv sh compacts =
           (fun (_, p) ->
             quarantine_file t rv p "superseded torn compact profile")
           rest;
-        match Gmon.load_report ~mode:`Salvage path with
+        match c.c_load_salvage path with
         | Ok (g, rep) ->
-          (match Gmon.save g path with Ok () | Error _ -> ());
-          sh.sh_compact <- Some g;
-          sh.sh_compact_seq <- seq;
+          (match c.c_save g path with Ok () | Error _ -> ());
+          set g seq;
           Obs.Metrics.incr m_salvaged;
           rv.rv_compacted <- rv.rv_compacted + 1;
           rv.rv_salvaged <- rv.rv_salvaged + 1;
@@ -246,10 +289,9 @@ let recover_compacts t rv sh compacts =
           quarantine_file t rv path
             (Gmon.decode_error_to_string { e with de_path = None })))
     | (seq, path) :: rest -> (
-      match Gmon.load path with
+      match c.c_load path with
       | Ok g ->
-        sh.sh_compact <- Some g;
-        sh.sh_compact_seq <- seq;
+        set g seq;
         rv.rv_compacted <- rv.rv_compacted + 1;
         (* everything below is strictly subsumed; everything damaged
            above is covered by us + surviving segments *)
@@ -269,60 +311,84 @@ let recover_compacts t rv sh compacts =
   in
   choose [] ordered
 
+(* One tail segment: keep it intact, salvage-rewrite it, or
+   quarantine it. [compact_seq] identifies stale leftovers of an
+   interrupted post-compaction delete. *)
+let recover_segment c t rv ~compact_seq ~add path seq =
+  if seq <= compact_seq then begin
+    (* already folded into the compact profile: the remains of an
+       interrupted post-compaction delete *)
+    rv.rv_notes <-
+      Printf.sprintf "%s: removed (already folded into compaction %d)" path
+        compact_seq
+      :: rv.rv_notes;
+    try Sys.remove path with Sys_error _ -> ()
+  end
+  else
+    match c.c_load path with
+    | Ok g ->
+      add (seq, path, c.c_runs g);
+      Obs.Metrics.incr m_recovered;
+      rv.rv_segments <- rv.rv_segments + 1
+    | Error _ -> (
+      match c.c_load_salvage path with
+      | Ok (g, rep) ->
+        (* rewrite the salvaged prefix so the segment is intact
+           from here on; a failed rewrite keeps the torn file for
+           the next recovery *)
+        (match c.c_save g path with Ok () | Error _ -> ());
+        add (seq, path, c.c_runs g);
+        Obs.Metrics.incr m_salvaged;
+        rv.rv_segments <- rv.rv_segments + 1;
+        rv.rv_salvaged <- rv.rv_salvaged + 1;
+        rv.rv_notes <-
+          Printf.sprintf "%s: salvaged (%s)" path (Gmon.report_summary rep)
+          :: rv.rv_notes
+      | Error e ->
+        quarantine_file t rv path
+          (Gmon.decode_error_to_string { e with de_path = None }))
+
 let recover_shard t rv sh =
   let entries = list_dir sh.sh_dir in
-  let compacts =
+  let paths_matching scan =
     List.filter_map
       (fun name ->
-        Option.map
-          (fun seq -> (seq, Filename.concat sh.sh_dir name))
-          (compact_seq name))
+        Option.map (fun seq -> (seq, Filename.concat sh.sh_dir name)) (scan name))
       entries
   in
-  recover_compacts t rv sh compacts;
+  recover_compacts gmon_codec t rv
+    ~set:(fun g seq ->
+      sh.sh_compact <- Some g;
+      sh.sh_compact_seq <- seq)
+    (paths_matching compact_seq);
+  recover_compacts sprof_codec t rv
+    ~set:(fun s seq ->
+      sh.sh_scompact <- Some s;
+      sh.sh_scompact_seq <- seq)
+    (paths_matching scompact_seq);
   List.iter
     (fun name ->
       match segment_seq name with
-      | None -> () (* stray or temp file; leave it alone *)
-      | Some seq -> (
+      | Some seq ->
         let path = Filename.concat sh.sh_dir name in
         sh.sh_next_seq <- max sh.sh_next_seq (seq + 1);
-        if seq <= sh.sh_compact_seq then begin
-          (* already folded into the compact profile: the remains of an
-             interrupted post-compaction delete *)
-          rv.rv_notes <-
-            Printf.sprintf "%s: removed (already folded into compaction %d)"
-              path sh.sh_compact_seq
-            :: rv.rv_notes;
-          try Sys.remove path with Sys_error _ -> ()
-        end
-        else
-          match Gmon.load path with
-          | Ok g ->
-            sh.sh_segments <- (seq, path, g.Gmon.runs) :: sh.sh_segments;
-            Obs.Metrics.incr m_recovered;
-            rv.rv_segments <- rv.rv_segments + 1
-          | Error _ -> (
-            match Gmon.load_report ~mode:`Salvage path with
-            | Ok (g, rep) ->
-              (* rewrite the salvaged prefix so the segment is intact
-                 from here on; a failed rewrite keeps the torn file for
-                 the next recovery *)
-              (match Gmon.save g path with Ok () | Error _ -> ());
-              sh.sh_segments <- (seq, path, g.Gmon.runs) :: sh.sh_segments;
-              Obs.Metrics.incr m_salvaged;
-              rv.rv_segments <- rv.rv_segments + 1;
-              rv.rv_salvaged <- rv.rv_salvaged + 1;
-              rv.rv_notes <-
-                Printf.sprintf "%s: salvaged (%s)" path
-                  (Gmon.report_summary rep)
-                :: rv.rv_notes
-            | Error e ->
-              quarantine_file t rv path
-                (Gmon.decode_error_to_string { e with de_path = None }))))
+        recover_segment gmon_codec t rv ~compact_seq:sh.sh_compact_seq
+          ~add:(fun s -> sh.sh_segments <- s :: sh.sh_segments)
+          path seq
+      | None -> (
+        match ssegment_seq name with
+        | Some seq ->
+          let path = Filename.concat sh.sh_dir name in
+          sh.sh_snext_seq <- max sh.sh_snext_seq (seq + 1);
+          recover_segment sprof_codec t rv ~compact_seq:sh.sh_scompact_seq
+            ~add:(fun s -> sh.sh_ssegments <- s :: sh.sh_ssegments)
+            path seq
+        | None -> () (* stray or temp file; leave it alone *)))
     entries;
   sh.sh_next_seq <- max sh.sh_next_seq (sh.sh_compact_seq + 1);
-  sh.sh_segments <- List.sort compare sh.sh_segments
+  sh.sh_segments <- List.sort compare sh.sh_segments;
+  sh.sh_snext_seq <- max sh.sh_snext_seq (sh.sh_scompact_seq + 1);
+  sh.sh_ssegments <- List.sort compare sh.sh_ssegments
 
 let open_ ?(shards = default_shards) dir =
   if shards < 1 || shards > 4096 then
@@ -389,6 +455,11 @@ let open_ ?(shards = default_shards) dir =
         sh_compact = None;
         sh_compact_seq = 0;
         sh_cache = None;
+        sh_ssegments = [];
+        sh_snext_seq = 1;
+        sh_scompact = None;
+        sh_scompact_seq = 0;
+        sh_scache = None;
       }
     in
     let shards_arr = Array.init n_shards mk in
@@ -460,14 +531,40 @@ let append t ~label g =
     Obs.Metrics.incr m_appends;
     Ok ()
 
+let append_sprof t ~label sp =
+  let sh = t.shards.(shard_of_label t label) in
+  let seq = sh.sh_snext_seq in
+  let path = ssegment_path sh seq in
+  (* bump first: even a failed (torn) write may leave a file at this
+     path, and a retry must not collide with it *)
+  sh.sh_snext_seq <- seq + 1;
+  match Gmon.Sprof.save sp path with
+  | Error e -> Error e
+  | Ok () ->
+    sh.sh_ssegments <- sh.sh_ssegments @ [ (seq, path, sp.Gmon.Sprof.sp_runs) ];
+    sh.sh_scache <- None;
+    Obs.Metrics.incr m_appends;
+    Ok ()
+
+(* Submissions are routed by magic: an sprof payload goes to the
+   sampled track, anything else is tried as an arc profile. *)
 let append_bytes t ~label bytes =
-  match Gmon.decode ~mode:`Strict bytes with
-  | Ok (g, _) -> Result.map (fun () -> `Stored) (append t ~label g)
-  | Error e ->
-    let reason = Gmon.decode_error_to_string e in
-    Result.map
-      (fun () -> `Quarantined reason)
-      (quarantine_bytes t ~origin:("submission " ^ label) ~reason bytes)
+  if Gmon.Sprof.sniff_bytes bytes then
+    match Gmon.Sprof.decode ~mode:`Strict bytes with
+    | Ok (sp, _) -> Result.map (fun () -> `Stored) (append_sprof t ~label sp)
+    | Error e ->
+      let reason = Gmon.decode_error_to_string e in
+      Result.map
+        (fun () -> `Quarantined reason)
+        (quarantine_bytes t ~origin:("submission " ^ label) ~reason bytes)
+  else
+    match Gmon.decode ~mode:`Strict bytes with
+    | Ok (g, _) -> Result.map (fun () -> `Stored) (append t ~label g)
+    | Error e ->
+      let reason = Gmon.decode_error_to_string e in
+      Result.map
+        (fun () -> `Quarantined reason)
+        (quarantine_bytes t ~origin:("submission " ^ label) ~reason bytes)
 
 (* --- queries ---------------------------------------------------------- *)
 
@@ -526,6 +623,61 @@ let merged t =
   | Ok [] -> Ok None
   | Ok parts -> Result.map Option.some (Gmon.merge_all parts)
 
+let load_ssegments sh =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (_, path, _) :: rest -> (
+      match Gmon.Sprof.load path with
+      | Ok s -> go (s :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] sh.sh_ssegments
+
+let sprof_shard_view t i =
+  if i < 0 || i >= t.n_shards then
+    Error (Printf.sprintf "store: shard %d out of range [0,%d)" i t.n_shards)
+  else
+    let sh = t.shards.(i) in
+    match sh.sh_scache with
+    | Some v ->
+      Obs.Metrics.incr m_cache_hits;
+      Ok v
+    | None -> (
+      Obs.Metrics.incr m_cache_misses;
+      Obs.Trace.with_span ~cat:"store" "store-sprof-shard-view"
+        ~args:[ ("shard", string_of_int i) ]
+      @@ fun () ->
+      match load_ssegments sh with
+      | Error e -> Error e
+      | Ok tail -> (
+        let parts =
+          match sh.sh_scompact with Some c -> c :: tail | None -> tail
+        in
+        match parts with
+        | [] ->
+          sh.sh_scache <- Some None;
+          Ok None
+        | parts -> (
+          match Gmon.Sprof.merge_all parts with
+          | Error e -> Error e
+          | Ok m ->
+            sh.sh_scache <- Some (Some m);
+            Ok (Some m))))
+
+let merged_sprof t =
+  let rec go acc i =
+    if i >= t.n_shards then Ok (List.rev acc)
+    else
+      match sprof_shard_view t i with
+      | Error e -> Error e
+      | Ok None -> go acc (i + 1)
+      | Ok (Some s) -> go (s :: acc) (i + 1)
+  in
+  match go [] 0 with
+  | Error e -> Error e
+  | Ok [] -> Ok None
+  | Ok parts -> Result.map Option.some (Gmon.Sprof.merge_all parts)
+
 (* --- compaction ------------------------------------------------------- *)
 
 let compact_shard sh =
@@ -566,6 +718,43 @@ let compact_shard sh =
           Obs.Metrics.incr m_segments_folded ~by:n;
           Ok n)))
 
+let compact_shard_sprof sh =
+  match sh.sh_ssegments with
+  | [] -> Ok 0
+  | segs -> (
+    match load_ssegments sh with
+    | Error e -> Error e
+    | Ok tail -> (
+      let parts =
+        match sh.sh_scompact with Some c -> c :: tail | None -> tail
+      in
+      match Gmon.Sprof.merge_all parts with
+      | Error e -> Error e
+      | Ok m -> (
+        let folded_seq =
+          List.fold_left (fun acc (s, _, _) -> max acc s) sh.sh_scompact_seq
+            segs
+        in
+        (* same commit protocol as the arc track: the rename of
+           scompact-<folded_seq> is the commit point *)
+        match Gmon.Sprof.save m (scompact_path sh folded_seq) with
+        | Error e -> Error e
+        | Ok () ->
+          List.iter
+            (fun (_, path, _) -> try Sys.remove path with Sys_error _ -> ())
+            segs;
+          if sh.sh_scompact_seq > 0 then begin
+            try Sys.remove (scompact_path sh sh.sh_scompact_seq)
+            with Sys_error _ -> ()
+          end;
+          let n = List.length segs in
+          sh.sh_ssegments <- [];
+          sh.sh_scompact <- Some m;
+          sh.sh_scompact_seq <- folded_seq;
+          sh.sh_scache <- Some (Some m);
+          Obs.Metrics.incr m_segments_folded ~by:n;
+          Ok n)))
+
 let compact t =
   Obs.Trace.with_span ~cat:"store" "store-compact" @@ fun () ->
   Obs.Metrics.incr m_compactions;
@@ -574,7 +763,10 @@ let compact t =
     else
       match compact_shard t.shards.(i) with
       | Error e -> Error e
-      | Ok n -> go (acc + n) (i + 1)
+      | Ok n -> (
+        match compact_shard_sprof t.shards.(i) with
+        | Error e -> Error e
+        | Ok ns -> go (acc + n + ns) (i + 1))
   in
   go 0 0
 
@@ -585,6 +777,8 @@ type stats = {
   st_segments : int;
   st_compacted_runs : int;
   st_total_runs : int;
+  st_sprof_segments : int;
+  st_sprof_runs : int;
   st_quarantined : int;
   st_cache_hits : int;
   st_cache_misses : int;
@@ -593,6 +787,7 @@ type stats = {
 
 let stats t =
   let segments = ref 0 and compacted = ref 0 and tail_runs = ref 0 in
+  let ssegments = ref 0 and sruns = ref 0 in
   let bytes = ref 0 in
   Array.iter
     (fun sh ->
@@ -602,10 +797,21 @@ let stats t =
           tail_runs := !tail_runs + runs;
           bytes := !bytes + file_size path)
         sh.sh_segments;
-      match sh.sh_compact with
+      (match sh.sh_compact with
       | Some c ->
         compacted := !compacted + c.Gmon.runs;
         bytes := !bytes + file_size (compact_path sh sh.sh_compact_seq)
+      | None -> ());
+      ssegments := !ssegments + List.length sh.sh_ssegments;
+      List.iter
+        (fun (_, path, runs) ->
+          sruns := !sruns + runs;
+          bytes := !bytes + file_size path)
+        sh.sh_ssegments;
+      match sh.sh_scompact with
+      | Some c ->
+        sruns := !sruns + c.Gmon.Sprof.sp_runs;
+        bytes := !bytes + file_size (scompact_path sh sh.sh_scompact_seq)
       | None -> ())
     t.shards;
   let quarantined =
@@ -619,6 +825,8 @@ let stats t =
     st_segments = !segments;
     st_compacted_runs = !compacted;
     st_total_runs = !compacted + !tail_runs;
+    st_sprof_segments = !ssegments;
+    st_sprof_runs = !sruns;
     st_quarantined = quarantined;
     st_cache_hits = Obs.Metrics.counter_value m_cache_hits;
     st_cache_misses = Obs.Metrics.counter_value m_cache_misses;
@@ -628,9 +836,11 @@ let stats t =
 let stats_to_json s =
   Printf.sprintf
     "{\"shards\":%d,\"segments\":%d,\"compacted_runs\":%d,\"total_runs\":%d,\
+     \"sprof_segments\":%d,\"sprof_runs\":%d,\
      \"quarantined\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"disk_bytes\":%d}"
     s.st_shards s.st_segments s.st_compacted_runs s.st_total_runs
-    s.st_quarantined s.st_cache_hits s.st_cache_misses s.st_disk_bytes
+    s.st_sprof_segments s.st_sprof_runs s.st_quarantined s.st_cache_hits
+    s.st_cache_misses s.st_disk_bytes
 
 (* --- merged-view queries ---------------------------------------------- *)
 

@@ -72,15 +72,23 @@ val append : t -> label:string -> Gmon.t -> (unit, string) result
     The write is atomic; the shard's cached merged view is
     invalidated. *)
 
+val append_sprof : t -> label:string -> Gmon.Sprof.t -> (unit, string) result
+(** Durably add one sampled profile to [label]'s shard on the sampled
+    track ([sseg-*.sprof] segments). Same atomicity and cache
+    invalidation as {!append}; the two tracks share a shard but never
+    mix payloads. *)
+
 val append_bytes :
   t ->
   label:string ->
   string ->
   ([ `Stored | `Quarantined of string ], string) result
-(** Decode an untrusted submission strictly and {!append} it.
-    Undecodable bytes are written to the quarantine directory with
-    their per-file diagnostics — [`Quarantined reason] — and never
-    fail the store. [Error] is reserved for IO failures. *)
+(** Decode an untrusted submission strictly and append it, routing by
+    magic: sprof payloads go to the sampled track, everything else is
+    decoded as an arc profile. Undecodable bytes are written to the
+    quarantine directory with their per-file diagnostics —
+    [`Quarantined reason] — and never fail the store. [Error] is
+    reserved for IO failures. *)
 
 val shard_view : t -> int -> (Gmon.t option, string) result
 (** Merged profile of one shard: compacted state plus the uncompacted
@@ -91,9 +99,21 @@ val merged : t -> (Gmon.t option, string) result
 (** Merged profile of the whole store ({!shard_view} over every
     shard, summed). *)
 
+val sprof_shard_view : t -> int -> (Gmon.Sprof.t option, string) result
+(** Merged sampled profile of one shard's sampled track; cached like
+    {!shard_view}. *)
+
+val merged_sprof : t -> (Gmon.Sprof.t option, string) result
+(** Merged sampled profile of the whole store. Because the sprof merge
+    is canonical, this serializes byte-identically to
+    {!Gmon.Sprof.merge_all} over the originally submitted files,
+    whatever the interleaving of appends, compactions, and restarts
+    (tested; [make sample-smoke] checks it with [cmp] against a live
+    daemon). *)
+
 val compact : t -> (int, string) result
-(** Fold every shard's tail into its compacted profile; returns the
-    number of segments folded. The atomic rename of the new
+(** Fold every shard's tail into its compacted profile — both tracks;
+    returns the number of segments folded. The atomic rename of the new
     [compact-<seq>.gmon] is the commit point: a crash before it loses
     nothing (old compact and segments survive), and a crash after it
     leaves only stale files whose sequence numbers identify them as
@@ -104,6 +124,8 @@ type stats = {
   st_segments : int;  (** uncompacted tail segments on disk *)
   st_compacted_runs : int;  (** runs folded into compact profiles *)
   st_total_runs : int;  (** compacted + tail *)
+  st_sprof_segments : int;  (** uncompacted sampled-track segments *)
+  st_sprof_runs : int;  (** sampled-profile runs, compacted + tail *)
   st_quarantined : int;  (** files in quarantine/ *)
   st_cache_hits : int;
   st_cache_misses : int;

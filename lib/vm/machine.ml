@@ -10,6 +10,7 @@ type config = {
   monitoring : bool;
   oracle : bool;
   stack_interval : int option;
+  stack_capacity : int option;
   count_instructions : bool;
   metrics : bool;
   tick_jitter : float;
@@ -30,6 +31,7 @@ let default_config =
     monitoring = true;
     oracle = false;
     stack_interval = None;
+    stack_capacity = None;
     count_instructions = false;
     metrics = true;
     tick_jitter = 0.0;
@@ -124,7 +126,11 @@ let create ?(config = default_config) o =
       mcount_cycles = 0;
       pcounts = Array.make (Array.length o.symbols) 0;
       oracle = (if config.oracle then Some (Oracle.create ()) else None);
-      sampler = Option.map (fun i -> Stacksamp.create ~interval:i) config.stack_interval;
+      sampler =
+        Option.map
+          (fun i ->
+            Stacksamp.create ?capacity:config.stack_capacity ~interval:i ())
+          config.stack_interval;
       icounts =
         (if config.count_instructions then Some (Array.make text_size 0) else None);
       n_instr = 0;
@@ -191,6 +197,7 @@ let observe m reg =
   Array.iteri
     (fun grp n -> if n > 0 then g ("vm.dispatch." ^ Instr.group_name grp) n)
     m.dispatch;
+  Option.iter (fun s -> Stacksamp.observe s reg) m.sampler;
   Monitor.observe m.monitor reg;
   Profil.observe m.profil reg
 
@@ -198,8 +205,18 @@ let call_stack m =
   Array.init (Util.Growvec.length m.frames) (fun i ->
       (Util.Growvec.get m.frames i).func_entry)
 
-let stack_samples m =
-  match m.sampler with Some s -> Stacksamp.samples s | None -> []
+let sampler m = m.sampler
+
+let stack_folded m =
+  match m.sampler with Some s -> Stacksamp.folded s | None -> []
+
+let sprof m =
+  Option.map
+    (fun s ->
+      Gmon.Sprof.of_folded ~sample_interval:(Stacksamp.interval s)
+        ~ticks_per_second:m.config.ticks_per_second
+        ~cycles_per_tick:m.config.cycles_per_tick (Stacksamp.folded s))
+    m.sampler
 
 let profiling_on m =
   m.monitoring <- true;

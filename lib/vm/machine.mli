@@ -31,6 +31,9 @@ type config = {
   oracle : bool;  (** exact-timing ground truth (no cycle cost) *)
   stack_interval : int option;
       (** sample complete call stacks every k ticks *)
+  stack_capacity : int option;
+      (** distinct-stack bound for the interning sample buffer;
+          [None] = the sampler's default (4096) *)
   count_instructions : bool;
       (** keep an exact per-address execution count (drives the
           annotated-source listing); free of simulated-cycle cost,
@@ -133,7 +136,16 @@ val observe : t -> Obs.Metrics.t -> unit
 
 val the_oracle : t -> Oracle.t option
 
-val stack_samples : t -> int array list
+val sampler : t -> Stacksamp.t option
+
+val stack_folded : t -> (int array * int) list
+(** The interned call-stack samples as [(stack, count)] in the
+    sampler's canonical order; [[]] when sampling is off. *)
+
+val sprof : t -> Gmon.Sprof.t option
+(** Condense the interned sample buffer to a sampled-profile
+    container at this machine's clock rates; [None] when sampling is
+    off. Usable mid-run and after a fault, like {!profile}. *)
 
 val profiling_on : t -> unit
 

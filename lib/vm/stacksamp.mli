@@ -1,4 +1,4 @@
-(** Complete-call-stack sampling.
+(** Complete-call-stack sampling through an interning trace buffer.
 
     The retrospective: "Modern profilers solve both these problems by
     periodically gathering not just isolated program counter samples
@@ -6,28 +6,58 @@
     additional overhead of gathering the call stack can be hidden by
     backing off the frequency with which the call stacks are
     sampled." This collector does exactly that inside the VM: every
-    [interval] clock ticks it walks the frame stack and stores the
-    chain of function entry addresses, root first, leaf last. The
-    {!Stacksample} library post-processes these into
-    inclusive/exclusive profiles with no average-time assumption. *)
+    [interval] clock ticks it walks the frame stack and records the
+    chain of function entry addresses, root first, leaf last.
+
+    Long runs revisit the same few hundred stacks, so the buffer
+    interns: each distinct stack is hashed once to a stack id and kept
+    with a sample count, giving bounded memory and the folded
+    representation downstream consumers ({!Stacksample.Stackprof}, the
+    sprof container, flame export) want directly. When the intern
+    table is full, samples of {e new} stacks are dropped and counted
+    as skipped — never mis-credited to another stack. *)
 
 type t
 
-val create : interval:int -> t
-(** Sample every [interval]-th clock tick ([1] = every tick).
-    @raise Invalid_argument if [interval < 1]. *)
+val create : ?capacity:int -> interval:int -> unit -> t
+(** Sample every [interval]-th clock tick ([1] = every tick), keeping
+    at most [capacity] distinct stacks (default 4096).
+    @raise Invalid_argument if [interval < 1] or [capacity < 1]. *)
 
 val interval : t -> int
 
+val capacity : t -> int
+
 val on_tick : t -> stack:int array -> int
 (** Offer the current stack (root first) on a clock tick; the sampler
-    keeps it if this tick is on its schedule. Returns the cycle cost
+    interns it if this tick is on its schedule. Returns the cycle cost
     charged for the walk (proportional to the stack depth when
-    sampled, 0 when skipped). *)
+    sampled, 0 when skipped by the schedule). A sample dropped because
+    the intern table is full still pays the walk. *)
 
-val samples : t -> int array list
-(** All retained samples, oldest first. *)
+val folded : t -> (int array * int) list
+(** The interned stacks with their sample counts, in canonical order
+    (lexicographic by frame addresses, shorter stack first on a shared
+    prefix). Arrays are the live interned keys — treat as read-only. *)
+
+val id_of_stack : t -> int array -> int option
+(** The intern id assigned to a stack (ids count up from 0 in first-
+    seen order), or [None] if it was never retained. *)
 
 val n_samples : t -> int
+(** Samples retained (sum of all counts). *)
+
+val n_skipped : t -> int
+(** Samples dropped because the intern table was at capacity. *)
+
+val n_distinct : t -> int
+
+val max_depth : t -> int
+
+val observe : t -> Obs.Metrics.t -> unit
+(** Publish the [vm.sample.*] gauges (taken, skipped, distinct,
+    capacity, occupancy_pct, max_depth) into a registry. Per-sample
+    depths additionally stream into the [vm.sample.depth] histogram of
+    the default registry as they happen. *)
 
 val reset : t -> unit

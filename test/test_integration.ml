@@ -219,7 +219,7 @@ let test_avgtime_pitfall () =
   (* stack sampler agrees with the oracle. *)
   let t =
     Stacksample.Stackprof.analyze r.objfile
-      ~samples:(Vm.Machine.stack_samples r.machine)
+      ~folded:(Vm.Machine.stack_folded r.machine)
       ~ticks_per_second:60 ~sample_interval:1
   in
   let id name = Option.get (Objcode.Objfile.func_id_of_addr r.objfile (entry name)) in

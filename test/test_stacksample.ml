@@ -27,8 +27,12 @@ let synthetic names =
 (* main=0, f=4, g=8 *)
 let o3 = synthetic [ "main"; "f"; "g" ]
 
+(* the old one-entry-per-sample shape, folded with count 1 each *)
+let fold1 samples = List.map (fun s -> (s, 1)) samples
+
 let analyze samples =
-  Stacksample.Stackprof.analyze o3 ~samples ~ticks_per_second:60 ~sample_interval:1
+  Stacksample.Stackprof.analyze o3 ~folded:(fold1 samples) ~ticks_per_second:60
+    ~sample_interval:1
 
 (* Function ids: main=0, f=1, g=2; entry addresses 0, 4, 8. *)
 let test_exclusive_inclusive () =
@@ -64,18 +68,18 @@ let test_arc_attribution () =
   check_time "main->g once" (1.0 /. 60.0) (Option.value ~default:0.0 (find (0, 2)))
 
 let test_interval_scales_time () =
-  let samples = [ [| 0 |]; [| 0 |] ] in
+  let folded = fold1 [ [| 0 |]; [| 0 |] ] in
   let t1 =
-    Stacksample.Stackprof.analyze o3 ~samples ~ticks_per_second:60 ~sample_interval:1
+    Stacksample.Stackprof.analyze o3 ~folded ~ticks_per_second:60 ~sample_interval:1
   in
   let t5 =
-    Stacksample.Stackprof.analyze o3 ~samples ~ticks_per_second:60 ~sample_interval:5
+    Stacksample.Stackprof.analyze o3 ~folded ~ticks_per_second:60 ~sample_interval:5
   in
   check_time "coarser samples weigh more" (5.0 *. t1.total_seconds) t5.total_seconds;
   Alcotest.check_raises "bad interval"
     (Invalid_argument "Stackprof.analyze: sample_interval must be >= 1") (fun () ->
       ignore
-        (Stacksample.Stackprof.analyze o3 ~samples ~ticks_per_second:60
+        (Stacksample.Stackprof.analyze o3 ~folded ~ticks_per_second:60
            ~sample_interval:0))
 
 let test_unknown_addresses_skipped () =
@@ -94,7 +98,7 @@ let test_end_to_end_against_oracle () =
   let orc = Option.get (Vm.Machine.the_oracle r.machine) in
   let t =
     Stacksample.Stackprof.analyze r.objfile
-      ~samples:(Vm.Machine.stack_samples r.machine)
+      ~folded:(Vm.Machine.stack_folded r.machine)
       ~ticks_per_second:60 ~sample_interval:1
   in
   let cps = 1_000_000.0 in

@@ -255,26 +255,72 @@ let test_oracle_finish_unwinds () =
 (* Stacksamp *)
 
 let test_stacksamp_interval () =
-  let s = Vm.Stacksamp.create ~interval:3 in
+  let s = Vm.Stacksamp.create ~interval:3 () in
   for tick = 1 to 10 do
     ignore (Vm.Stacksamp.on_tick s ~stack:[| tick |])
   done;
   check_int "every third tick" 3 (Vm.Stacksamp.n_samples s);
-  Alcotest.(check (list (array int))) "kept ticks 3,6,9"
-    [ [| 3 |]; [| 6 |]; [| 9 |] ]
-    (Vm.Stacksamp.samples s)
+  Alcotest.(check (list (pair (array int) int)))
+    "kept ticks 3,6,9 with count 1 each"
+    [ ([| 3 |], 1); ([| 6 |], 1); ([| 9 |], 1) ]
+    (Vm.Stacksamp.folded s)
+
+let test_stacksamp_interning () =
+  (* interval 1: every tick sampled; repeats intern to one slot *)
+  let s = Vm.Stacksamp.create ~interval:1 () in
+  for _ = 1 to 5 do
+    ignore (Vm.Stacksamp.on_tick s ~stack:[| 0; 4 |])
+  done;
+  ignore (Vm.Stacksamp.on_tick s ~stack:[| 0; 8 |]);
+  check_int "six samples" 6 (Vm.Stacksamp.n_samples s);
+  check_int "two distinct stacks" 2 (Vm.Stacksamp.n_distinct s);
+  Alcotest.(check (list (pair (array int) int)))
+    "folded in canonical order with counts"
+    [ ([| 0; 4 |], 5); ([| 0; 8 |], 1) ]
+    (Vm.Stacksamp.folded s);
+  check_int "max depth tracked" 2 (Vm.Stacksamp.max_depth s)
+
+let test_stacksamp_empty_and_deep () =
+  let s = Vm.Stacksamp.create ~interval:1 () in
+  (* an empty stack at the tick (nothing live) still counts as a sample *)
+  ignore (Vm.Stacksamp.on_tick s ~stack:[||]);
+  check_int "empty stack sampled" 1 (Vm.Stacksamp.n_samples s);
+  (* deep recursion: one very deep stack interns fine *)
+  let deep = Array.init 10_000 (fun i -> i land 7) in
+  let c = Vm.Stacksamp.on_tick s ~stack:deep in
+  check_int "walk cost proportional to depth" (2 * 10_000) c;
+  check_int "deep stack interned" 2 (Vm.Stacksamp.n_distinct s);
+  check_int "max depth is the deep stack's" 10_000 (Vm.Stacksamp.max_depth s)
+
+let test_stacksamp_capacity () =
+  let s = Vm.Stacksamp.create ~capacity:2 ~interval:1 () in
+  ignore (Vm.Stacksamp.on_tick s ~stack:[| 1 |]);
+  ignore (Vm.Stacksamp.on_tick s ~stack:[| 2 |]);
+  (* table full: a new stack is dropped and counted as skipped... *)
+  let c = Vm.Stacksamp.on_tick s ~stack:[| 3 |] in
+  check_bool "walk cost still charged when skipped" true (c > 0);
+  (* ...but a known stack still counts *)
+  ignore (Vm.Stacksamp.on_tick s ~stack:[| 1 |]);
+  check_int "taken" 3 (Vm.Stacksamp.n_samples s);
+  check_int "skipped" 1 (Vm.Stacksamp.n_skipped s);
+  check_int "distinct capped" 2 (Vm.Stacksamp.n_distinct s);
+  Alcotest.(check (list (pair (array int) int)))
+    "known stacks keep counting at capacity"
+    [ ([| 1 |], 2); ([| 2 |], 1) ]
+    (Vm.Stacksamp.folded s)
 
 let test_stacksamp_cost_and_reset () =
-  let s = Vm.Stacksamp.create ~interval:1 in
+  let s = Vm.Stacksamp.create ~interval:1 () in
   let c = Vm.Stacksamp.on_tick s ~stack:[| 1; 2; 3 |] in
   check_bool "cost proportional to depth" true (c > 0);
   let c2 = Vm.Stacksamp.on_tick s ~stack:(Array.make 10 0) in
   check_bool "deeper costs more" true (c2 > c);
   Vm.Stacksamp.reset s;
   check_int "reset" 0 (Vm.Stacksamp.n_samples s);
+  check_int "reset distinct" 0 (Vm.Stacksamp.n_distinct s);
   Alcotest.check_raises "bad interval"
     (Invalid_argument "Stacksamp.create: interval must be >= 1") (fun () ->
-      ignore (Vm.Stacksamp.create ~interval:0))
+      ignore (Vm.Stacksamp.create ~interval:0 ()))
 
 (* ------------------------------------------------------------------ *)
 (* Machine: faults via handcrafted object code *)
@@ -513,11 +559,19 @@ let test_stack_samples_from_machine () =
       o
   in
   ignore (Vm.Machine.run m);
-  let samples = Vm.Machine.stack_samples m in
-  check_bool "collected" true (List.length samples > 0);
+  let folded = Vm.Machine.stack_folded m in
+  check_bool "collected" true (folded <> []);
   let main = (Option.get (Objcode.Objfile.symbol_by_name o "main")).addr in
   check_bool "every stack is rooted at main" true
-    (List.for_all (fun s -> Array.length s > 0 && s.(0) = main) samples)
+    (List.for_all
+       (fun (s, n) -> Array.length s > 0 && s.(0) = main && n > 0)
+       folded);
+  let sp = Option.get (Vm.Machine.sprof m) in
+  check_int "sprof carries every sample"
+    (Vm.Stacksamp.n_samples (Option.get (Vm.Machine.sampler m)))
+    (Gmon.Sprof.n_samples sp);
+  Alcotest.(check (result unit (list string))) "sprof validates" (Ok ())
+    (Gmon.Sprof.validate sp)
 
 let test_jitter_determinism_and_effect () =
   let o = compile_src looping_src in
@@ -630,6 +684,10 @@ let () =
       ( "stacksamp",
         [
           Alcotest.test_case "interval" `Quick test_stacksamp_interval;
+          Alcotest.test_case "interning" `Quick test_stacksamp_interning;
+          Alcotest.test_case "empty/deep stacks" `Quick
+            test_stacksamp_empty_and_deep;
+          Alcotest.test_case "capacity" `Quick test_stacksamp_capacity;
           Alcotest.test_case "cost and reset" `Quick test_stacksamp_cost_and_reset;
         ] );
       ( "faults",
