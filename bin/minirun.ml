@@ -6,10 +6,10 @@
 
 open Cmdliner
 
-let run obj_path gmon_out submit_sock submit_label prof_out icount_out
-    epoch_ticks epochs_out sample_ticks sample_out sample_capacity hz cpt
-    bucket callee_primary seed jitter quiet max_cycles fault_after torn_save
-    obs_metrics obs_trace =
+let run obj_path gmon_out submit_sock submit_label submit_retries spool_dir
+    prof_out icount_out epoch_ticks epochs_out sample_ticks sample_out
+    sample_capacity hz cpt bucket callee_primary seed jitter quiet max_cycles
+    fault_after torn_save obs_metrics obs_trace =
   if obs_trace <> None then Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
     try
@@ -101,17 +101,42 @@ let run obj_path gmon_out submit_sock submit_label prof_out icount_out
           | Some l -> l
           | None -> Filename.remove_extension (Filename.basename obj_path)
         in
+        let attempts = max 1 submit_retries in
+        (* When the daemon is unreachable or overloaded past our
+           patience, the profile must not be lost: spool it locally
+           and let a later `profd --drain-spool` ship it. A spooled
+           run is still a successful run. *)
+        let spool what payload reason =
+          match spool_dir with
+          | None ->
+            Printf.eprintf "minirun: submit: %s\n" reason;
+            false
+          | Some dir -> (
+            match Spool.add ~dir ~label payload with
+            | Ok id ->
+              Printf.eprintf
+                "minirun: %s spooled to %s (%s) after: %s\n" what dir id
+                reason;
+              true
+            | Error e ->
+              Printf.eprintf "minirun: submit: %s; spool: %s\n" reason e;
+              false)
+        in
         let send what payload =
-          match Proto.rpc ~socket (Submit { label; payload }) with
+          let id = Some (Proto.fresh_id ()) in
+          match Proto.rpc ~attempts ~socket (Submit { label; id; payload }) with
           | Ok (Proto.Resp_ok reply) ->
             Printf.eprintf "minirun: %s submitted to %s: %s" what socket reply;
             true
+          | Ok (Proto.Resp_busy retry_after) ->
+            spool what payload
+              (Printf.sprintf
+                 "daemon overloaded (retry after %.3gs, %d attempt(s))"
+                 retry_after attempts)
           | Ok (Proto.Resp_err e) ->
             Printf.eprintf "minirun: submit: daemon: %s\n" e;
             false
-          | Error e ->
-            Printf.eprintf "minirun: submit: %s\n" e;
-            false
+          | Error e -> spool what payload e
         in
         let ok = send "profile" (Gmon.to_bytes (Vm.Machine.profile m)) in
         match Vm.Machine.sprof m with
@@ -213,6 +238,21 @@ let submit_label =
          ~doc:"Label for --submit (the store's shard key); defaults to the \
                object file's basename.")
 
+let submit_retries =
+  Arg.(value & opt int 3 & info [ "submit-retries" ] ~docv:"N"
+         ~doc:"Attempts per --submit request, with capped exponential \
+               backoff and deterministic jitter; BUSY responses honor the \
+               daemon's retry-after hint. Each submission carries an id, \
+               so a retried request is never counted twice.")
+
+let spool_dir =
+  Arg.(value & opt (some string) None & info [ "spool" ] ~docv:"DIR"
+         ~doc:"When --submit still cannot reach the daemon (or it stays \
+               overloaded) after the retries, spool the profile into \
+               $(docv) instead of failing; a later $(b,profd --drain-spool \
+               DIR) ships everything that accumulated. The run exits 0 — \
+               a spooled profile is safe, not lost.")
+
 let prof_out =
   Arg.(value & opt (some string) None & info [ "prof-out" ] ~docv:"FILE"
          ~doc:"Also save prof-style per-function counters to $(docv).")
@@ -303,7 +343,8 @@ let obs_trace =
 let cmd =
   Cmd.v
     (Cmd.info "minirun" ~doc:"profiling virtual machine")
-    Term.(const run $ obj $ gmon_out $ submit_sock $ submit_label $ prof_out
+    Term.(const run $ obj $ gmon_out $ submit_sock $ submit_label
+          $ submit_retries $ spool_dir $ prof_out
           $ icount_out $ epoch_ticks $ epochs_out $ sample_ticks $ sample_out
           $ sample_capacity $ hz $ cpt $ bucket $ callee_primary $ seed
           $ jitter $ quiet $ max_cycles $ fault_after $ torn_save

@@ -3,11 +3,16 @@
    Serves the sharded profile store over a Unix-domain socket with the
    length-prefixed protocol in Ingest.Proto: fleet clients SUBMIT gmon
    payloads (minirun --submit does), operators FLUSH, COMPACT, and
-   QUERY the merged view. The same binary is its own client: --submit,
-   --query, --flush, --compact, --shutdown, and --wait talk to a
-   running daemon, and --merge-offline performs the equivalence
-   baseline (a plain Gmon.merge_all of files) that tests and the
-   serve-smoke gate compare a daemon-ingested store against. *)
+   QUERY the merged view. The daemon engine itself — the hardened
+   multi-connection event loop with deadlines, the bounded queue, and
+   overload shedding — lives in Ingest.Server; this binary is the
+   configuration and the client.
+
+   The same binary is its own client: --submit, --query, --flush,
+   --compact, --shutdown, --wait, and --drain-spool talk to a running
+   daemon, and --merge-offline performs the equivalence baseline (a
+   plain Gmon.merge_all of files) that tests and the serve-smoke gate
+   compare a daemon-ingested store against. *)
 
 open Cmdliner
 
@@ -15,95 +20,12 @@ open Cmdliner
 
 let stop_requested = ref false
 
-let handle_request ingest req =
-  let store = Ingest.store ingest in
-  (* queries observe their own writes: anything still buffered in the
-     ingest queue is flushed before the store answers *)
-  let flush_for_query () =
-    match Ingest.flush ingest with
-    | Ok _ -> Ok ()
-    | Error e -> Error e
-  in
-  match (req : Proto.request) with
-  | Submit { label; payload } -> (
-    match Ingest.submit ingest ~label payload with
-    | Error e -> Proto.Resp_err e
-    | Ok (Ingest.Queued n) -> Resp_ok (Printf.sprintf "queued %d\n" n)
-    | Ok (Ingest.Flushed n) -> Resp_ok (Printf.sprintf "flushed %d\n" n)
-    | Ok (Ingest.Quarantined reason) ->
-      Resp_ok (Printf.sprintf "quarantined %s\n" reason))
-  | Query_top n -> (
-    match
-      Result.bind (flush_for_query ()) (fun () -> Store.top_buckets store ~n)
-    with
-    | Error e -> Resp_err e
-    | Ok rows ->
-      Resp_ok
-        (String.concat ""
-           (List.map
-              (fun (lo, hi, ticks) -> Printf.sprintf "%d %d %d\n" lo hi ticks)
-              rows)))
-  | Query_report -> (
-    match Result.bind (flush_for_query ()) (fun () -> Store.merged store) with
-    | Error e -> Resp_err e
-    | Ok None -> Resp_err "store is empty"
-    | Ok (Some g) -> Resp_ok (Gmon.to_bytes g))
-  | Query_sreport -> (
-    match
-      Result.bind (flush_for_query ()) (fun () -> Store.merged_sprof store)
-    with
-    | Error e -> Resp_err e
-    | Ok None -> Resp_err "store holds no sampled profiles"
-    | Ok (Some sp) -> Resp_ok (Gmon.Sprof.to_bytes sp))
-  | Query_stats -> (
-    match flush_for_query () with
-    | Error e -> Resp_err e
-    | Ok () ->
-      let s = Store.stats store in
-      Resp_ok
-        (Printf.sprintf "{\"store\":%s,\"queue\":{\"pending\":%d}}\n"
-           (Store.stats_to_json s) (Ingest.pending ingest)))
-  | Flush -> (
-    match Ingest.flush ingest with
-    | Error e -> Resp_err e
-    | Ok n -> Resp_ok (Printf.sprintf "flushed %d\n" n))
-  | Compact -> (
-    match
-      Result.bind (flush_for_query ()) (fun () -> Store.compact store)
-    with
-    | Error e -> Resp_err e
-    | Ok n -> Resp_ok (Printf.sprintf "folded %d\n" n))
-  | Shutdown ->
-    stop_requested := true;
-    (match Ingest.flush ingest with
-    | Ok _ -> Resp_ok "bye\n"
-    | Error e -> Resp_err e)
-
-let serve_connection ingest fd =
-  (* a client may pipeline several requests on one connection; serve
-     until it closes its end *)
-  let rec loop () =
-    match Proto.read_frame fd with
-    | Error _ -> () (* EOF or a torn frame: drop the connection *)
-    | Ok body ->
-      let resp =
-        match Proto.decode_request body with
-        | Error e -> Proto.Resp_err e
-        | Ok req -> handle_request ingest req
-      in
-      (match Proto.write_frame fd (Proto.encode_response resp) with
-      | Ok () -> if not !stop_requested then loop ()
-      | Error _ -> ())
-  in
-  loop ()
-
-let m_connections =
-  Obs.Metrics.counter Obs.Metrics.default "profd.connections"
-    ~help:"client connections accepted"
-
-let serve ~socket ~store_dir ~shards ~batch ~max_age =
+let serve ~socket ~store_dir ~shards ~batch ~max_age ~queue_cap ~conn_timeout
+    ~max_conns ~retry_after ~drain_grace =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let request_stop _ = stop_requested := true in
+  (* SIGTERM and SIGINT mean drain, not die: refuse new connections,
+     finish in-flight requests, flush the batcher, fsync the store *)
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
   match Store.open_ ~shards store_dir with
@@ -118,71 +40,47 @@ let serve ~socket ~store_dir ~shards ~batch ~max_age =
       Printf.eprintf
         "profd: store recovered: %d segment(s), %d compacted shard(s)\n%!"
         report.or_segments report.or_compacted;
-    let ingest = Ingest.create ~max_batch:batch ~max_age store in
-    (* a stale socket file from a killed daemon would make bind fail;
-       it is dead by construction (we are the only server) *)
-    (match Unix.stat socket with
-    | { st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink socket with _ -> ())
-    | _ -> ()
-    | exception Unix.Unix_error _ -> ());
-    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-    | exception Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "profd: socket: %s\n" (Unix.error_message e);
+    let ingest = Ingest.create ~max_batch:batch ~max_age ~queue_cap store in
+    let config =
+      { Server.socket; conn_timeout; max_conns; retry_after; drain_grace }
+    in
+    Printf.eprintf
+      "profd: serving %s on %s (%d shard(s), batch %d, queue cap %d, conn \
+       timeout %gs)\n\
+       %!"
+      store_dir socket (Store.n_shards store) batch (Ingest.queue_cap ingest)
+      conn_timeout;
+    match
+      Server.serve config ingest
+        ~stop_requested:(fun () -> !stop_requested)
+        ~log:(fun msg -> Printf.eprintf "profd: %s\n%!" msg)
+    with
+    | Error e ->
+      Printf.eprintf "profd: %s\n" e;
       1
-    | lsock -> (
-      match Unix.bind lsock (Unix.ADDR_UNIX socket) with
-      | exception Unix.Unix_error (e, _, _) ->
-        Printf.eprintf "profd: %s: %s\n" socket (Unix.error_message e);
-        1
-      | () ->
-        Unix.listen lsock 16;
-        Printf.eprintf "profd: serving %s on %s (%d shard(s), batch %d)\n%!"
-          store_dir socket (Store.n_shards store) batch;
-        let rec loop () =
-          if !stop_requested then ()
-          else begin
-            (match Unix.select [ lsock ] [] [] 0.25 with
-            | [], _, _ -> ()
-            | _ :: _, _, _ -> (
-              match Unix.accept lsock with
-              | exception Unix.Unix_error _ -> ()
-              | fd, _ ->
-                Obs.Metrics.incr m_connections;
-                Fun.protect
-                  ~finally:(fun () ->
-                    try Unix.close fd with Unix.Unix_error _ -> ())
-                  (fun () -> serve_connection ingest fd))
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-            (* the age trigger only fires from this idle loop: the
-               daemon is single-threaded by design *)
-            (match Ingest.tick ingest with
-            | Ok _ -> ()
-            | Error e -> Printf.eprintf "profd: flush: %s\n" e);
-            loop ()
-          end
-        in
-        loop ();
-        (match Ingest.flush ingest with
-        | Ok _ -> ()
-        | Error e -> Printf.eprintf "profd: final flush: %s\n" e);
-        (try Unix.close lsock with Unix.Unix_error _ -> ());
-        (try Unix.unlink socket with Unix.Unix_error _ -> ());
-        Printf.eprintf "profd: stopped\n";
-        0))
+    | Ok () ->
+      Printf.eprintf "profd: stopped\n";
+      0)
 
 (* --- client actions --------------------------------------------------- *)
 
-let rpc_or_fail ~socket req =
-  match Proto.rpc ~socket req with
+let rpc_or_fail ?(attempts = 1) ~socket req =
+  match Proto.rpc ~attempts ~socket req with
   | Error e ->
     Printf.eprintf "profd: %s\n" e;
+    Error 1
+  | Ok (Resp_busy retry_after) ->
+    Printf.eprintf
+      "profd: daemon overloaded (asked to retry after %.3gs); giving up after \
+       %d attempt(s)\n"
+      retry_after attempts;
     Error 1
   | Ok (Resp_err e) ->
     Printf.eprintf "profd: daemon: %s\n" e;
     Error 1
   | Ok (Resp_ok payload) -> Ok payload
 
-let submit_files ~socket ~label files =
+let submit_files ~socket ~attempts ~label files =
   let quarantined = ref 0 in
   let rec go = function
     | [] -> if !quarantined > 0 then Error 2 else Ok ()
@@ -197,7 +95,12 @@ let submit_files ~socket ~label files =
           | Some l -> l
           | None -> Filename.remove_extension (Filename.basename file)
         in
-        match rpc_or_fail ~socket (Submit { label; payload }) with
+        (* a fresh id per file, reused across this submission's
+           retries, so a lost response never double-counts the run *)
+        let id = Some (Proto.fresh_id ()) in
+        match
+          rpc_or_fail ~attempts ~socket (Submit { label; id; payload })
+        with
         | Error c -> Error c
         | Ok reply ->
           Printf.printf "%s: %s" file reply;
@@ -206,6 +109,29 @@ let submit_files ~socket ~label files =
           go rest))
   in
   go files
+
+let drain_spool ~socket ~attempts dir =
+  let submit ~label ~id payload =
+    match
+      Proto.rpc ~attempts ~socket (Submit { label; id = Some id; payload })
+    with
+    | Ok (Resp_ok _) -> Ok `Accepted
+    | Ok (Resp_busy _) -> Ok `Retry
+    | Ok (Resp_err e) ->
+      Printf.eprintf "profd: daemon: %s\n" e;
+      Ok `Retry
+    | Error e ->
+      Printf.eprintf "profd: %s\n" e;
+      Ok `Retry
+  in
+  match Spool.drain ~dir ~submit with
+  | Error e ->
+    Printf.eprintf "profd: %s\n" e;
+    1
+  | Ok (drained, remaining) ->
+    Printf.printf "profd: drained %d spooled profile(s), %d remaining\n"
+      drained remaining;
+    if remaining > 0 then 2 else 0
 
 let write_out out payload =
   match out with
@@ -270,8 +196,9 @@ let merge_offline ~out files =
 
 (* --- command line ----------------------------------------------------- *)
 
-let run serve_flag socket store_dir shards batch max_age wait timeout files
-    label query top_n out do_flush do_compact do_shutdown offline_out
+let run serve_flag socket store_dir shards batch max_age queue_cap conn_timeout
+    max_conns retry_after drain_grace wait timeout retries files label
+    spool_dir query top_n out do_flush do_compact do_shutdown offline_out
     obs_metrics =
   let finish code =
     try
@@ -283,74 +210,104 @@ let run serve_flag socket store_dir shards batch max_age wait timeout files
   in
   finish
   @@
-  match offline_out with
-  | Some out ->
-    if files = [] then begin
-      Printf.eprintf "profd: --merge-offline needs at least one gmon file\n";
-      1
-    end
-    else merge_offline ~out files
-  | None -> (
-    if serve_flag then
-      match store_dir with
-      | None ->
-        Printf.eprintf "profd: --serve needs --store DIR\n";
-        1
-      | Some dir -> serve ~socket ~store_dir:dir ~shards ~batch ~max_age
-    else
-      (* client mode: run the requested actions in a fixed, sensible
-         order — wait, submit, flush, compact, query, shutdown *)
-      let some_action =
-        wait || files <> [] || do_flush || do_compact || do_shutdown
-        || query <> None
-      in
-      if not some_action then begin
-        Printf.eprintf
-          "profd: nothing to do (try --serve, --submit, --query, --flush, \
-           --compact, --shutdown, or --wait)\n";
+  match Faultplane.configure_from_env () with
+  | Error e ->
+    Printf.eprintf "profd: %s\n" e;
+    1
+  | Ok () -> (
+    if Faultplane.active () then
+      Printf.eprintf "profd: FAULT PLANE ACTIVE: %s\n%!"
+        (Option.value ~default:"?" (Sys.getenv_opt "PROFD_FAULTS"));
+    match offline_out with
+    | Some out ->
+      if files = [] then begin
+        Printf.eprintf "profd: --merge-offline needs at least one gmon file\n";
         1
       end
+      else merge_offline ~out files
+    | None -> (
+      if serve_flag then
+        match store_dir with
+        | None ->
+          Printf.eprintf "profd: --serve needs --store DIR\n";
+          1
+        | Some dir ->
+          serve ~socket ~store_dir:dir ~shards ~batch ~max_age ~queue_cap
+            ~conn_timeout ~max_conns ~retry_after ~drain_grace
       else
-        let ( >>> ) prev next = match prev with Ok () -> next () | e -> e in
-        let simple req () = Result.map ignore (rpc_or_fail ~socket req) in
-        let degraded = ref false in
-        let result =
-          (if wait then
-             match Proto.wait_ready ~socket ~timeout with
-             | Ok () -> Ok ()
-             | Error e ->
-               Printf.eprintf "profd: %s\n" e;
-               Error 1
-           else Ok ())
-          >>> (fun () ->
-                if files = [] then Ok ()
-                else
-                  match submit_files ~socket ~label files with
-                  | Ok () -> Ok ()
-                  | Error 2 ->
-                    degraded := true;
-                    Ok ()
-                  | Error c -> Error c)
-          >>> (fun () -> if do_flush then simple Flush () else Ok ())
-          >>> (fun () -> if do_compact then simple Compact () else Ok ())
-          >>> (fun () ->
-                match query with
-                | None -> Ok ()
-                | Some `Top ->
-                  Result.bind (rpc_or_fail ~socket (Query_top top_n))
-                    (write_out out)
-                | Some `Report ->
-                  Result.bind (rpc_or_fail ~socket Query_report) (write_out out)
-                | Some `Sreport ->
-                  Result.bind (rpc_or_fail ~socket Query_sreport)
-                    (write_out out)
-                | Some `Stats ->
-                  Result.bind (rpc_or_fail ~socket Query_stats) (write_out out))
-          >>> fun () -> if do_shutdown then simple Shutdown () else Ok ()
+        (* client mode: run the requested actions in a fixed, sensible
+           order — wait, drain-spool, submit, flush, compact, query,
+           shutdown *)
+        let attempts = max 1 retries in
+        let some_action =
+          wait || files <> [] || do_flush || do_compact || do_shutdown
+          || query <> None || spool_dir <> None
         in
-        match result with
-        | Ok () -> if !degraded then 2 else 0
-        | Error c -> c)
+        if not some_action then begin
+          Printf.eprintf
+            "profd: nothing to do (try --serve, --submit, --drain-spool, \
+             --query, --flush, --compact, --shutdown, or --wait)\n";
+          1
+        end
+        else
+          let ( >>> ) prev next = match prev with Ok () -> next () | e -> e in
+          let simple req () =
+            Result.map ignore (rpc_or_fail ~attempts ~socket req)
+          in
+          let degraded = ref false in
+          let result =
+            (if wait then
+               match Proto.wait_ready ~socket ~timeout with
+               | Ok () -> Ok ()
+               | Error e ->
+                 Printf.eprintf "profd: %s\n" e;
+                 Error 1
+             else Ok ())
+            >>> (fun () ->
+                  match spool_dir with
+                  | None -> Ok ()
+                  | Some dir -> (
+                    match drain_spool ~socket ~attempts dir with
+                    | 0 -> Ok ()
+                    | 2 ->
+                      degraded := true;
+                      Ok ()
+                    | c -> Error c))
+            >>> (fun () ->
+                  if files = [] then Ok ()
+                  else
+                    match submit_files ~socket ~attempts ~label files with
+                    | Ok () -> Ok ()
+                    | Error 2 ->
+                      degraded := true;
+                      Ok ()
+                    | Error c -> Error c)
+            >>> (fun () -> if do_flush then simple Flush () else Ok ())
+            >>> (fun () -> if do_compact then simple Compact () else Ok ())
+            >>> (fun () ->
+                  match query with
+                  | None -> Ok ()
+                  | Some `Top ->
+                    Result.bind
+                      (rpc_or_fail ~attempts ~socket (Query_top top_n))
+                      (write_out out)
+                  | Some `Report ->
+                    Result.bind
+                      (rpc_or_fail ~attempts ~socket Query_report)
+                      (write_out out)
+                  | Some `Sreport ->
+                    Result.bind
+                      (rpc_or_fail ~attempts ~socket Query_sreport)
+                      (write_out out)
+                  | Some `Stats ->
+                    Result.bind
+                      (rpc_or_fail ~attempts ~socket Query_stats)
+                      (write_out out))
+            >>> fun () -> if do_shutdown then simple Shutdown () else Ok ()
+          in
+          match result with
+          | Ok () -> if !degraded then 2 else 0
+          | Error c -> c))
 
 let serve_flag =
   Arg.(value & flag & info [ "serve" ]
@@ -380,6 +337,35 @@ let max_age =
          ~doc:"Ingest queue age trigger: flush when the oldest buffered \
                profile has waited $(docv) seconds.")
 
+let queue_cap =
+  Arg.(value & opt int 256 & info [ "queue-cap" ] ~docv:"N"
+         ~doc:"Bound on the ingest queue: once $(docv) profiles are \
+               buffered and the store cannot drain them, further \
+               submissions are answered BUSY (explicit load shedding, \
+               counted in profd.shed.overload) instead of growing memory \
+               without bound.")
+
+let conn_timeout =
+  Arg.(value & opt float 10.0 & info [ "conn-timeout" ] ~docv:"SECONDS"
+         ~doc:"Per-connection IO deadline: a peer that does not finish its \
+               current frame (either direction) within $(docv) seconds is \
+               disconnected (slowloris defense).")
+
+let max_conns =
+  Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N"
+         ~doc:"Concurrent-connection cap; peers beyond it are answered \
+               BUSY and closed.")
+
+let retry_after =
+  Arg.(value & opt float 0.1 & info [ "retry-after" ] ~docv:"SECONDS"
+         ~doc:"The hint carried by BUSY responses; retrying clients wait at \
+               least this long.")
+
+let drain_grace =
+  Arg.(value & opt float 5.0 & info [ "drain-grace" ] ~docv:"SECONDS"
+         ~doc:"On SIGTERM/SIGINT/SHUTDOWN: how long the daemon lets \
+               in-flight connections finish before closing them.")
+
 let wait =
   Arg.(value & flag & info [ "wait" ]
          ~doc:"Client: poll until the daemon answers (readiness gate for \
@@ -388,6 +374,13 @@ let wait =
 let timeout =
   Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECONDS"
          ~doc:"How long --wait polls before giving up.")
+
+let retries =
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+         ~doc:"Client: attempts per request, with capped exponential \
+               backoff and deterministic jitter between them; BUSY \
+               responses honor the daemon's retry-after floor. Submissions \
+               carry an id so retries never double-count.")
 
 let files =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE"
@@ -403,6 +396,13 @@ let label =
   Arg.(value & opt (some string) None & info [ "label" ] ~docv:"LABEL"
          ~doc:"Submission label (the shard key); defaults to each file's \
                basename.")
+
+let spool_dir =
+  Arg.(value & opt (some string) None & info [ "drain-spool" ] ~docv:"DIR"
+         ~doc:"Client: resubmit every profile a producer spooled into \
+               $(docv) (minirun --spool) while the daemon was unreachable, \
+               deleting the acknowledged entries. Exits 2 when some \
+               entries remain.")
 
 let query =
   Arg.(value
@@ -441,7 +441,7 @@ let do_compact =
 
 let do_shutdown =
   Arg.(value & flag & info [ "shutdown" ]
-         ~doc:"Client: flush, then stop the daemon.")
+         ~doc:"Client: drain, flush, then stop the daemon.")
 
 let offline_out =
   Arg.(value & opt (some string) None & info [ "merge-offline" ] ~docv:"OUT"
@@ -466,16 +466,21 @@ let cmd =
               merging, and serves merged views — the paper's 'data from \
               several runs can be summed', run as a service. One binary is \
               both the daemon (--serve) and its client (--submit, --query, \
-              --flush, --compact, --shutdown, --wait).";
+              --flush, --compact, --shutdown, --wait, --drain-spool). The \
+              daemon survives hostile peers: per-connection deadlines, a \
+              connection cap, a bounded ingest queue with explicit BUSY \
+              shedding, and graceful drain on SIGTERM. Set PROFD_FAULTS to \
+              arm the deterministic fault plane for chaos testing.";
          ])
     Term.(
       const run $ serve_flag $ socket $ store_dir $ shards $ batch $ max_age
-      $ wait $ timeout
+      $ queue_cap $ conn_timeout $ max_conns $ retry_after $ drain_grace
+      $ wait $ timeout $ retries
       $ (const (fun submit files ->
              ignore submit;
              files)
          $ submit $ files)
-      $ label $ query $ top_n $ out $ do_flush $ do_compact $ do_shutdown
-      $ offline_out $ obs_metrics)
+      $ label $ spool_dir $ query $ top_n $ out $ do_flush $ do_compact
+      $ do_shutdown $ offline_out $ obs_metrics)
 
 let () = exit (Cmd.eval' cmd)

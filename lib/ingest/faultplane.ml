@@ -1,0 +1,123 @@
+(* The deterministic fault plane. One seeded PRNG stream drives every
+   decision, so a given spec replays the same faults for the same
+   operation sequence. See faultplane.mli for the contract. *)
+
+type t = {
+  prng : Util.Prng.t;
+  short : float;
+  reset : float;
+  torn : float;
+  latency : float;
+  delay_ms : int;
+  storefail : float;
+  spec : string;
+}
+
+let spec t = t.spec
+
+let of_spec spec =
+  let seed = ref 1
+  and short = ref 0.0
+  and reset = ref 0.0
+  and torn = ref 0.0
+  and latency = ref 0.0
+  and delay_ms = ref 2
+  and storefail = ref 0.0 in
+  let rate key v r =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 && f <= 1.0 ->
+      r := f;
+      Ok ()
+    | _ -> Error (Printf.sprintf "%s wants a rate in [0,1], got %S" key v)
+  in
+  let field kv =
+    match String.index_opt kv '=' with
+    | None -> Error (Printf.sprintf "malformed field %S (want key=value)" kv)
+    | Some i -> (
+      let key = String.sub kv 0 i in
+      let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+      match key with
+      | "seed" -> (
+        match int_of_string_opt v with
+        | Some n ->
+          seed := n;
+          Ok ()
+        | None -> Error (Printf.sprintf "seed wants an integer, got %S" v))
+      | "delay_ms" -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 ->
+          delay_ms := n;
+          Ok ()
+        | _ -> Error (Printf.sprintf "delay_ms wants an integer >= 0, got %S" v))
+      | "short" -> rate key v short
+      | "reset" -> rate key v reset
+      | "torn" -> rate key v torn
+      | "latency" -> rate key v latency
+      | "storefail" -> rate key v storefail
+      | _ -> Error (Printf.sprintf "unknown fault %S" key))
+  in
+  let fields =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' (String.trim spec))
+  in
+  if fields = [] then Error "empty fault spec"
+  else
+    let rec go = function
+      | [] ->
+        Ok
+          {
+            prng = Util.Prng.create !seed;
+            short = !short;
+            reset = !reset;
+            torn = !torn;
+            latency = !latency;
+            delay_ms = !delay_ms;
+            storefail = !storefail;
+            spec;
+          }
+      | kv :: rest -> ( match field kv with Ok () -> go rest | Error e -> Error e)
+    in
+    go fields
+
+let plane : t option ref = ref None
+
+let configure p = plane := p
+
+let configure_from_env () =
+  match Sys.getenv_opt "PROFD_FAULTS" with
+  | None | Some "" -> Ok ()
+  | Some spec -> (
+    match of_spec spec with
+    | Ok p ->
+      configure (Some p);
+      Ok ()
+    | Error e -> Error (Printf.sprintf "PROFD_FAULTS: %s" e))
+
+let active () = !plane <> None
+
+(* every decision consumes PRNG state only when its fault is enabled,
+   so plans with different fault sets stay independent streams *)
+let hit t rate = rate > 0.0 && Util.Prng.float t.prng 1.0 < rate
+
+let clamp_io len =
+  match !plane with
+  | Some t when len > 1 && hit t t.short -> 1
+  | _ -> len
+
+let fail_read () = match !plane with Some t -> hit t t.reset | None -> false
+
+let fail_write () = match !plane with Some t -> hit t t.reset | None -> false
+
+let tear_frame total =
+  match !plane with
+  | Some t when total > 0 && hit t t.torn ->
+    Some (Util.Prng.int t.prng total)
+  | _ -> None
+
+let delay () =
+  match !plane with
+  | Some t when hit t t.latency && t.delay_ms > 0 ->
+    ignore (Unix.select [] [] [] (float_of_int t.delay_ms /. 1000.0))
+  | _ -> ()
+
+let store_fails () =
+  match !plane with Some t -> hit t t.storefail | None -> false

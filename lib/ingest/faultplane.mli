@@ -1,0 +1,74 @@
+(** The deterministic fault plane for the fleet pipeline.
+
+    Chaos testing the daemon and its clients needs hostile-network
+    behavior — short reads and writes, connection resets, torn frames,
+    latency spikes, a store that refuses appends — that {e replays
+    byte-for-byte}: the same seed and the same operation sequence must
+    produce the same faults, so a failing chaos run can be re-driven
+    under a debugger. All randomness flows through one seeded
+    {!Util.Prng} stream owned by the plane.
+
+    The plane is process-global and off by default (every hook is a
+    no-op until {!configure} installs a plan). Processes under test
+    arm it from the [PROFD_FAULTS] environment variable — see
+    {!of_spec} for the grammar — so the same binaries run faulty in
+    the chaos gate and clean everywhere else.
+
+    Transport hooks are consulted by {!Proto}'s frame layer on both
+    sides of the socket; the store hook is consulted by
+    {!Ingest.flush} before each append, simulating a disk that stalls
+    or errors under load (the trigger for the daemon's overload
+    shedding). *)
+
+type t
+
+val of_spec : string -> (t, string) result
+(** Parse a fault plan. The spec is comma-separated [key=value]
+    pairs; every rate is a probability in [0,1]:
+
+    {v
+      seed=N        PRNG seed (default 1)
+      short=R       truncate a read/write syscall to 1 byte
+      reset=R       fail a read/write with ECONNRESET (reads) / EPIPE (writes)
+      torn=R        stop a frame write partway and report the peer gone
+      latency=R     sleep before a read/write syscall
+      delay_ms=N    how long a latency fault sleeps (default 2)
+      storefail=R   make the ingest queue's store append fail
+    v}
+
+    e.g. ["seed=42,short=0.3,reset=0.02,torn=0.02,storefail=0.5"]. *)
+
+val configure : t option -> unit
+(** Install (or, with [None], remove) the process-global plan. *)
+
+val configure_from_env : unit -> (unit, string) result
+(** Read [PROFD_FAULTS]; unset or empty leaves the plane off. *)
+
+val active : unit -> bool
+
+val spec : t -> string
+(** The spec string the plan was parsed from (for banners). *)
+
+(** {1 Hooks} — no-ops when the plane is off *)
+
+val clamp_io : int -> int
+(** Length a read/write syscall is allowed to move this time
+    (a [short] fault truncates it to 1 byte). *)
+
+val fail_read : unit -> bool
+(** True: the caller should fail this read as [ECONNRESET]. *)
+
+val fail_write : unit -> bool
+(** True: the caller should fail this write as [EPIPE]. *)
+
+val tear_frame : int -> int option
+(** [tear_frame total]: [Some n] orders the frame writer to emit only
+    [n < total] bytes and then report the connection gone — a torn
+    frame on the wire. *)
+
+val delay : unit -> unit
+(** Maybe sleep [delay_ms]. *)
+
+val store_fails : unit -> bool
+(** True: the ingest queue must fail this store append with an
+    injected IO error. *)

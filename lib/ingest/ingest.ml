@@ -10,7 +10,9 @@ type t = {
   ing_store : Store.t;
   max_batch : int;
   max_age : float;
+  queue_cap : int;
   mutable buffer : entry list;  (* newest first *)
+  mutable n_buffered : int;
   mutable oldest : float;  (* arrival time of the oldest buffered entry *)
 }
 
@@ -38,20 +40,33 @@ let m_bytes =
   Obs.Metrics.counter Obs.Metrics.default "ingest.bytes_received"
     ~help:"submission bytes presented to the queue"
 
-let create ?(max_batch = 64) ?(max_age = 5.0) store =
+let m_shed =
+  Obs.Metrics.counter Obs.Metrics.default "ingest.shed"
+    ~help:"submissions refused because the queue was full (overload)"
+
+let create ?(max_batch = 64) ?(max_age = 5.0) ?(queue_cap = 256) store =
+  let max_batch = max 1 max_batch in
   {
     ing_store = store;
-    max_batch = max 1 max_batch;
+    max_batch;
     max_age = Float.max 0.0 max_age;
+    queue_cap = max max_batch queue_cap;
     buffer = [];
+    n_buffered = 0;
     oldest = 0.0;
   }
 
 let store t = t.ing_store
 
-let pending t = List.length t.buffer
+let pending t = t.n_buffered
 
-type outcome = Queued of int | Flushed of int | Quarantined of string
+let queue_cap t = t.queue_cap
+
+type outcome =
+  | Queued of int
+  | Flushed of int
+  | Quarantined of string
+  | Shed
 
 let flush t =
   match t.buffer with
@@ -59,6 +74,7 @@ let flush t =
   | entries ->
     let batch = List.rev entries in
     t.buffer <- [];
+    t.n_buffered <- 0;
     Obs.Trace.with_span ~cat:"ingest" "ingest-flush"
       ~args:[ ("batch", string_of_int (List.length batch)) ]
     @@ fun () ->
@@ -70,43 +86,69 @@ let flush t =
         Ok n
       | e :: rest -> (
         let appended =
-          match e.e_payload with
-          | Arc g -> Store.append t.ing_store ~label:e.e_label g
-          | Sampled sp -> Store.append_sprof t.ing_store ~label:e.e_label sp
+          if Faultplane.store_fails () then
+            Error "injected store fault: append refused"
+          else
+            match e.e_payload with
+            | Arc g -> Store.append t.ing_store ~label:e.e_label g
+            | Sampled sp -> Store.append_sprof t.ing_store ~label:e.e_label sp
         in
         match appended with
         | Ok () -> go (n + 1) rest
         | Error err ->
           (* keep what did not reach the store: the next flush (or the
              caller's retry) sees it again *)
-          t.buffer <- List.rev (e :: rest) @ t.buffer;
+          let kept = e :: rest in
+          t.buffer <- List.rev kept @ t.buffer;
+          t.n_buffered <- t.n_buffered + List.length kept;
           Error err)
     in
     go 0 batch
 
 let submit t ~label bytes =
   Obs.Metrics.incr m_bytes ~by:(String.length bytes);
-  let decoded =
-    if Gmon.Sprof.sniff_bytes bytes then
+  (* Backpressure before decode: a full queue means the store is not
+     keeping up, and the cheapest thing to do with work we cannot hold
+     is to refuse it before spending decode cycles on it. The shed is
+     explicit (the caller answers BUSY, never drops silently). *)
+  if
+    t.n_buffered >= t.queue_cap
+    && (Result.is_error (flush t) || t.n_buffered >= t.queue_cap)
+  then begin
+    Obs.Metrics.incr m_shed;
+    Ok Shed
+  end
+  else
+    let decoded =
+      if Gmon.Sprof.sniff_bytes bytes then
+        Result.map
+          (fun (sp, _) -> Sampled sp)
+          (Gmon.Sprof.decode ~mode:`Strict bytes)
+      else Result.map (fun (g, _) -> Arc g) (Gmon.decode ~mode:`Strict bytes)
+    in
+    match decoded with
+    | Error e ->
+      Obs.Metrics.incr m_quarantined;
+      let reason = Gmon.decode_error_to_string e in
       Result.map
-        (fun (sp, _) -> Sampled sp)
-        (Gmon.Sprof.decode ~mode:`Strict bytes)
-    else Result.map (fun (g, _) -> Arc g) (Gmon.decode ~mode:`Strict bytes)
-  in
-  match decoded with
-  | Error e ->
-    Obs.Metrics.incr m_quarantined;
-    let reason = Gmon.decode_error_to_string e in
-    Result.map
-      (fun _ -> Quarantined reason)
-      (Store.append_bytes t.ing_store ~label bytes)
-  | Ok payload ->
-    Obs.Metrics.incr m_submitted;
-    if t.buffer = [] then t.oldest <- Unix.gettimeofday ();
-    t.buffer <- { e_label = label; e_payload = payload } :: t.buffer;
-    let n = List.length t.buffer in
-    if n >= t.max_batch then Result.map (fun k -> Flushed k) (flush t)
-    else Ok (Queued n)
+        (fun _ -> Quarantined reason)
+        (Store.append_bytes t.ing_store ~label bytes)
+    | Ok payload ->
+      Obs.Metrics.incr m_submitted;
+      if t.buffer = [] then t.oldest <- Unix.gettimeofday ();
+      t.buffer <- { e_label = label; e_payload = payload } :: t.buffer;
+      t.n_buffered <- t.n_buffered + 1;
+      let n = t.n_buffered in
+      if n >= t.max_batch then
+        match flush t with
+        | Ok k -> Ok (Flushed k)
+        | Error _ when t.n_buffered <= t.queue_cap ->
+          (* the store refused the batch but the queue can still hold
+             it: the submission is accepted (buffered), and the age
+             trigger or an explicit FLUSH will retry the append *)
+          Ok (Queued t.n_buffered)
+        | Error e -> Error e
+      else Ok (Queued n)
 
 let tick t =
   if t.buffer <> [] && Unix.gettimeofday () -. t.oldest >= t.max_age then

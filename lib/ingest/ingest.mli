@@ -19,24 +19,38 @@
 
 type t
 
-val create : ?max_batch:int -> ?max_age:float -> Store.t -> t
-(** Defaults: [max_batch = 64], [max_age = 5.0] seconds. A
-    [max_batch] of 1 makes every submission durable immediately. *)
+val create : ?max_batch:int -> ?max_age:float -> ?queue_cap:int -> Store.t -> t
+(** Defaults: [max_batch = 64], [max_age = 5.0] seconds,
+    [queue_cap = 256] (clamped to at least [max_batch]). A
+    [max_batch] of 1 makes every submission durable immediately.
+    [queue_cap] bounds the buffer: once the store stops keeping up and
+    the queue fills, further submissions are {e shed} explicitly
+    instead of growing memory without bound. *)
 
 val store : t -> Store.t
 
 val pending : t -> int
 (** Profiles buffered and not yet flushed. *)
 
+val queue_cap : t -> int
+
 type outcome =
   | Queued of int  (** buffered; the batch now holds this many *)
   | Flushed of int  (** buffered, and a size-triggered flush wrote this many *)
   | Quarantined of string  (** undecodable; the per-file diagnostics *)
+  | Shed
+      (** the queue is at [queue_cap] and a flush could not drain it:
+          the submission was refused (backpressure) — the caller
+          should answer overload with a retry-after, never drop
+          silently. Counted in [ingest.shed]. *)
 
 val submit : t -> label:string -> string -> (outcome, string) result
-(** Decode one submission and buffer it (or quarantine it). [Error]
-    only on IO failures — a daemon treats those as fatal for the
-    request, never for the process. *)
+(** Decode one submission and buffer it (or quarantine it). When the
+    size trigger fires but the store refuses the batch, the
+    submission is still accepted ([Queued]) as long as the queue is
+    under [queue_cap] — the age trigger or an explicit {!flush}
+    retries the append. [Error] only on IO failures — a daemon treats
+    those as fatal for the request, never for the process. *)
 
 val flush : t -> (int, string) result
 (** Append every buffered profile to the store now; returns how many

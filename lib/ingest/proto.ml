@@ -1,9 +1,15 @@
 (* The profd wire protocol: u32-LE length-prefixed frames carrying a
    verb line plus an optional binary payload. See proto.mli for the
-   grammar. *)
+   grammar.
+
+   The transport layer here is the chokepoint for every byte the fleet
+   pipeline moves, so it carries the robustness obligations in one
+   place: deadlines on every syscall, EINTR/EAGAIN retries, partial
+   writes finished, and the deterministic fault plane consulted on
+   each operation so chaos tests can corrupt either side at will. *)
 
 type request =
-  | Submit of { label : string; payload : string }
+  | Submit of { label : string; id : string option; payload : string }
   | Query_top of int
   | Query_report
   | Query_sreport
@@ -12,7 +18,10 @@ type request =
   | Compact
   | Shutdown
 
-type response = Resp_ok of string | Resp_err of string
+type response =
+  | Resp_ok of string
+  | Resp_busy of float
+  | Resp_err of string
 
 let max_frame = 64 * 1024 * 1024
 
@@ -20,56 +29,171 @@ let valid_label s =
   s <> "" && String.length s <= 256
   && not (String.exists (fun c -> c = '\n' || c = '\r') s)
 
+let valid_id s =
+  s <> "" && String.length s <= 64
+  && String.for_all
+       (fun c ->
+         (c >= '0' && c <= '9')
+         || (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || c = '_' || c = '.' || c = '-')
+       s
+
+(* One process-wide stream, seeded once: splitmix64 cannot repeat an
+   output within a stream, so ids are unique per process, and the pid
+   in the seed keeps concurrent processes apart. Seeding per call from
+   time ⊕ counter is not safe — calls 1 µs and one increment apart can
+   cancel to the same seed, and a colliding id silently overwrites a
+   spool entry. *)
+let id_rng =
+  lazy
+    (Util.Prng.create
+       (int_of_float (Unix.gettimeofday () *. 1e6)
+       lxor (Unix.getpid () lsl 40)))
+
+let fresh_id () =
+  Printf.sprintf "%016Lx" (Util.Prng.next64 (Lazy.force id_rng))
+
 (* --- frame transport -------------------------------------------------- *)
 
-let rec write_all fd bytes off len =
-  if len = 0 then Ok ()
-  else
-    match Unix.write fd bytes off len with
-    | n -> write_all fd bytes (off + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
-    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+type frame_error =
+  | Eof
+  | Timeout
+  | Oversize of int
+  | Torn of string
 
-let rec read_all fd bytes off len =
-  if len = 0 then Ok ()
-  else
-    match Unix.read fd bytes off len with
-    | 0 -> Error (Printf.sprintf "connection closed with %d byte(s) missing" len)
-    | n -> read_all fd bytes (off + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all fd bytes off len
-    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+let frame_error_to_string = function
+  | Eof -> "connection closed"
+  | Timeout -> "IO deadline exceeded"
+  | Oversize len ->
+    Printf.sprintf "frame length %d exceeds the %d-byte cap" len max_frame
+  | Torn msg -> msg
 
-let write_frame fd body =
+(* Wait until [fd] is ready for [kind], bounded by the absolute
+   [deadline]. Blocking fds normally never need this, but it is what
+   turns EAGAIN/EWOULDBLOCK (and slow peers, once a deadline is set)
+   from hangs into structured errors. *)
+let await kind fd deadline =
+  let rec go () =
+    let tmo =
+      match deadline with
+      | None -> -1.0 (* wait forever *)
+      | Some d -> d -. Unix.gettimeofday ()
+    in
+    if tmo <= 0.0 && deadline <> None then Error Timeout
+    else
+      let r, w = match kind with `R -> ([ fd ], []) | `W -> ([], [ fd ]) in
+      match Unix.select r w [] tmo with
+      | [], [], _ -> if deadline = None then go () else Error Timeout
+      | _ -> Ok ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (e, _, _) -> Error (Torn (Unix.error_message e))
+  in
+  go ()
+
+let rec write_all ?deadline fd bytes off len =
+  if len = 0 then Ok ()
+  else begin
+    Faultplane.delay ();
+    if Faultplane.fail_write () then
+      Error (Torn "injected EPIPE: peer reset the connection")
+    else
+      match Unix.write fd bytes off (Faultplane.clamp_io len) with
+      | n -> write_all ?deadline fd bytes (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        write_all ?deadline fd bytes off len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        match await `W fd deadline with
+        | Ok () -> write_all ?deadline fd bytes off len
+        | Error e -> Error e)
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
+        Error (Torn "peer closed the connection mid-write (EPIPE)")
+      | exception Unix.Unix_error (e, _, _) -> Error (Torn (Unix.error_message e))
+  end
+
+let rec read_all ?deadline fd bytes off len =
+  if len = 0 then Ok ()
+  else begin
+    Faultplane.delay ();
+    if Faultplane.fail_read () then
+      Error (Torn "injected ECONNRESET: peer reset the connection")
+    else
+      match Unix.read fd bytes off (Faultplane.clamp_io len) with
+      | 0 ->
+        Error
+          (Torn
+             (Printf.sprintf "connection closed with %d byte(s) missing" len))
+      | n -> read_all ?deadline fd bytes (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        read_all ?deadline fd bytes off len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        match await `R fd deadline with
+        | Ok () -> read_all ?deadline fd bytes off len
+        | Error e -> Error e)
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        Error (Torn "peer reset the connection (ECONNRESET)")
+      | exception Unix.Unix_error (e, _, _) -> Error (Torn (Unix.error_message e))
+  end
+
+let write_frame ?deadline fd body =
   let len = String.length body in
-  if len > max_frame then
-    Error (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" len max_frame)
+  if len > max_frame then Error (Oversize len)
   else begin
     let b = Bytes.create (4 + len) in
     Bytes.set_int32_le b 0 (Int32.of_int len);
     Bytes.blit_string body 0 b 4 len;
-    write_all fd b 0 (4 + len)
+    match Faultplane.tear_frame (4 + len) with
+    | Some n ->
+      (* a torn frame on the wire: emit a prefix, then "die" *)
+      ignore (write_all ?deadline fd b 0 n);
+      Error (Torn "injected torn frame: writer died mid-frame")
+    | None -> write_all ?deadline fd b 0 (4 + len)
   end
 
-let read_frame fd =
+let read_frame ?deadline fd =
   let hdr = Bytes.create 4 in
-  match read_all fd hdr 0 4 with
-  | Error e -> Error e
-  | Ok () -> (
-    let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
-    if len < 0 || len > max_frame then
-      Error
-        (Printf.sprintf "frame length %d outside [0,%d] (corrupt stream?)" len
-           max_frame)
+  (* distinguish a clean close (EOF before any header byte) from a
+     torn one (EOF with a frame in flight) *)
+  let first =
+    Faultplane.delay ();
+    if Faultplane.fail_read () then
+      Error (Torn "injected ECONNRESET: peer reset the connection")
     else
-      let body = Bytes.create len in
-      match read_all fd body 0 len with
+      match await `R fd deadline with
       | Error e -> Error e
-      | Ok () -> Ok (Bytes.unsafe_to_string body))
+      | Ok () -> (
+        match Unix.read fd hdr 0 (Faultplane.clamp_io 4) with
+        | 0 -> Error Eof
+        | n -> Ok n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> Ok 0
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Ok 0
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+          Error (Torn "peer reset the connection (ECONNRESET)")
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Torn (Unix.error_message e)))
+  in
+  match first with
+  | Error e -> Error e
+  | Ok n -> (
+    match read_all ?deadline fd hdr n (4 - n) with
+    | Error e -> Error e
+    | Ok () -> (
+      let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+      if len < 0 || len > max_frame then Error (Oversize len)
+      else
+        let body = Bytes.create len in
+        match read_all ?deadline fd body 0 len with
+        | Error e -> Error e
+        | Ok () -> Ok (Bytes.unsafe_to_string body)))
 
 (* --- body codecs ------------------------------------------------------ *)
 
 let encode_request = function
-  | Submit { label; payload } -> Printf.sprintf "SUBMIT %s\n%s" label payload
+  | Submit { label; id = None; payload } ->
+    Printf.sprintf "SUBMIT %s\n%s" label payload
+  | Submit { label; id = Some id; payload } ->
+    Printf.sprintf "SUBMIT %s %s\n%s" label id payload
   | Query_top n -> Printf.sprintf "QUERY top %d\n" n
   | Query_report -> "QUERY report\n"
   | Query_sreport -> "QUERY sreport\n"
@@ -86,10 +210,18 @@ let split_verb_line body =
 
 let decode_request body =
   let line, payload = split_verb_line body in
+  let submit label id =
+    if not (valid_label label) then
+      Error (Printf.sprintf "invalid label %S" label)
+    else
+      match id with
+      | Some i when not (valid_id i) ->
+        Error (Printf.sprintf "invalid submission id %S" i)
+      | _ -> Ok (Submit { label; id; payload })
+  in
   match String.split_on_char ' ' line with
-  | [ "SUBMIT"; label ] ->
-    if valid_label label then Ok (Submit { label; payload })
-    else Error (Printf.sprintf "invalid label %S" label)
+  | [ "SUBMIT"; label ] -> submit label None
+  | [ "SUBMIT"; label; id ] -> submit label (Some id)
   | [ "QUERY"; "top"; n ] -> (
     match int_of_string_opt n with
     | Some n when n >= 1 && n <= 1_000_000 -> Ok (Query_top n)
@@ -104,49 +236,84 @@ let decode_request body =
 
 let encode_response = function
   | Resp_ok payload -> "OK\n" ^ payload
-  | Resp_err msg -> Printf.sprintf "ERR %s\n" (String.map (function '\n' -> ' ' | c -> c) msg)
+  | Resp_busy retry_after -> Printf.sprintf "BUSY %.3f\n" retry_after
+  | Resp_err msg ->
+    Printf.sprintf "ERR %s\n" (String.map (function '\n' -> ' ' | c -> c) msg)
 
 let decode_response body =
   let line, payload = split_verb_line body in
   if line = "OK" then Ok (Resp_ok payload)
   else
     match String.index_opt line ' ' with
+    | Some 4 when String.sub line 0 4 = "BUSY" -> (
+      match float_of_string_opt (String.sub line 5 (String.length line - 5)) with
+      | Some retry_after when retry_after >= 0.0 -> Ok (Resp_busy retry_after)
+      | _ -> Error (Printf.sprintf "malformed BUSY response %S" line))
     | Some 3 when String.sub line 0 3 = "ERR" ->
       Ok (Resp_err (String.sub line 4 (String.length line - 4)))
     | _ -> Error (Printf.sprintf "malformed response line %S" line)
 
 (* --- client side ------------------------------------------------------ *)
 
-let rpc ~socket req =
+let rpc_once ~timeout ~socket req =
   match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
+        let deadline = Unix.gettimeofday () +. timeout in
         match Unix.connect fd (Unix.ADDR_UNIX socket) with
         | exception Unix.Unix_error (e, _, _) ->
           Error (Printf.sprintf "%s: %s" socket (Unix.error_message e))
         | () -> (
-          match write_frame fd (encode_request req) with
-          | Error e -> Error e
+          match write_frame ~deadline fd (encode_request req) with
+          | Error e -> Error (frame_error_to_string e)
           | Ok () -> (
-            match read_frame fd with
-            | Error e -> Error e
+            match read_frame ~deadline fd with
+            | Error e -> Error (frame_error_to_string e)
             | Ok body -> decode_response body)))
+
+(* Capped exponential backoff with deterministic jitter: attempt k
+   sleeps min(2s, 50ms * 2^k) scaled into [0.5, 1.0) by the seeded
+   PRNG, so two clients with different seeds never thundering-herd in
+   lockstep and a chaos run replays its exact schedule. *)
+let backoff_delay prng k =
+  let base = Float.min 2.0 (0.05 *. Float.pow 2.0 (float_of_int k)) in
+  base *. (0.5 +. (0.5 *. Util.Prng.float prng 1.0))
+
+let rpc ?(attempts = 1) ?(timeout = 30.0) ?(retry_seed = 0) ~socket req =
+  let attempts = max 1 attempts in
+  let prng = Util.Prng.create (0x9e3779b9 lxor retry_seed) in
+  let sleep d = if d > 0.0 then ignore (Unix.select [] [] [] d) in
+  let rec attempt k =
+    let outcome = rpc_once ~timeout ~socket req in
+    let last = k >= attempts - 1 in
+    match outcome with
+    | Ok (Resp_busy retry_after) when not last ->
+      (* the daemon is shedding load: its retry-after is the floor *)
+      sleep (Float.max retry_after (backoff_delay prng k));
+      attempt (k + 1)
+    | Error _ when not last ->
+      sleep (backoff_delay prng k);
+      attempt (k + 1)
+    | outcome -> outcome
+  in
+  attempt 0
 
 let wait_ready ~socket ~timeout =
   let deadline = Unix.gettimeofday () +. timeout in
-  let rec poll () =
-    match rpc ~socket Query_stats with
+  let rec poll pause =
+    match rpc ~timeout:(Float.max 1.0 timeout) ~socket Query_stats with
     | Ok (Resp_ok _) -> Ok ()
+    | Ok (Resp_busy _) -> Ok () (* overloaded is still alive *)
     | Ok (Resp_err e) -> Error (Printf.sprintf "daemon answered with: %s" e)
     | Error e ->
       if Unix.gettimeofday () >= deadline then
         Error (Printf.sprintf "daemon not ready after %.1fs: %s" timeout e)
       else begin
-        ignore (Unix.select [] [] [] 0.05);
-        poll ()
+        ignore (Unix.select [] [] [] pause);
+        poll (Float.min 0.25 (pause *. 2.0))
       end
   in
-  poll ()
+  poll 0.01

@@ -13,29 +13,40 @@
     followed by a binary payload (the rest of the frame):
 
     {v
-      SUBMIT <label>\n<gmon bytes>     ingest one profile (gmon or sprof)
+      SUBMIT <label>[ <id>]\n<bytes>   ingest one profile (gmon or sprof)
       QUERY top <n>\n                  top-N buckets by self ticks
       QUERY report\n                   the merged profile, as gmon bytes
       QUERY sreport\n                  the merged sampled profile, as sprof bytes
       QUERY stats\n                    store + queue statistics, JSON
       FLUSH\n                          force the ingest queue to the store
       COMPACT\n                        fold every shard's tail
-      SHUTDOWN\n                       flush, then stop serving
+      SHUTDOWN\n                       drain, flush, then stop serving
     v}
+
+    The optional submission [id] makes retries safe: a daemon remembers
+    recently seen ids and acknowledges a duplicate without ingesting it
+    again, so a client whose response frame was lost can resend without
+    double-counting the profile.
 
     A response body is a status line, then a payload:
 
     {v
       OK\n<payload>
+      BUSY <retry_after>\n             overloaded: retry after that many seconds
       ERR <message>\n
     v}
 
     Labels must be non-empty and newline-free. Frames are capped at
     {!max_frame} bytes so a corrupt or hostile length prefix cannot
-    make either side allocate unboundedly. *)
+    make either side allocate unboundedly.
+
+    The transport layer retries [EINTR] and [EAGAIN]/[EWOULDBLOCK],
+    finishes partial writes, honors an absolute deadline on every
+    syscall, and consults {!Faultplane} so chaos tests can inject
+    short reads, resets, and torn frames deterministically. *)
 
 type request =
-  | Submit of { label : string; payload : string }
+  | Submit of { label : string; id : string option; payload : string }
   | Query_top of int
   | Query_report
   | Query_sreport
@@ -44,19 +55,43 @@ type request =
   | Compact
   | Shutdown
 
-type response = Resp_ok of string | Resp_err of string
+type response =
+  | Resp_ok of string
+  | Resp_busy of float  (** overloaded; retry after this many seconds *)
+  | Resp_err of string
 
 val max_frame : int
 (** 64 MiB. *)
 
 val valid_label : string -> bool
 
+val valid_id : string -> bool
+(** Non-empty, at most 64 bytes of [[0-9a-zA-Z_.-]]. *)
+
+val fresh_id : unit -> string
+(** A new submission id, unique per process per call. *)
+
 (** {1 Frame transport} *)
 
-val write_frame : Unix.file_descr -> string -> (unit, string) result
+type frame_error =
+  | Eof  (** the peer closed cleanly before any byte of this frame *)
+  | Timeout  (** the deadline passed with the frame incomplete *)
+  | Oversize of int  (** length prefix beyond {!max_frame} *)
+  | Torn of string  (** mid-frame close, reset, or transport failure *)
 
-val read_frame : Unix.file_descr -> (string, string) result
-(** [Error] on EOF, a short read, or an oversized length prefix. *)
+val frame_error_to_string : frame_error -> string
+
+val write_frame :
+  ?deadline:float -> Unix.file_descr -> string -> (unit, frame_error) result
+(** [deadline] is absolute ([Unix.gettimeofday]-based); omitted means
+    wait forever. Partial writes are completed; [EINTR] and
+    [EAGAIN]/[EWOULDBLOCK] are retried (waiting for writability, up to
+    the deadline). *)
+
+val read_frame :
+  ?deadline:float -> Unix.file_descr -> (string, frame_error) result
+(** [Error Eof] when the peer closed between frames — the clean end of
+    a connection; every other error is abnormal. *)
 
 (** {1 Body codecs} *)
 
@@ -70,11 +105,24 @@ val decode_response : string -> (response, string) result
 
 (** {1 Client side} *)
 
-val rpc : socket:string -> request -> (response, string) result
+val rpc :
+  ?attempts:int ->
+  ?timeout:float ->
+  ?retry_seed:int ->
+  socket:string ->
+  request ->
+  (response, string) result
 (** Connect to a daemon, send one request, read one response, close.
-    [Error] carries connect/transport failures (e.g. no daemon
-    listening); a daemon-side failure arrives as [Resp_err]. *)
+    [timeout] (default 30 s) bounds each attempt's IO; [attempts]
+    (default 1) adds capped exponential backoff with deterministic
+    jitter (seeded by [retry_seed]) between attempts, retrying
+    transport failures and [Resp_busy] answers — a [Resp_busy]'s
+    [retry_after] floor is honored. Retrying a [Submit] is safe when
+    it carries an id (the daemon dedupes). The final attempt's
+    [Resp_busy] is returned as-is so the caller can degrade (e.g.
+    spool). [Error] carries connect/transport failures; a daemon-side
+    failure arrives as [Resp_err]. *)
 
 val wait_ready : socket:string -> timeout:float -> (unit, string) result
-(** Poll {!rpc}[ Query_stats] until the daemon answers or [timeout]
-    seconds elapse. *)
+(** Poll {!rpc}[ Query_stats] with bounded backoff (10 ms doubling to
+    250 ms) until the daemon answers or [timeout] seconds elapse. *)

@@ -1,0 +1,456 @@
+(* The profd daemon engine. See server.mli for the contract.
+
+   One select loop, non-blocking everything, explicit state per
+   connection. The old engine served one connection to completion at a
+   time, which made a single slow peer a denial of service; this one
+   interleaves all of them and enforces a per-frame deadline, so the
+   worst a hostile peer can do is waste one connection slot for
+   conn_timeout seconds. *)
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let m_accepted =
+  Obs.Metrics.counter Obs.Metrics.default "profd.conn.accepted"
+    ~help:"client connections accepted"
+
+let m_refused =
+  Obs.Metrics.counter Obs.Metrics.default "profd.conn.refused"
+    ~help:"connections refused at the concurrency cap (answered BUSY)"
+
+let m_deadline =
+  Obs.Metrics.counter Obs.Metrics.default "profd.conn.deadline_closed"
+    ~help:"connections closed for missing the per-frame IO deadline"
+
+let m_torn =
+  Obs.Metrics.counter Obs.Metrics.default "profd.conn.torn"
+    ~help:"connections dropped mid-frame (torn frame, reset, disconnect)"
+
+let m_oversize =
+  Obs.Metrics.counter Obs.Metrics.default "profd.conn.oversize"
+    ~help:"frames refused for exceeding the length cap"
+
+let m_requests =
+  Obs.Metrics.counter Obs.Metrics.default "profd.requests"
+    ~help:"requests decoded and handled"
+
+let m_shed =
+  Obs.Metrics.counter Obs.Metrics.default "profd.shed.overload"
+    ~help:"submissions answered BUSY because the ingest queue was full"
+
+let m_dedup =
+  Obs.Metrics.counter Obs.Metrics.default "profd.dedup.hits"
+    ~help:"duplicate submission ids acknowledged without re-ingesting"
+
+(* --- config ------------------------------------------------------------ *)
+
+type config = {
+  socket : string;
+  conn_timeout : float;
+  max_conns : int;
+  retry_after : float;
+  drain_grace : float;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    conn_timeout = 10.0;
+    max_conns = 64;
+    retry_after = 0.1;
+    drain_grace = 5.0;
+  }
+
+(* --- the duplicate-suppression window ---------------------------------- *)
+
+(* Ids live in memory only: the window exists to absorb the retry
+   storm after a lost response (seconds), not to dedupe across daemon
+   restarts. Bounded FIFO so a hostile client cannot grow it. *)
+module Dedup = struct
+  type t = { seen : (string, unit) Hashtbl.t; order : string Queue.t; cap : int }
+
+  let create cap = { seen = Hashtbl.create 64; order = Queue.create (); cap }
+
+  let mem t id = Hashtbl.mem t.seen id
+
+  let add t id =
+    if not (Hashtbl.mem t.seen id) then begin
+      Hashtbl.replace t.seen id ();
+      Queue.push id t.order;
+      if Queue.length t.order > t.cap then
+        Hashtbl.remove t.seen (Queue.pop t.order)
+    end
+end
+
+(* --- per-connection state ---------------------------------------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_hdr : Bytes.t;  (* 4-byte length prefix, filled incrementally *)
+  mutable c_hdr_got : int;
+  mutable c_body : Bytes.t;
+  mutable c_body_got : int;
+  mutable c_body_len : int;  (* -1 = header not complete yet *)
+  mutable c_out : string;  (* the framed response being written *)
+  mutable c_out_pos : int;
+  mutable c_deadline : float;  (* absolute; refreshed per phase *)
+  mutable c_close_after_write : bool;
+  mutable c_dead : bool;
+}
+
+let mid_frame c = c.c_hdr_got > 0 || c.c_body_len >= 0
+
+let has_output c = String.length c.c_out > c.c_out_pos
+
+let kill reason c =
+  if not c.c_dead then begin
+    c.c_dead <- true;
+    (match reason with
+    | `Clean -> ()
+    | `Deadline -> Obs.Metrics.incr m_deadline
+    | `Torn -> Obs.Metrics.incr m_torn);
+    try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+  end
+
+let frame_bytes body =
+  let len = String.length body in
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.blit_string body 0 b 4 len;
+  Bytes.unsafe_to_string b
+
+let enqueue_response config c resp =
+  let body = Proto.encode_response resp in
+  let body =
+    if String.length body <= Proto.max_frame then body
+    else Proto.encode_response (Resp_err "response exceeds the frame cap")
+  in
+  c.c_out <- frame_bytes body;
+  c.c_out_pos <- 0;
+  c.c_deadline <- Unix.gettimeofday () +. config.conn_timeout
+
+(* --- request handling -------------------------------------------------- *)
+
+let handle_request config ingest dedup ~active_conns ~drain req =
+  Obs.Metrics.incr m_requests;
+  let store = Ingest.store ingest in
+  (* queries observe their own writes: anything still buffered in the
+     ingest queue is flushed before the store answers *)
+  let flush_for_query () =
+    match Ingest.flush ingest with Ok _ -> Ok () | Error e -> Error e
+  in
+  match (req : Proto.request) with
+  | Submit { label; id; payload } -> (
+    match id with
+    | Some id when Dedup.mem dedup id ->
+      Obs.Metrics.incr m_dedup;
+      Proto.Resp_ok "duplicate\n"
+    | _ -> (
+      match Ingest.submit ingest ~label payload with
+      | Error e -> Resp_err e
+      | Ok Ingest.Shed ->
+        Obs.Metrics.incr m_shed;
+        Resp_busy config.retry_after
+      | Ok outcome ->
+        (* only accepted submissions enter the window: a shed one must
+           be retried for real *)
+        Option.iter (Dedup.add dedup) id;
+        (match outcome with
+        | Ingest.Queued n -> Resp_ok (Printf.sprintf "queued %d\n" n)
+        | Ingest.Flushed n -> Resp_ok (Printf.sprintf "flushed %d\n" n)
+        | Ingest.Quarantined reason ->
+          Resp_ok (Printf.sprintf "quarantined %s\n" reason)
+        | Ingest.Shed -> assert false)))
+  | Query_top n -> (
+    match
+      Result.bind (flush_for_query ()) (fun () -> Store.top_buckets store ~n)
+    with
+    | Error e -> Resp_err e
+    | Ok rows ->
+      Resp_ok
+        (String.concat ""
+           (List.map
+              (fun (lo, hi, ticks) -> Printf.sprintf "%d %d %d\n" lo hi ticks)
+              rows)))
+  | Query_report -> (
+    match Result.bind (flush_for_query ()) (fun () -> Store.merged store) with
+    | Error e -> Resp_err e
+    | Ok None -> Resp_err "store is empty"
+    | Ok (Some g) -> Resp_ok (Gmon.to_bytes g))
+  | Query_sreport -> (
+    match
+      Result.bind (flush_for_query ()) (fun () -> Store.merged_sprof store)
+    with
+    | Error e -> Resp_err e
+    | Ok None -> Resp_err "store holds no sampled profiles"
+    | Ok (Some sp) -> Resp_ok (Gmon.Sprof.to_bytes sp))
+  | Query_stats -> (
+    match flush_for_query () with
+    | Error e -> Resp_err e
+    | Ok () ->
+      let s = Store.stats store in
+      Resp_ok
+        (Printf.sprintf
+           "{\"store\":%s,\"queue\":{\"pending\":%d,\"cap\":%d},\"conns\":{\"active\":%d}}\n"
+           (Store.stats_to_json s) (Ingest.pending ingest)
+           (Ingest.queue_cap ingest) active_conns))
+  | Flush -> (
+    match Ingest.flush ingest with
+    | Error e -> Resp_err e
+    | Ok n -> Resp_ok (Printf.sprintf "flushed %d\n" n))
+  | Compact -> (
+    match Result.bind (flush_for_query ()) (fun () -> Store.compact store) with
+    | Error e -> Resp_err e
+    | Ok n -> Resp_ok (Printf.sprintf "folded %d\n" n))
+  | Shutdown ->
+    drain ();
+    (match Ingest.flush ingest with
+    | Ok _ -> Resp_ok "bye\n"
+    | Error e -> Resp_err e)
+
+(* --- the event loop ---------------------------------------------------- *)
+
+let read_step conn buf off need =
+  Faultplane.delay ();
+  if Faultplane.fail_read () then
+    `Err "injected ECONNRESET: peer reset the connection"
+  else
+    match Unix.read conn.c_fd buf off (Faultplane.clamp_io need) with
+    | 0 -> `Eof
+    | n -> `Got n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Again
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Again
+    | exception Unix.Unix_error (e, _, _) -> `Err (Unix.error_message e)
+
+let rec pump_read config ingest dedup ~active_conns ~drain conn =
+  if conn.c_dead || has_output conn then ()
+  else if conn.c_body_len < 0 then (
+    (* still collecting the 4-byte length prefix *)
+    match read_step conn conn.c_hdr conn.c_hdr_got (4 - conn.c_hdr_got) with
+    | `Again -> ()
+    | `Eof -> kill (if mid_frame conn then `Torn else `Clean) conn
+    | `Err _ -> kill `Torn conn
+    | `Got n ->
+      conn.c_hdr_got <- conn.c_hdr_got + n;
+      if conn.c_hdr_got < 4 then
+        pump_read config ingest dedup ~active_conns ~drain conn
+      else begin
+        let len = Int32.to_int (Bytes.get_int32_le conn.c_hdr 0) in
+        if len < 0 || len > Proto.max_frame then begin
+          (* refuse the frame without allocating it: one structured
+             error frame, then hang up (the stream is unusable — we
+             cannot skip bytes we refuse to buffer) *)
+          Obs.Metrics.incr m_oversize;
+          enqueue_response config conn
+            (Resp_err
+               (Printf.sprintf "frame length %d exceeds the %d-byte cap" len
+                  Proto.max_frame));
+          conn.c_close_after_write <- true
+        end
+        else begin
+          conn.c_body <- Bytes.create len;
+          conn.c_body_len <- len;
+          conn.c_body_got <- 0;
+          pump_read config ingest dedup ~active_conns ~drain conn
+        end
+      end)
+  else if conn.c_body_got < conn.c_body_len then (
+    match
+      read_step conn conn.c_body conn.c_body_got
+        (conn.c_body_len - conn.c_body_got)
+    with
+    | `Again -> ()
+    | `Eof | `Err _ -> kill `Torn conn
+    | `Got n ->
+      conn.c_body_got <- conn.c_body_got + n;
+      pump_read config ingest dedup ~active_conns ~drain conn)
+  else begin
+    (* a whole frame: handle it, queue the response, rearm the reader *)
+    let body = Bytes.unsafe_to_string conn.c_body in
+    conn.c_hdr_got <- 0;
+    conn.c_body <- Bytes.empty;
+    conn.c_body_len <- -1;
+    conn.c_body_got <- 0;
+    let req = Proto.decode_request body in
+    let resp =
+      match req with
+      | Error e -> Proto.Resp_err e
+      | Ok req -> handle_request config ingest dedup ~active_conns ~drain req
+    in
+    enqueue_response config conn resp;
+    match req with
+    | Ok Proto.Shutdown -> conn.c_close_after_write <- true
+    | _ -> ()
+  end
+
+let pump_write config conn =
+  if conn.c_dead || not (has_output conn) then ()
+  else begin
+    Faultplane.delay ();
+    if Faultplane.fail_write () then kill `Torn conn
+    else
+      let len = String.length conn.c_out - conn.c_out_pos in
+      match
+        Unix.write_substring conn.c_fd conn.c_out conn.c_out_pos
+          (Faultplane.clamp_io len)
+      with
+      | n ->
+        conn.c_out_pos <- conn.c_out_pos + n;
+        if not (has_output conn) then begin
+          if conn.c_close_after_write then kill `Clean conn
+          else begin
+            (* response delivered; the next request gets a fresh
+               deadline budget *)
+            conn.c_out <- "";
+            conn.c_out_pos <- 0;
+            conn.c_deadline <- Unix.gettimeofday () +. config.conn_timeout
+          end
+        end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> kill `Torn conn
+  end
+
+let serve config ingest ~stop_requested ~log =
+  let socket = config.socket in
+  (* a stale socket file from a killed daemon would make bind fail;
+     it is dead by construction (we are the only server) *)
+  (match Unix.stat socket with
+  | { st_kind = Unix.S_SOCK; _ } -> ( try Unix.unlink socket with _ -> ())
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ());
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  | lsock -> (
+    match Unix.bind lsock (Unix.ADDR_UNIX socket) with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close lsock with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s: %s" socket (Unix.error_message e))
+    | () ->
+      Unix.listen lsock (max 16 config.max_conns);
+      Unix.set_nonblock lsock;
+      let conns = ref [] in
+      let draining = ref false in
+      let listener_open = ref true in
+      let dedup = Dedup.create 4096 in
+      let drain () = draining := true in
+      let refuse fd =
+        (* explicit shed at the connection cap: one best-effort BUSY
+           frame so the peer backs off instead of guessing, then close *)
+        Obs.Metrics.incr m_refused;
+        let frame =
+          frame_bytes (Proto.encode_response (Proto.Resp_busy config.retry_after))
+        in
+        (try ignore (Unix.write_substring fd frame 0 (String.length frame))
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      in
+      let accept_new () =
+        match Unix.accept lsock with
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          ()
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ ->
+          if List.length !conns >= config.max_conns then refuse fd
+          else begin
+            Obs.Metrics.incr m_accepted;
+            Unix.set_nonblock fd;
+            conns :=
+              {
+                c_fd = fd;
+                c_hdr = Bytes.create 4;
+                c_hdr_got = 0;
+                c_body = Bytes.empty;
+                c_body_got = 0;
+                c_body_len = -1;
+                c_out = "";
+                c_out_pos = 0;
+                c_deadline = Unix.gettimeofday () +. config.conn_timeout;
+                c_close_after_write = false;
+                c_dead = false;
+              }
+              :: !conns
+          end
+      in
+      let drain_deadline = ref 0.0 in
+      let rec loop () =
+        if (stop_requested () || !draining) && !drain_deadline = 0.0 then begin
+          draining := true;
+          drain_deadline := Unix.gettimeofday () +. config.drain_grace;
+          log "draining: refusing new connections, finishing in-flight work"
+        end;
+        if !draining && !listener_open then begin
+          listener_open := false;
+          (try Unix.close lsock with Unix.Unix_error _ -> ());
+          (try Unix.unlink socket with Unix.Unix_error _ -> ())
+        end;
+        (* reap: deadline misses, and — during a drain — idle peers *)
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun c ->
+            if not c.c_dead then
+              if now > c.c_deadline then kill `Deadline c
+              else if !draining && (not (mid_frame c)) && not (has_output c)
+              then kill `Clean c)
+          !conns;
+        conns := List.filter (fun c -> not c.c_dead) !conns;
+        let finished =
+          !draining && (!conns = [] || now > !drain_deadline)
+        in
+        if finished then ()
+        else begin
+          let readers =
+            List.filter (fun c -> not (has_output c)) !conns
+            |> List.map (fun c -> c.c_fd)
+          in
+          let writers =
+            List.filter has_output !conns |> List.map (fun c -> c.c_fd)
+          in
+          let rds = if !listener_open then lsock :: readers else readers in
+          (* wake for the nearest deadline so a stalled peer is cut
+             promptly even on an otherwise idle daemon *)
+          let tmo =
+            List.fold_left
+              (fun acc c -> Float.min acc (c.c_deadline -. now))
+              0.25 !conns
+            |> Float.max 0.01
+          in
+          (match Unix.select rds writers [] tmo with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error _ -> ()
+          | rd, wr, _ ->
+            if !listener_open && List.memq lsock rd then accept_new ();
+            let active_conns = List.length !conns in
+            List.iter
+              (fun c ->
+                if List.memq c.c_fd rd then
+                  pump_read config ingest dedup ~active_conns ~drain c)
+              !conns;
+            List.iter
+              (fun c -> if List.memq c.c_fd wr then pump_write config c)
+              !conns);
+          (* the age trigger only fires from this idle loop: the
+             daemon is single-threaded by design *)
+          (match Ingest.tick ingest with
+          | Ok _ -> ()
+          | Error e -> log (Printf.sprintf "flush: %s" e));
+          loop ()
+        end
+      in
+      loop ();
+      List.iter (kill `Clean) !conns;
+      if !listener_open then begin
+        (try Unix.close lsock with Unix.Unix_error _ -> ());
+        try Unix.unlink socket with Unix.Unix_error _ -> ()
+      end;
+      (match Ingest.flush ingest with
+      | Ok _ -> ()
+      | Error e -> log (Printf.sprintf "final flush: %s" e));
+      (match Store.sync (Ingest.store ingest) with
+      | Ok () -> ()
+      | Error e -> log (Printf.sprintf "store sync: %s" e));
+      Ok ())

@@ -1,0 +1,56 @@
+(** The profd daemon engine: a single-threaded, multi-connection
+    event loop over the {!Proto} wire protocol, hardened for hostile
+    peers.
+
+    The loop owns every connection concurrently (non-blocking fds,
+    one [select]), so no single peer can stall the daemon:
+
+    - {b Deadlines}: every connection must finish its current frame —
+      in either direction — within [conn_timeout] seconds of starting
+      it; a slowloris peer that trickles bytes (or stops) is closed
+      and counted in [profd.conn.deadline_closed].
+    - {b Connection cap}: at [max_conns] concurrent connections a new
+      peer is answered with one best-effort [BUSY] frame and closed,
+      counted in [profd.conn.refused] — never silently ignored.
+    - {b Bounded queue}: when the ingest queue is at capacity and the
+      store cannot drain it, submissions are shed with
+      [BUSY <retry_after>] ([profd.shed.overload]); the client's
+      backoff honors the hint.
+    - {b Oversize frames}: a length prefix beyond {!Proto.max_frame}
+      is answered with a structured [ERR] frame and the connection is
+      closed — no allocation, no hang ([profd.conn.oversize]).
+    - {b Duplicate suppression}: submissions carrying an id are
+      remembered in a bounded window; a retry whose previous response
+      was lost is acknowledged ([OK duplicate]) without ingesting
+      twice ([profd.dedup.hits]).
+    - {b Graceful drain}: on [SHUTDOWN], SIGTERM, or SIGINT the loop
+      stops accepting, finishes in-flight requests (bounded by
+      [drain_grace]), flushes the ingest queue, and fsyncs the store
+      directories before returning.
+
+    Torn frames, resets, and mid-request disconnects are survived by
+    construction: a connection failure never touches another
+    connection or the process. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path to serve on *)
+  conn_timeout : float;  (** per-frame IO deadline, seconds *)
+  max_conns : int;  (** concurrent-connection cap *)
+  retry_after : float;  (** the hint carried by [BUSY] responses *)
+  drain_grace : float;  (** max seconds to finish in-flight work on drain *)
+}
+
+val default_config : socket:string -> config
+(** [conn_timeout = 10], [max_conns = 64], [retry_after = 0.1],
+    [drain_grace = 5]. *)
+
+val serve :
+  config ->
+  Ingest.t ->
+  stop_requested:(unit -> bool) ->
+  log:(string -> unit) ->
+  (unit, string) result
+(** Run the loop until a drain completes. [stop_requested] is polled
+    every iteration (profd's signal handlers set it); the [SHUTDOWN]
+    request drains too. [Error] only for listener setup failures —
+    peer failures never end the loop. *)

@@ -1,0 +1,109 @@
+(* The client-side profile spool. See spool.mli for the contract. *)
+
+let magic = "PROFSPOOL1\n"
+
+let entry_name id = Printf.sprintf "sp-%s.spool" id
+
+let is_entry name =
+  String.length name > String.length "sp-.spool"
+  && String.sub name 0 3 = "sp-"
+  && Filename.check_suffix name ".spool"
+
+let id_of_path path =
+  let base = Filename.basename path in
+  Filename.chop_suffix (String.sub base 3 (String.length base - 3)) ".spool"
+
+let ensure_dir dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: %s" dir (Unix.error_message e))
+
+let add ~dir ~label payload =
+  if not (Proto.valid_label label) then
+    Error (Printf.sprintf "invalid label %S" label)
+  else
+    match ensure_dir dir with
+    | Error e -> Error e
+    | Ok () ->
+      (* ids are unique per process, but an entry is durable state that
+         must never be overwritten: re-draw on the off chance another
+         process spooled under the same id *)
+      let rec pick () =
+        let id = Proto.fresh_id () in
+        let path = Filename.concat dir (entry_name id) in
+        if Sys.file_exists path then pick () else (id, path)
+      in
+      let id, path = pick () in
+      let data = magic ^ label ^ "\n" ^ payload in
+      (* same crash-safety contract as every other durable file in the
+         pipeline: complete or absent, never torn *)
+      let tmp = path ^ ".tmp" in
+      (try
+         let oc = open_out_bin tmp in
+         (try
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc data)
+          with Sys_error e ->
+            (try Sys.remove tmp with Sys_error _ -> ());
+            raise (Sys_error e));
+         Sys.rename tmp path;
+         Ok id
+       with Sys_error e -> Error e)
+
+let entries ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> Ok []
+  | names ->
+    let picked =
+      Array.to_list names
+      |> List.filter is_entry
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+    in
+    Ok picked
+
+let read path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | data ->
+    let mlen = String.length magic in
+    if
+      String.length data < mlen || String.sub data 0 mlen <> magic
+    then Error (Printf.sprintf "%s: not a spool entry (bad magic)" path)
+    else (
+      match String.index_from_opt data mlen '\n' with
+      | None -> Error (Printf.sprintf "%s: truncated spool entry" path)
+      | Some i ->
+        let label = String.sub data mlen (i - mlen) in
+        if not (Proto.valid_label label) then
+          Error (Printf.sprintf "%s: invalid spooled label" path)
+        else
+          Ok
+            ( label,
+              id_of_path path,
+              String.sub data (i + 1) (String.length data - i - 1) ))
+
+let drain ~dir ~submit =
+  match entries ~dir with
+  | Error e -> Error e
+  | Ok paths ->
+    let drained = ref 0 and remaining = ref 0 in
+    List.iter
+      (fun path ->
+        match read path with
+        | Error _ ->
+          (* a damaged entry must not wedge the drain forever: set it
+             aside, visibly, like the store's quarantine *)
+          (try Sys.rename path (path ^ ".bad") with Sys_error _ -> ());
+          incr remaining
+        | Ok (label, id, payload) -> (
+          match submit ~label ~id payload with
+          | Ok `Accepted ->
+            (try Sys.remove path with Sys_error _ -> ());
+            incr drained
+          | Ok `Retry | Error _ -> incr remaining))
+      paths;
+    Ok (!drained, !remaining)

@@ -1,0 +1,42 @@
+(** The client-side profile spool: local durability when the daemon
+    is not.
+
+    A run that cannot reach profd must not lose its profile — the
+    whole premise of leaving profiling on in production is that
+    collection is safe. When submission fails after retries, the
+    payload is written to a spool directory instead; a later
+    [profd --drain-spool DIR] resubmits everything and deletes what
+    the daemon acknowledged, so the pipeline's accounting equation
+    (submitted = stored + quarantined + spooled) closes exactly.
+
+    A spool entry is one file, [sp-<id>.spool], written with the
+    crash-safe temp-and-rename writer:
+
+    {v
+      PROFSPOOL1\n<label>\n<payload bytes>
+    v}
+
+    The [<id>] in the name is the submission id: draining resubmits
+    under the same id, so a drain interrupted after the daemon's
+    acknowledgment but before the local delete is deduplicated by the
+    daemon on the next drain rather than double-counted. *)
+
+val add : dir:string -> label:string -> string -> (string, string) result
+(** Spool one payload (gmon or sprof bytes — the daemon routes by
+    magic); creates [dir] when missing. Returns the entry's id. *)
+
+val entries : dir:string -> (string list, string) result
+(** Spool file paths, oldest first (by name); [[]] when the directory
+    does not exist. *)
+
+val read : string -> (string * string * string, string) result
+(** [read path] is [(label, id, payload)]. *)
+
+val drain :
+  dir:string ->
+  submit:(label:string -> id:string -> string -> ([ `Accepted | `Retry ], string) result) ->
+  (int * int, string) result
+(** Submit every entry; delete the accepted ones. [`Retry] (and
+    [Error]) keep the entry for a later drain; undecodable spool
+    files are renamed to [.bad] so one damaged entry cannot wedge the
+    drain forever. Returns [(drained, remaining)]. *)

@@ -877,3 +877,37 @@ let arc_totals t =
       (List.map
          (fun (a : Gmon.arc) -> (a.a_from, a.a_self, a.a_count))
          g.Gmon.arcs)
+
+let sync t =
+  (* The atomic writer leaves durability of the *rename* to the
+     directory: fsync every shard directory (and the root, for the
+     manifest and quarantine) so a power cut after a graceful drain
+     cannot roll back segments the daemon already acknowledged. *)
+  let sync_dir path =
+    match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.fsync fd with
+          | () -> Ok ()
+          | exception Unix.Unix_error (e, _, _) ->
+            (* some filesystems refuse fsync on a directory fd; that
+               is a property of the mount, not a store failure *)
+            if e = Unix.EINVAL || e = Unix.EBADF then Ok ()
+            else Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+  in
+  let dirs =
+    t.dir
+    :: quarantine_dir t
+    :: Array.to_list (Array.map (fun sh -> sh.sh_dir) t.shards)
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | d :: rest ->
+      if not (Sys.file_exists d) then go rest
+      else ( match sync_dir d with Ok () -> go rest | Error e -> Error e)
+  in
+  go dirs

@@ -146,3 +146,9 @@ val arc_totals : t -> ((int * int * int) list, string) result
 (** Every arc of the merged view as [(from, self, count)], sorted. *)
 
 val quarantine_dir : t -> string
+
+val sync : t -> (unit, string) result
+(** Fsync the store's directories so every acknowledged append — the
+    renames the atomic writer relies on — survives a power cut. The
+    daemon calls this once on graceful drain; filesystems that refuse
+    directory fsync are treated as clean. *)
