@@ -21,7 +21,8 @@ open Cmdliner
 let stop_requested = ref false
 
 let serve ~socket ~store_dir ~shards ~batch ~max_age ~queue_cap ~conn_timeout
-    ~max_conns ~retry_after ~drain_grace =
+    ~max_conns ~retry_after ~drain_grace ~telemetry_out ~telemetry_interval
+    ~events =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let request_stop _ = stop_requested := true in
   (* SIGTERM and SIGINT mean drain, not die: refuse new connections,
@@ -34,32 +35,36 @@ let serve ~socket ~store_dir ~shards ~batch ~max_age ~queue_cap ~conn_timeout
     1
   | Ok (store, report) -> (
     if Store.open_report_degraded report then
-      Printf.eprintf "profd: store recovered with losses: %s\n%!"
-        (Store.open_report_summary report)
+      Obs.Eventlog.warn events "store.recovered_with_losses"
+        [ ("summary", S (Store.open_report_summary report)) ]
     else if not report.or_created then
-      Printf.eprintf
-        "profd: store recovered: %d segment(s), %d compacted shard(s)\n%!"
-        report.or_segments report.or_compacted;
+      Obs.Eventlog.info events "store.recovered"
+        [
+          ("segments", I report.or_segments);
+          ("compacted_shards", I report.or_compacted);
+        ];
     let ingest = Ingest.create ~max_batch:batch ~max_age ~queue_cap store in
     let config =
-      { Server.socket; conn_timeout; max_conns; retry_after; drain_grace }
+      {
+        Server.socket;
+        conn_timeout;
+        max_conns;
+        retry_after;
+        drain_grace;
+        telemetry_out;
+        telemetry_interval;
+      }
     in
-    Printf.eprintf
-      "profd: serving %s on %s (%d shard(s), batch %d, queue cap %d, conn \
-       timeout %gs)\n\
-       %!"
-      store_dir socket (Store.n_shards store) batch (Ingest.queue_cap ingest)
-      conn_timeout;
     match
       Server.serve config ingest
         ~stop_requested:(fun () -> !stop_requested)
-        ~log:(fun msg -> Printf.eprintf "profd: %s\n%!" msg)
+        ~events
     with
     | Error e ->
       Printf.eprintf "profd: %s\n" e;
       1
     | Ok () ->
-      Printf.eprintf "profd: stopped\n";
+      Obs.Eventlog.info events "stopped" [];
       0)
 
 (* --- client actions --------------------------------------------------- *)
@@ -197,12 +202,14 @@ let merge_offline ~out files =
 (* --- command line ----------------------------------------------------- *)
 
 let run serve_flag socket store_dir shards batch max_age queue_cap conn_timeout
-    max_conns retry_after drain_grace wait timeout retries files label
-    spool_dir query top_n out do_flush do_compact do_shutdown offline_out
-    obs_metrics =
+    max_conns retry_after drain_grace telemetry_out telemetry_interval log_file
+    log_level wait timeout retries files label spool_dir query top_n out
+    do_flush do_compact do_shutdown offline_out obs_metrics obs_trace =
+  if obs_trace <> None then Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
     try
       Option.iter (Obs.Metrics.save Obs.Metrics.default) obs_metrics;
+      Option.iter (Obs.Trace.save_chrome Obs.Trace.default) obs_trace;
       code
     with Sys_error e ->
       Printf.eprintf "profd: %s\n" e;
@@ -231,9 +238,26 @@ let run serve_flag socket store_dir shards batch max_age queue_cap conn_timeout
         | None ->
           Printf.eprintf "profd: --serve needs --store DIR\n";
           1
-        | Some dir ->
-          serve ~socket ~store_dir:dir ~shards ~batch ~max_age ~queue_cap
-            ~conn_timeout ~max_conns ~retry_after ~drain_grace
+        | Some dir -> (
+          (* the daemon's lifecycle reporting is the structured event
+             log: JSONL on stderr by default, --log FILE to a file *)
+          let events =
+            match log_file with
+            | None -> Ok (Obs.Eventlog.to_stderr ~level:log_level ())
+            | Some path -> Obs.Eventlog.open_file ~level:log_level path
+          in
+          match events with
+          | Error e ->
+            Printf.eprintf "profd: %s\n" e;
+            1
+          | Ok events ->
+            let code =
+              serve ~socket ~store_dir:dir ~shards ~batch ~max_age ~queue_cap
+                ~conn_timeout ~max_conns ~retry_after ~drain_grace
+                ~telemetry_out ~telemetry_interval ~events
+            in
+            Obs.Eventlog.close events;
+            code)
       else
         (* client mode: run the requested actions in a fixed, sensible
            order — wait, drain-spool, submit, flush, compact, query,
@@ -366,6 +390,39 @@ let drain_grace =
          ~doc:"On SIGTERM/SIGINT/SHUTDOWN: how long the daemon lets \
                in-flight connections finish before closing them.")
 
+let telemetry_out =
+  Arg.(value & opt (some string) None & info [ "telemetry-out" ] ~docv:"FILE"
+         ~doc:"Daemon: append a checksummed JSONL metrics snapshot to \
+               $(docv) every --telemetry-interval seconds (and once at \
+               drain). Each line carries a crc and a monotonic seq; the \
+               series resumes across restarts. proftop --telemetry reads \
+               and verifies it.")
+
+let telemetry_interval =
+  Arg.(value & opt float 1.0 & info [ "telemetry-interval" ] ~docv:"SECONDS"
+         ~doc:"Seconds between telemetry snapshots (with --telemetry-out).")
+
+let log_file =
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+         ~doc:"Daemon: append the structured JSONL event log to $(docv) \
+               instead of stderr. Every record carries a monotonic seq, a \
+               timestamp, a level, and an event kind.")
+
+let log_level =
+  Arg.(value
+       & opt
+           (enum
+              [
+                ("debug", Obs.Eventlog.Debug);
+                ("info", Obs.Eventlog.Info);
+                ("warn", Obs.Eventlog.Warn);
+                ("error", Obs.Eventlog.Error);
+              ])
+           Obs.Eventlog.Info
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Minimum event level written to the log: $(b,debug), \
+                 $(b,info), $(b,warn), or $(b,error).")
+
 let wait =
   Arg.(value & flag & info [ "wait" ]
          ~doc:"Client: poll until the daemon answers (readiness gate for \
@@ -454,6 +511,11 @@ let obs_metrics =
          ~doc:"Write the metrics registry (store.*, ingest.*, profd.*) as \
                JSON to $(docv) ('-' for stdout) on exit.")
 
+let obs_trace =
+  Arg.(value & opt (some string) None & info [ "obs-trace" ] ~docv:"FILE"
+         ~doc:"Write internal spans as a Chrome trace (chrome://tracing, \
+               Perfetto) to $(docv) on exit.")
+
 let cmd =
   Cmd.v
     (Cmd.info "profd" ~doc:"profile aggregation daemon"
@@ -475,12 +537,13 @@ let cmd =
     Term.(
       const run $ serve_flag $ socket $ store_dir $ shards $ batch $ max_age
       $ queue_cap $ conn_timeout $ max_conns $ retry_after $ drain_grace
+      $ telemetry_out $ telemetry_interval $ log_file $ log_level
       $ wait $ timeout $ retries
       $ (const (fun submit files ->
              ignore submit;
              files)
          $ submit $ files)
       $ label $ spool_dir $ query $ top_n $ out $ do_flush $ do_compact
-      $ do_shutdown $ offline_out $ obs_metrics)
+      $ do_shutdown $ offline_out $ obs_metrics $ obs_trace)
 
 let () = exit (Cmd.eval' cmd)

@@ -80,6 +80,29 @@ let of_spec spec =
 
 let plane : t option ref = ref None
 
+(* Injected faults are themselves observable: when a chaos run shows a
+   latency histogram shifted right or torn-connection counters moving,
+   these counters say how much of that the fault plane caused. *)
+let m_short =
+  Obs.Metrics.counter Obs.Metrics.default "faultplane.injected.short"
+    ~help:"IO operations clamped to 1 byte by the fault plane"
+
+let m_reset =
+  Obs.Metrics.counter Obs.Metrics.default "faultplane.injected.reset"
+    ~help:"reads/writes failed with an injected reset"
+
+let m_torn =
+  Obs.Metrics.counter Obs.Metrics.default "faultplane.injected.torn"
+    ~help:"frames torn mid-write by the fault plane"
+
+let m_latency =
+  Obs.Metrics.counter Obs.Metrics.default "faultplane.injected.latency"
+    ~help:"IO operations delayed by the fault plane"
+
+let m_storefail =
+  Obs.Metrics.counter Obs.Metrics.default "faultplane.injected.storefail"
+    ~help:"store appends refused by the fault plane"
+
 let configure p = plane := p
 
 let configure_from_env () =
@@ -100,24 +123,42 @@ let hit t rate = rate > 0.0 && Util.Prng.float t.prng 1.0 < rate
 
 let clamp_io len =
   match !plane with
-  | Some t when len > 1 && hit t t.short -> 1
+  | Some t when len > 1 && hit t t.short ->
+    Obs.Metrics.incr m_short;
+    1
   | _ -> len
 
-let fail_read () = match !plane with Some t -> hit t t.reset | None -> false
+let fail_read () =
+  match !plane with
+  | Some t when hit t t.reset ->
+    Obs.Metrics.incr m_reset;
+    true
+  | _ -> false
 
-let fail_write () = match !plane with Some t -> hit t t.reset | None -> false
+let fail_write () =
+  match !plane with
+  | Some t when hit t t.reset ->
+    Obs.Metrics.incr m_reset;
+    true
+  | _ -> false
 
 let tear_frame total =
   match !plane with
   | Some t when total > 0 && hit t t.torn ->
+    Obs.Metrics.incr m_torn;
     Some (Util.Prng.int t.prng total)
   | _ -> None
 
 let delay () =
   match !plane with
   | Some t when hit t t.latency && t.delay_ms > 0 ->
+    Obs.Metrics.incr m_latency;
     ignore (Unix.select [] [] [] (float_of_int t.delay_ms /. 1000.0))
   | _ -> ()
 
 let store_fails () =
-  match !plane with Some t -> hit t t.storefail | None -> false
+  match !plane with
+  | Some t when hit t t.storefail ->
+    Obs.Metrics.incr m_storefail;
+    true
+  | _ -> false

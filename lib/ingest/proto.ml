@@ -14,6 +14,8 @@ type request =
   | Query_report
   | Query_sreport
   | Query_stats
+  | Query_metrics
+  | Query_health
   | Flush
   | Compact
   | Shutdown
@@ -198,6 +200,8 @@ let encode_request = function
   | Query_report -> "QUERY report\n"
   | Query_sreport -> "QUERY sreport\n"
   | Query_stats -> "QUERY stats\n"
+  | Query_metrics -> "QUERY metrics\n"
+  | Query_health -> "QUERY health\n"
   | Flush -> "FLUSH\n"
   | Compact -> "COMPACT\n"
   | Shutdown -> "SHUTDOWN\n"
@@ -229,6 +233,8 @@ let decode_request body =
   | [ "QUERY"; "report" ] -> Ok Query_report
   | [ "QUERY"; "sreport" ] -> Ok Query_sreport
   | [ "QUERY"; "stats" ] -> Ok Query_stats
+  | [ "QUERY"; "metrics" ] -> Ok Query_metrics
+  | [ "QUERY"; "health" ] -> Ok Query_health
   | [ "FLUSH" ] -> Ok Flush
   | [ "COMPACT" ] -> Ok Compact
   | [ "SHUTDOWN" ] -> Ok Shutdown

@@ -18,6 +18,8 @@
       QUERY report\n                   the merged profile, as gmon bytes
       QUERY sreport\n                  the merged sampled profile, as sprof bytes
       QUERY stats\n                    store + queue statistics, JSON
+      QUERY metrics\n                  the daemon's full metrics registry, JSON
+      QUERY health\n                   uptime, queue, conns, shards, version, JSON
       FLUSH\n                          force the ingest queue to the store
       COMPACT\n                        fold every shard's tail
       SHUTDOWN\n                       drain, flush, then stop serving
@@ -51,6 +53,8 @@ type request =
   | Query_report
   | Query_sreport
   | Query_stats
+  | Query_metrics
+  | Query_health
   | Flush
   | Compact
   | Shutdown

@@ -1,6 +1,6 @@
 (** The profd daemon engine: a single-threaded, multi-connection
     event loop over the {!Proto} wire protocol, hardened for hostile
-    peers.
+    peers and observable while it runs.
 
     The loop owns every connection concurrently (non-blocking fds,
     one [select]), so no single peer can stall the daemon:
@@ -28,9 +28,31 @@
       [drain_grace]), flushes the ingest queue, and fsyncs the store
       directories before returning.
 
+    Telemetry (this revision):
+
+    - Every RPC's latency — first request byte to last response byte,
+      microseconds, transport stalls included — lands in a per-verb
+      histogram [profd.rpc.<verb>.latency].
+    - Bytes are counted per direction in
+      [profd.bytes.read]/[profd.bytes.written]; the queue depth and
+      connection count are published as gauges.
+    - [QUERY metrics] answers with the live registry in the exact JSON
+      shape of [--obs-metrics]; [QUERY health] answers with a one-look
+      JSON summary (version, uptime, queue, conns, per-shard store
+      occupancy, headline counters, telemetry state).
+    - With [telemetry_out] set, the loop appends a checksummed
+      {!Obs.Timeseries} snapshot every [telemetry_interval] seconds —
+      on an idle daemon too — and once more at drain.
+    - Every operationally interesting moment (shed, quarantine,
+      deadline close, refused conn, drain, compaction, flush failure)
+      is a structured {!Obs.Eventlog} record, not an stderr print.
+
     Torn frames, resets, and mid-request disconnects are survived by
     construction: a connection failure never touches another
     connection or the process. *)
+
+val version : string
+(** Reported by [QUERY health] and the [serve.start] event. *)
 
 type config = {
   socket : string;  (** Unix-domain socket path to serve on *)
@@ -38,19 +60,25 @@ type config = {
   max_conns : int;  (** concurrent-connection cap *)
   retry_after : float;  (** the hint carried by [BUSY] responses *)
   drain_grace : float;  (** max seconds to finish in-flight work on drain *)
+  telemetry_out : string option;
+      (** append periodic {!Obs.Timeseries} snapshots here; [None]
+          disables the loop *)
+  telemetry_interval : float;  (** seconds between snapshots *)
 }
 
 val default_config : socket:string -> config
 (** [conn_timeout = 10], [max_conns = 64], [retry_after = 0.1],
-    [drain_grace = 5]. *)
+    [drain_grace = 5], [telemetry_out = None],
+    [telemetry_interval = 1.0]. *)
 
 val serve :
   config ->
   Ingest.t ->
   stop_requested:(unit -> bool) ->
-  log:(string -> unit) ->
+  events:Obs.Eventlog.t ->
   (unit, string) result
 (** Run the loop until a drain completes. [stop_requested] is polled
     every iteration (profd's signal handlers set it); the [SHUTDOWN]
-    request drains too. [Error] only for listener setup failures —
-    peer failures never end the loop. *)
+    request drains too. Lifecycle and anomaly reporting goes through
+    [events]. [Error] only for listener setup failures — peer failures
+    never end the loop. *)

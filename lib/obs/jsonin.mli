@@ -1,0 +1,37 @@
+(** Minimal JSON parsing — the read-side twin of {!Jsonbuf}, used by
+    {!Snapshot.of_json}, the telemetry replayer, and proftop to read
+    back what the obs layer wrote. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of value list
+  | Obj of (string * value) list
+      (** Fields in document order; duplicate keys are kept. *)
+
+exception Bad of string * int
+(** Parse failure: message and byte offset. *)
+
+val parse_exn : string -> value
+(** Parse one complete JSON value (trailing whitespace allowed).
+    @raise Bad on malformed input. *)
+
+val parse : string -> (value, string) result
+
+(** {1 Accessors} — shallow, [None] on shape mismatch. *)
+
+val member : string -> value -> value option
+(** First field with that key of an [Obj]. *)
+
+val to_int : value -> int option
+(** [Int], or a [Float] with integral value. *)
+
+val to_float : value -> float option
+(** [Float], or an [Int] widened. *)
+
+val to_string : value -> string option
+val to_list : value -> value list option
+val to_obj : value -> (string * value) list option

@@ -161,6 +161,28 @@ let sorted t =
   Hashtbl.fold (fun name (inst, help) acc -> (name, inst, help) :: acc) t.instruments []
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
+type view =
+  | View_counter of int
+  | View_gauge of int
+  | View_histogram of { v_count : int; v_sum : int; v_max : int; v_buckets : int array }
+
+let views t =
+  List.map
+    (fun (name, inst, _) ->
+      match inst with
+      | Counter c -> (name, View_counter c.c_value)
+      | Gauge g -> (name, View_gauge g.g_value)
+      | Histogram h ->
+        ( name,
+          View_histogram
+            {
+              v_count = h.h_count;
+              v_sum = h.h_sum;
+              v_max = h.h_max;
+              v_buckets = Array.copy h.h_buckets;
+            } ))
+    (sorted t)
+
 let dump t =
   let buf = Buffer.create 1024 in
   let width =

@@ -83,6 +83,18 @@ val find_counter : t -> string -> int option
 val find_gauge : t -> string -> int option
 val find_histogram : t -> string -> histogram option
 
+(** {1 Enumeration} *)
+
+type view =
+  | View_counter of int
+  | View_gauge of int
+  | View_histogram of { v_count : int; v_sum : int; v_max : int; v_buckets : int array }
+      (** An immutable copy of one instrument's current value. *)
+
+val views : t -> (string * view) list
+(** Every instrument, name-sorted, as value copies — the raw material
+    of {!Snapshot.of_registry}. *)
+
 (** {1 Export} *)
 
 val dump : t -> string

@@ -1,0 +1,38 @@
+(** The telemetry time-series: append-only, per-line-checksummed
+    JSONL of {!Snapshot} records.
+
+    Every line is one valid JSON object:
+
+    {v {"crc":"<16 hex FNV-1a-64>","rec":{"seq":N,"ts":T,"metrics":{...}}} v}
+
+    where [crc] covers the serialized [rec] value byte for byte.
+    Lines verify independently, so a torn tail or a flipped byte
+    costs exactly the damaged lines; the reader keeps the rest and
+    reports the damage. [seq] is monotonic within a file and
+    continues across daemon restarts (the writer resumes after the
+    highest intact record). *)
+
+type record = { r_seq : int; r_ts : float; r_metrics : Snapshot.t }
+
+val encode_line : seq:int -> ts:float -> Snapshot.t -> string
+(** One line, without the trailing newline. *)
+
+val decode_line : string -> (record, string) result
+(** Verify the checksum and parse; [Error] names what failed. *)
+
+val read : string -> (record list * string list, string) result
+(** All intact records in file order, plus one complaint per damaged
+    line. [Error] only when the file itself cannot be read. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val open_writer : string -> (writer, string) result
+(** Append mode; the next sequence number continues after the highest
+    intact record already in the file. *)
+
+val append : writer -> ts:float -> Snapshot.t -> (int, string) result
+(** Append one record (flushed); returns the sequence number used. *)
+
+val close_writer : writer -> unit

@@ -833,6 +833,32 @@ let stats t =
     st_disk_bytes = !bytes;
   }
 
+type shard_info = {
+  si_index : int;
+  si_segments : int;
+  si_sprof_segments : int;
+  si_compact_seq : int;
+  si_scompact_seq : int;
+}
+
+let shard_info t =
+  Array.to_list
+    (Array.map
+       (fun sh ->
+         {
+           si_index = sh.sh_index;
+           si_segments = List.length sh.sh_segments;
+           si_sprof_segments = List.length sh.sh_ssegments;
+           si_compact_seq = sh.sh_compact_seq;
+           si_scompact_seq = sh.sh_scompact_seq;
+         })
+       t.shards)
+
+let last_compact_seq t =
+  Array.fold_left
+    (fun acc sh -> max acc (max sh.sh_compact_seq sh.sh_scompact_seq))
+    0 t.shards
+
 let stats_to_json s =
   Printf.sprintf
     "{\"shards\":%d,\"segments\":%d,\"compacted_runs\":%d,\"total_runs\":%d,\

@@ -136,6 +136,22 @@ val stats : t -> stats
 
 val stats_to_json : stats -> string
 
+type shard_info = {
+  si_index : int;
+  si_segments : int;  (** uncompacted arc-track tail segments *)
+  si_sprof_segments : int;  (** uncompacted sampled-track tail segments *)
+  si_compact_seq : int;  (** highest folded arc-track seq; 0 = never compacted *)
+  si_scompact_seq : int;  (** same, sampled track *)
+}
+
+val shard_info : t -> shard_info list
+(** Per-shard occupancy, in shard order — what a live monitor renders
+    and the health RPC reports. *)
+
+val last_compact_seq : t -> int
+(** Highest sequence number any shard has folded into a compact
+    profile (either track); 0 when no compaction has ever run. *)
+
 val top_buckets : t -> n:int -> ((int * int * int) list, string) result
 (** Top-N histogram buckets of the merged view by self ticks, as
     [(addr_lo, addr_hi, ticks)], heaviest first. The store is

@@ -90,12 +90,20 @@ let with_daemon ?(conn_timeout = 5.0) ?(max_conns = 8) ?(retry_after = 0.05)
        | Ok (store, _) ->
          let ingest = Ingest.create ~max_batch ~queue_cap store in
          let config =
-           { Server.socket; conn_timeout; max_conns; retry_after; drain_grace }
+           {
+             Server.socket;
+             conn_timeout;
+             max_conns;
+             retry_after;
+             drain_grace;
+             telemetry_out = None;
+             telemetry_interval = 1.0;
+           }
          in
          (match
             Server.serve config ingest
               ~stop_requested:(fun () -> false)
-              ~log:(fun _ -> ())
+              ~events:Obs.Eventlog.null
           with
          | Ok () -> Unix._exit 0
          | Error e ->
@@ -132,6 +140,8 @@ let test_codec_roundtrips () =
       Proto.Query_report;
       Proto.Query_sreport;
       Proto.Query_stats;
+      Proto.Query_metrics;
+      Proto.Query_health;
       Proto.Flush;
       Proto.Compact;
       Proto.Shutdown;

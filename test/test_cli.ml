@@ -594,6 +594,95 @@ let test_profd_cli () =
   check_int "gprofx --store exits 0" 0 code;
   check_bool "store-backed listing" true (contains ~needle:"helper" out)
 
+(* The live-telemetry loop end to end: a daemon with --telemetry-out
+   and --log, watched by proftop (--once --json), its metrics snapshots
+   subtracted offline (--diff), and its telemetry series verified
+   (--telemetry). *)
+let test_proftop_cli () =
+  let src = write_source () in
+  let obj = path "tele.obj" in
+  ignore (run_cmd [ exe "minic"; src; "--pg"; "-o"; obj ]);
+  let g1 = path "t1.gmon" in
+  ignore (run_cmd [ exe "minirun"; obj; "--gmon"; g1; "-q"; "--seed"; "1" ]);
+  let sock = path "tele.sock" and store = path "tele_store" in
+  if Sys.file_exists store then rm_rf store;
+  let tele = path "tele.jsonl" and events = path "tele_events.jsonl" in
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ tele; events ];
+  let pidfile = path "tele.pid" in
+  let cmd =
+    Printf.sprintf
+      "%s --serve --socket %s --store %s --batch 1 --telemetry-out %s \
+       --telemetry-interval 0.1 --log %s 2> /dev/null & echo $! > %s"
+      (Filename.quote (exe "profd")) (Filename.quote sock)
+      (Filename.quote store) (Filename.quote tele) (Filename.quote events)
+      (Filename.quote pidfile)
+  in
+  check_int "daemon starts" 0 (Sys.command cmd);
+  let code, _ =
+    run_cmd [ exe "profd"; "--socket"; sock; "--wait"; "--timeout"; "30" ]
+  in
+  check_int "daemon ready" 0 code;
+  (* snapshot A — then two known RPCs — snapshot B *)
+  let a = path "tele_a.json" and b = path "tele_b.json" in
+  let save p body =
+    Out_channel.with_open_text p (fun oc -> Out_channel.output_string oc body)
+  in
+  let code, out =
+    run_cmd [ exe "proftop"; "--socket"; sock; "--once"; "--json" ]
+  in
+  check_int "first snapshot exits 0" 0 code;
+  save a out;
+  ignore (run_cmd [ exe "profd"; "--socket"; sock; "--submit"; g1 ]);
+  ignore (run_cmd [ exe "profd"; "--socket"; sock; "--query"; "stats" ]);
+  let code, snap =
+    run_cmd [ exe "proftop"; "--socket"; sock; "--once"; "--json" ]
+  in
+  check_int "second snapshot exits 0" 0 code;
+  save b snap;
+  check_bool "health carried" true (contains ~needle:"\"version\"" snap);
+  check_bool "submit latency histogram present" true
+    (contains ~needle:"profd.rpc.submit.latency" snap);
+  check_bool "derived quantiles present" true
+    (contains ~needle:"\"p99_us\"" snap);
+  check_bool "byte accounting present" true
+    (contains ~needle:"profd.bytes.read" snap);
+  (* the delta between the snapshots is exactly the traffic between
+     them: health(A) + submit + stats + metrics(B) = 4 requests *)
+  let code, out = run_cmd [ exe "proftop"; "--diff"; a; b ] in
+  check_int "diff exits 0" 0 code;
+  check_bool "request delta is exact" true
+    (contains ~needle:"\"profd.requests\":4" out);
+  check_bool "submit delta is exact" true
+    (contains ~needle:"\"ingest.submitted\":1" out);
+  (* a human frame renders against the live daemon too *)
+  let code, out = run_cmd [ exe "proftop"; "--socket"; sock; "--once" ] in
+  check_int "plain frame exits 0" 0 code;
+  check_bool "frame shows the rpc table" true (contains ~needle:"submit" out);
+  let code, _ = run_cmd [ exe "profd"; "--socket"; sock; "--shutdown" ] in
+  check_int "shutdown exits 0" 0 code;
+  Unix.sleepf 0.3;
+  (* the event log is structured JSONL with the lifecycle in order *)
+  let ev = In_channel.with_open_text events In_channel.input_all in
+  check_bool "serve.start logged" true (contains ~needle:"\"event\":\"serve.start\"" ev);
+  check_bool "drain logged" true (contains ~needle:"\"event\":\"draining\"" ev);
+  check_bool "records carry seqs" true (contains ~needle:"\"seq\":0" ev);
+  (* the telemetry series verifies: checksums, seq, monotonic counters *)
+  let code, out = run_cmd [ exe "proftop"; "--telemetry"; tele; "--json" ] in
+  check_int "telemetry verifies" 0 code;
+  check_bool "verification says ok" true (contains ~needle:"\"ok\":true" out);
+  check_bool "no damaged lines" true (contains ~needle:"\"damaged\":0" out);
+  (* --obs-trace parity: the client dumps a Chrome trace on exit *)
+  let trace = path "tele_trace.json" in
+  let code, _ =
+    run_cmd
+      [ exe "profd"; "--merge-offline"; path "tele_off.gmon"; g1;
+        "--obs-trace"; trace ]
+  in
+  check_int "client with --obs-trace exits 0" 0 code;
+  check_bool "chrome trace written" true
+    (contains ~needle:"traceEvents"
+       (In_channel.with_open_text trace In_channel.input_all))
+
 let test_bad_inputs_fail_cleanly () =
   let code, _ = run_cmd [ exe "minic"; path "nonexistent.mini" ] in
   check_bool "minic rejects missing file" true (code <> 0);
@@ -627,6 +716,7 @@ let () =
           Alcotest.test_case "proflint" `Slow test_lint_cli;
           Alcotest.test_case "minic --werror" `Slow test_werror_cli;
           Alcotest.test_case "profd daemon" `Slow test_profd_cli;
+          Alcotest.test_case "proftop telemetry" `Slow test_proftop_cli;
           Alcotest.test_case "bad inputs" `Slow test_bad_inputs_fail_cleanly;
         ] );
     ]

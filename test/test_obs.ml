@@ -346,6 +346,318 @@ let test_pipeline_spans () =
     [ "analyze"; "symtab"; "assign"; "static-scan"; "arcgraph"; "cyclefind";
       "propagate"; "report"; "flat"; "graph"; "index" ]
 
+(* ------------------------------------------------------------------ *)
+(* Jsonbuf/Jsonin: the emission/parse pair *)
+
+let escape_str s =
+  let buf = Buffer.create 32 in
+  Obs.Jsonbuf.escape buf s;
+  Buffer.contents buf
+
+let test_jsonbuf_escaping () =
+  (* every control byte must come out as a valid JSON literal that
+     parses back to the original — the classic eprintf-style emitter
+     bugs all live here *)
+  for c = 0x00 to 0x1f do
+    let s = Printf.sprintf "a%cb" (Char.chr c) in
+    let lit = escape_str s in
+    check_bool (Printf.sprintf "control 0x%02x emits valid JSON" c) true
+      (json_ok lit);
+    match Obs.Jsonin.parse lit with
+    | Ok (Obs.Jsonin.Str got) ->
+      check_string (Printf.sprintf "control 0x%02x round-trips" c) s got
+    | _ -> Alcotest.failf "control 0x%02x did not parse back" c
+  done;
+  (* quotes, backslashes, and pathological mixes *)
+  List.iter
+    (fun s ->
+      let lit = escape_str s in
+      check_bool (Printf.sprintf "%S emits valid JSON" s) true (json_ok lit);
+      match Obs.Jsonin.parse lit with
+      | Ok (Obs.Jsonin.Str got) -> check_string (Printf.sprintf "%S" s) s got
+      | _ -> Alcotest.failf "%S did not parse back" s)
+    [
+      "";
+      "\"";
+      "\\";
+      "\\\"";
+      "a\"b\\c";
+      "\\u0041";
+      "tab\there\nand newline";
+      "trailing backslash \\";
+      String.make 3 '"';
+    ];
+  (* non-ASCII passes through byte-for-byte (the emitter assumes UTF-8
+     and never mangles it) *)
+  let utf8 = "héllo — κόσμε — 世界" in
+  let lit = escape_str utf8 in
+  check_bool "utf8 emits valid JSON" true (json_ok lit);
+  (match Obs.Jsonin.parse lit with
+  | Ok (Obs.Jsonin.Str got) -> check_string "utf8 round-trips" utf8 got
+  | _ -> Alcotest.fail "utf8 did not parse back")
+
+let test_jsonin_parser () =
+  let p = Obs.Jsonin.parse_exn in
+  check_bool "null" true (p "null" = Obs.Jsonin.Null);
+  check_bool "bools" true
+    (p "true" = Obs.Jsonin.Bool true && p "false" = Obs.Jsonin.Bool false);
+  check_bool "negative int" true (p "-42" = Obs.Jsonin.Int (-42));
+  check_bool "float" true
+    (match p "1.5e2" with Obs.Jsonin.Float f -> f = 150.0 | _ -> false);
+  check_bool "unicode escape re-encodes as UTF-8" true
+    (p {|"é"|} = Obs.Jsonin.Str "é");
+  check_bool "surrogate-free BMP escape" true
+    (p {|"世"|} = Obs.Jsonin.Str "世");
+  (match p {|{"a":[1,2],"b":{"c":null}}|} with
+  | Obs.Jsonin.Obj [ ("a", Obs.Jsonin.List [ Obs.Jsonin.Int 1; Obs.Jsonin.Int 2 ]);
+                     ("b", Obs.Jsonin.Obj [ ("c", Obs.Jsonin.Null) ]) ] -> ()
+  | _ -> Alcotest.fail "nested structure mis-parsed");
+  (* malformed inputs are rejected, not mangled *)
+  List.iter
+    (fun bad ->
+      check_bool (Printf.sprintf "%S rejected" bad) true
+        (Result.is_error (Obs.Jsonin.parse bad)))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; "nul";
+      "\"bad \\x escape\""; "{\"a\" 1}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot: capture, serialize, parse back, subtract *)
+
+(* a registry with a bit of everything, for round-trip tests *)
+let build_registry mutations =
+  let r = Obs.Metrics.create () in
+  let c1 = Obs.Metrics.counter r "reqs" and c2 = Obs.Metrics.counter r "errs" in
+  let g = Obs.Metrics.gauge r "queue.depth" in
+  let h = Obs.Metrics.histogram r "latency" in
+  List.iter
+    (fun (dc1, dc2, gv, obs) ->
+      Obs.Metrics.incr ~by:dc1 c1;
+      Obs.Metrics.incr ~by:dc2 c2;
+      Obs.Metrics.set g gv;
+      List.iter (Obs.Metrics.observe h) obs)
+    mutations;
+  r
+
+let test_snapshot_roundtrip () =
+  let r = build_registry [ (5, 1, 17, [ 0; 1; 3; 900; 7_000_000 ]) ] in
+  let json = Obs.Metrics.to_json r in
+  (* of_registry serializes byte-identically to the live exporter *)
+  check_string "of_registry emits Metrics.to_json" json
+    (Obs.Snapshot.to_json (Obs.Snapshot.of_registry r));
+  (* and the parse-back is exact *)
+  match Obs.Snapshot.of_json json with
+  | Error e -> Alcotest.failf "of_json: %s" e
+  | Ok snap ->
+    check_string "parse-back reserializes identically" json
+      (Obs.Snapshot.to_json snap);
+    check_bool "counter recovered" true
+      (Obs.Snapshot.find_counter snap "reqs" = Some 5);
+    check_bool "gauge recovered" true
+      (Obs.Snapshot.find_gauge snap "queue.depth" = Some 17);
+    (match Obs.Snapshot.find_hist snap "latency" with
+    | None -> Alcotest.fail "histogram lost"
+    | Some h ->
+      check_int "hist count" 5 h.Obs.Snapshot.h_count;
+      check_int "hist max" 7_000_000 h.h_max;
+      check_bool "bucket indices recovered from lo bounds" true
+        (List.mem_assoc (Obs.Metrics.hist_bucket_of 900) h.h_buckets))
+
+let qcheck_snapshot_roundtrip =
+  QCheck.Test.make ~name:"Metrics.to_json → Snapshot.of_json is exact"
+    ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 6)
+        (quad (int_range 0 1_000_000) (int_range 0 1000)
+           (int_range (-100) 100_000)
+           (list_of_size (Gen.int_range 0 12) (int_range (-5) 1_000_000_000))))
+    (fun mutations ->
+      let r = build_registry mutations in
+      let json = Obs.Metrics.to_json r in
+      match Obs.Snapshot.of_json json with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok snap ->
+        Obs.Snapshot.to_json snap = json
+        && Obs.Snapshot.to_json (Obs.Snapshot.of_registry r) = json)
+
+let test_snapshot_diff_and_rates () =
+  let r = build_registry [ (10, 2, 5, [ 100; 200 ]) ] in
+  let before = Obs.Snapshot.of_registry r in
+  (* two seconds of activity *)
+  let c = Obs.Metrics.counter r "reqs" and g = Obs.Metrics.gauge r "queue.depth" in
+  let h = Obs.Metrics.histogram r "latency" in
+  Obs.Metrics.incr ~by:6 c;
+  Obs.Metrics.set g 9;
+  Obs.Metrics.observe h 150;
+  Obs.Metrics.observe h 1_000_000;
+  let after = Obs.Snapshot.of_registry r in
+  let d = Obs.Snapshot.diff ~before ~after in
+  check_bool "counter delta" true (Obs.Snapshot.find_counter d "reqs" = Some 6);
+  check_bool "untouched counter delta is zero" true
+    (Obs.Snapshot.find_counter d "errs" = Some 0);
+  check_bool "gauge is last-write" true
+    (Obs.Snapshot.find_gauge d "queue.depth" = Some 9);
+  (match Obs.Snapshot.find_hist d "latency" with
+  | None -> Alcotest.fail "hist delta lost"
+  | Some hd ->
+    check_int "hist delta count" 2 hd.Obs.Snapshot.h_count;
+    check_int "hist delta sum" 1_000_150 hd.h_sum;
+    check_int "window bucket count" 1
+      (List.assoc (Obs.Metrics.hist_bucket_of 150) hd.h_buckets));
+  let rates = Obs.Snapshot.rates ~elapsed:2.0 d in
+  check_bool "rate of reqs" true (List.assoc "reqs" rates = 3.0);
+  check_bool "no rates for elapsed <= 0" true
+    (Obs.Snapshot.rates ~elapsed:0.0 d = []);
+  (* a fresh process (counters reset) is a monotonicity violation *)
+  let fresh = Obs.Snapshot.of_registry (build_registry [ (1, 0, 0, []) ]) in
+  check_bool "reset counters detected" true
+    (Obs.Snapshot.monotonic_violations ~before:after ~after:fresh <> []);
+  check_bool "same-process pair is clean" true
+    (Obs.Snapshot.monotonic_violations ~before ~after = [])
+
+let test_hist_quantile () =
+  let r = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram r "q" in
+  (* all mass in one bucket: quantiles interpolate inside [64,128) *)
+  for _ = 1 to 100 do Obs.Metrics.observe h 100 done;
+  let snap = Obs.Metrics.to_json r in
+  (match Obs.Snapshot.of_json snap with
+  | Error e -> Alcotest.failf "of_json: %s" e
+  | Ok s -> (
+    match Obs.Snapshot.find_hist s "q" with
+    | None -> Alcotest.fail "hist lost"
+    | Some hist ->
+      let p50 = Obs.Snapshot.hist_quantile hist 0.5 in
+      check_bool "p50 inside the bucket" true (p50 >= 64.0 && p50 <= 128.0);
+      check_bool "p0 at bucket lo" true
+        (Obs.Snapshot.hist_quantile hist 0.0 >= 64.0);
+      (* the top bucket clamps to the observed max, not max_int *)
+      Obs.Metrics.observe h max_int;
+      let s2 =
+        Result.get_ok (Obs.Snapshot.of_json (Obs.Metrics.to_json r))
+      in
+      let hist2 = Option.get (Obs.Snapshot.find_hist s2 "q") in
+      check_bool "p100 clamped to max" true
+        (Obs.Snapshot.hist_quantile hist2 1.0 <= float_of_int max_int)));
+  check_bool "empty histogram quantile is 0" true
+    (Obs.Snapshot.hist_quantile
+       { Obs.Snapshot.h_count = 0; h_sum = 0; h_max = 0; h_buckets = [] }
+       0.9
+    = 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Eventlog: structured JSONL with levels and sequence numbers *)
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "obs_test_%d_%s" (Unix.getpid ()) name)
+
+let test_eventlog () =
+  let path = tmp_path "events.jsonl" in
+  if Sys.file_exists path then Sys.remove path;
+  (match Obs.Eventlog.open_file ~level:Obs.Eventlog.Info path with
+  | Error e -> Alcotest.failf "open_file: %s" e
+  | Ok log ->
+    check_bool "info allowed" true (Obs.Eventlog.would_log log Obs.Eventlog.Info);
+    check_bool "debug filtered" false
+      (Obs.Eventlog.would_log log Obs.Eventlog.Debug);
+    Obs.Eventlog.info log "serve.start" [ ("socket", S "/tmp/d.sock"); ("pid", I 42) ];
+    Obs.Eventlog.debug log "noise" [];
+    (* dropped: below the level, and must not consume a seq *)
+    Obs.Eventlog.warn log "shed" [ ("pending", I 256); ("frac", F 1.0) ];
+    Obs.Eventlog.error log "quote\"field" [ ("b", B true) ];
+    check_int "two dropped-free seqs consumed" 3 (Obs.Eventlog.seq log);
+    Obs.Eventlog.close log);
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "three records written" 3 (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Obs.Jsonin.parse line with
+      | Error e -> Alcotest.failf "line %d is not JSON: %s" i e
+      | Ok v ->
+        check_bool "seq matches position" true
+          (Obs.Jsonin.(member "seq" v |> Option.get |> to_int) = Some i);
+        check_bool "has ts" true (Obs.Jsonin.member "ts" v <> None);
+        check_bool "has level" true (Obs.Jsonin.member "level" v <> None))
+    lines;
+  (* the quoted event kind survived escaping *)
+  check_bool "escaped kind round-trips" true
+    (match Obs.Jsonin.parse (List.nth lines 2) with
+    | Ok v -> Obs.Jsonin.(member "event" v |> Option.get |> to_string) = Some "quote\"field"
+    | Error _ -> false);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries: checksummed JSONL, corruption detection, seq resume *)
+
+let test_timeseries_roundtrip_and_corruption () =
+  let path = tmp_path "tele.jsonl" in
+  if Sys.file_exists path then Sys.remove path;
+  let r = build_registry [ (3, 1, 2, [ 10; 20 ]) ] in
+  (match Obs.Timeseries.open_writer path with
+  | Error e -> Alcotest.failf "open_writer: %s" e
+  | Ok w ->
+    for i = 0 to 2 do
+      Obs.Metrics.incr ~by:1 (Obs.Metrics.counter r "reqs");
+      match Obs.Timeseries.append w ~ts:(float_of_int i) (Obs.Snapshot.of_registry r) with
+      | Ok seq -> check_int "seq assigned in order" i seq
+      | Error e -> Alcotest.failf "append: %s" e
+    done;
+    Obs.Timeseries.close_writer w);
+  (match Obs.Timeseries.read path with
+  | Error e -> Alcotest.failf "read: %s" e
+  | Ok (records, complaints) ->
+    check_int "three records back" 3 (List.length records);
+    check_int "no complaints" 0 (List.length complaints);
+    check_bool "metrics payload intact" true
+      (Obs.Snapshot.find_counter (List.nth records 2).Obs.Timeseries.r_metrics "reqs"
+      = Some 6));
+  (* flip one byte inside the middle line: exactly that record dies *)
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  let corrupt = Bytes.of_string (List.nth lines 1) in
+  let mid = Bytes.length corrupt - 5 in
+  Bytes.set corrupt mid
+    (if Bytes.get corrupt mid = '0' then '1' else '0');
+  Out_channel.with_open_text path (fun oc ->
+      List.iteri
+        (fun i l ->
+          Out_channel.output_string oc
+            (if i = 1 then Bytes.to_string corrupt else l);
+          Out_channel.output_char oc '\n')
+        lines);
+  (match Obs.Timeseries.read path with
+  | Error e -> Alcotest.failf "read after corruption: %s" e
+  | Ok (records, complaints) ->
+    check_int "two records survive" 2 (List.length records);
+    check_int "one complaint" 1 (List.length complaints);
+    check_bool "survivors keep their seqs" true
+      (List.map (fun rec_ -> rec_.Obs.Timeseries.r_seq) records = [ 0; 2 ]));
+  (* a writer reopening the damaged file resumes after the highest
+     intact record — seq never goes backwards *)
+  (match Obs.Timeseries.open_writer path with
+  | Error e -> Alcotest.failf "reopen: %s" e
+  | Ok w ->
+    (match Obs.Timeseries.append w ~ts:9.0 (Obs.Snapshot.of_registry r) with
+    | Ok seq -> check_int "seq resumes past the survivors" 3 seq
+    | Error e -> Alcotest.failf "append after reopen: %s" e);
+    Obs.Timeseries.close_writer w);
+  (* decode_line rejects structural damage loudly *)
+  check_bool "garbage line rejected" true
+    (Result.is_error (Obs.Timeseries.decode_line "not a record"));
+  check_bool "valid line accepted" true
+    (Result.is_ok
+       (Obs.Timeseries.decode_line
+          (Obs.Timeseries.encode_line ~seq:0 ~ts:1.0
+             (Obs.Snapshot.of_registry r))));
+  Sys.remove path
+
 let () =
   Alcotest.run "obs"
     [
@@ -371,5 +683,24 @@ let () =
         [
           Alcotest.test_case "machine observe" `Quick test_machine_observe;
           Alcotest.test_case "pipeline spans" `Quick test_pipeline_spans;
+        ] );
+      ( "jsonio",
+        [
+          Alcotest.test_case "escaping edge cases" `Quick test_jsonbuf_escaping;
+          Alcotest.test_case "parser" `Quick test_jsonin_parser;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "round-trip" `Quick test_snapshot_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_snapshot_roundtrip;
+          Alcotest.test_case "diff and rates" `Quick test_snapshot_diff_and_rates;
+          Alcotest.test_case "quantiles" `Quick test_hist_quantile;
+        ] );
+      ( "eventlog",
+        [ Alcotest.test_case "leveled JSONL" `Quick test_eventlog ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "checksums, corruption, seq resume" `Quick
+            test_timeseries_roundtrip_and_corruption;
         ] );
     ]
