@@ -36,7 +36,25 @@ lint: build
 	  $(SMOKE_DIR)/lint.gmon > /dev/null || code=$$?; \
 	  if [ $$code -ne 2 ]; then \
 	    echo "lint: mismatched pairing exited $$code, want 2"; exit 1; fi
-	@echo "lint: ok (intact fixtures clean, mismatched pairing refused)"
+	# the dataflow-backed rules over the remaining fixture
+	dune exec bin/minic.exe -- test/fixtures/smoke_slow.mini --pg \
+	  -o $(SMOKE_DIR)/lint_slow.obj
+	dune exec bin/minirun.exe -- $(SMOKE_DIR)/lint_slow.obj -q \
+	  --gmon $(SMOKE_DIR)/lint_slow.gmon
+	dune exec bin/proflint.exe -- $(SMOKE_DIR)/lint_slow.obj \
+	  $(SMOKE_DIR)/lint_slow.gmon
+	# the machine-readable report must be deterministic: two runs over
+	# the same inputs are byte-identical. The first stays as the CI
+	# artifact (lint-report.json).
+	dune exec bin/proflint.exe -- $(SMOKE_DIR)/lint.obj \
+	  $(SMOKE_DIR)/lint.gmon $(SMOKE_DIR)/lint.epochs --json \
+	  > $(SMOKE_DIR)/lint-report.json
+	dune exec bin/proflint.exe -- $(SMOKE_DIR)/lint.obj \
+	  $(SMOKE_DIR)/lint.gmon $(SMOKE_DIR)/lint.epochs --json \
+	  > $(SMOKE_DIR)/lint-report.2.json
+	cmp $(SMOKE_DIR)/lint-report.json $(SMOKE_DIR)/lint-report.2.json
+	rm -f $(SMOKE_DIR)/lint-report.2.json
+	@echo "lint: ok (intact fixtures clean, mismatched pairing refused, json deterministic)"
 
 smoke: build
 	mkdir -p $(SMOKE_DIR)

@@ -20,6 +20,7 @@ let () =
   Exp_robust.register ();
   Exp_timeline.register ();
   Exp_analysis.register ();
+  Exp_dataflow.register ();
   Exp_store.register ();
   Exp_chaos.register ();
   let args = Array.to_list Sys.argv |> List.tl in

@@ -14,7 +14,7 @@ let parse_arc s =
 let arc_conv = Arg.conv (parse_arc, fun ppf (a, b) -> Format.fprintf ppf "%s:%s" a b)
 
 let run obj_path gmon_paths store_dir no_static removed break focus exclude
-    min_percent lenient view format epoch timeline lint divergence annotate
+    min_percent lenient view format epoch timeline lint cost divergence annotate
     icount_path verbose dot_out obs_metrics obs_trace self_profile =
   if obs_trace <> None || self_profile then
     Obs.Trace.set_enabled Obs.Trace.default true;
@@ -334,6 +334,28 @@ let run obj_path gmon_paths store_dir no_static removed break focus exclude
         let code = Analysis.Proflint.exit_code ~strict:(not lenient) result in
         if code = 0 && ingest_degraded then 2 else code
       end
+      else if cost then begin
+        (* static bounds beside the measured columns; replaces the
+           listings like --lint does *)
+        match Gprof_core.Report.analyze ~options o gmon with
+        | Error e ->
+          Printf.eprintf "gprofx: %s\n" e;
+          1
+        | Ok r ->
+          let p = r.Gprof_core.Report.profile in
+          let measured name =
+            match Gprof_core.Symtab.id_of_name p.Gprof_core.Profile.symtab name with
+            | Some id when id < Array.length p.Gprof_core.Profile.entries ->
+              let e = p.Gprof_core.Profile.entries.(id) in
+              Some
+                ( e.Gprof_core.Profile.e_self,
+                  e.Gprof_core.Profile.e_self +. e.Gprof_core.Profile.e_child )
+            | _ -> None
+          in
+          let est = Analysis.Cost.static_estimate (Analysis.Cfg.build o) in
+          print_string (Analysis.Cost.listing ~measured est);
+          if ingest_degraded || Gprof_core.Report.degraded r then 2 else 0
+      end
       else
       match Gprof_core.Report.analyze ~options o gmon with
       | Error e ->
@@ -514,6 +536,15 @@ let lint =
                call graph. Exits 0 when clean, 2 on findings (warnings \
                count unless --lenient).")
 
+let cost =
+  Arg.(value & flag & info [ "cost" ]
+         ~doc:"Print the static cost table instead of the listings: \
+               per-routine loop-weighted instruction-cost bounds (self and \
+               worst-case descendants, 'unbounded' across call-graph \
+               cycles) beside the measured self/descendant seconds. A \
+               routine whose measured share dwarfs its static bound is \
+               being called too much, not doing too much.")
+
 let divergence =
   Arg.(value & flag & info [ "divergence" ]
          ~doc:"Compare gprof's propagated inclusive times against \
@@ -543,7 +574,7 @@ let cmd =
     (Cmd.info "gprofx" ~doc:"call graph execution profiler")
     Term.(const run $ obj $ gmons $ store_dir $ no_static $ removed $ break
           $ focus $ exclude $ min_percent $ lenient $ view $ format $ epoch
-          $ timeline $ lint $ divergence $ annotate $ icount $ verbose
+          $ timeline $ lint $ cost $ divergence $ annotate $ icount $ verbose
           $ dot_out $ obs_metrics $ obs_trace $ self_profile)
 
 let () = exit (Cmd.eval' cmd)

@@ -43,9 +43,18 @@ let run src_path out profile count skip inline fold listing dump_static werror
           Printf.eprintf "minic: %s: warning: %s\n" src_path
             (Format.asprintf "%a" Mini.Check.pp_error w))
         warns;
-      if werror && warns <> [] then begin
+      (* the dataflow warnings run on the generated code, so the
+         compiler flags exactly what proflint would *)
+      let static_warns = Analysis.Proflint.static_warnings o in
+      List.iter
+        (fun (f : Analysis.Proflint.finding) ->
+          Printf.eprintf "minic: %s: warning: [%s] %s\n" src_path f.f_rule
+            f.f_msg)
+        static_warns;
+      let nwarns = List.length warns + List.length static_warns in
+      if werror && nwarns > 0 then begin
         Printf.eprintf "minic: %s: %d warning(s) promoted to errors (--werror)\n"
-          src_path (List.length warns);
+          src_path nwarns;
         1
       end
       else
@@ -105,8 +114,10 @@ let dump_static =
 let werror =
   Arg.(value & flag & info [ "werror" ]
          ~doc:"Promote warnings (the known-callee checks on indirect call \
-               sites) to errors: report them and fail without writing the \
-               object file.")
+               sites, plus the dataflow checks on the generated code — \
+               dead stores, dead parameters, constant branches, \
+               irreducible loops) to errors: report them and fail without \
+               writing the object file.")
 
 let cmd =
   Cmd.v

@@ -9,23 +9,12 @@
 
 open Cmdliner
 
-let lint_one ~strict ~header obj cfg indirect name gmon =
-  let result =
-    match gmon with
-    | None -> Analysis.Proflint.lint_binary ~cfg ~indirect obj
-    | Some g -> Analysis.Proflint.lint ~cfg ~indirect obj g
-  in
-  if header then Printf.printf "==> %s\n" name;
-  print_string (Analysis.Proflint.render result);
-  if header then print_newline ();
-  Analysis.Proflint.exit_code ~strict result
-
 let load_profile path =
   if Gmon.Epoch.sniff_file path then
     Result.bind (Gmon.Epoch.load path) Gmon.Epoch.sum
   else Gmon.load path
 
-let run figure4 obj_path gmon_paths strict obs_metrics =
+let run figure4 obj_path gmon_paths strict json obs_metrics =
   let finish code =
     try
       Option.iter (Obs.Metrics.save Obs.Metrics.default) obs_metrics;
@@ -63,19 +52,34 @@ let run figure4 obj_path gmon_paths strict obs_metrics =
     1
   | Ok (obj, profiles) ->
     (* amortize the static analyses over every profile *)
-    let cfg = Analysis.Cfg.build obj in
-    let indirect = Analysis.Indirect.analyze obj in
-    let header = List.length profiles > 1 in
-    let codes =
+    let statics = Analysis.Proflint.prepare obj in
+    let results =
       match profiles with
-      | [] -> [ lint_one ~strict ~header:false obj cfg indirect "binary" None ]
+      | [] -> [ ("binary", Analysis.Proflint.lint_binary ~statics obj) ]
       | ps ->
         List.map
-          (fun (name, g) ->
-            lint_one ~strict ~header obj cfg indirect name (Some g))
+          (fun (name, g) -> (name, Analysis.Proflint.lint ~statics obj g))
           ps
     in
-    List.fold_left max 0 codes
+    (if json then
+       let binary =
+         if figure4 then "figure4" else Option.value obj_path ~default:"?"
+       in
+       print_string
+         (Analysis.Proflint.to_json ~binary
+            ~profiles:(List.map fst profiles)
+            (List.map snd results))
+     else
+       match results with
+       | [ (_, r) ] -> print_string (Analysis.Proflint.render r)
+       | rs ->
+         (* duplicate findings across N profiles collapse to one line *)
+         print_string
+           (Analysis.Proflint.render_aggregate ~nprofiles:(List.length rs)
+              (List.map snd rs)));
+    List.fold_left
+      (fun c (_, r) -> max c (Analysis.Proflint.exit_code ~strict r))
+      0 results
 
 let figure4 =
   Arg.(value & flag & info [ "figure4" ]
@@ -104,6 +108,14 @@ let strict =
                        reported but do not affect the exit code." );
            ])
 
+let json =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the machine-readable report (schema gprof-repro.lint/1, \
+               see docs/json-report.md) instead of the human listing: \
+               aggregated findings sorted by (rule, function, pc), \
+               byte-identical across runs on equal inputs. The exit code is \
+               unchanged.")
+
 let obs_metrics =
   Arg.(value & opt (some string) None & info [ "obs-metrics" ] ~docv:"FILE"
          ~doc:"Write proflint's own metrics registry as JSON to $(docv) \
@@ -112,6 +124,6 @@ let obs_metrics =
 let cmd =
   Cmd.v
     (Cmd.info "proflint" ~doc:"profile-vs-binary consistency linter")
-    Term.(const run $ figure4 $ obj $ gmons $ strict $ obs_metrics)
+    Term.(const run $ figure4 $ obj $ gmons $ strict $ json $ obs_metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -114,6 +114,25 @@ let block_of_addr f addr =
     (fun b -> addr >= b.bb_start && addr < b.bb_start + b.bb_len)
     f.fn_blocks
 
+let block_index f addr =
+  (* fn_blocks is address-sorted *)
+  let n = Array.length f.fn_blocks in
+  let rec go lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let b = f.fn_blocks.(mid) in
+      if addr < b.bb_start then go lo (mid - 1)
+      else if addr >= b.bb_start + b.bb_len then go (mid + 1) hi
+      else Some mid
+  in
+  go 0 (n - 1)
+
+let func_of_addr t addr =
+  match Objfile.symbol_index t.cfg_obj addr with
+  | None -> None
+  | Some i -> Some (i, t.cfg_funcs.(i))
+
 let call_graph ?(indirect = []) t =
   let o = t.cfg_obj in
   let n = Array.length o.Objfile.symbols in

@@ -44,6 +44,14 @@ val func_by_name : t -> string -> func option
 val block_of_addr : func -> int -> block option
 (** The block whose address range contains the given address. *)
 
+val block_index : func -> int -> int option
+(** Like {!block_of_addr} but returning the index into [fn_blocks] —
+    the block numbering {!Dataflow.graph_of_func}, {!Dom}, and
+    {!Facts} all share. Binary search. *)
+
+val func_of_addr : t -> int -> (int * func) option
+(** The function (id and body) whose symbol covers the address. *)
+
 val n_blocks : t -> int
 (** Total basic blocks over all functions. *)
 

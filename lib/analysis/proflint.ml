@@ -14,6 +14,7 @@ type finding = {
   f_rule : string;
   f_severity : severity;
   f_addr : int option;
+  f_func : string option;
   f_msg : string;
 }
 
@@ -37,6 +38,16 @@ let rules =
     ("dead-code-ticks", Warning, "a statically-unreachable function observed executing");
     ("profiled-unreachable", Info, "an instrumented function the entry cannot reach");
     ("dead-blocks", Info, "intra-procedurally unreachable basic blocks");
+    ("dead-store", Warning, "a store to a local that no path ever reads");
+    ("dead-param", Warning, "a parameter whose value no path ever reads");
+    ("const-branch", Warning, "a branch whose condition is a compile-time constant");
+    ("const-dead-block", Info, "a block only constant propagation proves unreachable");
+    ("irreducible-loop", Warning, "a multi-entry loop defeats natural-loop analysis");
+    ("loop-call-unobserved", Warning,
+     "a call inside a loop with no dynamic arc though its block was sampled");
+    ("loop-no-ticks", Warning, "a loop never observed ticking inside a hot function");
+    ("dead-block-ticks", Error,
+     "ticks inside a statically-dead block: the profile cannot match the binary");
   ]
 
 let severity_of_rule rule =
@@ -44,11 +55,11 @@ let severity_of_rule rule =
   | Some (_, s, _) -> s
   | None -> invalid_arg ("Proflint: unknown rule " ^ rule)
 
-let finding ?addr rule fmt =
+let finding ?addr ?func rule fmt =
   Format.kasprintf
     (fun msg ->
       { f_rule = rule; f_severity = severity_of_rule rule; f_addr = addr;
-        f_msg = msg })
+        f_func = func; f_msg = msg })
     fmt
 
 let sort_findings fs =
@@ -57,7 +68,10 @@ let sort_findings fs =
       match compare (severity_rank a.f_severity) (severity_rank b.f_severity) with
       | 0 -> (
         match compare a.f_rule b.f_rule with
-        | 0 -> compare a.f_addr b.f_addr
+        | 0 -> (
+          match compare a.f_func b.f_func with
+          | 0 -> compare a.f_addr b.f_addr
+          | c -> c)
         | c -> c)
       | c -> c)
     fs
@@ -74,16 +88,144 @@ let publish fs =
   Obs.Metrics.incr ~by:(count Warning)
     (Obs.Metrics.counter reg "analysis.lint.warnings");
   Obs.Metrics.incr ~by:(count Info)
-    (Obs.Metrics.counter reg "analysis.lint.infos")
+    (Obs.Metrics.counter reg "analysis.lint.infos");
+  List.iter
+    (fun f ->
+      Obs.Metrics.incr
+        (Obs.Metrics.counter reg ("analysis.lint.fired." ^ f.f_rule)))
+    fs
 
 (* ------------------------------------------------------------------ *)
-(* Binary-only rules *)
+(* Amortized static analyses: one bundle shared by every profile
+   linted against the same executable *)
 
-let binary_findings ?cfg ?indirect (o : Objfile.t) =
+type statics = {
+  s_cfg : Cfg.t;
+  s_indirect : Indirect.t;
+  s_arities : int option array;
+  s_doms : Dom.t option array;
+  s_live : Facts.live option array;
+  s_cp : Facts.cp option array;
+}
+
+let prepare ?cfg ?indirect (o : Objfile.t) =
+  Obs.Trace.with_span ~cat:"analysis" "lint-prepare" @@ fun () ->
   let cfg = match cfg with Some c -> c | None -> Cfg.build o in
   let indirect =
     match indirect with Some i -> i | None -> Indirect.analyze o
   in
+  let arities = Facts.arities ~indirect cfg in
+  let n = Array.length cfg.Cfg.cfg_funcs in
+  let doms = Array.make n None in
+  let live = Array.make n None in
+  let cp = Array.make n None in
+  Array.iteri
+    (fun i (f : Cfg.func) ->
+      if Array.length f.Cfg.fn_blocks > 0 then begin
+        doms.(i) <- Some (Dom.compute f);
+        let nslots = Option.value arities.(i) ~default:0 in
+        live.(i) <- Some (Facts.liveness ~nslots o f);
+        cp.(i) <- Some (Facts.constprop ?arity:arities.(i) o f)
+      end)
+    cfg.Cfg.cfg_funcs;
+  {
+    s_cfg = cfg;
+    s_indirect = indirect;
+    s_arities = arities;
+    s_doms = doms;
+    s_live = live;
+    s_cp = cp;
+  }
+
+(* The dataflow-backed binary rules: dead stores, dead parameters,
+   constant branches, constant-dead blocks, irreducible loops. All are
+   restricted to blocks both the CFG and constant propagation consider
+   executable — findings inside already-dead code are noise. *)
+
+let dataflow_findings (st : statics) =
+  let o = st.s_cfg.Cfg.cfg_obj in
+  let acc = ref [] in
+  let emit f = acc := f :: !acc in
+  let at addr =
+    match Objfile.line_of_addr o addr with
+    | Some l -> Printf.sprintf " (line %d)" l
+    | None -> ""
+  in
+  Array.iteri
+    (fun i (f : Cfg.func) ->
+      match (st.s_doms.(i), st.s_live.(i), st.s_cp.(i)) with
+      | Some dom, Some live, Some cp ->
+        let name = f.Cfg.fn_symbol.Objfile.name in
+        let plain = Dataflow.reachable dom.Dom.d_graph in
+        let alive bi = plain.(bi) && cp.Facts.cp_executable.(bi) in
+        List.iter
+          (fun (pc, slot) ->
+            match Cfg.block_index f pc with
+            | Some bi when alive bi ->
+              emit
+                (finding ~addr:pc ~func:name "dead-store"
+                   "%s: the store to slot %d at pc %d%s is never read" name
+                   slot pc (at pc))
+            | _ -> ())
+          live.Facts.lv_dead_stores;
+        (match st.s_arities.(i) with
+        | Some arity when arity > 0 ->
+          List.iter
+            (fun p ->
+              emit
+                (finding ~addr:f.Cfg.fn_symbol.Objfile.addr ~func:name
+                   "dead-param"
+                   "%s: parameter %d of %d is never read (every call site \
+                    passes %d argument%s)"
+                   name (p + 1) arity arity
+                   (if arity = 1 then "" else "s")))
+            (Facts.dead_params live ~arity)
+        | _ -> ());
+        List.iter
+          (fun (pc, c) ->
+            emit
+              (finding ~addr:pc ~func:name "const-branch"
+                 "%s: the branch at pc %d%s always %s — its condition is the \
+                  constant %d"
+                 name pc (at pc)
+                 (if c = 0 then "jumps" else "falls through")
+                 c))
+          cp.Facts.cp_const_branches;
+        List.iter
+          (fun bi ->
+            let b = f.Cfg.fn_blocks.(bi) in
+            emit
+              (finding ~addr:b.Cfg.bb_start ~func:name "const-dead-block"
+                 "%s: block [%d..%d) is unreachable once constant conditions \
+                  are decided"
+                 name b.Cfg.bb_start
+                 (b.Cfg.bb_start + b.Cfg.bb_len)))
+          cp.Facts.cp_dead_blocks;
+        if dom.Dom.d_irreducible then
+          emit
+            (finding ~addr:f.Cfg.fn_symbol.Objfile.addr ~func:name
+               "irreducible-loop"
+               "%s: control flow contains a multi-entry loop; natural-loop \
+                analysis (and any loop-based optimization) is partial"
+               name)
+      | _ -> ())
+    st.s_cfg.Cfg.cfg_funcs;
+  List.rev !acc
+
+let static_warnings o =
+  List.filter
+    (fun f -> f.f_severity = Warning)
+    (dataflow_findings (prepare o))
+
+(* ------------------------------------------------------------------ *)
+(* Binary-only rules *)
+
+let binary_findings ?cfg ?indirect ?statics (o : Objfile.t) =
+  let statics =
+    match statics with Some s -> s | None -> prepare ?cfg ?indirect o
+  in
+  let cfg = statics.s_cfg in
+  let indirect = statics.s_indirect in
   let acc = ref [] in
   (match Objfile.validate o with
   | Ok () -> ()
@@ -112,11 +254,11 @@ let binary_findings ?cfg ?indirect (o : Objfile.t) =
           (start + len)
         :: !acc)
     reach.Reach.r_dead_blocks;
-  (reach, List.rev !acc)
+  (reach, List.rev !acc @ dataflow_findings statics)
 
-let lint_binary ?cfg ?indirect o =
+let lint_binary ?cfg ?indirect ?statics o =
   Obs.Trace.with_span ~cat:"analysis" "lint-binary" @@ fun () ->
-  let _, fs = binary_findings ?cfg ?indirect o in
+  let _, fs = binary_findings ?cfg ?indirect ?statics o in
   let fs = sort_findings fs in
   publish fs;
   { l_findings = fs; l_arcs_checked = 0; l_buckets_checked = 0 }
@@ -134,10 +276,24 @@ let hist_findings (o : Objfile.t) (g : Gmon.t) =
         "histogram covers pc [%d,%d) but the text segment is [0,%d)" h.h_lowpc
         h.h_highpc len
       :: !acc;
+  (* symbols are address-sorted: either [lo] falls inside one (binary
+     search), or one must start within (lo, hi) — checked against the
+     first symbol at or after [lo]. A linear scan here multiplies by
+     the bucket count and dominates the lint on dense histograms. *)
   let covered_by_symbol lo hi =
-    Array.exists
-      (fun (s : Objfile.symbol) -> lo < s.addr + s.size && hi > s.addr)
-      o.Objfile.symbols
+    match Objfile.symbol_index o lo with
+    | Some _ -> true
+    | None ->
+      let syms = o.Objfile.symbols in
+      let n = Array.length syms in
+      let rec first l h =
+        if l >= h then l
+        else
+          let m = (l + h) / 2 in
+          if syms.(m).Objfile.addr < lo then first (m + 1) h else first l m
+      in
+      let i = first 0 n in
+      i < n && syms.(i).Objfile.addr < hi
   in
   Array.iteri
     (fun i count ->
@@ -238,15 +394,175 @@ let arc_findings (o : Objfile.t) (indirect : Indirect.t) (g : Gmon.t) =
     g.Gmon.arcs;
   List.rev !acc
 
-let lint ?cfg ?indirect (o : Objfile.t) (g : Gmon.t) =
-  Obs.Trace.with_span ~cat:"analysis" "lint" @@ fun () ->
-  let cfg = match cfg with Some c -> c | None -> Cfg.build o in
-  let indirect =
-    match indirect with Some i -> i | None -> Indirect.analyze o
+(* The profile-vs-statics contradiction rules: the histogram and the
+   arcs are checked against the dominator/loop/constant structure the
+   dataflow passes derived.
+
+   [loop-no-ticks] only counts buckets lying {e fully} inside a loop
+   block, and only fires once a function has accumulated enough ticks
+   ([hot_ticks]) that a genuinely iterating loop would almost surely
+   have been sampled. [loop-call-unobserved] only speaks about call
+   sites whose every feasible target is an instrumented entry — the
+   monitor records no arcs into unprofiled code, so silence there
+   proves nothing — and requires a tick inside the call's own block:
+   a loop body that simply never happened to be entered (an empty
+   hash chain, an error path) is silent for a benign reason. *)
+
+let hot_ticks = 64
+
+let statics_profile_findings (st : statics) (o : Objfile.t) (g : Gmon.t) =
+  let acc = ref [] in
+  let emit f = acc := f :: !acc in
+  let h = g.Gmon.hist in
+  (* buckets are uniform, so only the indices overlapping [lo,hi)
+     need visiting — these run once per block, and a linear sweep of
+     the whole histogram each time is what pushes the lint past its
+     per-instruction budget *)
+  let overlapping lo hi f =
+    let nb = Array.length h.Gmon.h_counts in
+    if nb > 0 && hi > h.Gmon.h_lowpc && lo < h.Gmon.h_highpc then begin
+      let bs = h.Gmon.h_bucket_size in
+      let i_min = max 0 ((max lo h.Gmon.h_lowpc - h.Gmon.h_lowpc) / bs) in
+      let i_max = min (nb - 1) ((hi - 1 - h.Gmon.h_lowpc) / bs) in
+      for i = i_min to i_max do
+        f i h.Gmon.h_counts.(i)
+      done
+    end
   in
-  let reach, binary = binary_findings ~cfg ~indirect o in
+  let buckets_within lo hi =
+    (* (buckets fully inside [lo,hi), their summed ticks) *)
+    let n = ref 0 and t = ref 0 in
+    overlapping lo hi (fun i count ->
+        let blo, bhi = Gmon.bucket_range h i in
+        if blo >= lo && bhi <= hi && bhi > blo then begin
+          incr n;
+          t := !t + count
+        end);
+    (!n, !t)
+  in
+  let ticks_touching lo hi =
+    let t = ref 0 in
+    overlapping lo hi (fun i count ->
+        let blo, bhi = Gmon.bucket_range h i in
+        if count > 0 && blo < hi && bhi > lo then t := !t + count);
+    !t
+  in
+  (* index the arcs once: the per-function fan-in totals and the
+     per-site "did any arc leave here" test are each asked O(funcs) and
+     O(call sites) times, and a list scan per ask is quadratic *)
+  let arc_from = Hashtbl.create 64 and arc_into = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Gmon.arc) ->
+      if a.Gmon.a_count > 0 then Hashtbl.replace arc_from a.Gmon.a_from ();
+      Hashtbl.replace arc_into a.Gmon.a_self
+        (a.Gmon.a_count
+        + Option.value ~default:0 (Hashtbl.find_opt arc_into a.Gmon.a_self)))
+    g.Gmon.arcs;
+  Array.iteri
+    (fun i (f : Cfg.func) ->
+      match (st.s_doms.(i), st.s_cp.(i)) with
+      | Some dom, Some cp ->
+        let sym = f.Cfg.fn_symbol in
+        let name = sym.Objfile.name in
+        let plain = Dataflow.reachable dom.Dom.d_graph in
+        let fticks = ticks_touching sym.Objfile.addr (sym.Objfile.addr + sym.Objfile.size) in
+        let fcalls =
+          Option.value ~default:0 (Hashtbl.find_opt arc_into sym.Objfile.addr)
+        in
+        (* dead-block-ticks: samples inside code no execution reaches *)
+        Array.iteri
+          (fun bi (b : Cfg.block) ->
+            if not (plain.(bi) && cp.Facts.cp_executable.(bi)) then begin
+              let lo = b.Cfg.bb_start and hi = b.Cfg.bb_start + b.Cfg.bb_len in
+              let _, t = buckets_within lo hi in
+              if t > 0 then
+                emit
+                  (finding ~addr:lo ~func:name "dead-block-ticks"
+                     "%s: statically-dead block [%d..%d) shows %d tick%s — \
+                      the profile cannot describe this binary"
+                     name lo hi t
+                     (if t = 1 then "" else "s"))
+            end)
+          f.Cfg.fn_blocks;
+        (* loop-call-unobserved: a tick inside the call's own block
+           proves the block ran — every call in it must then have
+           fired, so a missing arc is a contradiction, not merely a
+           loop body that never happened to be entered *)
+        if fticks > 0 || fcalls > 0 then
+          Array.iteri
+            (fun bi (b : Cfg.block) ->
+              if dom.Dom.d_depth.(bi) >= 1 && plain.(bi)
+                 && cp.Facts.cp_executable.(bi)
+                 && ticks_touching b.Cfg.bb_start
+                      (b.Cfg.bb_start + b.Cfg.bb_len)
+                    > 0 then
+                List.iter
+                  (fun pc ->
+                    let targets =
+                      match o.Objfile.text.(pc) with
+                      | Instr.Call (t, _) -> [ t ]
+                      | Instr.Calli _ ->
+                        Indirect.targets st.s_indirect ~site:pc
+                      | _ -> []
+                    in
+                    let provable =
+                      targets <> []
+                      && List.for_all
+                           (fun t ->
+                             match Objfile.find_symbol o t with
+                             | Some s -> s.Objfile.addr = t && s.Objfile.profiled
+                             | None -> false)
+                           targets
+                    in
+                    if provable && not (Hashtbl.mem arc_from pc) then
+                      emit
+                        (finding ~addr:pc ~func:name "loop-call-unobserved"
+                           "%s: the call at pc %d sits at loop depth %d yet \
+                            no dynamic arc ever left it (function saw %d \
+                            tick%s, %d call%s)"
+                           name pc dom.Dom.d_depth.(bi) fticks
+                           (if fticks = 1 then "" else "s")
+                           fcalls
+                           (if fcalls = 1 then "" else "s")))
+                  b.Cfg.bb_calls)
+            f.Cfg.fn_blocks;
+        (* loop-no-ticks *)
+        if fticks >= hot_ticks then
+          Array.iter
+            (fun (l : Dom.loop) ->
+              let contained = ref 0 and ticks = ref 0 in
+              List.iter
+                (fun bi ->
+                  let b = f.Cfg.fn_blocks.(bi) in
+                  let n, t =
+                    buckets_within b.Cfg.bb_start
+                      (b.Cfg.bb_start + b.Cfg.bb_len)
+                  in
+                  contained := !contained + n;
+                  ticks := !ticks + t)
+                l.Dom.l_body;
+              if !contained > 0 && !ticks = 0 then
+                let hb = f.Cfg.fn_blocks.(l.Dom.l_header) in
+                emit
+                  (finding ~addr:hb.Cfg.bb_start ~func:name "loop-no-ticks"
+                     "%s: the loop headed at pc %d was never observed \
+                      ticking though its function accumulated %d ticks"
+                     name hb.Cfg.bb_start fticks))
+            dom.Dom.d_loops
+      | _ -> ())
+    st.s_cfg.Cfg.cfg_funcs;
+  List.rev !acc
+
+let lint ?cfg ?indirect ?statics (o : Objfile.t) (g : Gmon.t) =
+  Obs.Trace.with_span ~cat:"analysis" "lint" @@ fun () ->
+  let statics =
+    match statics with Some s -> s | None -> prepare ?cfg ?indirect o
+  in
+  let indirect = statics.s_indirect in
+  let reach, binary = binary_findings ~statics o in
   let hist = hist_findings o g in
   let arcs = arc_findings o indirect g in
+  let versus = statics_profile_findings statics o g in
   let contradictions =
     List.map
       (fun (c : Reach.contradiction) ->
@@ -259,7 +575,7 @@ let lint ?cfg ?indirect (o : Objfile.t) (g : Gmon.t) =
           (if c.c_calls = 1 then "" else "s"))
       (Reach.crosscheck reach o g)
   in
-  let fs = sort_findings (binary @ hist @ arcs @ contradictions) in
+  let fs = sort_findings (binary @ hist @ arcs @ contradictions @ versus) in
   publish fs;
   {
     l_findings = fs;
@@ -308,4 +624,134 @@ let render t =
         bucket(s) checked\n"
        (count Error) (count Warning) (count Info) t.l_arcs_checked
        t.l_buckets_checked);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation across profiles, and machine-readable output *)
+
+type aggregate = { a_finding : finding; a_profiles : int }
+
+let aggregate (results : t list) =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun f ->
+          let key = (f.f_rule, f.f_func, f.f_addr, f.f_msg) in
+          match Hashtbl.find_opt tbl key with
+          | None ->
+            Hashtbl.add tbl key (ref 1);
+            order := f :: !order
+          | Some n -> incr n)
+        r.l_findings)
+    results;
+  List.map
+    (fun f ->
+      {
+        a_finding = f;
+        a_profiles = !(Hashtbl.find tbl (f.f_rule, f.f_func, f.f_addr, f.f_msg));
+      })
+    (sort_findings (List.rev !order))
+
+let render_aggregate ~nprofiles results =
+  let aggs = aggregate results in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun a ->
+      let f = a.a_finding in
+      Buffer.add_string buf
+        (Printf.sprintf "%s [%s] %s%s (%d/%d profiles)\n"
+           (severity_to_string f.f_severity)
+           f.f_rule f.f_msg
+           (match f.f_addr with
+           | Some ad -> Printf.sprintf " (addr %d)" ad
+           | None -> "")
+           a.a_profiles nprofiles))
+    aggs;
+  let count sev =
+    List.length (List.filter (fun a -> a.a_finding.f_severity = sev) aggs)
+  in
+  let arcs = List.fold_left (fun n r -> n + r.l_arcs_checked) 0 results in
+  let buckets = List.fold_left (fun n r -> n + r.l_buckets_checked) 0 results in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "proflint: %d distinct finding(s) over %d profile(s): %d error(s), %d \
+        warning(s), %d note(s); %d arc(s) and %d bucket(s) checked\n"
+       (List.length aggs) nprofiles (count Error) (count Warning) (count Info)
+       arcs buckets);
+  Buffer.contents buf
+
+let json_schema = "gprof-repro.lint/1"
+
+let to_json ~binary ~profiles results =
+  let aggs =
+    (* deterministic machine order: rule, then function, then pc *)
+    List.sort
+      (fun a b ->
+        match compare a.a_finding.f_rule b.a_finding.f_rule with
+        | 0 -> (
+          match compare a.a_finding.f_func b.a_finding.f_func with
+          | 0 -> (
+            match compare a.a_finding.f_addr b.a_finding.f_addr with
+            | 0 -> compare a.a_finding.f_msg b.a_finding.f_msg
+            | c -> c)
+          | c -> c)
+        | c -> c)
+      (aggregate results)
+  in
+  let buf = Buffer.create 2048 in
+  let j = Obs.Jsonbuf.escape buf in
+  let count sev =
+    List.length (List.filter (fun a -> a.a_finding.f_severity = sev) aggs)
+  in
+  Obs.Jsonbuf.obj buf
+    [
+      ("schema", fun () -> j json_schema);
+      ("binary", fun () -> j binary);
+      ("profiles", fun () -> Obs.Jsonbuf.arr buf profiles j);
+      ( "summary",
+        fun () ->
+          Obs.Jsonbuf.obj buf
+            [
+              ("findings", fun () -> Obs.Jsonbuf.int buf (List.length aggs));
+              ("errors", fun () -> Obs.Jsonbuf.int buf (count Error));
+              ("warnings", fun () -> Obs.Jsonbuf.int buf (count Warning));
+              ("notes", fun () -> Obs.Jsonbuf.int buf (count Info));
+              ( "arcs_checked",
+                fun () ->
+                  Obs.Jsonbuf.int buf
+                    (List.fold_left (fun n r -> n + r.l_arcs_checked) 0 results)
+              );
+              ( "buckets_checked",
+                fun () ->
+                  Obs.Jsonbuf.int buf
+                    (List.fold_left
+                       (fun n r -> n + r.l_buckets_checked)
+                       0 results) );
+            ] );
+      ( "findings",
+        fun () ->
+          Obs.Jsonbuf.arr buf aggs (fun a ->
+              let f = a.a_finding in
+              Obs.Jsonbuf.obj buf
+                [
+                  ("rule", fun () -> j f.f_rule);
+                  ( "severity",
+                    fun () -> j (severity_to_string f.f_severity) );
+                  ( "func",
+                    fun () ->
+                      match f.f_func with
+                      | None -> Buffer.add_string buf "null"
+                      | Some fn -> j fn );
+                  ( "addr",
+                    fun () ->
+                      match f.f_addr with
+                      | None -> Buffer.add_string buf "null"
+                      | Some ad -> Obs.Jsonbuf.int buf ad );
+                  ("profiles", fun () -> Obs.Jsonbuf.int buf a.a_profiles);
+                  ("msg", fun () -> j f.f_msg);
+                ]) );
+    ];
+  Buffer.add_char buf '\n';
   Buffer.contents buf

@@ -40,6 +40,29 @@
       entry point can never reach.
     - [dead-blocks] (info): intra-procedurally unreachable blocks.
 
+    {b Dataflow rules} (over {!Dataflow}/{!Dom}/{!Facts}; binary-side
+    unless noted):
+    - [dead-store] (warning): a store to a local slot no path ever
+      reads (liveness).
+    - [dead-param] (warning): a parameter never read, for functions
+      whose arity every call site agrees on.
+    - [const-branch] (warning): a two-way branch whose condition
+      constant propagation decides — it folds.
+    - [const-dead-block] (info): a block the plain CFG reaches but
+      constant propagation proves dead — beyond {!Reach}'s verdict.
+    - [irreducible-loop] (warning): a multi-entry loop; natural-loop
+      analysis is partial there.
+    - [loop-call-unobserved] (warning, profile): a call site at loop
+      depth >= 1 whose every feasible target is an instrumented entry,
+      whose own block was sampled ticking (so the call provably
+      fired), with no dynamic arc.
+    - [loop-no-ticks] (warning, profile): a loop none of whose
+      fully-contained buckets ticked although its function crossed the
+      hot threshold.
+    - [dead-block-ticks] (error, profile): ticks inside a
+      statically-dead block — a symbol-map/profile mismatch no
+      merge of views can explain.
+
     Severities follow the PR 2 exit-code convention: 0 clean, 2 when
     findings at or above the failing threshold exist, 1 for
     operational failures (unreadable inputs). [--strict] fails on
@@ -54,6 +77,7 @@ type finding = {
   f_rule : string;
   f_severity : severity;
   f_addr : int option;  (** the offending address, when one exists *)
+  f_func : string option;  (** the enclosing function, when one exists *)
   f_msg : string;
 }
 
@@ -66,17 +90,46 @@ type t = {
 val rules : (string * severity * string) list
 (** The catalogue: (id, severity, one-line description). *)
 
-val lint :
-  ?cfg:Cfg.t -> ?indirect:Indirect.t -> Objcode.Objfile.t -> Gmon.t -> t
-(** Lint one profile against one executable. [cfg]/[indirect] default
-    to fresh analyses of the executable; pass them to amortize over
-    many profiles. Publishes [analysis.lint.*] counters to
-    {!Obs.Metrics.default}. *)
+type statics = {
+  s_cfg : Cfg.t;
+  s_indirect : Indirect.t;
+  s_arities : int option array;  (** per function id, {!Facts.arities} *)
+  s_doms : Dom.t option array;  (** [None] for empty functions *)
+  s_live : Facts.live option array;
+  s_cp : Facts.cp option array;
+}
+(** Every static analysis the linter consumes, bundled so N profiles
+    against one executable pay for it once. *)
 
-val lint_binary : ?cfg:Cfg.t -> ?indirect:Indirect.t -> Objcode.Objfile.t -> t
+val prepare :
+  ?cfg:Cfg.t -> ?indirect:Indirect.t -> Objcode.Objfile.t -> statics
+
+val lint :
+  ?cfg:Cfg.t ->
+  ?indirect:Indirect.t ->
+  ?statics:statics ->
+  Objcode.Objfile.t ->
+  Gmon.t ->
+  t
+(** Lint one profile against one executable. [statics] (or
+    [cfg]/[indirect]) default to fresh analyses of the executable;
+    pass them to amortize over many profiles. Publishes
+    [analysis.lint.*] counters (including per-rule
+    [analysis.lint.fired.*]) to {!Obs.Metrics.default}. *)
+
+val lint_binary :
+  ?cfg:Cfg.t -> ?indirect:Indirect.t -> ?statics:statics ->
+  Objcode.Objfile.t -> t
 (** The binary-only rules ([binary-invalid], [call-anomaly],
-    [profiled-unreachable], [dead-blocks]) — what can be checked with
-    no profile at hand. *)
+    [profiled-unreachable], [dead-blocks], and the dataflow rules
+    [dead-store]/[dead-param]/[const-branch]/[const-dead-block]/
+    [irreducible-loop]) — what can be checked with no profile at
+    hand. *)
+
+val static_warnings : Objcode.Objfile.t -> finding list
+(** Just the warning-severity dataflow findings over a binary — the
+    set [minic --werror] promotes, so the compiler and the linter
+    agree by construction. *)
 
 val worst : t -> severity option
 (** The highest severity present, [None] for a clean result. *)
@@ -93,3 +146,27 @@ val render : t -> string
 (** Human listing: one line per finding
     ([severity \[rule\] message (addr N)]) and a summary count line.
     Stable order. *)
+
+(** {1 Aggregation and machine-readable output} *)
+
+type aggregate = { a_finding : finding; a_profiles : int }
+(** One distinct finding and how many of the linted profiles produced
+    it. Binary-side findings appear once per profile result they were
+    part of, so against N profiles they count N. *)
+
+val aggregate : t list -> aggregate list
+(** Deduplicate findings by (rule, function, address, message) across
+    the per-profile results, in {!render} order. *)
+
+val render_aggregate : nprofiles:int -> t list -> string
+(** The multi-profile human listing: each distinct finding once, with
+    a [(k/N profiles)] tag, and one combined summary line. *)
+
+val json_schema : string
+(** ["gprof-repro.lint/1"] — see docs/json-report.md. *)
+
+val to_json : binary:string -> profiles:string list -> t list -> string
+(** The machine-readable report: schema tag, inputs, a summary block,
+    and the aggregated findings sorted by (rule, function, pc,
+    message) — deterministic, byte-identical across runs on equal
+    inputs. *)

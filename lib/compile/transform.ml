@@ -173,6 +173,14 @@ let rec fold_expr (e : Ast.expr) =
     | Ast.Or, Ast.Int 0, Ast.Int n -> mk (Ast.Int (truth (n <> 0)))
     | Ast.Or, Ast.Int 0, _ -> mk (Ast.Unop (Ast.Not, mk (Ast.Unop (Ast.Not, r))))
     | Ast.Or, Ast.Int _, _ -> mk (Ast.Int 1)
+    (* ... and a constant right side, when the left may be discarded
+       (it is still evaluated first, so it must be pure to drop) or
+       the result only needs normalizing to a truth value *)
+    | Ast.And, _, Ast.Int 0 when is_pure l -> mk (Ast.Int 0)
+    | Ast.And, _, Ast.Int n when n <> 0 ->
+      mk (Ast.Unop (Ast.Not, mk (Ast.Unop (Ast.Not, l))))
+    | Ast.Or, _, Ast.Int 0 -> mk (Ast.Unop (Ast.Not, mk (Ast.Unop (Ast.Not, l))))
+    | Ast.Or, _, Ast.Int n when n <> 0 && is_pure l -> mk (Ast.Int 1)
     | _ -> keep ())
 
 (* Mini locals are function-scoped, so a declaration inside a branch

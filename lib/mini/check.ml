@@ -349,6 +349,41 @@ let warnings ?(builtins = []) (p : Ast.program) =
   List.iter
     (fun (f : Ast.fundef) -> List.iter (walk ~on_indirect f.fname) f.body)
     p.funs;
+  (* Constant conditions: an [if] that always goes one way, or a loop
+     whose body can never run. [while (1)] stays quiet — the deliberate
+     infinite loop is idiom; the branch that cannot happen is a bug.
+     This is the source-level mirror of Analysis.Facts.constprop's
+     const-branch rule over the object code. *)
+  let constant_cond (c : Ast.expr) what =
+    match c.desc with
+    | Ast.Int 0 ->
+      warns :=
+        { msg = Printf.sprintf "%s condition is constantly false" what;
+          loc = c.eloc }
+        :: !warns
+    | Ast.Int _ when what = "if" ->
+      warns :=
+        { msg = "if condition is constantly true"; loc = c.eloc } :: !warns
+    | _ -> ()
+  in
+  let rec scan (s : Ast.stmt) =
+    match s.sdesc with
+    | Ast.If (c, t, e) ->
+      constant_cond c "if";
+      List.iter scan t;
+      List.iter scan e
+    | Ast.While (c, b) ->
+      constant_cond c "while";
+      List.iter scan b
+    | Ast.For (init, c, step, b) ->
+      scan init;
+      constant_cond c "for";
+      scan step;
+      List.iter scan b
+    | Ast.Decl _ | Ast.Assign _ | Ast.Astore _ | Ast.Return _ | Ast.Break
+    | Ast.Continue | Ast.Expr _ -> ()
+  in
+  List.iter (fun (f : Ast.fundef) -> List.iter scan f.body) p.funs;
   List.sort
     (fun a b -> compare (a.loc.Ast.line, a.loc.Ast.col) (b.loc.Ast.line, b.loc.Ast.col))
     !warns

@@ -31,6 +31,9 @@ val warnings : ?builtins:(string * int) list -> Ast.program -> error list
     every indirect call is checked against its candidate set: a
     callee that is never assigned a function value cannot succeed,
     and a call whose argument count matches no candidate's arity
-    will fail at run time. These are warnings, not errors — the set
-    is an over-approximation and a given site may be dynamically
-    dead — but [minic --werror] promotes them. *)
+    will fail at run time. Also flags constant conditions: an [if]
+    that always goes one way, and a [while]/[for] whose condition is
+    constantly false ([while (1)] — the deliberate infinite loop — is
+    left alone). These are warnings, not errors — the set is an
+    over-approximation and a given site may be dynamically dead — but
+    [minic --werror] promotes them. *)

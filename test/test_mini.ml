@@ -443,6 +443,26 @@ let test_warnings_flow_through_calls () =
      fun g() { tab[0] = one; var h = pick(); return h(1, 2); }"
     "no possible callee of h takes 2 arguments"
 
+let test_warnings_constant_conditions () =
+  expect_warning "fun main() { if (0) { return 1; } return 0; }"
+    "if condition is constantly false";
+  expect_warning "fun main() { if (3) { return 1; } return 0; }"
+    "if condition is constantly true";
+  expect_warning "fun main() { while (0) { return 1; } return 0; }"
+    "while condition is constantly false";
+  expect_warning "fun main() { var i; for (i = 0; 0; i = i + 1) { } return 0; }"
+    "for condition is constantly false";
+  (* the deliberate infinite loop is idiom, not a bug *)
+  (match warnings_of "fun main() { while (1) { return 0; } return 1; }" with
+  | [] -> ()
+  | ws ->
+    Alcotest.failf "while (1) should be quiet, got: %s"
+      (String.concat " | " (List.map (fun (w : Check.error) -> w.msg) ws)));
+  (* a non-literal condition stays quiet even when foldable *)
+  match warnings_of "fun main() { if (1 < 2) { return 1; } return 0; }" with
+  | [] -> ()
+  | _ -> Alcotest.fail "non-literal conditions are the folder's business"
+
 let test_check_entry () =
   (match Check.check_entry (parse_ok "fun main() { return 0; }") with
   | [] -> ()
@@ -502,5 +522,7 @@ let () =
           Alcotest.test_case "arity mismatch" `Quick test_warnings_arity_mismatch;
           Alcotest.test_case "flow through calls" `Quick
             test_warnings_flow_through_calls;
+          Alcotest.test_case "constant conditions" `Quick
+            test_warnings_constant_conditions;
         ] );
     ]

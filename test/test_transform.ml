@@ -227,7 +227,17 @@ let test_fold_logic () =
   Alcotest.(check string) "0 && x" "0" (fold_expr_str "0 && x");
   Alcotest.(check string) "1 || x" "1" (fold_expr_str "1 || x");
   Alcotest.(check string) "1 && x normalizes" "!!x" (fold_expr_str "1 && x");
-  Alcotest.(check string) "0 || x normalizes" "!!x" (fold_expr_str "0 || x")
+  Alcotest.(check string) "0 || x normalizes" "!!x" (fold_expr_str "0 || x");
+  (* a constant right side decides too *)
+  Alcotest.(check string) "x && 0" "0" (fold_expr_str "x && 0");
+  Alcotest.(check string) "x && 5 normalizes" "!!x" (fold_expr_str "x && 5");
+  Alcotest.(check string) "x || 0 normalizes" "!!x" (fold_expr_str "x || 0");
+  Alcotest.(check string) "x || 5" "1" (fold_expr_str "x || 5");
+  (* ... but an impure left side must keep its effects *)
+  Alcotest.(check string) "impure left survives && 0" "f() && 0"
+    (fold_expr_str "f() && 0");
+  Alcotest.(check string) "impure left survives || 5" "f() || 5"
+    (fold_expr_str "f() || 5")
 
 let test_fold_dead_branches () =
   let src =
