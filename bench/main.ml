@@ -23,6 +23,7 @@ let () =
   Exp_dataflow.register ();
   Exp_store.register ();
   Exp_chaos.register ();
+  Exp_pgo.register ();
   let args = Array.to_list Sys.argv |> List.tl in
   let obs_json = ref None in
   let rec parse only = function

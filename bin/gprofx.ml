@@ -13,9 +13,26 @@ let parse_arc s =
 
 let arc_conv = Arg.conv (parse_arc, fun ppf (a, b) -> Format.fprintf ppf "%s:%s" a b)
 
+(* Rerun the PGO pipeline from Mini source + merged profile — the same
+   decisions minic --profile-use would act on, without rebuilding. *)
+let pgo_of_source src_path gmon =
+  match In_channel.with_open_text src_path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | src -> (
+    match Mini.Parser.parse_program src with
+    | exception Mini.Parser.Error (msg, loc) ->
+      Error
+        (Printf.sprintf "%s: %s: %s" src_path
+           (Format.asprintf "%a" Mini.Ast.pp_loc loc)
+           msg)
+    | p ->
+      Pgo.optimize ~options:Compile.Codegen.profiling_options
+        ~source_name:src_path p gmon)
+
 let run obj_path gmon_paths store_dir no_static removed break focus exclude
     min_percent lenient view format epoch timeline lint cost divergence annotate
-    icount_path verbose dot_out obs_metrics obs_trace self_profile =
+    icount_path verbose dot_out obs_metrics obs_trace self_profile pgo_advise
+    profile_use =
   if obs_trace <> None || self_profile then
     Obs.Trace.set_enabled Obs.Trace.default true;
   let finish code =
@@ -327,6 +344,18 @@ let run obj_path gmon_paths store_dir no_static removed break focus exclude
       Printf.eprintf "gprofx: %s\n" e;
       1
     | Ok (gmon, ingest_degraded) -> (
+      match pgo_advise with
+      | Some src_path -> (
+        (* print the decision log and stop; the profile pairs with the
+           instrumented baseline build of the source *)
+        match pgo_of_source src_path gmon with
+        | Error e ->
+          Printf.eprintf "gprofx: %s\n" e;
+          1
+        | Ok (_, report) ->
+          print_string (Pgo.report_listing report);
+          if ingest_degraded then degraded_exit () else 0)
+      | None ->
       if lint then begin
         (* the consistency linter replaces the listings entirely *)
         let result = Analysis.Proflint.lint o gmon in
@@ -354,7 +383,29 @@ let run obj_path gmon_paths store_dir no_static removed break focus exclude
           in
           let est = Analysis.Cost.static_estimate (Analysis.Cfg.build o) in
           print_string (Analysis.Cost.listing ~measured est);
-          if ingest_degraded || Gprof_core.Report.degraded r then 2 else 0
+          let recompute_code =
+            match profile_use with
+            | None -> 0
+            | Some src_path -> (
+              (* the bounds above describe the baseline; rebuild with
+                 this profile and bound the binary users would ship *)
+              match pgo_of_source src_path gmon with
+              | Error e ->
+                Printf.eprintf "gprofx: %s\n" e;
+                1
+              | Ok (obj', _) ->
+                Printf.printf
+                  "\nstatic cost bounds recomputed on the profile-guided \
+                   rebuild of %s:\n"
+                  src_path;
+                print_string
+                  (Analysis.Cost.listing
+                     (Analysis.Cost.static_estimate (Analysis.Cfg.build obj')));
+                0)
+          in
+          if recompute_code <> 0 then recompute_code
+          else if ingest_degraded || Gprof_core.Report.degraded r then 2
+          else 0
       end
       else
       match Gprof_core.Report.analyze ~options o gmon with
@@ -569,12 +620,28 @@ let self_profile =
          ~doc:"Append the wall time of gprofx's own passes to the output — \
                the profiler profiled, as the paper does in its section 7.")
 
+let pgo_advise =
+  Arg.(value & opt (some file) None & info [ "pgo-advise" ] ~docv:"SOURCE"
+         ~doc:"Print the profile-guided optimization decision log for the \
+               Mini source $(docv) — exactly what minic --profile-use would \
+               inline, reorder, and split given this profile data — without \
+               building anything. The profile must pair with the \
+               instrumented (-pg) build of $(docv).")
+
+let profile_use =
+  Arg.(value & opt (some file) None & info [ "profile-use" ] ~docv:"SOURCE"
+         ~doc:"With --cost: also rebuild the Mini source $(docv) with \
+               profile feedback and append the static cost bounds of the \
+               optimized binary — catching a bound regression the measured \
+               columns (gathered on the baseline) cannot show.")
+
 let cmd =
   Cmd.v
     (Cmd.info "gprofx" ~doc:"call graph execution profiler")
     Term.(const run $ obj $ gmons $ store_dir $ no_static $ removed $ break
           $ focus $ exclude $ min_percent $ lenient $ view $ format $ epoch
           $ timeline $ lint $ cost $ divergence $ annotate $ icount $ verbose
-          $ dot_out $ obs_metrics $ obs_trace $ self_profile)
+          $ dot_out $ obs_metrics $ obs_trace $ self_profile $ pgo_advise
+          $ profile_use)
 
 let () = exit (Cmd.eval' cmd)

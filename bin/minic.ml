@@ -10,7 +10,7 @@ let read_file path =
   with Sys_error e -> Error e
 
 let run src_path out profile count skip inline fold listing dump_static werror
-    =
+    profile_use pgo_report =
   let options =
     {
       Compile.Codegen.profile;
@@ -32,11 +32,25 @@ let run src_path out profile count skip inline fold listing dump_static werror
         msg;
       1
     | p -> (
-    match Compile.Codegen.compile_program ~options ~source_name:src_path p with
+    let compiled =
+      match profile_use with
+      | None ->
+        Result.map
+          (fun o -> (o, None))
+          (Compile.Codegen.compile_program ~options ~source_name:src_path p)
+      | Some gmon_path -> (
+        match Gmon.load gmon_path with
+        | Error e -> Error e
+        | Ok gmon ->
+          Result.map
+            (fun (o, r) -> (o, Some r))
+            (Pgo.optimize ~options ~source_name:src_path p gmon))
+    in
+    match compiled with
     | Error e ->
       Printf.eprintf "minic: %s: %s\n" src_path e;
       1
-    | Ok o ->
+    | Ok (o, pgo) ->
       let warns = Mini.Check.warnings ~builtins:Compile.Builtins.arities p in
       List.iter
         (fun w ->
@@ -64,6 +78,9 @@ let run src_path out profile count skip inline fold listing dump_static werror
         | None -> Filename.remove_extension src_path ^ ".obj"
       in
       Objcode.Objfile.save o out;
+      (match pgo with
+      | Some r when pgo_report -> print_string (Pgo.report_listing r)
+      | _ -> ());
       if listing then print_string (Objcode.Disasm.program_listing o);
       if dump_static then begin
         print_endline "static call graph:";
@@ -119,10 +136,25 @@ let werror =
                irreducible loops) to errors: report them and fail without \
                writing the object file.")
 
+let profile_use =
+  Arg.(value & opt (some file) None & info [ "profile-use" ] ~docv:"GMON"
+         ~doc:"Optimize with profile feedback from $(docv): inline hot \
+               small callees, lay each function out so the hot path falls \
+               through, and order functions by inclusive time. The profile \
+               must come from a build of this program with the same flags \
+               (minus $(b,--inline)/$(b,--profile-use)); a mismatched \
+               profile is refused.")
+
+let pgo_report =
+  Arg.(value & flag & info [ "pgo-report" ]
+         ~doc:"With $(b,--profile-use), print the deterministic decision \
+               log: every inline decision with the numbers behind it, \
+               per-function layout changes, and the final function order.")
+
 let cmd =
   Cmd.v
     (Cmd.info "minic" ~doc:"Mini compiler targeting the profiling VM")
     Term.(const run $ src $ out $ profile $ count $ skip $ inline $ fold
-          $ listing $ dump_static $ werror)
+          $ listing $ dump_static $ werror $ profile_use $ pgo_report)
 
 let () = exit (Cmd.eval' cmd)

@@ -14,7 +14,7 @@ let load_profile path =
     Result.bind (Gmon.Epoch.load path) Gmon.Epoch.sum
   else Gmon.load path
 
-let run figure4 obj_path gmon_paths strict json obs_metrics =
+let run figure4 obj_path gmon_paths strict json obs_metrics pgo_baseline =
   let finish code =
     try
       Option.iter (Obs.Metrics.save Obs.Metrics.default) obs_metrics;
@@ -53,7 +53,23 @@ let run figure4 obj_path gmon_paths strict json obs_metrics =
   | Ok (obj, profiles) ->
     (* amortize the static analyses over every profile *)
     let statics = Analysis.Proflint.prepare obj in
+    let pgo =
+      match pgo_baseline with
+      | None -> Ok []
+      | Some p -> (
+        match Objcode.Objfile.load p with
+        | Error e -> Error (Printf.sprintf "%s: %s" p e)
+        | Ok baseline ->
+          Ok [ ("pgo-baseline", Analysis.Proflint.lint_pgo ~baseline obj) ])
+    in
+    match pgo with
+    | Error e ->
+      Printf.eprintf "proflint: %s\n" e;
+      1
+    | Ok pgo ->
     let results =
+      pgo
+      @
       match profiles with
       | [] -> [ ("binary", Analysis.Proflint.lint_binary ~statics obj) ]
       | ps ->
@@ -121,9 +137,19 @@ let obs_metrics =
          ~doc:"Write proflint's own metrics registry as JSON to $(docv) \
                ('-' for stdout).")
 
+let pgo_baseline =
+  Arg.(value & opt (some file) None & info [ "pgo-baseline" ] ~docv:"OBJ"
+         ~doc:"Treat the executable as a profile-guided rebuild of $(docv) \
+               and run the pgo pairing rules: every baseline routine must \
+               survive ([pgo-symbol-missing]), the entry must match \
+               ([pgo-entry-mismatch]), instrumentation must not silently \
+               drop ([pgo-profiled-dropped]), and inlined-away routines are \
+               noted ([pgo-inlined-away]).")
+
 let cmd =
   Cmd.v
     (Cmd.info "proflint" ~doc:"profile-vs-binary consistency linter")
-    Term.(const run $ figure4 $ obj $ gmons $ strict $ json $ obs_metrics)
+    Term.(const run $ figure4 $ obj $ gmons $ strict $ json $ obs_metrics
+          $ pgo_baseline)
 
 let () = exit (Cmd.eval' cmd)

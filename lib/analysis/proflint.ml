@@ -48,6 +48,14 @@ let rules =
     ("loop-no-ticks", Warning, "a loop never observed ticking inside a hot function");
     ("dead-block-ticks", Error,
      "ticks inside a statically-dead block: the profile cannot match the binary");
+    ("pgo-symbol-missing", Error,
+     "a baseline routine is absent from the optimized binary");
+    ("pgo-entry-mismatch", Error,
+     "the optimized binary starts in a different routine than the baseline");
+    ("pgo-profiled-dropped", Warning,
+     "a routine lost its monitoring prologue across the rebuild");
+    ("pgo-inlined-away", Info,
+     "a routine's direct calls were all inlined; its time now folds into callers");
   ]
 
 let severity_of_rule rule =
@@ -260,6 +268,64 @@ let lint_binary ?cfg ?indirect ?statics o =
   Obs.Trace.with_span ~cat:"analysis" "lint-binary" @@ fun () ->
   let _, fs = binary_findings ?cfg ?indirect ?statics o in
   let fs = sort_findings fs in
+  publish fs;
+  { l_findings = fs; l_arcs_checked = 0; l_buckets_checked = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* PGO pairing rules: does an optimized rebuild still line up with the
+   baseline it was derived from? Old profiles of the baseline pair
+   with the baseline, fresh profiles with the rebuild; these rules
+   flag what changed in between so neither gets misread. *)
+
+let lint_pgo ~(baseline : Objfile.t) (o : Objfile.t) =
+  Obs.Trace.with_span ~cat:"analysis" "lint-pgo" @@ fun () ->
+  let acc = ref [] in
+  let sym_of ob name =
+    Array.find_opt (fun (s : Objfile.symbol) -> s.name = name) ob.Objfile.symbols
+  in
+  let entry_name ob =
+    match Objfile.find_symbol ob ob.Objfile.entry with
+    | Some s -> s.Objfile.name
+    | None -> "<none>"
+  in
+  if entry_name baseline <> entry_name o then
+    acc :=
+      finding "pgo-entry-mismatch" "baseline enters %s, the rebuild enters %s"
+        (entry_name baseline) (entry_name o)
+      :: !acc;
+  let callees ob =
+    List.map snd (Objcode.Scan.static_arcs ob)
+  in
+  let opt_callees = callees o in
+  Array.iter
+    (fun (s : Objfile.symbol) ->
+      match sym_of o s.Objfile.name with
+      | None ->
+        acc :=
+          finding ~func:s.Objfile.name "pgo-symbol-missing"
+            "%s exists in the baseline but not in the optimized binary"
+            s.Objfile.name
+          :: !acc
+      | Some s' ->
+        if s.Objfile.profiled && not s'.Objfile.profiled then
+          acc :=
+            finding ~func:s.Objfile.name "pgo-profiled-dropped"
+              "%s was instrumented in the baseline but is not any more"
+              s.Objfile.name
+            :: !acc;
+        if
+          List.mem s.Objfile.name (callees baseline)
+          && not (List.mem s.Objfile.name opt_callees)
+        then
+          acc :=
+            finding ~func:s.Objfile.name "pgo-inlined-away"
+              "every direct call to %s was inlined; old profiles of the \
+               baseline attribute its time to the routine itself, fresh ones \
+               to its callers"
+              s.Objfile.name
+            :: !acc)
+    baseline.Objfile.symbols;
+  let fs = sort_findings (List.rev !acc) in
   publish fs;
   { l_findings = fs; l_arcs_checked = 0; l_buckets_checked = 0 }
 

@@ -63,6 +63,20 @@
       statically-dead block — a symbol-map/profile mismatch no
       merge of views can explain.
 
+    {b PGO pairing rules} ({!lint_pgo}, baseline binary vs. its
+    profile-guided rebuild):
+    - [pgo-symbol-missing] (error): a baseline routine is absent from
+      the optimized binary.
+    - [pgo-entry-mismatch] (error): the two binaries start in
+      different routines.
+    - [pgo-profiled-dropped] (warning): a routine lost its monitoring
+      prologue across the rebuild — fresh profiles will silently miss
+      it.
+    - [pgo-inlined-away] (info): every direct call to a routine was
+      inlined; baseline profiles attribute its time to the routine,
+      fresh profiles to its callers — the granularity loss the paper
+      warns inlining causes.
+
     Severities follow the PR 2 exit-code convention: 0 clean, 2 when
     findings at or above the failing threshold exist, 1 for
     operational failures (unreadable inputs). [--strict] fails on
@@ -125,6 +139,12 @@ val lint_binary :
     [dead-store]/[dead-param]/[const-branch]/[const-dead-block]/
     [irreducible-loop]) — what can be checked with no profile at
     hand. *)
+
+val lint_pgo : baseline:Objcode.Objfile.t -> Objcode.Objfile.t -> t
+(** The PGO pairing rules: check a profile-guided rebuild against the
+    baseline binary its profile came from ([pgo-symbol-missing],
+    [pgo-entry-mismatch], [pgo-profiled-dropped], [pgo-inlined-away]).
+    Purely binary-vs-binary; no profile required. *)
 
 val static_warnings : Objcode.Objfile.t -> finding list
 (** Just the warning-severity dataflow findings over a binary — the

@@ -115,6 +115,10 @@ let inline_round ~names (p : Ast.program) =
           p.funs;
     }
 
+let inlinable (p : Ast.program) =
+  let all = List.map (fun (f : Ast.fundef) -> f.Ast.fname) p.funs in
+  List.map fst (candidates ~names:all p)
+
 let inline_expansion ~names p =
   (* Chains of wrappers flatten in a few rounds; the bound guards
      against mutual single-return functions expanding forever. *)

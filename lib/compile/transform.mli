@@ -28,6 +28,13 @@ val inline_expansion : names:string list -> Mini.Ast.program -> Mini.Ast.program
     called indirectly), so a fully-inlined routine shows up in the
     profile as never called. *)
 
+val inlinable : Mini.Ast.program -> string list
+(** The functions {!inline_expansion} could expand — body is a single
+    [return e;] that does not call the function itself — in program
+    order. Whether a given call site actually expands still depends on
+    the site (direct call, exact arity, pure arguments). This is the
+    candidate set a profile-guided selection chooses from. *)
+
 val constant_fold : Mini.Ast.program -> Mini.Ast.program
 (** Fold constant subexpressions ([2 * 3 + x] to [6 + x]), apply
     arithmetic identities ([x + 0], [x * 1], [x * 0] when [x] is

@@ -89,6 +89,10 @@ type t = {
   icounts : int array option;
   mutable n_instr : int;
   dispatch : int array; (* per Instr.group execution counts *)
+  groups : int array;
+      (* Instr.group of every text word, precomputed at creation so
+         the metrics-on hot path is two array bumps, not a re-match of
+         the constructor per step. Empty when metrics are off. *)
   prng : Util.Prng.t;
   out : Buffer.t;
   mutable status : status;
@@ -135,6 +139,8 @@ let create ?(config = default_config) o =
         (if config.count_instructions then Some (Array.make text_size 0) else None);
       n_instr = 0;
       dispatch = Array.make Instr.n_groups 0;
+      groups =
+        (if config.metrics then Array.map Instr.group o.Objfile.text else [||]);
       prng = Util.Prng.create config.seed;
       out = Buffer.create 256;
       status = Running;
@@ -443,7 +449,7 @@ let step m =
         | None -> ());
         if m.config.metrics then begin
           m.n_instr <- m.n_instr + 1;
-          let grp = Instr.group ins in
+          let grp = m.groups.(at_pc) in
           m.dispatch.(grp) <- m.dispatch.(grp) + 1
         end;
         m.cycles <- m.cycles + Instr.cost ins;

@@ -179,6 +179,94 @@ fun main() { return c(10); }
   let _, r2 = run_program ~options src in
   check_int "same" r r2
 
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_inlinable_lists_candidates () =
+  (* the PGO pipeline trusts this list; it must match what expansion
+     actually accepts *)
+  let p = parse square_src in
+  check_bool "square is inlinable" true
+    (List.mem "square" (Compile.Transform.inlinable p));
+  check_bool "sum_squares is not (loop body)" false
+    (List.mem "sum_squares" (Compile.Transform.inlinable p))
+
+let test_inline_recursive_refused () =
+  (* a lone-return body that mentions itself must never be a
+     candidate: substitution would re-introduce the call forever *)
+  let src =
+    {|
+fun fact(n) { return (n < 2) + (n >= 2) * n * fact(n - 1); }
+fun main() { return fact(5); }
+|}
+  in
+  let p = parse src in
+  check_bool "recursive lone return is not inlinable" false
+    (List.mem "fact" (Compile.Transform.inlinable p));
+  let p' = Compile.Transform.inline_expansion ~names:[ "fact" ] p in
+  check_bool "call site untouched" true
+    (contains "fact(5)" (Mini.Pprint.program p'))
+
+let test_inline_arity_mismatch_kept () =
+  (* a call with the wrong argument count cannot be substituted; the
+     transform must leave it for the checker to reject, not crash or
+     mangle it *)
+  let src =
+    {|
+fun add(a, b) { return a + b; }
+fun main() { return add(1) + add(2, 3); }
+|}
+  in
+  let p = Compile.Transform.inline_expansion ~names:[ "add" ] (parse src) in
+  let printed = Mini.Pprint.program p in
+  check_bool "short call survives verbatim" true (contains "add(1)" printed);
+  check_bool "well-formed call expanded" true (contains "2 + 3" printed)
+
+let test_inline_address_taken_still_expands () =
+  (* taking a function's value (a funref) must not block inlining its
+     direct call sites: the definition always survives, so the
+     reference stays valid *)
+  let src =
+    {|
+fun inc(x) { return x + 1; }
+fun main() {
+  var f = inc;
+  return f(10) + inc(5);
+}
+|}
+  in
+  let p = Compile.Transform.inline_expansion ~names:[ "inc" ] (parse src) in
+  let printed = Mini.Pprint.program p in
+  check_bool "direct site expanded" true (contains "5 + 1" printed);
+  check_bool "funref untouched" true (contains "f = inc" printed);
+  check_bool "indirect call untouched" true (contains "f(10)" printed);
+  check_int "definition kept" 2 (List.length p.funs);
+  let _, r = run_program src in
+  let options = { Compile.Codegen.default_options with inline = [ "inc" ] } in
+  let _, r2 = run_program ~options src in
+  check_int "17 either way" r r2;
+  check_int "17" 17 r
+
+let test_inline_mutual_wrappers_terminate () =
+  (* mutually recursive lone-return wrappers would substitute into
+     each other forever; the round bound must cut the ping-pong *)
+  let src =
+    {|
+fun a(x) { return b(x); }
+fun b(x) { return a(x); }
+fun main() { return 0; }
+|}
+  in
+  let p = Compile.Transform.inline_expansion ~names:[ "a"; "b" ] (parse src) in
+  let printed = Mini.Pprint.program p in
+  check_int "all definitions kept" 3 (List.length p.funs);
+  (* whatever the parity of the bound, each body is still a single
+     call to the other wrapper — not an ever-growing chain *)
+  check_bool "bodies still call a wrapper" true
+    (contains "a(x)" printed || contains "b(x)" printed)
+
 (* Inlining must preserve semantics on every workload it can touch. *)
 let test_inline_workloads_semantics () =
   List.iter
@@ -398,6 +486,16 @@ let () =
           Alcotest.test_case "skips recursive/multi-statement" `Quick
             test_inline_skips_multi_statement_and_recursive;
           Alcotest.test_case "chains flatten" `Quick test_inline_chain_flattens;
+          Alcotest.test_case "inlinable lists candidates" `Quick
+            test_inlinable_lists_candidates;
+          Alcotest.test_case "recursive callee refused" `Quick
+            test_inline_recursive_refused;
+          Alcotest.test_case "arity mismatch kept" `Quick
+            test_inline_arity_mismatch_kept;
+          Alcotest.test_case "address-taken still expands" `Quick
+            test_inline_address_taken_still_expands;
+          Alcotest.test_case "mutual wrappers terminate" `Quick
+            test_inline_mutual_wrappers_terminate;
           Alcotest.test_case "workload semantics" `Slow test_inline_workloads_semantics;
         ] );
       ( "fold",
